@@ -1,0 +1,56 @@
+// Command fobs-recv receives one FOBS object transfer over real sockets
+// and writes it to a file (or discards it, reporting throughput only).
+//
+// Usage:
+//
+//	fobs-recv -listen 0.0.0.0:7700 -out object.bin
+//
+// Pair it with fobs-send on the other end.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/hpcnet/fobs"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7700", "address to listen on (TCP control + UDP data)")
+		out     = flag.String("out", "", "file to write the received object to (empty: discard)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+	)
+	flag.Parse()
+
+	l, err := fobs.Listen(*listen, fobs.Options{})
+	if err != nil {
+		log.Fatalf("fobs-recv: %v", err)
+	}
+	defer l.Close()
+	fmt.Printf("fobs-recv: listening on %s\n", l.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	obj, st, err := l.Accept(ctx)
+	if err != nil {
+		log.Fatalf("fobs-recv: %v", err)
+	}
+	elapsed := time.Since(start)
+	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6
+	fmt.Printf("fobs-recv: %d bytes in %v (%.1f Mb/s), %d packets (%d duplicates)\n",
+		len(obj), elapsed.Round(time.Millisecond), mbps, st.Received, st.Duplicates)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, obj, 0o644); err != nil {
+			log.Fatalf("fobs-recv: write %s: %v", *out, err)
+		}
+		fmt.Printf("fobs-recv: wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,102 @@
+// Command fobs-send transfers one object to a fobs-recv listener over real
+// sockets.
+//
+// Usage:
+//
+//	fobs-send -addr host:7700 -file object.bin
+//	fobs-send -addr host:7700 -size 40MiB        # synthetic object
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpcnet/fobs"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	for suffix, m := range map[string]int64{
+		"KIB": 1 << 10, "MIB": 1 << 20, "GIB": 1 << 30,
+		"KB": 1e3, "MB": 1e6, "GB": 1e9,
+	} {
+		if strings.HasSuffix(upper, suffix) {
+			upper = strings.TrimSuffix(upper, suffix)
+			mult = m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7700", "fobs-recv address")
+		file       = flag.String("file", "", "file to send (overrides -size)")
+		size       = flag.String("size", "40MiB", "synthetic object size when no -file is given")
+		packetSize = flag.Int("packet-size", fobs.PacketSize, "data packet payload bytes")
+		ackFreq    = flag.Int("ack-freq", fobs.DefaultAckFrequency, "receiver ack frequency hint (informational)")
+		batch      = flag.Int("batch", fobs.DefaultBatch, "packets per batch-send operation")
+		pace       = flag.Duration("pace", 0, "extra delay per batch (helps tiny kernel buffers)")
+		progress   = flag.Bool("progress", false, "print transfer progress")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+	)
+	flag.Parse()
+
+	var obj []byte
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("fobs-send: %v", err)
+		}
+		obj = data
+	} else {
+		n, err := parseSize(*size)
+		if err != nil {
+			log.Fatalf("fobs-send: %v", err)
+		}
+		obj = make([]byte, n)
+		rand.New(rand.NewSource(time.Now().UnixNano())).Read(obj)
+	}
+
+	cfg := fobs.Config{
+		PacketSize:   *packetSize,
+		AckFrequency: *ackFreq,
+		Batch:        fobs.FixedBatch(*batch),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	opts := fobs.Options{Pace: *pace}
+	if *progress {
+		lastPct := -1
+		opts.Progress = func(done, total int) {
+			if pct := 100 * done / total; pct/5 != lastPct/5 {
+				lastPct = pct
+				fmt.Printf("fobs-send: %3d%% (%d/%d packets confirmed)\n", pct, done, total)
+			}
+		}
+	}
+	start := time.Now()
+	st, err := fobs.Send(ctx, *addr, obj, cfg, opts)
+	if err != nil {
+		log.Fatalf("fobs-send: %v", err)
+	}
+	elapsed := time.Since(start)
+	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6
+	fmt.Printf("fobs-send: %d bytes in %v (%.1f Mb/s)\n", len(obj), elapsed.Round(time.Millisecond), mbps)
+	fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed\n",
+		st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed)
+}

@@ -1,0 +1,3 @@
+module github.com/hpcnet/fobs
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package bitmap implements the packet-status bitmap at the heart of FOBS.
+//
+// The receiver tracks the received/not-received status of every packet in
+// the object with one bit per packet; fragments of this structure are what
+// acknowledgement packets carry. The sender maintains its own copy, merged
+// from incoming acks, to decide which packets still need (re)transmission.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-size bitset indexed by packet sequence number.
+// The zero value is unusable; create one with New.
+type Bitmap struct {
+	n     int
+	words []uint64
+	set   int // population count, maintained incrementally
+}
+
+// New returns a bitmap tracking n packets, all initially unset.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative size %d", n))
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of packets tracked.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns how many bits are set.
+func (b *Bitmap) Count() int { return b.set }
+
+// Full reports whether every bit is set.
+func (b *Bitmap) Full() bool { return b.set == b.n }
+
+func (b *Bitmap) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Set marks packet i as received. It reports whether the bit was newly set
+// (false means it was already set — a duplicate).
+func (b *Bitmap) Set(i int) bool {
+	b.check(i)
+	w, m := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.set++
+	return true
+}
+
+// Clear unmarks packet i. It reports whether the bit was previously set.
+func (b *Bitmap) Clear(i int) bool {
+	b.check(i)
+	w, m := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.set--
+	return true
+}
+
+// Test reports whether packet i is marked received.
+func (b *Bitmap) Test(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(uint64(1)<<uint(i%wordBits)) != 0
+}
+
+// FirstUnset returns the lowest index >= from whose bit is unset, searching
+// circularly through the whole bitmap (wrapping past the end back to zero).
+// It returns -1 if every bit is set.
+func (b *Bitmap) FirstUnset(from int) int {
+	if b.n == 0 || b.Full() {
+		return -1
+	}
+	if from < 0 || from >= b.n {
+		from = 0
+	}
+	if i := b.firstUnsetIn(from, b.n); i >= 0 {
+		return i
+	}
+	return b.firstUnsetIn(0, from)
+}
+
+// firstUnsetIn scans [lo, hi) for the lowest unset bit, or -1.
+func (b *Bitmap) firstUnsetIn(lo, hi int) int {
+	if lo >= hi {
+		return -1
+	}
+	w := lo / wordBits
+	// First (possibly partial) word: ignore bits below lo.
+	word := ^b.words[w] &^ ((uint64(1) << uint(lo%wordBits)) - 1)
+	for {
+		if word != 0 {
+			i := w*wordBits + bits.TrailingZeros64(word)
+			if i < hi {
+				return i
+			}
+			return -1
+		}
+		w++
+		if w*wordBits >= hi {
+			return -1
+		}
+		word = ^b.words[w]
+	}
+}
+
+// CountRange returns how many bits are set in [lo, hi).
+func (b *Bitmap) CountRange(lo, hi int) int {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: bad range [%d,%d) of %d", lo, hi, b.n))
+	}
+	total := 0
+	for i := lo; i < hi; {
+		w := i / wordBits
+		word := b.words[w]
+		start := i % wordBits
+		end := wordBits
+		if w*wordBits+end > hi {
+			end = hi - w*wordBits
+		}
+		mask := ^uint64(0)
+		if end < wordBits {
+			mask = (uint64(1) << uint(end)) - 1
+		}
+		mask &^= (uint64(1) << uint(start)) - 1
+		total += bits.OnesCount64(word & mask)
+		i = w*wordBits + end
+	}
+	return total
+}
+
+// Fragment is a contiguous slice of bitmap state, the unit acknowledgement
+// packets carry. Start is a packet index aligned to 64 bits; Words holds the
+// raw status words beginning at that index.
+type Fragment struct {
+	Start int
+	Words []uint64
+}
+
+// Bits returns the number of packet statuses the fragment covers, clamped to
+// the given bitmap length.
+func (f Fragment) Bits(n int) int {
+	b := len(f.Words) * wordBits
+	if f.Start+b > n {
+		b = n - f.Start
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Extract copies up to maxWords words of status starting at the word
+// containing index from. The returned fragment is aligned down to a word
+// boundary. Extract panics if maxWords <= 0.
+func (b *Bitmap) Extract(from, maxWords int) Fragment {
+	if maxWords <= 0 {
+		panic("bitmap: Extract needs maxWords > 0")
+	}
+	if b.n == 0 {
+		return Fragment{}
+	}
+	if from < 0 || from >= b.n {
+		from = 0
+	}
+	w := from / wordBits
+	end := w + maxWords
+	if end > len(b.words) {
+		end = len(b.words)
+	}
+	words := make([]uint64, end-w)
+	copy(words, b.words[w:end])
+	return Fragment{Start: w * wordBits, Words: words}
+}
+
+// Merge ORs a fragment produced by another bitmap's Extract into b,
+// returning the number of newly set bits. Fragments whose Start is not
+// word-aligned or that extend past the bitmap are rejected with an error so
+// that a corrupted ack cannot poison the sender's state.
+func (b *Bitmap) Merge(f Fragment) (newlySet int, err error) {
+	if f.Start%wordBits != 0 || f.Start < 0 {
+		return 0, fmt.Errorf("bitmap: fragment start %d not word-aligned", f.Start)
+	}
+	w := f.Start / wordBits
+	if w+len(f.Words) > len(b.words) {
+		return 0, fmt.Errorf("bitmap: fragment [%d..%d words) exceeds bitmap of %d packets",
+			w, w+len(f.Words), b.n)
+	}
+	for i, word := range f.Words {
+		// Mask out bits past the logical end in the final word, so a
+		// malicious fragment cannot make Count exceed Len.
+		if (w+i+1)*wordBits > b.n {
+			valid := b.n - (w+i)*wordBits
+			word &= (uint64(1) << uint(valid)) - 1
+		}
+		added := word &^ b.words[w+i]
+		if added != 0 {
+			b.words[w+i] |= added
+			newlySet += bits.OnesCount64(added)
+		}
+	}
+	b.set += newlySet
+	return newlySet, nil
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return &Bitmap{n: b.n, words: words, set: b.set}
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.set = 0
+}
+
+// String renders small bitmaps as 0/1 runs for debugging; large bitmaps are
+// summarized.
+func (b *Bitmap) String() string {
+	if b.n > 128 {
+		return fmt.Sprintf("Bitmap(%d/%d set)", b.set, b.n)
+	}
+	buf := make([]byte, b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Test(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

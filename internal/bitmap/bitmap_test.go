@@ -1,0 +1,385 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		if !b.Set(i) {
+			t.Fatalf("Set(%d) reported duplicate on first set", i)
+		}
+		if b.Set(i) {
+			t.Fatalf("Set(%d) reported newly-set on duplicate", i)
+		}
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	if !b.Clear(64) {
+		t.Fatal("Clear(64) reported already-clear")
+	}
+	if b.Clear(64) {
+		t.Fatal("Clear(64) reported set on second clear")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d after clear, want 7", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, fn := range map[string]func(){
+		"Set":   func() { b.Set(10) },
+		"Test":  func() { b.Test(-1) },
+		"Clear": func() { b.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestZeroSize(t *testing.T) {
+	b := New(0)
+	if !b.Full() {
+		t.Fatal("empty bitmap is not Full")
+	}
+	if got := b.FirstUnset(0); got != -1 {
+		t.Fatalf("FirstUnset on empty = %d, want -1", got)
+	}
+}
+
+func TestFullAndFirstUnset(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i++ {
+		b.Set(i)
+	}
+	if !b.Full() {
+		t.Fatal("bitmap with all bits set is not Full")
+	}
+	if got := b.FirstUnset(50); got != -1 {
+		t.Fatalf("FirstUnset on full bitmap = %d, want -1", got)
+	}
+	b.Clear(10)
+	if got := b.FirstUnset(0); got != 10 {
+		t.Fatalf("FirstUnset(0) = %d, want 10", got)
+	}
+	// Circular wrap: searching from beyond the hole finds it by wrapping.
+	if got := b.FirstUnset(11); got != 10 {
+		t.Fatalf("FirstUnset(11) = %d, want 10 (wrapped)", got)
+	}
+	if got := b.FirstUnset(10); got != 10 {
+		t.Fatalf("FirstUnset(10) = %d, want 10", got)
+	}
+}
+
+func TestFirstUnsetFromOutOfRangeTreatedAsZero(t *testing.T) {
+	b := New(16)
+	b.Set(0)
+	if got := b.FirstUnset(999); got != 1 {
+		t.Fatalf("FirstUnset(999) = %d, want 1", got)
+	}
+	if got := b.FirstUnset(-3); got != 1 {
+		t.Fatalf("FirstUnset(-3) = %d, want 1", got)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	b := New(256)
+	for i := 0; i < 256; i += 3 {
+		b.Set(i)
+	}
+	for _, tc := range []struct{ lo, hi, want int }{
+		{0, 256, 86},
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 3, 0},
+		{60, 70, 4}, // 60, 63, 66, 69
+		{64, 128, 21},
+	} {
+		if got := b.CountRange(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestCountRangeBadRangePanics(t *testing.T) {
+	b := New(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CountRange with lo>hi did not panic")
+		}
+	}()
+	b.CountRange(5, 2)
+}
+
+func TestExtractMerge(t *testing.T) {
+	src := New(300)
+	for _, i := range []int{0, 64, 65, 130, 299} {
+		src.Set(i)
+	}
+	dst := New(300)
+	// Two fragments cover the whole thing.
+	f1 := src.Extract(0, 3)   // words 0..2 -> bits 0..191
+	f2 := src.Extract(192, 3) // words 3..4 -> bits 192..299
+	n1, err := dst.Merge(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := dst.Merge(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != 5 {
+		t.Fatalf("merged %d+%d new bits, want 5", n1, n2)
+	}
+	for i := 0; i < 300; i++ {
+		if src.Test(i) != dst.Test(i) {
+			t.Fatalf("bit %d differs after merge", i)
+		}
+	}
+	// Re-merging is idempotent.
+	n, err := dst.Merge(f1)
+	if err != nil || n != 0 {
+		t.Fatalf("re-merge gave (%d,%v), want (0,nil)", n, err)
+	}
+}
+
+func TestMergeRejectsBadFragments(t *testing.T) {
+	b := New(64)
+	if _, err := b.Merge(Fragment{Start: 3, Words: []uint64{1}}); err == nil {
+		t.Error("unaligned fragment accepted")
+	}
+	if _, err := b.Merge(Fragment{Start: 64, Words: []uint64{1}}); err == nil {
+		t.Error("out-of-range fragment accepted")
+	}
+	if _, err := b.Merge(Fragment{Start: -64, Words: []uint64{1}}); err == nil {
+		t.Error("negative-start fragment accepted")
+	}
+}
+
+func TestMergeMasksTailBits(t *testing.T) {
+	// A fragment claiming statuses past the logical end must not corrupt
+	// the population count.
+	b := New(70) // 2 words, 58 invalid tail bits in word 1
+	f := Fragment{Start: 64, Words: []uint64{^uint64(0)}}
+	n, err := b.Merge(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("merged %d bits, want 6 (only valid tail bits)", n)
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", b.Count())
+	}
+}
+
+func TestExtractClampsAndAligns(t *testing.T) {
+	b := New(100)
+	f := b.Extract(70, 10)
+	if f.Start != 64 {
+		t.Fatalf("Start = %d, want 64", f.Start)
+	}
+	if len(f.Words) != 1 {
+		t.Fatalf("len(Words) = %d, want 1 (clamped to bitmap end)", len(f.Words))
+	}
+	if got := f.Bits(100); got != 36 {
+		t.Fatalf("Bits = %d, want 36", got)
+	}
+	// from out of range starts at word 0.
+	f = b.Extract(-1, 1)
+	if f.Start != 0 {
+		t.Fatalf("Start = %d for negative from, want 0", f.Start)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Test(6) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Test(5) {
+		t.Fatal("clone missing original bit")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(64)
+	b.Set(1)
+	b.Set(2)
+	b.Reset()
+	if b.Count() != 0 || b.Test(1) {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	b := New(4)
+	b.Set(1)
+	if got := b.String(); got != "0100" {
+		t.Fatalf("String = %q, want 0100", got)
+	}
+	big := New(1000)
+	big.Set(0)
+	if got := big.String(); got != "Bitmap(1/1000 set)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Count always equals the number of distinct indices set.
+func TestCountMatchesDistinctSets(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := New(1 << 16)
+		seen := map[int]bool{}
+		for _, raw := range idxs {
+			i := int(raw)
+			b.Set(i)
+			seen[i] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FirstUnset(from) returns the unset index that a naive circular
+// scan from `from` would find.
+func TestFirstUnsetMatchesNaive(t *testing.T) {
+	f := func(seed int64, size16 uint16, from16 uint16) bool {
+		size := int(size16)%500 + 1
+		from := int(from16) % size
+		rng := rand.New(rand.NewSource(seed))
+		b := New(size)
+		for i := 0; i < size; i++ {
+			if rng.Intn(3) > 0 {
+				b.Set(i)
+			}
+		}
+		naive := -1
+		for k := 0; k < size; k++ {
+			i := (from + k) % size
+			if !b.Test(i) {
+				naive = i
+				break
+			}
+		}
+		return b.FirstUnset(from) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Extract/Merge round-trips arbitrary bitmaps exactly, fragment by
+// fragment, regardless of fragment width.
+func TestExtractMergeRoundTrip(t *testing.T) {
+	f := func(seed int64, size16 uint16, width8 uint8) bool {
+		size := int(size16)%2000 + 1
+		width := int(width8)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		src := New(size)
+		for i := 0; i < size; i++ {
+			if rng.Intn(2) == 0 {
+				src.Set(i)
+			}
+		}
+		dst := New(size)
+		for start := 0; start < size; start += width * 64 {
+			f := src.Extract(start, width)
+			if _, err := dst.Merge(f); err != nil {
+				return false
+			}
+		}
+		if dst.Count() != src.Count() {
+			return false
+		}
+		for i := 0; i < size; i++ {
+			if src.Test(i) != dst.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountRange(lo,hi) equals a naive per-bit count.
+func TestCountRangeMatchesNaive(t *testing.T) {
+	f := func(seed int64, a, b uint16) bool {
+		size := 700
+		lo, hi := int(a)%size, int(b)%size
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rng := rand.New(rand.NewSource(seed))
+		bm := New(size)
+		for i := 0; i < size; i++ {
+			if rng.Intn(2) == 0 {
+				bm.Set(i)
+			}
+		}
+		naive := 0
+		for i := lo; i < hi; i++ {
+			if bm.Test(i) {
+				naive++
+			}
+		}
+		return bm.CountRange(lo, hi) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkFirstUnsetSparse(b *testing.B) {
+	bm := New(1 << 20)
+	for i := 0; i < 1<<20; i++ {
+		bm.Set(i)
+	}
+	bm.Clear(1<<20 - 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bm.FirstUnset(0) != 1<<20-1 {
+			b.Fatal("wrong answer")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// RateController is the pluggable pacing hook behind the paper's §7 future
+// work. The protocol proper is Greedy (no congestion control: the sender
+// transmits whenever the NIC can take a packet). The two extensions the
+// paper proposes are implemented as alternative controllers: Backoff
+// "decreases the greediness of FOBS when congestion in the network is
+// detected (and is of sufficient duration)", and Hybrid "switches to a
+// high-performance TCP algorithm when congestion ... is determined to be of
+// more than temporary duration", returning to greedy once it dissipates.
+//
+// Drivers call Gap before each data packet and insert that much extra
+// spacing; the sender core feeds the controller one sample per processed
+// acknowledgement.
+type RateController interface {
+	// OnAckSample reports one acknowledgement interval: how many packets
+	// the sender transmitted since the previous ack it processed, and
+	// how many the receiver newly received in its own inter-ack window.
+	// Their ratio is the sender's only congestion signal.
+	OnAckSample(sent, received int)
+	// Gap returns the pacing gap to insert between consecutive data
+	// packets; zero means full greed.
+	Gap() time.Duration
+	Name() string
+}
+
+// Greedy is the paper's protocol: never slow down, rely on the circular
+// retransmission schedule to repair whatever is lost.
+type Greedy struct{}
+
+// OnAckSample implements RateController.
+func (Greedy) OnAckSample(sent, received int) {}
+
+// Gap implements RateController.
+func (Greedy) Gap() time.Duration { return 0 }
+
+// Name implements RateController.
+func (Greedy) Name() string { return "greedy" }
+
+// lossEstimate turns one ack interval into a smoothed loss fraction.
+type lossEstimate struct {
+	smoothed float64
+	primed   bool
+}
+
+func (l *lossEstimate) add(sent, received int) {
+	if sent <= 0 {
+		return
+	}
+	loss := 1 - float64(received)/float64(sent)
+	if loss < 0 {
+		loss = 0 // receiver drained a backlog; not a congestion signal
+	}
+	if !l.primed {
+		l.smoothed = loss
+		l.primed = true
+		return
+	}
+	l.smoothed = 0.875*l.smoothed + 0.125*loss
+}
+
+// Backoff is the "decrease the greediness" extension: multiplicative
+// increase of the inter-packet gap while sustained loss exceeds a
+// threshold, additive decay back toward full greed once it clears.
+type Backoff struct {
+	// LossThreshold is the smoothed loss fraction above which the sender
+	// backs off (default 0.05).
+	LossThreshold float64
+	// MaxGap bounds the pacing gap (default 1 ms — roughly a 8 Mb/s
+	// floor at 1 KB packets).
+	MaxGap time.Duration
+	// Step is the gap increment applied per lossy ack interval
+	// (default 10 µs).
+	Step time.Duration
+
+	est lossEstimate
+	gap time.Duration
+}
+
+func (b *Backoff) defaults() {
+	if b.LossThreshold == 0 {
+		b.LossThreshold = 0.05
+	}
+	if b.MaxGap == 0 {
+		b.MaxGap = time.Millisecond
+	}
+	if b.Step == 0 {
+		b.Step = 10 * time.Microsecond
+	}
+}
+
+// OnAckSample implements RateController.
+func (b *Backoff) OnAckSample(sent, received int) {
+	b.defaults()
+	b.est.add(sent, received)
+	if b.est.smoothed > b.LossThreshold {
+		if b.gap == 0 {
+			b.gap = b.Step
+		} else {
+			b.gap *= 2
+		}
+		if b.gap > b.MaxGap {
+			b.gap = b.MaxGap
+		}
+	} else {
+		b.gap -= b.Step
+		if b.gap < 0 {
+			b.gap = 0
+		}
+	}
+}
+
+// Gap implements RateController.
+func (b *Backoff) Gap() time.Duration { return b.gap }
+
+// Name implements RateController.
+func (b *Backoff) Name() string { return "backoff" }
+
+// Hybrid emulates the "switch to a high-performance TCP algorithm"
+// extension: while sustained loss exceeds the threshold for Patience
+// consecutive ack intervals, the sender paces itself to the TCP-friendly
+// rate given by the Mathis throughput model
+//
+//	rate ≈ PacketSize · C / (RTT · √p)
+//
+// (the steady-state throughput the TCP flow it would hand off to could
+// sustain), and snaps back to greed once loss stays below the threshold
+// for the same number of intervals.
+type Hybrid struct {
+	// RTT is the path round-trip estimate the controller needs for the
+	// Mathis model (default 50 ms).
+	RTT time.Duration
+	// PacketSize must match the transfer's packet size (default 1024).
+	PacketSize int
+	// LossThreshold is the smoothed loss fraction that arms/disarms TCP
+	// mode (default 0.05).
+	LossThreshold float64
+	// Patience is how many consecutive ack intervals the signal must
+	// persist before switching either way — the paper's "more than
+	// temporary duration" (default 8).
+	Patience int
+
+	est      lossEstimate
+	overFor  int
+	underFor int
+	inTCP    bool
+}
+
+func (h *Hybrid) defaults() {
+	if h.RTT == 0 {
+		h.RTT = 50 * time.Millisecond
+	}
+	if h.PacketSize == 0 {
+		h.PacketSize = DefaultPacketSize
+	}
+	if h.LossThreshold == 0 {
+		h.LossThreshold = 0.05
+	}
+	if h.Patience == 0 {
+		h.Patience = 8
+	}
+}
+
+// OnAckSample implements RateController.
+func (h *Hybrid) OnAckSample(sent, received int) {
+	h.defaults()
+	h.est.add(sent, received)
+	if h.est.smoothed > h.LossThreshold {
+		h.overFor++
+		h.underFor = 0
+		if h.overFor >= h.Patience {
+			h.inTCP = true
+		}
+	} else {
+		h.underFor++
+		h.overFor = 0
+		if h.underFor >= h.Patience {
+			h.inTCP = false
+		}
+	}
+}
+
+// InTCPMode reports whether the controller has handed off to the
+// TCP-friendly rate.
+func (h *Hybrid) InTCPMode() bool { return h.inTCP }
+
+// Gap implements RateController.
+func (h *Hybrid) Gap() time.Duration {
+	h.defaults()
+	if !h.inTCP {
+		return 0
+	}
+	p := h.est.smoothed
+	if p < 1e-4 {
+		p = 1e-4
+	}
+	// Mathis et al.: throughput = MSS/RTT · C/√p with C ≈ 1.22.
+	pktPerSec := 1.22 / (h.RTT.Seconds() * math.Sqrt(p))
+	if pktPerSec < 1 {
+		pktPerSec = 1
+	}
+	return time.Duration(float64(time.Second) / pktPerSec)
+}
+
+// Name implements RateController.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+var (
+	_ RateController = Greedy{}
+	_ RateController = (*Backoff)(nil)
+	_ RateController = (*Hybrid)(nil)
+)

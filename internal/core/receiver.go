@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcnet/fobs/internal/bitmap"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// ReceiverStats counts receive-side events.
+type ReceiverStats struct {
+	// Received is the number of distinct packets received.
+	Received int
+	// Duplicates counts retransmissions of packets already held — the
+	// receive-side view of the sender's greediness.
+	Duplicates int
+	// AcksBuilt counts acknowledgement packets generated.
+	AcksBuilt int
+	// Rejected counts malformed or mismatched packets dropped.
+	Rejected int
+}
+
+// Receiver is the FOBS data-receiving state machine: it places each packet
+// at its offset in the preallocated object buffer, and after every
+// AckFrequency newly received packets reports that an acknowledgement is
+// due. The driver then calls BuildAck and puts it on the wire.
+type Receiver struct {
+	cfg Config
+	n   int
+	obj []byte // nil when cfg.Discard
+	got *bitmap.Bitmap
+
+	sinceAck     int
+	highest      int // highest sequence number received; -1 initially
+	lastReported int // Received at the time of the previous ack
+	ackSeq       uint32
+	rot          int // rotating bitmap-fragment cursor (packet index)
+
+	stats ReceiverStats
+}
+
+// NewReceiver prepares a receiver for an object of size bytes. Size and
+// packet size normally arrive in the HELLO control message.
+func NewReceiver(size int64, cfg Config) *Receiver {
+	cfg = cfg.withDefaults()
+	if size <= 0 {
+		panic("core: cannot receive an empty object")
+	}
+	n := NumPackets(size, cfg.PacketSize)
+	r := &Receiver{cfg: cfg, n: n, got: bitmap.New(n), highest: -1}
+	if !cfg.Discard {
+		r.obj = make([]byte, size)
+	}
+	return r
+}
+
+// NumPackets returns the object's packet count.
+func (r *Receiver) NumPackets() int { return r.n }
+
+// Config returns the receiver's effective (defaulted) configuration.
+func (r *Receiver) Config() Config { return r.cfg }
+
+// Object returns the assembled object; valid once Complete reports true.
+// It returns nil for Discard receivers.
+func (r *Receiver) Object() []byte { return r.obj }
+
+// Complete reports whether every packet has been received.
+func (r *Receiver) Complete() bool { return r.got.Full() }
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// HandleData incorporates one data packet. It reports whether an
+// acknowledgement packet is now due (AckFrequency new packets arrived since
+// the last one, or the object just completed).
+func (r *Receiver) HandleData(d wire.Data) (ackDue bool, err error) {
+	if d.Transfer != r.cfg.Transfer {
+		return false, nil
+	}
+	if int(d.Total) != r.n || int(d.Seq) >= r.n {
+		r.stats.Rejected++
+		return false, fmt.Errorf("core: packet %d/%d does not match object of %d packets",
+			d.Seq, d.Total, r.n)
+	}
+	seq := int(d.Seq)
+	lo := seq * r.cfg.PacketSize
+	wantLen := r.cfg.PacketSize
+	if last := int64(lo) + int64(wantLen); r.obj != nil && last > int64(len(r.obj)) {
+		wantLen = len(r.obj) - lo
+	} else if r.obj == nil && seq == r.n-1 {
+		wantLen = len(d.Payload) // Discard mode cannot check the tail length
+	}
+	if r.obj != nil && len(d.Payload) != wantLen {
+		r.stats.Rejected++
+		return false, fmt.Errorf("core: packet %d has %d payload bytes, want %d",
+			seq, len(d.Payload), wantLen)
+	}
+	if !r.got.Set(seq) {
+		r.stats.Duplicates++
+		return false, nil
+	}
+	r.stats.Received++
+	r.sinceAck++
+	if seq > r.highest {
+		r.highest = seq
+	}
+	if r.obj != nil {
+		copy(r.obj[lo:], d.Payload)
+	}
+	if r.sinceAck >= r.cfg.AckFrequency || r.Complete() {
+		return true, nil
+	}
+	return false, nil
+}
+
+// BuildAck produces the next acknowledgement packet: cumulative count, the
+// count newly received since the previous ack (the adaptive batch policy's
+// signal), and a bitmap fragment.
+//
+// With 1024-byte packets a 40 MB object's full bitmap (5 KB) does not fit
+// in one ack, so each ack carries as many words as fit and the region
+// rotates: the fragment starts at the lowest packet the receiver is still
+// missing when that region is stale, otherwise at a cursor that cycles
+// through the object, so the sender eventually learns every status.
+func (r *Receiver) BuildAck() wire.Ack {
+	r.stats.AcksBuilt++
+	r.ackSeq++
+	delta := r.stats.Received - r.lastReported
+	r.lastReported = r.stats.Received
+	r.sinceAck = 0
+
+	words := wire.MaxFragWords(r.cfg.AckPacketSize)
+	frag := r.got.Extract(r.rot, words)
+	// Advance the rotation; wrap to the first missing packet so the
+	// region the sender most needs is refreshed every cycle.
+	r.rot = frag.Start + len(frag.Words)*64
+	if r.rot >= r.n {
+		if first := r.got.FirstUnset(0); first >= 0 {
+			r.rot = first
+		} else {
+			r.rot = 0
+		}
+	}
+	return wire.Ack{
+		Transfer: r.cfg.Transfer,
+		AckSeq:   r.ackSeq,
+		Received: uint32(r.stats.Received),
+		Delta:    uint32(delta),
+		Frag:     frag,
+	}
+}
+
+// Missing returns how many packets have not yet arrived.
+func (r *Receiver) Missing() int { return r.n - r.got.Count() }
+
+// HighestReceived returns the largest sequence number received so far, or
+// -1. Gap-based loss detectors (SABUL) NAK only below this point.
+func (r *Receiver) HighestReceived() int { return r.highest }
+
+// MissingSeqs appends the sequence numbers of every packet not yet received
+// to buf and returns it. Baselines that synchronize on explicit missing
+// lists (RUDP) use this; FOBS itself never does.
+func (r *Receiver) MissingSeqs(buf []uint32) []uint32 {
+	q := 0
+	for q < r.n {
+		next := r.got.FirstUnset(q)
+		if next < 0 || next < q {
+			break // bitmap full, or the circular search wrapped around
+		}
+		buf = append(buf, uint32(next))
+		q = next + 1
+	}
+	return buf
+}

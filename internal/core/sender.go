@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcnet/fobs/internal/bitmap"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// SenderStats counts the quantities the paper reports for the data sender.
+type SenderStats struct {
+	// PacketsSent is every data packet placed on the network, including
+	// retransmissions — the numerator of the wasted-resources metric.
+	PacketsSent int
+	// PacketsNeeded is the object's packet count.
+	PacketsNeeded int
+	// AcksProcessed counts acknowledgement packets consumed.
+	AcksProcessed int
+	// StaleAcks counts reordered acks whose sequence number had already
+	// been passed (their bitmap is still merged — bits only ever add).
+	StaleAcks int
+	// KnownReceived is how many packets the sender knows arrived.
+	KnownReceived int
+}
+
+// Waste is the paper's wasted-network-resources metric: packets sent beyond
+// the minimum, as a fraction of the minimum ("approximately 3%").
+func (s SenderStats) Waste() float64 {
+	if s.PacketsNeeded == 0 {
+		return 0
+	}
+	return float64(s.PacketsSent-s.PacketsNeeded) / float64(s.PacketsNeeded)
+}
+
+// Sender is the FOBS data-sending state machine. Drivers call BatchSize and
+// NextPacket to emit packets, HandleAck whenever an acknowledgement is
+// available (never blocking for one), and SetComplete when the completion
+// signal arrives on the control channel.
+type Sender struct {
+	cfg   Config
+	obj   []byte
+	n     int
+	acked *bitmap.Bitmap
+
+	cursor    int // circular schedule position
+	lastAck   uint32
+	lastDelta int
+	sentSince int // packets sent since the previous processed ack
+	complete  bool
+
+	stats SenderStats
+}
+
+// NewSender prepares a sender for the given object.
+func NewSender(obj []byte, cfg Config) *Sender {
+	cfg = cfg.withDefaults()
+	if len(obj) == 0 {
+		panic("core: cannot send an empty object")
+	}
+	n := NumPackets(int64(len(obj)), cfg.PacketSize)
+	return &Sender{
+		cfg:   cfg,
+		obj:   obj,
+		n:     n,
+		acked: bitmap.New(n),
+		stats: SenderStats{PacketsNeeded: n},
+	}
+}
+
+// NumPackets returns the object's packet count.
+func (s *Sender) NumPackets() int { return s.n }
+
+// ObjectSize returns the object's size in bytes.
+func (s *Sender) ObjectSize() int64 { return int64(len(s.obj)) }
+
+// ObjectDigest returns the whole-object CRC-32C, for verification against
+// the receiver's completion report.
+func (s *Sender) ObjectDigest() uint32 { return wire.ObjectDigest(s.obj) }
+
+// Config returns the sender's effective (defaulted) configuration.
+func (s *Sender) Config() Config { return s.cfg }
+
+// Done reports whether the completion signal has been received.
+func (s *Sender) Done() bool { return s.complete }
+
+// SetComplete records the receiver's "all data received" control signal;
+// afterwards NextPacket stops yielding packets.
+func (s *Sender) SetComplete() { s.complete = true }
+
+// Stats returns a snapshot of the sender counters.
+func (s *Sender) Stats() SenderStats {
+	st := s.stats
+	st.KnownReceived = s.acked.Count()
+	return st
+}
+
+// BatchSize returns the number of packets for the next batch-send
+// operation, per the configured policy.
+func (s *Sender) BatchSize() int {
+	return s.cfg.Batch.Next(s.lastDelta, s.n-s.acked.Count())
+}
+
+// NextPacket selects and returns the next data packet per the configured
+// schedule, or ok=false when nothing remains to send (every packet is known
+// received, or the transfer is complete). The returned payload aliases the
+// object.
+func (s *Sender) NextPacket() (pkt wire.Data, ok bool) {
+	if s.complete {
+		return wire.Data{}, false
+	}
+	seq := s.selectSeq()
+	if seq < 0 {
+		return wire.Data{}, false
+	}
+	s.stats.PacketsSent++
+	s.sentSince++
+	lo := seq * s.cfg.PacketSize
+	hi := lo + s.cfg.PacketSize
+	if hi > len(s.obj) {
+		hi = len(s.obj)
+	}
+	return wire.Data{
+		Transfer: s.cfg.Transfer,
+		Seq:      uint32(seq),
+		Total:    uint32(s.n),
+		Payload:  s.obj[lo:hi],
+		Checksum: s.cfg.Checksum,
+	}, true
+}
+
+// selectSeq implements the three packet-choice policies.
+func (s *Sender) selectSeq() int {
+	switch s.cfg.Schedule {
+	case Circular:
+		seq := s.acked.FirstUnset(s.cursor)
+		if seq < 0 {
+			return -1
+		}
+		s.cursor = seq + 1
+		if s.cursor >= s.n {
+			s.cursor = 0
+		}
+		return seq
+	case Restart:
+		return s.acked.FirstUnset(0)
+	case RandomUnacked:
+		unacked := s.n - s.acked.Count()
+		if unacked == 0 {
+			return -1
+		}
+		// Pick a random starting point and take the next unacked packet
+		// from there: uniform enough, and O(1) amortized.
+		return s.acked.FirstUnset(s.cfg.Rand.Intn(s.n))
+	default:
+		panic(fmt.Sprintf("core: unknown schedule %v", s.cfg.Schedule))
+	}
+}
+
+// HandleAck folds an acknowledgement packet into the sender's knowledge.
+// Acks from other transfers are ignored; corrupted fragments are rejected
+// with an error and otherwise ignored.
+func (s *Sender) HandleAck(a wire.Ack) error {
+	if a.Transfer != s.cfg.Transfer {
+		return nil
+	}
+	s.stats.AcksProcessed++
+	fresh := a.AckSeq > s.lastAck
+	if fresh {
+		s.lastAck = a.AckSeq
+		s.lastDelta = int(a.Delta)
+		s.cfg.Rate.OnAckSample(s.sentSince, int(a.Delta))
+		s.sentSince = 0
+	} else {
+		s.stats.StaleAcks++
+	}
+	if _, err := s.acked.Merge(a.Frag); err != nil {
+		return fmt.Errorf("core: rejecting ack fragment: %w", err)
+	}
+	// The cumulative count can outrun the fragments we have seen; it is
+	// informational only (the bitmap is authoritative for scheduling).
+	return nil
+}
+
+// KnownComplete reports whether the sender's own bitmap already shows every
+// packet received (the control-channel signal usually arrives first, since
+// acks only cover bitmap fragments).
+func (s *Sender) KnownComplete() bool { return s.acked.Full() }

@@ -1,0 +1,248 @@
+// Package event provides the deterministic discrete-event engine that the
+// network simulator is built on.
+//
+// Time is virtual: a Sim carries a clock that only advances when the next
+// scheduled event fires. Events scheduled for the same instant fire in the
+// order they were scheduled, which makes every simulation reproducible
+// bit-for-bit regardless of host scheduling.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds from the start of the
+// simulation. It intentionally mirrors time.Duration so that durations and
+// instants compose with ordinary arithmetic.
+type Time int64
+
+// Duration re-exports time.Duration for callers that only import this
+// package.
+type Duration = time.Duration
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct {
+	seq uint64
+}
+
+// Valid reports whether h refers to an event that was actually scheduled.
+func (h Handle) Valid() bool { return h.seq != 0 }
+
+type item struct {
+	at       Time
+	seq      uint64 // insertion order; breaks ties deterministically
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use; a
+// simulation runs on a single goroutine by design.
+type Sim struct {
+	now     Time
+	nextSeq uint64
+	heap    eventHeap
+	live    map[uint64]*item
+	stopped bool
+
+	// Processed counts events that have fired, for diagnostics and for
+	// runaway-simulation guards in tests.
+	Processed uint64
+}
+
+// New returns an empty simulator whose clock reads zero.
+func New() *Sim {
+	return &Sim{live: make(map[uint64]*item)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// panics: it is always a programming error and silently reordering events
+// would destroy causality.
+func (s *Sim) At(t Time, fn func()) Handle {
+	if fn == nil {
+		panic("event: nil event function")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("event: scheduling at %v which is before now %v", t, s.now))
+	}
+	s.nextSeq++
+	it := &item{at: t, seq: s.nextSeq, fn: fn}
+	heap.Push(&s.heap, it)
+	s.live[it.seq] = it
+	return Handle{seq: it.seq}
+}
+
+// After schedules fn to run d after the current instant. Negative durations
+// are treated as zero.
+func (s *Sim) After(d Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. It reports whether the
+// event was still pending. Cancelling an already-fired or already-cancelled
+// event is a harmless no-op.
+func (s *Sim) Cancel(h Handle) bool {
+	it, ok := s.live[h.seq]
+	if !ok || it.canceled {
+		return false
+	}
+	it.canceled = true
+	delete(s.live, h.seq)
+	return true
+}
+
+// Pending returns the number of events waiting to fire.
+func (s *Sim) Pending() int { return len(s.live) }
+
+// Stop makes the currently executing Run return once the current event's
+// callback finishes. Pending events stay queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// step fires the next event, advancing the clock. It reports false when the
+// queue is empty.
+func (s *Sim) step() bool {
+	for len(s.heap) > 0 {
+		it := heap.Pop(&s.heap).(*item)
+		if it.canceled {
+			continue
+		}
+		delete(s.live, it.seq)
+		s.now = it.at
+		s.Processed++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+// Events scheduled for later instants stay queued.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.heap) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Sim) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Sim) peek() *item {
+	for len(s.heap) > 0 {
+		it := s.heap[0]
+		if it.canceled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		return it
+	}
+	return nil
+}
+
+// Timer is a restartable one-shot timer bound to a Sim, analogous to
+// time.Timer but virtual. The zero value is unusable; create one with
+// NewTimer.
+type Timer struct {
+	sim    *Sim
+	fn     func()
+	handle Handle
+}
+
+// NewTimer returns a timer that runs fn when it expires. The timer starts
+// stopped.
+func NewTimer(s *Sim, fn func()) *Timer {
+	if fn == nil {
+		panic("event: nil timer function")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any earlier
+// deadline.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	handle := t.sim.After(d, func() {
+		t.handle = Handle{}
+		t.fn()
+	})
+	t.handle = handle
+}
+
+// Stop disarms the timer. It reports whether the timer had been armed.
+func (t *Timer) Stop() bool {
+	if !t.handle.Valid() {
+		return false
+	}
+	ok := t.sim.Cancel(t.handle)
+	t.handle = Handle{}
+	return ok
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.handle.Valid() }

@@ -1,0 +1,371 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, d := range []Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		d := d
+		s.After(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []Time{Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(30 * time.Millisecond)}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(5), func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending schedule order", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(Time(100), func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(Time(50), func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event function did not panic")
+		}
+	}()
+	s.At(Time(1), nil)
+}
+
+func TestNegativeAfterFiresImmediately(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock advanced to %v, want 0", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.After(time.Second, func() { fired = true })
+	if !s.Cancel(h) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if s.Cancel(h) {
+		t.Fatal("Cancel returned true for an already-cancelled event")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after run, want 0", s.Pending())
+	}
+}
+
+func TestCancelInvalidHandle(t *testing.T) {
+	s := New()
+	if s.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	var trace []string
+	s.After(time.Millisecond, func() {
+		trace = append(trace, "first")
+		s.After(time.Millisecond, func() { trace = append(trace, "second") })
+	})
+	s.Run()
+	if len(trace) != 2 || trace[0] != "first" || trace[1] != "second" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if s.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock = %v, want 2ms", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("fired %d events before Stop took effect, want 2", count)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", s.Pending())
+	}
+	s.Run() // resumes
+	if count != 5 {
+		t.Fatalf("after resume fired %d total, want 5", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(Time(25))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != Time(25) {
+		t.Fatalf("clock = %v, want 25", s.Now())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(Time(25), func() { fired = true })
+	s.RunUntil(Time(25))
+	if !fired {
+		t.Fatal("event at the RunUntil boundary did not fire")
+	}
+}
+
+func TestRunForAdvancesClockWithNoEvents(t *testing.T) {
+	s := New()
+	s.RunFor(3 * time.Second)
+	if s.Now() != Time(3*time.Second) {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	s := New()
+	count := 0
+	tm := NewTimer(s, func() { count++ })
+	if tm.Armed() {
+		t.Fatal("new timer is armed")
+	}
+	tm.Reset(10 * time.Millisecond)
+	tm.Reset(20 * time.Millisecond) // supersedes the first deadline
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	s.Run()
+	if count != 1 {
+		t.Fatalf("timer fired %d times, want 1", count)
+	}
+	if s.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("timer fired at %v, want 20ms", s.Now())
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+
+	tm.Reset(time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for an armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop returned true for a disarmed timer")
+	}
+	s.Run()
+	if count != 1 {
+		t.Fatalf("stopped timer fired; count = %d", count)
+	}
+}
+
+func TestTimerResetFromCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		count++
+		if count < 3 {
+			tm.Reset(time.Millisecond)
+		}
+	})
+	tm.Reset(time.Millisecond)
+	s.Run()
+	if count != 3 {
+		t.Fatalf("periodic timer fired %d times, want 3", count)
+	}
+}
+
+// Property: for any batch of random (delay, id) pairs, events fire sorted by
+// time with schedule order breaking ties.
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i, at := i, Time(d)
+			s.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never affects whether or when the
+// surviving events fire.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		s := New()
+		fired := make([]bool, count)
+		handles := make([]Handle, count)
+		keep := make([]bool, count)
+		for i := 0; i < count; i++ {
+			i := i
+			keep[i] = rng.Intn(2) == 0
+			handles[i] = s.At(Time(rng.Intn(1000)), func() { fired[i] = true })
+		}
+		for i := 0; i < count; i++ {
+			if !keep[i] {
+				s.Cancel(handles[i])
+			}
+		}
+		s.Run()
+		for i := 0; i < count; i++ {
+			if fired[i] != keep[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	h := s.At(Time(100), func() {})
+	s.Cancel(h)
+	s.Run()
+	if s.Processed != 7 {
+		t.Fatalf("Processed = %d, want 7", s.Processed)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now().Add(Duration(rng.Intn(1000))), func() {})
+		if s.Pending() > 1024 {
+			s.step()
+		}
+	}
+	s.Run()
+}
+
+func TestTimerStopDuringOwnCallbackWindow(t *testing.T) {
+	// A timer whose callback re-arms and is then stopped stays stopped.
+	s := New()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		count++
+		tm.Reset(time.Millisecond)
+		tm.Stop()
+	})
+	tm.Reset(time.Millisecond)
+	s.Run()
+	if count != 1 {
+		t.Fatalf("timer fired %d times, want exactly 1", count)
+	}
+	if tm.Armed() {
+		t.Fatal("timer armed after Stop")
+	}
+}
+
+func TestRunUntilPastAllEvents(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(Time(10), func() { fired = true })
+	s.RunUntil(Time(1000))
+	if !fired {
+		t.Fatal("event not fired")
+	}
+	if s.Now() != Time(1000) {
+		t.Fatalf("clock = %v, want 1000", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}

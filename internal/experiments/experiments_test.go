@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/psockets"
+	"github.com/hpcnet/fobs/internal/stats"
+	"github.com/hpcnet/fobs/internal/tcpsim"
+)
+
+// testObject keeps unit tests quick; the full 40 MB runs live in the
+// benchmark harness.
+const testObject = int64(4 << 20)
+
+func TestScenarioPresets(t *testing.T) {
+	for _, tc := range []struct {
+		sc         Scenario
+		rtt        time.Duration
+		bottleneck float64
+	}{
+		{ShortHaul(), 26 * time.Millisecond, 100e6},
+		{LongHaul(), 65 * time.Millisecond, 100e6},
+		{Gigabit(), 26 * time.Millisecond, 622e6},
+		{Contended(), 60 * time.Millisecond, 100e6},
+	} {
+		p := tc.sc.Build(1)
+		if got := p.RTT(); got != tc.rtt {
+			t.Errorf("%s: RTT = %v, want %v", tc.sc.Name, got, tc.rtt)
+		}
+		if got := p.BottleneckRate(); got != tc.bottleneck {
+			t.Errorf("%s: bottleneck = %v, want %v", tc.sc.Name, got, tc.bottleneck)
+		}
+		if tc.sc.MaxBandwidth <= 0 {
+			t.Errorf("%s: no MaxBandwidth", tc.sc.Name)
+		}
+	}
+}
+
+func TestRunFOBSCompletes(t *testing.T) {
+	res := RunFOBS(ShortHaul(), 1, testObject, core.Config{AckFrequency: 64})
+	if !res.Completed {
+		t.Fatal("FOBS run incomplete")
+	}
+	u := res.Utilization(100e6)
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v out of range", u)
+	}
+}
+
+func TestFigure1LeftEdge(t *testing.T) {
+	// The defining shape of Figure 1: very frequent acks stall the
+	// receiver and cost throughput.
+	pts := AckFrequencySweep(testObject, []int{1, 64})
+	if !pts[0].Short.Completed || !pts[1].Short.Completed {
+		t.Fatal("sweep runs incomplete")
+	}
+	if pts[0].Short.Goodput() >= pts[1].Short.Goodput() {
+		t.Fatalf("F=1 short-haul goodput %.1f >= F=64 %.1f; stall losses missing",
+			pts[0].Short.Goodput()/1e6, pts[1].Short.Goodput()/1e6)
+	}
+	if pts[0].Long.Goodput() >= pts[1].Long.Goodput() {
+		t.Fatal("F=1 long-haul not worse than F=64")
+	}
+}
+
+func TestFigure2WasteShape(t *testing.T) {
+	pts := AckFrequencySweep(testObject, []int{1, 64})
+	if pts[0].Short.Waste() <= pts[1].Short.Waste() {
+		t.Fatalf("waste at F=1 (%.2f) not above waste at F=64 (%.2f)",
+			pts[0].Short.Waste(), pts[1].Short.Waste())
+	}
+	// Mid-range waste is the paper's "approximately 3%" regime; allow a
+	// loose band.
+	if w := pts[1].Short.Waste(); w > 0.15 {
+		t.Fatalf("mid-range waste %.2f, want < 0.15", w)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	pts := AckFrequencySweep(testObject, []int{8, 64})
+	f1, f2 := Figure1(pts), Figure2(pts)
+	for _, f := range []string{f1.Render(), f2.Render()} {
+		if !strings.Contains(f, "8") || !strings.Contains(f, "64") {
+			t.Fatalf("figure missing sweep points:\n%s", f)
+		}
+	}
+	if len(f1.Series) != 2 || len(f1.Series[0].X) != 2 {
+		t.Fatalf("figure 1 has wrong shape")
+	}
+}
+
+func TestFigure3Monotonicity(t *testing.T) {
+	pts := PacketSizeSweep(testObject, []int{1024, 8192, 32768})
+	for _, pt := range pts {
+		if !pt.Result.Completed {
+			t.Fatalf("packet size %d incomplete", pt.PacketSize)
+		}
+	}
+	small := pts[0].Result.Utilization(Gigabit().MaxBandwidth)
+	large := pts[2].Result.Utilization(Gigabit().MaxBandwidth)
+	if large <= small {
+		t.Fatalf("32K utilization %.2f not above 1K %.2f — Figure 3 shape broken", large, small)
+	}
+	if large > 0.7 {
+		t.Fatalf("32K utilization %.2f implausibly high (paper peaked ~0.52)", large)
+	}
+	fig := Figure3(pts)
+	if len(fig.Series) != 1 || len(fig.Series[0].X) != 3 {
+		t.Fatal("figure 3 malformed")
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	// The paper's Table 1 ordering is the headline TCP claim:
+	// short+LWE >> long+LWE >> long without LWE.
+	res := Table1(testObject)
+	s := res.ShortLWE.Utilization(ShortHaul().MaxBandwidth)
+	l := res.LongLWE.Utilization(LongHaul().MaxBandwidth)
+	n := res.LongNoLWE.Utilization(LongHaul().MaxBandwidth)
+	if !(s > l && l > n) {
+		t.Fatalf("Table 1 ordering broken: short+LWE %.2f, long+LWE %.2f, long-noLWE %.2f", s, l, n)
+	}
+	if n > 0.15 {
+		t.Fatalf("long haul without LWE at %.2f; the 64 KiB window cap is not binding", n)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Short Haul with LWE") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+func TestFOBSBeatsTCPOnLongHaul(t *testing.T) {
+	// The paper's headline: FOBS ≈ 1.8× optimized TCP on the long haul.
+	fobs := RunFOBS(Quiet(LongHaul()), 1, testObject, core.Config{AckFrequency: 64})
+	tcp := RunTCP(LongHaul(), 1, testObject, true)
+	if !fobs.Completed || !tcp.Completed {
+		t.Fatal("runs incomplete")
+	}
+	ratio := fobs.Goodput() / tcp.Goodput()
+	if ratio < 1.3 {
+		t.Fatalf("FOBS/TCP long-haul ratio %.2f, want >= 1.3 (paper: 1.8)", ratio)
+	}
+}
+
+func TestFOBSBeatsPSocketsOnContendedPath(t *testing.T) {
+	// Table 2's comparison, on a reduced object for test speed.
+	sc := Contended()
+	fobs := medianRun(func(seed int64) stats.TransferResult {
+		return RunFOBS(sc, seed, testObject, core.Config{AckFrequency: 64})
+	})
+	ps := medianRun(func(seed int64) stats.TransferResult {
+		return psockets.Run(sc.Build(seed), testObject,
+			psockets.Config{Streams: 12, TCP: tcpsim.Config{SACK: true}})
+	})
+	if !fobs.Completed || !ps.Completed {
+		t.Fatal("runs incomplete")
+	}
+	if fobs.Goodput() <= ps.Goodput() {
+		t.Fatalf("FOBS %.1f Mb/s <= PSockets %.1f Mb/s on the contended path",
+			fobs.Goodput()/1e6, ps.Goodput()/1e6)
+	}
+}
+
+func TestMedianRun(t *testing.T) {
+	i := 0
+	goodputs := []time.Duration{5 * time.Second, time.Second, 3 * time.Second, 4 * time.Second, 2 * time.Second}
+	res := medianRun(func(seed int64) stats.TransferResult {
+		r := stats.TransferResult{Bytes: 1 << 20, Elapsed: goodputs[i]}
+		i++
+		return r
+	})
+	if res.Elapsed != 3*time.Second {
+		t.Fatalf("median elapsed = %v, want 3s", res.Elapsed)
+	}
+}
+
+func TestBatchSweepRuns(t *testing.T) {
+	pts := BatchSweep(testObject, []int{2, 32})
+	for _, pt := range pts {
+		if !pt.Result.Completed {
+			t.Fatalf("batch %d incomplete", pt.Batch)
+		}
+	}
+	out := RenderBatchSweep(pts)
+	if !strings.Contains(out, "32") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+func TestScheduleSweepCircularWinsByFar(t *testing.T) {
+	pts := ScheduleSweep(testObject)
+	byName := map[core.Schedule]stats.TransferResult{}
+	for _, pt := range pts {
+		byName[pt.Schedule] = pt.Result
+	}
+	// The paper found circular best "by far". Circular must finish;
+	// restart either live-locks (incomplete) or wastes far more.
+	circ := byName[core.Circular]
+	if !circ.Completed {
+		t.Fatal("circular schedule incomplete")
+	}
+	restart := byName[core.Restart]
+	if restart.Completed && restart.Waste() <= circ.Waste() {
+		t.Fatalf("restart completed with waste %.2f <= circular %.2f",
+			restart.Waste(), circ.Waste())
+	}
+	if out := RenderScheduleSweep(pts); !strings.Contains(out, "circular") {
+		t.Fatalf("render missing schedules:\n%s", out)
+	}
+}
+
+func TestRelatedWorkAllComplete(t *testing.T) {
+	r := RelatedWork(testObject, Quiet(ShortHaul()))
+	for _, res := range []stats.TransferResult{r.FOBS, r.RUDP, r.SABUL} {
+		if !res.Completed {
+			t.Fatalf("%s incomplete", res.Protocol)
+		}
+	}
+	if out := r.Render(100e6); !strings.Contains(out, "sabul") {
+		t.Fatalf("render missing protocols:\n%s", out)
+	}
+}
+
+func TestExtensionsTradeThroughputForWaste(t *testing.T) {
+	e := Extensions(testObject)
+	for _, res := range []stats.TransferResult{e.Greedy, e.Backoff, e.Hybrid} {
+		if !res.Completed {
+			t.Fatalf("%s incomplete", res.Protocol)
+		}
+	}
+	// Greedy is at least as fast as the polite modes on its own transfer.
+	if e.Greedy.Goodput() < e.Backoff.Goodput()*0.8 {
+		t.Fatalf("greedy %.1f Mb/s far below backoff %.1f Mb/s",
+			e.Greedy.Goodput()/1e6, e.Backoff.Goodput()/1e6)
+	}
+	if out := e.Render(100e6); !strings.Contains(out, "fobs/backoff") {
+		t.Fatalf("render missing modes:\n%s", out)
+	}
+}
+
+func TestRunTCPNoLWEWindowCap(t *testing.T) {
+	res := RunTCP(LongHaul(), 1, testObject, false)
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	// 64 KiB / 65 ms ≈ 8 Mb/s.
+	if g := res.Goodput(); g > 12e6 {
+		t.Fatalf("no-LWE goodput %.1f Mb/s above the window cap", g/1e6)
+	}
+}
+
+func TestTCPVariantsOrdering(t *testing.T) {
+	pts := TCPVariants(testObject)
+	if len(pts) != 3 {
+		t.Fatalf("got %d variants", len(pts))
+	}
+	byName := map[string]stats.TransferResult{}
+	for _, pt := range pts {
+		if !pt.Result.Completed {
+			t.Fatalf("%s incomplete", pt.Result.Protocol)
+		}
+		byName[pt.Variant.String()] = pt.Result
+	}
+	if byName["newreno"].Goodput() < byName["tahoe"].Goodput() {
+		t.Fatalf("NewReno %.1f Mb/s below Tahoe %.1f Mb/s",
+			byName["newreno"].Goodput()/1e6, byName["tahoe"].Goodput()/1e6)
+	}
+	out := RenderTCPVariants(pts)
+	if !strings.Contains(out, "tahoe") || !strings.Contains(out, "newreno") {
+		t.Fatalf("render missing variants:\n%s", out)
+	}
+}
+
+func TestFairnessMultipleFlows(t *testing.T) {
+	f := Fairness(testObject, 3)
+	if f.Flows != 3 || len(f.PerFlow) != 3 {
+		t.Fatalf("flows = %d, results = %d", f.Flows, len(f.PerFlow))
+	}
+	var agg float64
+	for _, r := range f.PerFlow {
+		if !r.Completed {
+			t.Fatalf("%s incomplete", r.Protocol)
+		}
+		agg += r.Goodput()
+	}
+	if agg > 100e6*1.05 {
+		t.Fatalf("aggregate %.1f Mb/s exceeds the bottleneck", agg/1e6)
+	}
+	if f.JainIndex <= 0 || f.JainIndex > 1 {
+		t.Fatalf("Jain index %v out of (0,1]", f.JainIndex)
+	}
+	if out := f.Render(100e6); !strings.Contains(out, "Jain fairness index") {
+		t.Fatalf("render missing index:\n%s", out)
+	}
+}
+
+func TestFairnessSingleFlowIsPerfect(t *testing.T) {
+	f := Fairness(testObject, 1)
+	if f.JainIndex != 1 {
+		t.Fatalf("single flow Jain index %v, want 1", f.JainIndex)
+	}
+}
+
+func TestFairnessBadFlowCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero flows did not panic")
+		}
+	}()
+	Fairness(testObject, 0)
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := jain([]float64{1, 1, 1, 1}); got != 1 {
+		t.Fatalf("equal shares index %v, want 1", got)
+	}
+	if got := jain([]float64{1, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("captured share index %v, want 0.25", got)
+	}
+	if got := jain([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero index %v, want 0", got)
+	}
+}
+
+func TestREDResponse(t *testing.T) {
+	r := REDResponse(testObject)
+	for name, res := range map[string]stats.TransferResult{
+		"tcp/droptail": r.TCPDropTail, "tcp/red": r.TCPRED,
+		"fobs/droptail": r.FOBSDropTail, "fobs/red": r.FOBSRED,
+	} {
+		if !res.Completed {
+			t.Fatalf("%s incomplete", name)
+		}
+	}
+	// FOBS ignores RED's early-drop signal: its waste under RED exceeds
+	// its drop-tail waste, yet it keeps most of its throughput.
+	if r.FOBSRED.Waste() <= r.FOBSDropTail.Waste() {
+		t.Fatalf("FOBS waste under RED (%.3f) not above drop-tail (%.3f)",
+			r.FOBSRED.Waste(), r.FOBSDropTail.Waste())
+	}
+	if r.FOBSRED.Goodput() < r.TCPRED.Goodput() {
+		t.Fatalf("FOBS under RED (%.1f Mb/s) slower than TCP under RED (%.1f Mb/s)",
+			r.FOBSRED.Goodput()/1e6, r.TCPRED.Goodput()/1e6)
+	}
+	if out := r.Render(100e6); !strings.Contains(out, "RED") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestQoSReservation(t *testing.T) {
+	q := QoSReservation(testObject)
+	for name, res := range map[string]stats.TransferResult{
+		"fobs/greedy": q.FOBSGreedy, "fobs/backoff": q.FOBSBackoff,
+		"sabul": q.SABUL, "rudp": q.RUDP,
+	} {
+		if !res.Completed {
+			t.Fatalf("%s incomplete under the QoS contract", name)
+		}
+	}
+	// Greedy FOBS ignores the contract: huge waste, near-contract goodput.
+	if q.FOBSGreedy.Waste() < 0.3 {
+		t.Fatalf("greedy FOBS waste %.2f against a half-rate policer; expected heavy policing",
+			q.FOBSGreedy.Waste())
+	}
+	// SABUL's rate control settles near the contract with minimal waste.
+	if q.SABUL.Waste() > q.FOBSGreedy.Waste() {
+		t.Fatalf("SABUL waste %.2f above greedy FOBS %.2f under policing",
+			q.SABUL.Waste(), q.FOBSGreedy.Waste())
+	}
+	// Backing off reduces waste relative to greed.
+	if q.FOBSBackoff.Waste() >= q.FOBSGreedy.Waste() {
+		t.Fatalf("backoff waste %.2f not below greedy %.2f",
+			q.FOBSBackoff.Waste(), q.FOBSGreedy.Waste())
+	}
+	if out := q.Render(); !strings.Contains(out, "contract") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestStripedFOBSNoBenefit(t *testing.T) {
+	// Striping multiplies TCP's window; FOBS has no window. One stripe
+	// should be at least as fast as four, and strictly less wasteful than
+	// many.
+	one := StripedFOBS(testObject, 1)
+	four := StripedFOBS(testObject, 4)
+	if !one.Completed || !four.Completed {
+		t.Fatal("striping runs incomplete")
+	}
+	if four.Aggregate > one.Aggregate*1.1 {
+		t.Fatalf("4-stripe FOBS %.1f Mb/s meaningfully beats 1 stripe %.1f Mb/s — striping should not help",
+			four.Aggregate/1e6, one.Aggregate/1e6)
+	}
+	out := RenderStripingSweep([]StripingPoint{one, four}, 100e6)
+	if !strings.Contains(out, "Stripes") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestStripedFOBSBadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero stripes did not panic")
+		}
+	}()
+	StripedFOBS(testObject, 0)
+}
+
+func TestIncastSaturatesReceiverLink(t *testing.T) {
+	r := Incast(testObject, 4)
+	if r.Senders != 4 || len(r.PerSender) != 4 {
+		t.Fatalf("senders = %d", r.Senders)
+	}
+	for _, s := range r.PerSender {
+		if !s.Completed {
+			t.Fatalf("%s incomplete", s.Protocol)
+		}
+	}
+	if r.Aggregate > 100e6*1.05 {
+		t.Fatalf("aggregate %.1f Mb/s exceeds the receiver link", r.Aggregate/1e6)
+	}
+	if r.Aggregate < 40e6 {
+		t.Fatalf("aggregate %.1f Mb/s; incast collapse beyond expectation", r.Aggregate/1e6)
+	}
+	if out := r.Render(100e6); !strings.Contains(out, "Jain") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/simrun"
+	"github.com/hpcnet/fobs/internal/stats"
+)
+
+// FairnessResult reports how N concurrent greedy FOBS transfers share one
+// bottleneck — the question behind the paper's §7 admission that "some
+// form of congestion control is needed before the algorithm can become
+// generally used".
+type FairnessResult struct {
+	Flows     int
+	PerFlow   []stats.TransferResult
+	JainIndex float64
+}
+
+// jain computes Jain's fairness index: 1.0 is a perfectly equal share,
+// 1/n is total capture by one flow.
+func jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Fairness runs n concurrent greedy FOBS transfers of objSize each over
+// one quiet long-haul path and reports per-flow results with Jain's index
+// over goodputs.
+func Fairness(objSize int64, n int) FairnessResult {
+	if n < 1 {
+		panic("experiments: need at least one flow")
+	}
+	sc := Quiet(LongHaul())
+	p := sc.Build(1)
+	runs := make([]*simrun.FOBSRun, n)
+	for i := 0; i < n; i++ {
+		opts := fobsOptions()
+		opts.PortBase = 7001 + 100*i
+		runs[i] = simrun.NewFOBS(p, make([]byte, objSize), core.Config{
+			AckFrequency: core.DefaultAckFrequency,
+			Transfer:     uint32(i + 1),
+			Discard:      true,
+		}, opts)
+	}
+	for _, r := range runs {
+		r.Start()
+	}
+	deadline := event.Time(30 * time.Minute)
+	for p.Net.Sim.Now() < deadline && p.Net.Sim.Pending() > 0 {
+		all := true
+		for _, r := range runs {
+			if !r.Done() {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		p.Net.Sim.RunUntil(deadline)
+	}
+
+	res := FairnessResult{Flows: n}
+	goodputs := make([]float64, n)
+	for i, r := range runs {
+		tr := r.Result()
+		tr.Protocol = fmt.Sprintf("fobs#%d", i+1)
+		res.PerFlow = append(res.PerFlow, tr)
+		goodputs[i] = tr.Goodput()
+	}
+	res.JainIndex = jain(goodputs)
+	return res
+}
+
+// Render formats the fairness experiment.
+func (f FairnessResult) Render(maxBandwidth float64) string {
+	tb := &stats.Table{
+		Title:   fmt.Sprintf("Fairness: %d concurrent greedy FOBS flows on one bottleneck", f.Flows),
+		Columns: []string{"Flow", "Goodput", "% of max", "Waste"},
+	}
+	var agg float64
+	for _, r := range f.PerFlow {
+		agg += r.Goodput()
+		tb.AddRow(r.Protocol,
+			fmt.Sprintf("%.1f Mb/s", r.Goodput()/1e6),
+			stats.Percent(r.Utilization(maxBandwidth)),
+			fmt.Sprintf("%.1f%%", 100*r.Waste()))
+	}
+	out := tb.Render()
+	out += fmt.Sprintf("aggregate %.1f Mb/s (%.0f%% of max), Jain fairness index %.3f\n",
+		agg/1e6, 100*agg/maxBandwidth, f.JainIndex)
+	return out
+}
+
+// REDResult compares how TCP and FOBS respond to Random Early Detection
+// on the bottleneck queue. TCP interprets early drops as the signal they
+// are and backs off smoothly; greedy FOBS just retransmits through them.
+type REDResult struct {
+	TCPDropTail, TCPRED   stats.TransferResult
+	FOBSDropTail, FOBSRED stats.TransferResult
+}
+
+// redPath builds a long-haul path whose bottleneck sits mid-path (a
+// 100 Mb/s backbone behind a faster access link), so a queue actually
+// builds there — the situation queue management exists for. The paper's
+// own paths were sender-access-limited, where no router queue ever grows;
+// this variant is the complementary case.
+func redPath(seed int64, red bool) *netsim.Path {
+	a, b := endpoint2002()
+	p := netsim.BuildPath(seed, netsim.PathSpec{
+		Name:  "red",
+		HostA: a,
+		HostB: b,
+		Links: []netsim.LinkConfig{
+			{Rate: 155e6, Delay: 10 * time.Millisecond, QueueBytes: 256 << 10},
+			{Rate: 100e6, Delay: 12 * time.Millisecond, QueueBytes: 256 << 10},
+			{Rate: 622e6, Delay: 10 * time.Millisecond, QueueBytes: 256 << 10},
+		},
+	})
+	if red {
+		p.Forward[1].EnableRED(netsim.REDConfig{
+			MinBytes: 32 << 10,
+			MaxBytes: 128 << 10,
+		})
+	}
+	return p
+}
+
+// REDResponse runs TCP (+LWE) and FOBS over the same path with drop-tail
+// and with RED queues.
+func REDResponse(objSize int64) REDResult {
+	runTCP := func(red bool) stats.TransferResult {
+		return medianRun(func(seed int64) stats.TransferResult {
+			p := redPath(seed, red)
+			return runTCPOnPath(p, objSize, true)
+		})
+	}
+	runFOBS := func(red bool) stats.TransferResult {
+		return medianRun(func(seed int64) stats.TransferResult {
+			p := redPath(seed, red)
+			return simrun.NewFOBS(p, make([]byte, objSize), core.Config{
+				AckFrequency: core.DefaultAckFrequency, Discard: true,
+			}, fobsOptions()).Run()
+		})
+	}
+	return REDResult{
+		TCPDropTail:  runTCP(false),
+		TCPRED:       runTCP(true),
+		FOBSDropTail: runFOBS(false),
+		FOBSRED:      runFOBS(true),
+	}
+}
+
+// Render formats the RED comparison.
+func (r REDResult) Render(maxBandwidth float64) string {
+	tb := &stats.Table{
+		Title:   "Queue management: drop-tail vs RED on the long-haul bottleneck",
+		Columns: []string{"Protocol", "Drop-tail % of max", "RED % of max", "RED waste"},
+	}
+	tb.AddRow("tcp+lwe",
+		stats.Percent(r.TCPDropTail.Utilization(maxBandwidth)),
+		stats.Percent(r.TCPRED.Utilization(maxBandwidth)),
+		"-")
+	tb.AddRow("fobs",
+		stats.Percent(r.FOBSDropTail.Utilization(maxBandwidth)),
+		stats.Percent(r.FOBSRED.Utilization(maxBandwidth)),
+		fmt.Sprintf("%.1f%%", 100*r.FOBSRED.Waste()))
+	return tb.Render()
+}
+
+// QoSResult compares the protocols against a QoS bandwidth reservation: a
+// 50 Mb/s token-bucket policer at the network edge of a 100 Mb/s path.
+// This is the environment RUDP was designed for — and the one where
+// greedy FOBS pays most dearly for ignoring its contract.
+type QoSResult struct {
+	FOBSGreedy, FOBSBackoff, SABUL, RUDP stats.TransferResult
+}
+
+// qosContract is the reserved rate for the QoS experiment.
+const qosContract = 50e6
+
+// qosPath builds a quiet long-haul path with the contract policer on the
+// sender's access link.
+func qosPath(seed int64) *netsim.Path {
+	p := Quiet(LongHaul()).Build(seed)
+	p.Forward[0].SetPolicer(qosContract, 64<<10)
+	return p
+}
+
+// QoSReservation runs the comparison.
+func QoSReservation(objSize int64) QoSResult {
+	fobsRun := func(rc core.RateController) stats.TransferResult {
+		return medianRun(func(seed int64) stats.TransferResult {
+			opts := fobsOptions()
+			// OS scheduling noise keeps the greedy loop from phase-locking
+			// with the deterministic token bucket.
+			opts.SchedNoise = 20 * time.Microsecond
+			res := simrun.NewFOBS(qosPath(seed), make([]byte, objSize), core.Config{
+				AckFrequency: core.DefaultAckFrequency, Rate: rc, Discard: true,
+			}, opts).Run()
+			res.Protocol = "fobs/" + rc.Name()
+			return res
+		})
+	}
+	return QoSResult{
+		FOBSGreedy: fobsRun(core.Greedy{}),
+		FOBSBackoff: fobsRun(&core.Backoff{
+			// Back off toward the contract: a 160 µs/packet gap is
+			// ~50 Mb/s at 1 KB packets.
+			MaxGap: 200 * time.Microsecond,
+		}),
+		SABUL: medianRun(func(seed int64) stats.TransferResult {
+			return sabulRun(qosPath(seed), objSize, qosContract)
+		}),
+		RUDP: medianRun(func(seed int64) stats.TransferResult {
+			return rudpRun(qosPath(seed), objSize)
+		}),
+	}
+}
+
+// Render formats the QoS comparison.
+func (q QoSResult) Render() string {
+	tb := &stats.Table{
+		Title:   "QoS reservation: 50 Mb/s contract policed at the edge of a 100 Mb/s path",
+		Columns: []string{"Protocol", "Goodput", "% of contract", "Waste"},
+	}
+	for _, r := range []stats.TransferResult{q.FOBSGreedy, q.FOBSBackoff, q.SABUL, q.RUDP} {
+		tb.AddRow(r.Protocol,
+			fmt.Sprintf("%.1f Mb/s", r.Goodput()/1e6),
+			stats.Percent(r.Utilization(qosContract)),
+			fmt.Sprintf("%.1f%%", 100*r.Waste()))
+	}
+	return tb.Render()
+}

@@ -1,0 +1,174 @@
+// Package experiments reproduces the FOBS paper's evaluation: scenario
+// presets standing in for the Abilene testbed paths of §4, and one runner
+// per table and figure of §5–6 that regenerates the same rows and series.
+package experiments
+
+import (
+	"time"
+
+	"github.com/hpcnet/fobs/internal/netsim"
+)
+
+// Scenario is a testbed path preset. The topology is always
+//
+//	host A --(access)-- r1 --(backbone)-- r2 --(access)-- host B
+//
+// with optional cross traffic contending for host B's access link (the
+// paper's contention entered at the campus edges, not the Abilene core) and
+// a small ambient loss probability on the backbone (the paper's networks
+// were production, non-QoS infrastructure).
+type Scenario struct {
+	Name string
+	// RTT is the round-trip propagation delay (paper: ~26 ms ANL–LCSE,
+	// ~65 ms ANL–CACR).
+	RTT time.Duration
+	// AccessRateA/B are the endpoint access links in bits per second (the
+	// paper's "slowest link was 100 Mb/Sec, from the desktop computer to
+	// the external router").
+	AccessRateA, AccessRateB float64
+	// BackboneRate is the shared middle link.
+	BackboneRate float64
+	// AmbientLoss is Bernoulli loss on the backbone.
+	AmbientLoss float64
+	// Contention, when non-nil, attaches a cross-traffic source to host
+	// B's access link.
+	Contention *netsim.TrafficConfig
+	// HostA and HostB set endpoint characteristics.
+	HostA, HostB netsim.HostConfig
+	// MaxBandwidth is the denominator of the paper's "percentage of the
+	// maximum available bandwidth" (the slowest interface on the path).
+	MaxBandwidth float64
+}
+
+// Build constructs the scenario on a fresh deterministic network.
+func (sc Scenario) Build(seed int64) *netsim.Path {
+	hop := sc.RTT / 6
+	last := sc.RTT/2 - 2*hop // absorb integer-division remainder
+	p := netsim.BuildPath(seed, netsim.PathSpec{
+		Name:  sc.Name,
+		HostA: sc.HostA,
+		HostB: sc.HostB,
+		Links: []netsim.LinkConfig{
+			{Rate: sc.AccessRateA, Delay: hop, QueueBytes: 256 << 10},
+			{Rate: sc.BackboneRate, Delay: hop, QueueBytes: 4 << 20, LossProb: sc.AmbientLoss},
+			{Rate: sc.AccessRateB, Delay: last, QueueBytes: 256 << 10},
+		},
+	})
+	if sc.Contention != nil {
+		p.Net.AttachCrossTraffic(p.Forward[2], *sc.Contention)
+	}
+	return p
+}
+
+// endpoint2002 models the paper's Pentium-3/Origin-class endpoints moving
+// 1 KB datagrams through a 2002 kernel: a few tens of microseconds per
+// packet on the receive path.
+func endpoint2002() (a, b netsim.HostConfig) {
+	a = netsim.HostConfig{
+		RXBufBytes:        256 << 10,
+		SendProcPerPacket: 2 * time.Microsecond,
+	}
+	b = netsim.HostConfig{
+		RXBufBytes:    256 << 10,
+		ProcPerPacket: 40 * time.Microsecond,
+	}
+	return a, b
+}
+
+// ShortHaul is the ANL–LCSE path: 26 ms RTT, 100 Mb/s NIC bottleneck,
+// "virtually no contention" — only light background traffic and ambient
+// loss.
+func ShortHaul() Scenario {
+	a, b := endpoint2002()
+	return Scenario{
+		Name:         "short-haul",
+		RTT:          26 * time.Millisecond,
+		AccessRateA:  100e6,
+		AccessRateB:  100e6,
+		BackboneRate: 2400e6,
+		AmbientLoss:  3e-6,
+		Contention: &netsim.TrafficConfig{
+			Rate: 1e6, PacketSize: 1500, Pattern: netsim.OnOff,
+			PeakRate: 15e6, MeanOn: 25 * time.Millisecond,
+		},
+		HostA:        a,
+		HostB:        b,
+		MaxBandwidth: 100e6,
+	}
+}
+
+// LongHaul is the ANL–CACR path: 65 ms RTT, 100 Mb/s bottleneck, with
+// "some contention in the network" — bursty cross traffic whose episodic
+// queue overflows are what "triggered TCP's very aggressive congestion
+// control mechanisms" in Table 1.
+func LongHaul() Scenario {
+	a, b := endpoint2002()
+	return Scenario{
+		Name:         "long-haul",
+		RTT:          65 * time.Millisecond,
+		AccessRateA:  100e6,
+		AccessRateB:  100e6,
+		BackboneRate: 2400e6,
+		AmbientLoss:  3e-6,
+		Contention: &netsim.TrafficConfig{
+			Rate: 3e6, PacketSize: 1500, Pattern: netsim.OnOff,
+			PeakRate: 40e6, MeanOn: 30 * time.Millisecond,
+		},
+		HostA:        a,
+		HostB:        b,
+		MaxBandwidth: 100e6,
+	}
+}
+
+// Gigabit is the NCSA–LCSE path of Figure 3: Gigabit Ethernet NICs with an
+// OC-12 (622 Mb/s) connection to Abilene. At these rates the endpoints'
+// per-packet and per-byte costs dominate, which is exactly the effect the
+// packet-size sweep exposes.
+func Gigabit() Scenario {
+	host := netsim.HostConfig{
+		RXBufBytes:        2 << 20,
+		ProcPerPacket:     50 * time.Microsecond,
+		ProcPerByte:       22 * time.Nanosecond,
+		SendProcPerPacket: 30 * time.Microsecond,
+		SendProcPerByte:   20 * time.Nanosecond,
+	}
+	return Scenario{
+		Name:         "gigabit",
+		RTT:          26 * time.Millisecond,
+		AccessRateA:  1000e6,
+		AccessRateB:  1000e6,
+		BackboneRate: 622e6,
+		AmbientLoss:  0.0005,
+		HostA:        host,
+		HostB:        host,
+		MaxBandwidth: 622e6,
+	}
+}
+
+// Contended is the NCSA–CACR path of Table 2, measured during a window of
+// "increased contention for network resources": the sending host can push
+// only ~80 Mb/s of 1 KB datagrams (a 2002 IRIX box at syscall rate), and
+// heavy bursty cross traffic shares the far access link.
+func Contended() Scenario {
+	return Scenario{
+		Name:         "contended",
+		RTT:          60 * time.Millisecond,
+		AccessRateA:  622e6,
+		AccessRateB:  100e6,
+		BackboneRate: 622e6,
+		AmbientLoss:  1e-4,
+		Contention: &netsim.TrafficConfig{
+			Rate: 8e6, PacketSize: 1500, Pattern: netsim.OnOff,
+			PeakRate: 50e6, MeanOn: 30 * time.Millisecond,
+		},
+		HostA: netsim.HostConfig{
+			RXBufBytes:        256 << 10,
+			SendProcPerPacket: 105 * time.Microsecond,
+		},
+		HostB: netsim.HostConfig{
+			RXBufBytes:    256 << 10,
+			ProcPerPacket: 40 * time.Microsecond,
+		},
+		MaxBandwidth: 100e6,
+	}
+}

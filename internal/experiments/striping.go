@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/simrun"
+	"github.com/hpcnet/fobs/internal/stats"
+)
+
+// StripingPoint is one row of the FOBS-striping ablation.
+type StripingPoint struct {
+	Streams int
+	// Elapsed is from the first stripe's start to the last stripe's
+	// completion; Aggregate is the combined goodput.
+	Elapsed   time.Duration
+	Aggregate float64
+	Waste     float64
+	Completed bool
+}
+
+// StripedFOBS divides one object across n concurrent FOBS transfers on the
+// same path — PSockets' trick applied to FOBS. The expected result is the
+// paper's implicit negative: striping exists to multiply TCP's per-socket
+// window limit and dilute its congestion response, and FOBS has neither,
+// so extra stripes only add overhead.
+func StripedFOBS(objSize int64, n int) StripingPoint {
+	if n < 1 {
+		panic("experiments: need at least one stripe")
+	}
+	sc := Quiet(LongHaul())
+	p := sc.Build(1)
+	chunk := objSize / int64(n)
+	runs := make([]*simrun.FOBSRun, n)
+	for i := 0; i < n; i++ {
+		size := chunk
+		if i == n-1 {
+			size = objSize - chunk*int64(n-1)
+		}
+		opts := fobsOptions()
+		opts.PortBase = 7001 + 100*i
+		runs[i] = simrun.NewFOBS(p, make([]byte, size), core.Config{
+			AckFrequency: core.DefaultAckFrequency,
+			Transfer:     uint32(i + 1),
+			Discard:      true,
+		}, opts)
+	}
+	start := p.Net.Now()
+	for _, r := range runs {
+		r.Start()
+	}
+	deadline := event.Time(30 * time.Minute)
+	for p.Net.Sim.Now() < deadline && p.Net.Sim.Pending() > 0 {
+		all := true
+		for _, r := range runs {
+			if !r.Done() {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		p.Net.Sim.RunUntil(deadline)
+	}
+
+	pt := StripingPoint{Streams: n, Completed: true}
+	var end event.Time
+	sent, needed := 0, 0
+	for _, r := range runs {
+		res := r.Result()
+		if !res.Completed {
+			pt.Completed = false
+		}
+		sent += res.PacketsSent
+		needed += res.PacketsNeeded
+		if finish := start.Add(res.Elapsed); finish > end {
+			end = finish
+		}
+	}
+	pt.Elapsed = end.Sub(start)
+	if pt.Elapsed > 0 {
+		pt.Aggregate = float64(objSize*8) / pt.Elapsed.Seconds()
+	}
+	if needed > 0 {
+		pt.Waste = float64(sent-needed) / float64(needed)
+	}
+	return pt
+}
+
+// StripingSweep runs the ablation over several stripe counts.
+func StripingSweep(objSize int64, counts []int) []StripingPoint {
+	pts := make([]StripingPoint, 0, len(counts))
+	for _, n := range counts {
+		pts = append(pts, StripedFOBS(objSize, n))
+	}
+	return pts
+}
+
+// RenderStripingSweep formats the ablation.
+func RenderStripingSweep(pts []StripingPoint, maxBandwidth float64) string {
+	tb := &stats.Table{
+		Title:   "Ablation: striping FOBS across parallel flows (PSockets' trick, applied to FOBS)",
+		Columns: []string{"Stripes", "Aggregate", "% of max", "Waste"},
+	}
+	for _, pt := range pts {
+		note := ""
+		if !pt.Completed {
+			note = " (incomplete)"
+		}
+		tb.AddRow(fmt.Sprintf("%d", pt.Streams),
+			fmt.Sprintf("%.1f Mb/s%s", pt.Aggregate/1e6, note),
+			stats.Percent(pt.Aggregate/maxBandwidth),
+			fmt.Sprintf("%.1f%%", 100*pt.Waste))
+	}
+	return tb.Render()
+}
+
+// IncastResult reports the many-senders-one-receiver stress: n hosts blast
+// objects at a single 100 Mb/s receiver simultaneously (the object-store
+// ingest pattern). The receiver's access link and RX buffer become the
+// shared bottleneck.
+type IncastResult struct {
+	Senders   int
+	PerSender []stats.TransferResult
+	JainIndex float64
+	Aggregate float64
+}
+
+// Incast builds a star: n sender hosts, each behind its own 100 Mb/s
+// access link, all feeding one receiver through a shared backbone and the
+// receiver's single 100 Mb/s access link.
+func Incast(objSize int64, n int) IncastResult {
+	if n < 1 {
+		panic("experiments: need at least one sender")
+	}
+	nw := netsim.NewNetwork(1)
+	_, hostB := endpoint2002()
+	rcv := nw.NewHost("sink", hostB)
+	hub := nw.NewRouter("hub")
+	nw.Connect(hub, rcv, netsim.LinkConfig{
+		Rate: 100e6, Delay: 5 * time.Millisecond, QueueBytes: 256 << 10,
+	})
+	hostA, _ := endpoint2002()
+	senders := make([]*netsim.Host, n)
+	for i := range senders {
+		senders[i] = nw.NewHost(fmt.Sprintf("src%d", i), hostA)
+		nw.Connect(senders[i], hub, netsim.LinkConfig{
+			Rate: 100e6, Delay: 5 * time.Millisecond, QueueBytes: 256 << 10,
+		})
+	}
+	nw.ComputeRoutes()
+
+	runs := make([]*simrun.FOBSRun, n)
+	for i := range runs {
+		opts := fobsOptions()
+		opts.PortBase = 7001 + 100*i
+		path := &netsim.Path{
+			Net: nw, A: senders[i], B: rcv,
+			Forward: []*netsim.Link{senders[i].Uplink(), netsim.LinkBetween(hub, rcv)},
+			Reverse: []*netsim.Link{rcv.Uplink(), netsim.LinkBetween(hub, senders[i])},
+		}
+		runs[i] = simrun.NewFOBS(path, make([]byte, objSize), core.Config{
+			AckFrequency: core.DefaultAckFrequency,
+			Transfer:     uint32(i + 1),
+			Discard:      true,
+		}, opts)
+	}
+	for _, r := range runs {
+		r.Start()
+	}
+	deadline := event.Time(30 * time.Minute)
+	for nw.Sim.Now() < deadline && nw.Sim.Pending() > 0 {
+		all := true
+		for _, r := range runs {
+			if !r.Done() {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		nw.Sim.RunUntil(deadline)
+	}
+
+	res := IncastResult{Senders: n}
+	goodputs := make([]float64, n)
+	var makespan time.Duration
+	for i, r := range runs {
+		tr := r.Result()
+		tr.Protocol = fmt.Sprintf("fobs@src%d", i)
+		res.PerSender = append(res.PerSender, tr)
+		goodputs[i] = tr.Goodput()
+		if tr.Elapsed > makespan {
+			makespan = tr.Elapsed
+		}
+	}
+	// Aggregate over the makespan: per-sender averages span different
+	// intervals, so their sum is not capacity-bounded.
+	if makespan > 0 {
+		res.Aggregate = float64(objSize*8*int64(n)) / makespan.Seconds()
+	}
+	res.JainIndex = jain(goodputs)
+	return res
+}
+
+// Render formats the incast study.
+func (r IncastResult) Render(maxBandwidth float64) string {
+	tb := &stats.Table{
+		Title:   fmt.Sprintf("Incast: %d greedy FOBS senders into one 100 Mb/s receiver", r.Senders),
+		Columns: []string{"Sender", "Goodput", "Waste", "Done"},
+	}
+	for _, s := range r.PerSender {
+		tb.AddRow(s.Protocol,
+			fmt.Sprintf("%.1f Mb/s", s.Goodput()/1e6),
+			fmt.Sprintf("%.1f%%", 100*s.Waste()),
+			fmt.Sprintf("%v", s.Completed))
+	}
+	out := tb.Render()
+	out += fmt.Sprintf("aggregate %.1f Mb/s (%.0f%% of the receiver link), Jain index %.3f\n",
+		r.Aggregate/1e6, 100*r.Aggregate/maxBandwidth, r.JainIndex)
+	return out
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/psockets"
+	"github.com/hpcnet/fobs/internal/stats"
+	"github.com/hpcnet/fobs/internal/tcpsim"
+)
+
+// tcpPorts offsets TCP experiments away from FOBS port numbers.
+const tcpPortBase = 7500
+
+// RunTCP executes one bulk TCP transfer of nbytes on the scenario and
+// returns its result. lwe selects the Large Window extensions; when on,
+// the receive buffer is tuned to the path's bandwidth-delay product, as
+// the paper's endpoints were.
+func RunTCP(sc Scenario, seed int64, nbytes int64, lwe bool) stats.TransferResult {
+	return runTCPOnPath(sc.Build(seed), nbytes, lwe)
+}
+
+// runTCPOnPath executes a bulk TCP transfer over an already-built path
+// (which may carry extra impairments such as RED queues).
+func runTCPOnPath(p *netsim.Path, nbytes int64, lwe bool) stats.TransferResult {
+	cfg := tcpsim.Config{LargeWindows: lwe}
+	if lwe {
+		// The paper's LWE endpoints scaled the window when "the user
+		// requests a socket buffer size greater than 64K"; a 512 KiB
+		// request was the customary tuning of the day. That exceeds the
+		// short path's bandwidth-delay product (~325 KB) but not the long
+		// path's (~812 KB) — which is much of Table 1's story.
+		cfg.RecvBuf = 512 << 10
+		// The same endpoints (Windows 2000, HP-UX) also shipped SACK.
+		cfg.SACK = true
+	}
+	label := "tcp"
+	if lwe {
+		label = "tcp+lwe"
+	}
+	f := tcpsim.NewFlow(p.Net, p.A, tcpPortBase, p.B, tcpPortBase+1, nbytes, cfg)
+	f.Start()
+	deadline := event.Time(30 * time.Minute)
+	for !f.Done() && p.Net.Sim.Now() < deadline && p.Net.Sim.Pending() > 0 {
+		p.Net.Sim.RunUntil(deadline)
+	}
+	st := f.Stats()
+	end := st.End
+	if !f.Done() {
+		end = p.Net.Now()
+	}
+	res := stats.TransferResult{
+		Protocol:      label,
+		Bytes:         nbytes,
+		Elapsed:       end.Sub(st.Start),
+		Completed:     f.Done(),
+		PacketsSent:   int(st.SegmentsSent),
+		PacketsNeeded: int(st.SegmentsSent - st.Retransmits),
+	}
+	res = res.WithExtra("timeouts", float64(st.Timeouts))
+	res.Extra["fast_retransmits"] = float64(st.FastRetransmits)
+	return res
+}
+
+// Table1Result holds the three rows of the paper's Table 1.
+type Table1Result struct {
+	ShortLWE, LongLWE, LongNoLWE stats.TransferResult
+}
+
+// Seeds is the set of independent repetitions behind every table cell; the
+// reported value is the median by goodput, matching the paper's practice
+// of repeating transfers and reporting a representative measurement.
+var Seeds = []int64{1, 2, 3, 4, 5}
+
+// medianRun picks the median-goodput result of running fn over Seeds.
+func medianRun(fn func(seed int64) stats.TransferResult) stats.TransferResult {
+	results := make([]stats.TransferResult, len(Seeds))
+	for i, seed := range Seeds {
+		results[i] = fn(seed)
+	}
+	sortByGoodput(results)
+	return results[len(results)/2]
+}
+
+func sortByGoodput(rs []stats.TransferResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Goodput() < rs[j-1].Goodput(); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Table1 reproduces the paper's Table 1: TCP's percentage of the maximum
+// available bandwidth with and without the Large Window extensions
+// (paper: 86% / 51% / 11%).
+func Table1(objSize int64) Table1Result {
+	return Table1Result{
+		ShortLWE: medianRun(func(seed int64) stats.TransferResult {
+			return RunTCP(ShortHaul(), seed, objSize, true)
+		}),
+		LongLWE: medianRun(func(seed int64) stats.TransferResult {
+			return RunTCP(LongHaul(), seed, objSize, true)
+		}),
+		LongNoLWE: medianRun(func(seed int64) stats.TransferResult {
+			return RunTCP(LongHaul(), seed, objSize, false)
+		}),
+	}
+}
+
+// Render formats the result like the paper's Table 1.
+func (t Table1Result) Render() string {
+	tb := &stats.Table{
+		Title:   "Table 1: TCP percentage of the maximum available bandwidth",
+		Columns: []string{"Network Connection", "% of Max Bandwidth", "(paper)"},
+	}
+	tb.AddRow("Short Haul with LWE", stats.Percent(t.ShortLWE.Utilization(ShortHaul().MaxBandwidth)), "86%")
+	tb.AddRow("Long Haul with LWE", stats.Percent(t.LongLWE.Utilization(LongHaul().MaxBandwidth)), "51%")
+	tb.AddRow("Long Haul without LWE", stats.Percent(t.LongNoLWE.Utilization(LongHaul().MaxBandwidth)), "11%")
+	return tb.Render()
+}
+
+// Table2Result holds the paper's Table 2 comparison.
+type Table2Result struct {
+	FOBS           stats.TransferResult
+	PSockets       stats.TransferResult
+	OptimalStreams int
+	Probes         []psockets.ProbeResult
+}
+
+// DefaultStreamCandidates is the probe space for PSockets' optimal stream
+// count.
+var DefaultStreamCandidates = []int{1, 2, 4, 8, 12, 16, 20, 24, 32}
+
+// Table2 reproduces the paper's Table 2 on the contended path: FOBS versus
+// PSockets with an experimentally determined stream count
+// (paper: FOBS 76% with 2% waste; PSockets 56% with 20 sockets).
+func Table2(objSize int64) Table2Result {
+	sc := Contended()
+	factory := func(seed int64) *netsim.Path { return sc.Build(seed) }
+
+	// The paper's PSockets endpoints (IRIX, HP-UX) shipped SACK, and
+	// PSockets itself needs no kernel tuning beyond that.
+	tcp := tcpsim.Config{SACK: true}
+	best, probes := psockets.FindOptimal(factory, 8<<20, DefaultStreamCandidates, tcp)
+	ps := medianRun(func(seed int64) stats.TransferResult {
+		return psockets.Run(sc.Build(seed), objSize, psockets.Config{Streams: best, TCP: tcp})
+	})
+	fobs := medianRun(func(seed int64) stats.TransferResult {
+		return RunFOBS(sc, seed, objSize, core.Config{AckFrequency: core.DefaultAckFrequency})
+	})
+	return Table2Result{FOBS: fobs, PSockets: ps, OptimalStreams: best, Probes: probes}
+}
+
+// Render formats the result like the paper's Table 2.
+func (t Table2Result) Render() string {
+	max := Contended().MaxBandwidth
+	tb := &stats.Table{
+		Title:   "Table 2: FOBS vs PSockets on a contended high-performance path",
+		Columns: []string{"", "PSockets", "FOBS", "(paper PSockets/FOBS)"},
+	}
+	tb.AddRow("% of Max Bandwidth",
+		stats.Percent(t.PSockets.Utilization(max)),
+		stats.Percent(t.FOBS.Utilization(max)),
+		"56% / 76%")
+	tb.AddRow("% Wasted Network Resources",
+		"-",
+		fmt.Sprintf("%.1f%%", 100*t.FOBS.Waste()),
+		"- / 2%")
+	tb.AddRow("Optimal Number of Parallel Sockets",
+		fmt.Sprintf("%d", t.OptimalStreams),
+		"-",
+		"20 / -")
+	return tb.Render()
+}

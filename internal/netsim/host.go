@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+// HostConfig models the endpoint characteristics the paper's evaluation
+// turns on.
+type HostConfig struct {
+	// RXBufBytes bounds the receive socket buffer shared by all ports.
+	// Packets arriving while it is full are dropped — this is the
+	// mechanism behind the receiver-stall losses of Figures 1 and 2.
+	// Zero means a 256 KiB default (a typical 2002 socket buffer).
+	RXBufBytes int
+
+	// ProcPerPacket and ProcPerByte model the endpoint's cost to move one
+	// received packet from the socket buffer into the application: a
+	// fixed per-packet overhead (syscall, interrupt, header handling)
+	// plus a per-byte copy cost. Together they produce the packet-size
+	// dependence of Figure 3. Zero means free.
+	ProcPerPacket time.Duration
+	ProcPerByte   time.Duration
+
+	// SendProcPerPacket and SendProcPerByte are the per-packet and
+	// per-byte costs on the transmit path (system call + kernel copy),
+	// serialized with the receive path on the same host CPU. Zero means
+	// free.
+	SendProcPerPacket time.Duration
+	SendProcPerByte   time.Duration
+}
+
+func (c HostConfig) withDefaults() HostConfig {
+	if c.RXBufBytes == 0 {
+		c.RXBufBytes = 256 << 10
+	}
+	return c
+}
+
+// HostStats counts endpoint-side events.
+type HostStats struct {
+	RXDelivered uint64 // packets handed to sockets
+	RXDropsFull uint64 // packets dropped because the RX buffer was full
+	RXDropsPort uint64 // packets for ports nobody listens on
+	TXPackets   uint64
+}
+
+// Host is an endpoint: it owns UDP sockets, a NIC uplink, a bounded receive
+// buffer and a single CPU that serves the receive queue, transmit requests
+// and explicit Occupy() work in FIFO order.
+type Host struct {
+	baseNode
+	cfg   HostConfig
+	stats HostStats
+
+	sockets map[int]*UDPSocket
+
+	rxQueue    []*Packet
+	rxBytes    int
+	cpuBusyTil event.Time
+	serving    bool
+}
+
+// NewHost adds a host to the network.
+func (n *Network) NewHost(name string, cfg HostConfig) *Host {
+	h := &Host{
+		baseNode: baseNode{net: n, name: name},
+		cfg:      cfg.withDefaults(),
+		sockets:  make(map[int]*UDPSocket),
+	}
+	h.id = n.addNode(h)
+	return h
+}
+
+// Stats returns a snapshot of the host counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// Config returns the host's configuration.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// Addr returns the address of the given port on this host.
+func (h *Host) Addr(port int) Addr { return Addr{Node: h.id, Port: port} }
+
+// Occupy consumes d of host CPU time starting no earlier than now; queued
+// received packets are not processed until it finishes. Protocol drivers
+// use this to model the cost of building an acknowledgement packet, the
+// effect the paper identifies as the cause of stall losses.
+func (h *Host) Occupy(d time.Duration) {
+	now := h.net.Now()
+	if h.cpuBusyTil < now {
+		h.cpuBusyTil = now
+	}
+	h.cpuBusyTil = h.cpuBusyTil.Add(d)
+}
+
+// CPUFreeAt reports when the host CPU will next be idle.
+func (h *Host) CPUFreeAt() event.Time {
+	now := h.net.Now()
+	if h.cpuBusyTil < now {
+		return now
+	}
+	return h.cpuBusyTil
+}
+
+// deliver implements Node: an arriving packet enters the RX buffer (or is
+// dropped) and the CPU service loop is kicked.
+func (h *Host) deliver(p *Packet) {
+	if p.Dst.Node != h.id {
+		// Mis-routed or cross-traffic packet transiting a host: hosts do
+		// not forward.
+		h.stats.RXDropsPort++
+		return
+	}
+	if _, ok := h.sockets[p.Dst.Port]; !ok {
+		h.stats.RXDropsPort++
+		return
+	}
+	if h.rxBytes+p.Size > h.cfg.RXBufBytes {
+		h.stats.RXDropsFull++
+		return
+	}
+	h.rxBytes += p.Size
+	h.rxQueue = append(h.rxQueue, p)
+	h.kickService()
+}
+
+// kickService schedules the CPU to process the head of the RX queue when it
+// next goes idle.
+func (h *Host) kickService() {
+	if h.serving || len(h.rxQueue) == 0 {
+		return
+	}
+	h.serving = true
+	start := h.CPUFreeAt()
+	p := h.rxQueue[0]
+	cost := h.cfg.ProcPerPacket + time.Duration(p.Size)*h.cfg.ProcPerByte
+	done := start.Add(cost)
+	if h.cpuBusyTil < done {
+		h.cpuBusyTil = done
+	}
+	h.net.Sim.At(done, func() {
+		h.rxQueue = h.rxQueue[1:]
+		h.rxBytes -= p.Size
+		h.serving = false
+		sock := h.sockets[p.Dst.Port]
+		if sock != nil && sock.handler != nil {
+			h.stats.RXDelivered++
+			sock.handler(p)
+		} else {
+			h.stats.RXDropsPort++
+		}
+		h.kickService()
+	})
+}
+
+// UDPSocket is a bound simulated datagram socket.
+type UDPSocket struct {
+	host    *Host
+	port    int
+	handler func(p *Packet)
+}
+
+// OpenUDP binds port on the host and installs handler for incoming packets.
+// Handler runs on the simulation goroutine at the virtual instant the host
+// CPU finishes processing the packet. Opening an already-bound port panics —
+// it is a topology-construction bug.
+func (h *Host) OpenUDP(port int, handler func(p *Packet)) *UDPSocket {
+	if _, dup := h.sockets[port]; dup {
+		panic(fmt.Sprintf("netsim: port %d already bound on %s", port, h.name))
+	}
+	s := &UDPSocket{host: h, port: port, handler: handler}
+	h.sockets[port] = s
+	return s
+}
+
+// Close unbinds the socket.
+func (s *UDPSocket) Close() { delete(s.host.sockets, s.port) }
+
+// Addr returns the socket's address.
+func (s *UDPSocket) Addr() Addr { return s.host.Addr(s.port) }
+
+// SendResult reports how a simulated send went.
+type SendResult struct {
+	// OK is false if the NIC queue rejected the packet (the analogue of
+	// a failed non-blocking send). FOBS uses select() to avoid this;
+	// drivers emulate that by pacing on NICFreeAt.
+	OK bool
+	// NICFreeAt is when the uplink will have drained its queue including
+	// this packet — the instant a blocking sender could next send.
+	NICFreeAt event.Time
+}
+
+// SendTo transmits a datagram of the given wire size toward dst. The
+// transmit CPU cost is charged to the host CPU; the packet then enters the
+// NIC uplink queue.
+func (s *UDPSocket) SendTo(dst Addr, size int, payload any) SendResult {
+	h := s.host
+	if cost := h.cfg.SendProcPerPacket + time.Duration(size)*h.cfg.SendProcPerByte; cost > 0 {
+		h.Occupy(cost)
+	}
+	link := h.nextHop(dst.Node)
+	if link == nil {
+		panic(fmt.Sprintf("netsim: host %s has no route to node %d (did you call ComputeRoutes?)", h.name, dst.Node))
+	}
+	p := &Packet{
+		ID:      h.net.allocPacketID(),
+		Src:     Addr{Node: h.id, Port: s.port},
+		Dst:     dst,
+		Size:    size,
+		Payload: payload,
+	}
+	ok := link.Enqueue(p)
+	if ok {
+		h.stats.TXPackets++
+	}
+	return SendResult{OK: ok, NICFreeAt: link.BusyUntil()}
+}
+
+// Uplink returns the host's default outgoing link (panics if the host has
+// more than one interface and no routes were computed, or none).
+func (h *Host) Uplink() *Link {
+	if len(h.ifaces) == 0 {
+		panic(fmt.Sprintf("netsim: host %s has no links", h.name))
+	}
+	return h.ifaces[0]
+}

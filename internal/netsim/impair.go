@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+// Impairments extend LinkConfig with the pathologies of real wide-area
+// paths beyond plain loss: delay jitter (which reorders packets) and
+// outages. They are configured per link after construction because most
+// experiments do not use them.
+
+// SetJitter adds a uniformly distributed extra propagation delay in
+// [0, max) to every packet on the link, drawn from the network's seeded
+// source. Jitter larger than a packet's serialization time reorders
+// packets — the stress case for protocols that assume in-order arrival
+// (FOBS does not; gap-based NAK protocols do).
+func (l *Link) SetJitter(max time.Duration) {
+	if max < 0 {
+		panic("netsim: negative jitter")
+	}
+	l.jitterMax = max
+}
+
+// Down takes the link out of service for d: every packet that finishes
+// transmission while the outage lasts is dropped (counted as OutageDrops),
+// modelling a routing flap or a brief layer-2 outage.
+func (l *Link) Down(d time.Duration) {
+	now := l.net.Now()
+	until := now.Add(d)
+	if until > l.downUntil {
+		l.downUntil = until
+	}
+}
+
+// FlapEvery schedules periodic outages: every period, the link goes down
+// for outage. Scheduling stops when the simulation drains.
+func (l *Link) FlapEvery(period, outage time.Duration) {
+	if period <= 0 || outage <= 0 {
+		panic("netsim: flap period and outage must be positive")
+	}
+	var tick func()
+	tick = func() {
+		l.Down(outage)
+		l.net.Sim.After(period, tick)
+	}
+	l.net.Sim.After(period, tick)
+}
+
+// impairedDelay returns the propagation delay for one packet, including
+// jitter.
+func (l *Link) impairedDelay() event.Duration {
+	d := l.cfg.Delay
+	if l.jitterMax > 0 {
+		d += time.Duration(l.net.rng.Int63n(int64(l.jitterMax)))
+	}
+	return d
+}
+
+// outageDrop reports whether a packet completing transmission at t is
+// swallowed by an outage.
+func (l *Link) outageDrop(t event.Time) bool {
+	if t < l.downUntil {
+		l.stats.OutageDrops++
+		return true
+	}
+	return false
+}

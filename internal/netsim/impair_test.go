@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+func TestJitterReordersPackets(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: time.Millisecond, QueueBytes: 1 << 30},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	ab.SetJitter(5 * time.Millisecond)
+	var order []int
+	b.OpenUDP(9, func(p *Packet) { order = append(order, p.Payload.(int)) })
+	sa := a.OpenUDP(9, nil)
+	const total = 200
+	for i := 0; i < total; i++ {
+		sa.SendTo(b.Addr(9), 100, i)
+	}
+	n.Sim.Run()
+	if len(order) != total {
+		t.Fatalf("delivered %d packets, want %d (jitter must not lose packets)", len(order), total)
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("5ms jitter on back-to-back packets produced no reordering")
+	}
+}
+
+func TestJitterBoundsDelay(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 10 * time.Millisecond},
+		HostConfig{}, HostConfig{})
+	ab.SetJitter(2 * time.Millisecond)
+	var arrivals []event.Time
+	b.OpenUDP(9, func(p *Packet) { arrivals = append(arrivals, n.Now()) })
+	sa := a.OpenUDP(9, nil)
+	for i := 0; i < 50; i++ {
+		sa.SendTo(b.Addr(9), 100, nil)
+		n.Sim.Run() // one at a time: no queueing, isolate propagation
+	}
+	for _, at := range arrivals {
+		// Strip the serialization component by checking only bounds.
+		if at < event.Time(10*time.Millisecond) {
+			t.Fatalf("arrival %v before the base delay", at)
+		}
+	}
+}
+
+func TestNegativeJitterPanics(t *testing.T) {
+	_, _, _, ab, _ := directPair(t, LinkConfig{Rate: 1e6}, HostConfig{}, HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative jitter did not panic")
+		}
+	}()
+	ab.SetJitter(-time.Second)
+}
+
+func TestLinkDownDropsPackets(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 0, QueueBytes: 1 << 30},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+
+	ab.Down(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		sa.SendTo(b.Addr(9), 100, nil) // transmitted during the outage
+	}
+	n.Sim.RunUntil(event.Time(20 * time.Millisecond))
+	if got != 0 {
+		t.Fatalf("%d packets survived the outage", got)
+	}
+	if ab.Stats().OutageDrops != 5 {
+		t.Fatalf("OutageDrops = %d, want 5", ab.Stats().OutageDrops)
+	}
+	// After the outage, delivery resumes.
+	sa.SendTo(b.Addr(9), 100, nil)
+	n.Sim.Run()
+	if got != 1 {
+		t.Fatalf("post-outage delivery count = %d, want 1", got)
+	}
+}
+
+func TestDownExtendsNotShrinks(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 0}, HostConfig{}, HostConfig{})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	ab.Down(10 * time.Millisecond)
+	ab.Down(time.Millisecond) // shorter request must not cut the outage
+	n.Sim.RunUntil(event.Time(5 * time.Millisecond))
+	sa.SendTo(b.Addr(9), 100, nil)
+	n.Sim.Run()
+	if got != 0 {
+		t.Fatal("packet delivered during an outage that should still be active")
+	}
+}
+
+func TestFlapEvery(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 0, QueueBytes: 1 << 30},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	ab.FlapEvery(100*time.Millisecond, 10*time.Millisecond)
+	// Send one packet every millisecond for one second.
+	var send func(i int)
+	send = func(i int) {
+		if i >= 1000 {
+			return
+		}
+		sa.SendTo(b.Addr(9), 100, nil)
+		n.Sim.After(time.Millisecond, func() { send(i + 1) })
+	}
+	send(0)
+	n.Sim.RunUntil(event.Time(time.Second))
+	drops := ab.Stats().OutageDrops
+	// ~10 outages x ~10 packets each; allow slack for boundary effects.
+	if drops < 50 || drops > 150 {
+		t.Fatalf("OutageDrops = %d over 10 flaps, want ~100", drops)
+	}
+	if got+int(drops) != 1000 {
+		t.Fatalf("delivered %d + dropped %d != 1000", got, drops)
+	}
+}
+
+func TestFlapBadArgsPanics(t *testing.T) {
+	_, _, _, ab, _ := directPair(t, LinkConfig{Rate: 1e6}, HostConfig{}, HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero flap period did not panic")
+		}
+	}()
+	ab.FlapEvery(0, time.Second)
+}
+
+func TestREDDropsEarly(t *testing.T) {
+	// Saturate a slow link: RED must drop before the hard queue cap and
+	// keep the average occupancy below it.
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e6, Delay: time.Millisecond, QueueBytes: 100 << 10},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	ab.EnableRED(REDConfig{MinBytes: 10 << 10, MaxBytes: 40 << 10})
+	b.OpenUDP(9, func(p *Packet) {})
+	sa := a.OpenUDP(9, nil)
+	// Offer 10x the link rate for a while.
+	var send func(i int)
+	send = func(i int) {
+		if i >= 5000 {
+			return
+		}
+		sa.SendTo(b.Addr(9), 1000, nil)
+		n.Sim.After(800*time.Microsecond, func() { send(i + 1) })
+	}
+	send(0)
+	n.Sim.Run()
+	st := ab.Stats()
+	if st.REDDrops == 0 {
+		t.Fatal("RED never dropped under 10x overload")
+	}
+	if st.QueueDrops > st.REDDrops {
+		t.Fatalf("hard-cap drops %d exceed RED drops %d; RED not early enough",
+			st.QueueDrops, st.REDDrops)
+	}
+	if st.MaxQueuedBytes >= 100<<10 {
+		t.Fatalf("queue reached the hard cap (%d bytes) despite RED", st.MaxQueuedBytes)
+	}
+}
+
+func TestREDBelowMinDropsNothing(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 0, QueueBytes: 1 << 20},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	ab.EnableRED(REDConfig{MinBytes: 100 << 10, MaxBytes: 200 << 10})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	for i := 0; i < 50; i++ { // 50 KB burst, far below Min
+		sa.SendTo(b.Addr(9), 1000, nil)
+	}
+	n.Sim.Run()
+	if got != 50 || ab.Stats().REDDrops != 0 {
+		t.Fatalf("delivered %d, REDDrops %d; want 50, 0", got, ab.Stats().REDDrops)
+	}
+}
+
+func TestREDConfigValidation(t *testing.T) {
+	_, _, _, ab, _ := directPair(t, LinkConfig{Rate: 1e6}, HostConfig{}, HostConfig{})
+	for name, cfg := range map[string]REDConfig{
+		"min>=max":   {MinBytes: 10, MaxBytes: 10},
+		"zero min":   {MinBytes: 0, MaxBytes: 10},
+		"bad maxp":   {MinBytes: 1, MaxBytes: 10, MaxP: 1.5},
+		"bad weight": {MinBytes: 1, MaxBytes: 10, Weight: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			ab.EnableRED(cfg)
+		}()
+	}
+}
+
+func TestPolicerEnforcesContract(t *testing.T) {
+	// Offer 100 Mb/s against a 20 Mb/s reservation for one second: about
+	// a fifth of the bytes (plus the burst allowance) get through.
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 100e6, Delay: time.Millisecond, QueueBytes: 1 << 30},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	ab.SetPolicer(20e6, 10<<10)
+	delivered := 0
+	b.OpenUDP(9, func(p *Packet) { delivered += p.Size })
+	sa := a.OpenUDP(9, nil)
+	// 1250-byte packets every 100 µs = 100 Mb/s offered. (Pacing must be
+	// explicit: a policed drop leaves the NIC idle, so NICFreeAt would
+	// re-fire at the same instant.)
+	var send func()
+	send = func() {
+		sa.SendTo(b.Addr(9), 1250, nil)
+		if n.Now() < event.Time(time.Second) {
+			n.Sim.After(100*time.Microsecond, send)
+		}
+	}
+	send()
+	n.Sim.Run()
+	rate := float64(delivered*8) / 1.0
+	if rate < 17e6 || rate > 24e6 {
+		t.Fatalf("policed delivery %.1f Mb/s, want ~20 Mb/s", rate/1e6)
+	}
+	if ab.Stats().PolicedDrops == 0 {
+		t.Fatal("no policed drops under 5x overload")
+	}
+}
+
+func TestPolicerAllowsConformingTraffic(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 100e6, Delay: 0, QueueBytes: 1 << 30},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	ab.SetPolicer(50e6, 64<<10)
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	// 10 Mb/s offered, well under the 50 Mb/s contract.
+	var send func(i int)
+	send = func(i int) {
+		if i >= 100 {
+			return
+		}
+		sa.SendTo(b.Addr(9), 1250, nil)
+		n.Sim.After(time.Millisecond, func() { send(i + 1) })
+	}
+	send(0)
+	n.Sim.Run()
+	if got != 100 {
+		t.Fatalf("conforming traffic delivered %d/100", got)
+	}
+	if ab.Stats().PolicedDrops != 0 {
+		t.Fatalf("conforming traffic policed: %d drops", ab.Stats().PolicedDrops)
+	}
+}
+
+func TestPolicerBadArgsPanics(t *testing.T) {
+	_, _, _, ab, _ := directPair(t, LinkConfig{Rate: 1e6}, HostConfig{}, HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero policer rate did not panic")
+		}
+	}()
+	ab.SetPolicer(0, 1)
+}

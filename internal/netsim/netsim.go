@@ -1,0 +1,348 @@
+// Package netsim is a deterministic discrete-event network simulator: the
+// substrate standing in for the Abilene testbed of the FOBS paper.
+//
+// It models exactly the mechanisms the paper's evaluation depends on:
+//
+//   - links with finite bandwidth (serialization delay), propagation delay,
+//     drop-tail queues and optional random loss;
+//   - hosts with a NIC uplink, a finite receive socket buffer, and a
+//     per-packet/per-byte packet-processing cost (the effect that shapes
+//     Figure 3), plus an Occupy hook so a protocol can model time spent
+//     building acknowledgements (the receiver-stall losses of Figures 1/2);
+//   - routers with shortest-path forwarding;
+//   - cross-traffic generators that contend for bottleneck queues (the
+//     "some contention in the network" of Table 1 and Table 2).
+//
+// Everything runs on the virtual clock of internal/event, and all randomness
+// comes from a seeded source, so simulations are reproducible bit-for-bit.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Addr is a (node, port) endpoint address, the simulator's analogue of an
+// IP:port pair.
+type Addr struct {
+	Node NodeID
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("n%d:%d", a.Node, a.Port) }
+
+// Packet is one datagram in flight. Size is the on-wire byte count
+// (payload plus whatever header overhead the sender accounts for); Payload
+// is an opaque protocol message.
+type Packet struct {
+	ID      uint64
+	Src     Addr
+	Dst     Addr
+	Size    int
+	Payload any
+}
+
+// Node is anything packets can be delivered to.
+type Node interface {
+	ID() NodeID
+	Name() string
+	deliver(p *Packet)
+	attachLink(l *Link)
+	links() []*Link
+	setNextHop(dst NodeID, l *Link)
+	nextHop(dst NodeID) *Link
+}
+
+// Network owns the topology and the virtual clock.
+type Network struct {
+	Sim   *event.Sim
+	rng   *rand.Rand
+	nodes []Node
+
+	nextPacketID uint64
+}
+
+// NewNetwork returns an empty network driven by a fresh simulator. All
+// stochastic behaviour (random loss, bursty cross traffic) derives from
+// seed.
+func NewNetwork(seed int64) *Network {
+	return &Network{Sim: event.New(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the network's seeded randomness source so protocol drivers
+// can share it and stay reproducible.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Now returns the current virtual time.
+func (n *Network) Now() event.Time { return n.Sim.Now() }
+
+func (n *Network) allocPacketID() uint64 {
+	n.nextPacketID++
+	return n.nextPacketID
+}
+
+func (n *Network) addNode(nd Node) NodeID {
+	n.nodes = append(n.nodes, nd)
+	return NodeID(len(n.nodes) - 1)
+}
+
+// baseNode carries the bookkeeping shared by hosts and routers.
+type baseNode struct {
+	net    *Network
+	id     NodeID
+	name   string
+	ifaces []*Link // outgoing links
+	routes map[NodeID]*Link
+}
+
+func (b *baseNode) ID() NodeID   { return b.id }
+func (b *baseNode) Name() string { return b.name }
+
+func (b *baseNode) attachLink(l *Link) { b.ifaces = append(b.ifaces, l) }
+func (b *baseNode) links() []*Link     { return b.ifaces }
+
+func (b *baseNode) setNextHop(dst NodeID, l *Link) {
+	if b.routes == nil {
+		b.routes = make(map[NodeID]*Link)
+	}
+	b.routes[dst] = l
+}
+
+func (b *baseNode) nextHop(dst NodeID) *Link {
+	if len(b.ifaces) == 1 {
+		return b.ifaces[0] // default route for single-homed nodes
+	}
+	return b.routes[dst]
+}
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Rate is the transmission rate in bits per second.
+	Rate float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes bounds the drop-tail queue (bytes awaiting or under
+	// transmission). Zero means a generous default of 256 KiB.
+	QueueBytes int
+	// LossProb is an independent Bernoulli loss probability applied to
+	// each packet that survives the queue (models link-level corruption
+	// and unmodelled downstream congestion).
+	LossProb float64
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 256 << 10
+	}
+	if c.Rate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1)", c.LossProb))
+	}
+	return c
+}
+
+// LinkStats counts what happened on one link direction.
+type LinkStats struct {
+	SentPackets    uint64 // packets that finished transmission
+	SentBytes      uint64
+	QueueDrops     uint64 // drop-tail discards
+	RandomDrops    uint64 // Bernoulli losses
+	OutageDrops    uint64 // packets swallowed while the link was down
+	REDDrops       uint64 // early drops by Random Early Detection
+	PolicedDrops   uint64 // drops by a QoS token-bucket policer
+	MaxQueuedBytes int
+}
+
+// Link is one unidirectional pipe between two nodes.
+type Link struct {
+	net  *Network
+	cfg  LinkConfig
+	src  Node
+	dst  Node
+	name string
+
+	busyUntil   event.Time
+	queuedBytes int
+	jitterMax   time.Duration
+	downUntil   event.Time
+	red         *redState
+	policer     *Policer
+	stats       LinkStats
+}
+
+// Name returns a human-readable identifier ("hostA->r1").
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Dst returns the node this link feeds.
+func (l *Link) Dst() Node { return l.dst }
+
+// txTime is the serialization delay for size bytes.
+func (l *Link) txTime(size int) event.Duration {
+	return event.Duration(float64(size*8) / l.cfg.Rate * float64(time.Second))
+}
+
+// BusyUntil reports when the link will have drained everything currently
+// queued; senders use this to pace like a blocking send() would.
+func (l *Link) BusyUntil() event.Time {
+	if l.busyUntil < l.net.Now() {
+		return l.net.Now()
+	}
+	return l.busyUntil
+}
+
+// QueuedBytes reports the bytes currently queued or in transmission.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// Enqueue offers a packet to the link. It returns false if the drop-tail
+// queue rejected it. Loss, serialization and propagation are all handled
+// internally; on success the packet is delivered to the link's destination
+// node at the appropriate virtual time.
+func (l *Link) Enqueue(p *Packet) bool {
+	if l.red != nil && !l.red.admit(l.net.rng, l.queuedBytes) {
+		l.stats.REDDrops++
+		return false
+	}
+	if l.queuedBytes+p.Size > l.cfg.QueueBytes {
+		l.stats.QueueDrops++
+		return false
+	}
+	l.queuedBytes += p.Size
+	if l.queuedBytes > l.stats.MaxQueuedBytes {
+		l.stats.MaxQueuedBytes = l.queuedBytes
+	}
+	now := l.net.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start.Add(l.txTime(p.Size))
+	l.busyUntil = done
+	l.net.Sim.At(done, func() {
+		l.queuedBytes -= p.Size
+		l.stats.SentPackets++
+		l.stats.SentBytes += uint64(p.Size)
+		if l.outageDrop(done) {
+			return
+		}
+		// A policer is a shaper downstream of the sender: from the
+		// sender's point of view the transmission succeeded; the packet
+		// dies silently at the contract boundary.
+		if l.policer != nil && !l.policer.admit(done, p.Size) {
+			l.stats.PolicedDrops++
+			return
+		}
+		if l.cfg.LossProb > 0 && l.net.rng.Float64() < l.cfg.LossProb {
+			l.stats.RandomDrops++
+			return
+		}
+		l.net.Sim.At(done.Add(l.impairedDelay()), func() { l.dst.deliver(p) })
+	})
+	return true
+}
+
+// Connect creates a duplex link pair between two nodes with symmetric
+// configuration and returns both directions (a→b, b→a).
+func (n *Network) Connect(a, b Node, cfg LinkConfig) (ab, ba *Link) {
+	return n.ConnectAsym(a, b, cfg, cfg)
+}
+
+// ConnectAsym creates a duplex link pair with per-direction configuration.
+func (n *Network) ConnectAsym(a, b Node, cfgAB, cfgBA LinkConfig) (ab, ba *Link) {
+	ab = &Link{net: n, cfg: cfgAB.withDefaults(), src: a, dst: b,
+		name: fmt.Sprintf("%s->%s", a.Name(), b.Name())}
+	ba = &Link{net: n, cfg: cfgBA.withDefaults(), src: b, dst: a,
+		name: fmt.Sprintf("%s->%s", b.Name(), a.Name())}
+	a.attachLink(ab)
+	b.attachLink(ba)
+	return ab, ba
+}
+
+// ComputeRoutes fills every node's next-hop table with shortest paths
+// (hop count, deterministic tie-break by node id). Call it once after the
+// topology is built.
+func (n *Network) ComputeRoutes() {
+	for _, src := range n.nodes {
+		// BFS from src over outgoing links.
+		type hop struct {
+			node  Node
+			first *Link // first link on the path from src
+		}
+		visited := make([]bool, len(n.nodes))
+		visited[src.ID()] = true
+		queue := []hop{}
+		for _, l := range src.links() {
+			if !visited[l.dst.ID()] {
+				visited[l.dst.ID()] = true
+				queue = append(queue, hop{l.dst, l})
+				src.setNextHop(l.dst.ID(), l)
+			}
+		}
+		for len(queue) > 0 {
+			h := queue[0]
+			queue = queue[1:]
+			for _, l := range h.node.links() {
+				if !visited[l.dst.ID()] {
+					visited[l.dst.ID()] = true
+					src.setNextHop(l.dst.ID(), h.first)
+					queue = append(queue, hop{l.dst, h.first})
+				}
+			}
+		}
+	}
+}
+
+// LinkBetween returns the direct link from one node to another, or nil if
+// they are not adjacent. Useful when assembling Path values by hand for
+// non-linear topologies.
+func LinkBetween(from, to Node) *Link {
+	for _, l := range from.links() {
+		if l.dst == to {
+			return l
+		}
+	}
+	return nil
+}
+
+// Router forwards packets along precomputed routes with zero processing
+// cost (backbone routers were never the bottleneck in the paper's setups;
+// their queues are what matters, and those live on the links).
+type Router struct {
+	baseNode
+	// Consumed counts packets addressed to the router itself (cross-traffic
+	// sinks) and packets with no route; both are silently absorbed.
+	Consumed uint64
+}
+
+// NewRouter adds a router to the network.
+func (n *Network) NewRouter(name string) *Router {
+	r := &Router{baseNode: baseNode{net: n, name: name}}
+	r.id = n.addNode(r)
+	return r
+}
+
+func (r *Router) deliver(p *Packet) {
+	if p.Dst.Node == r.id {
+		r.Consumed++
+		return
+	}
+	l := r.nextHop(p.Dst.Node)
+	if l == nil {
+		r.Consumed++
+		return
+	}
+	l.Enqueue(p) // drop-tail handles overload
+}

@@ -1,0 +1,462 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+// directPair builds two hosts connected by a duplex link and returns them.
+func directPair(t *testing.T, cfg LinkConfig, ha, hb HostConfig) (*Network, *Host, *Host, *Link, *Link) {
+	t.Helper()
+	n := NewNetwork(1)
+	a := n.NewHost("a", ha)
+	b := n.NewHost("b", hb)
+	ab, ba := n.Connect(a, b, cfg)
+	n.ComputeRoutes()
+	return n, a, b, ab, ba
+}
+
+func TestPacketDeliveryLatency(t *testing.T) {
+	// 1000-byte packet over a 100 Mb/s, 10 ms link:
+	// serialization 8000/1e8 = 80 µs, total 10.08 ms.
+	n, a, b, _, _ := directPair(t,
+		LinkConfig{Rate: 100e6, Delay: 10 * time.Millisecond}, HostConfig{}, HostConfig{})
+	var arrived event.Time
+	b.OpenUDP(9, func(p *Packet) { arrived = n.Now() })
+	sa := a.OpenUDP(9, nil)
+	res := sa.SendTo(b.Addr(9), 1000, "payload")
+	if !res.OK {
+		t.Fatal("send rejected")
+	}
+	n.Sim.Run()
+	want := event.Time(10*time.Millisecond + 80*time.Microsecond)
+	if arrived != want {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two back-to-back packets: the second arrives one serialization time
+	// after the first.
+	n, a, b, _, _ := directPair(t,
+		LinkConfig{Rate: 1e6, Delay: time.Millisecond}, HostConfig{}, HostConfig{})
+	var arrivals []event.Time
+	b.OpenUDP(9, func(p *Packet) { arrivals = append(arrivals, n.Now()) })
+	sa := a.OpenUDP(9, nil)
+	sa.SendTo(b.Addr(9), 125, nil) // 1000 bits -> 1 ms at 1 Mb/s
+	sa.SendTo(b.Addr(9), 125, nil)
+	n.Sim.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals, want 2", len(arrivals))
+	}
+	gap := arrivals[1].Sub(arrivals[0])
+	if gap != time.Millisecond {
+		t.Fatalf("inter-arrival gap %v, want 1ms", gap)
+	}
+}
+
+func TestDropTailQueue(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e6, Delay: time.Millisecond, QueueBytes: 300}, HostConfig{}, HostConfig{})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	okCount := 0
+	for i := 0; i < 10; i++ {
+		if sa.SendTo(b.Addr(9), 100, nil).OK {
+			okCount++
+		}
+	}
+	n.Sim.Run()
+	if okCount != 3 {
+		t.Fatalf("queue admitted %d packets, want 3 (300B cap / 100B)", okCount)
+	}
+	if got != 3 {
+		t.Fatalf("delivered %d, want 3", got)
+	}
+	if ab.Stats().QueueDrops != 7 {
+		t.Fatalf("QueueDrops = %d, want 7", ab.Stats().QueueDrops)
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	n, a, b, ab, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: time.Microsecond, QueueBytes: 1 << 30, LossProb: 0.2},
+		HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	const total = 20000
+	for i := 0; i < total; i++ {
+		sa.SendTo(b.Addr(9), 100, nil)
+	}
+	n.Sim.Run()
+	lossRate := float64(ab.Stats().RandomDrops) / total
+	if math.Abs(lossRate-0.2) > 0.02 {
+		t.Fatalf("observed loss rate %.3f, want ~0.2", lossRate)
+	}
+	if got+int(ab.Stats().RandomDrops) != total {
+		t.Fatalf("delivered %d + dropped %d != %d", got, ab.Stats().RandomDrops, total)
+	}
+}
+
+func TestLossDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		n, a, b, ab, _ := directPair(t,
+			LinkConfig{Rate: 1e9, Delay: time.Microsecond, LossProb: 0.1},
+			HostConfig{}, HostConfig{})
+		b.OpenUDP(9, func(p *Packet) {})
+		sa := a.OpenUDP(9, nil)
+		for i := 0; i < 1000; i++ {
+			sa.SendTo(b.Addr(9), 64, nil)
+		}
+		n.Sim.Run()
+		return ab.Stats().RandomDrops
+	}
+	if run() != run() {
+		t.Fatal("identical seeds produced different loss patterns")
+	}
+}
+
+func TestHostRXBufferOverflow(t *testing.T) {
+	// Slow receiver CPU + small RX buffer: a burst overflows it.
+	n, a, b, _, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: time.Microsecond},
+		HostConfig{},
+		HostConfig{RXBufBytes: 500, ProcPerPacket: 10 * time.Millisecond})
+	got := 0
+	b.OpenUDP(9, func(p *Packet) { got++ })
+	sa := a.OpenUDP(9, nil)
+	for i := 0; i < 20; i++ {
+		sa.SendTo(b.Addr(9), 100, nil)
+	}
+	n.Sim.Run()
+	if got != 5 {
+		t.Fatalf("delivered %d, want 5 (500B buffer / 100B packets)", got)
+	}
+	if b.Stats().RXDropsFull != 15 {
+		t.Fatalf("RXDropsFull = %d, want 15", b.Stats().RXDropsFull)
+	}
+}
+
+func TestHostProcessingCostPacesDelivery(t *testing.T) {
+	n, a, b, _, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 0},
+		HostConfig{},
+		HostConfig{ProcPerPacket: time.Millisecond, RXBufBytes: 1 << 20})
+	var arrivals []event.Time
+	b.OpenUDP(9, func(p *Packet) { arrivals = append(arrivals, n.Now()) })
+	sa := a.OpenUDP(9, nil)
+	for i := 0; i < 3; i++ {
+		sa.SendTo(b.Addr(9), 100, nil)
+	}
+	n.Sim.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d, want 3", len(arrivals))
+	}
+	for i := 1; i < 3; i++ {
+		gap := arrivals[i].Sub(arrivals[i-1])
+		if gap != time.Millisecond {
+			t.Fatalf("delivery gap %v, want 1ms", gap)
+		}
+	}
+}
+
+func TestOccupyDelaysService(t *testing.T) {
+	n, a, b, _, _ := directPair(t,
+		LinkConfig{Rate: 1e9, Delay: 0},
+		HostConfig{}, HostConfig{RXBufBytes: 1 << 20})
+	var arrival event.Time
+	b.OpenUDP(9, func(p *Packet) { arrival = n.Now() })
+	b.Occupy(5 * time.Millisecond)
+	sa := a.OpenUDP(9, nil)
+	sa.SendTo(b.Addr(9), 100, nil)
+	n.Sim.Run()
+	if arrival < event.Time(5*time.Millisecond) {
+		t.Fatalf("packet delivered at %v while CPU was occupied until 5ms", arrival)
+	}
+}
+
+func TestUnboundPortDropsPacket(t *testing.T) {
+	n, a, b, _, _ := directPair(t, LinkConfig{Rate: 1e6, Delay: 0}, HostConfig{}, HostConfig{})
+	sa := a.OpenUDP(9, nil)
+	sa.SendTo(b.Addr(1234), 100, nil)
+	n.Sim.Run()
+	if b.Stats().RXDropsPort != 1 {
+		t.Fatalf("RXDropsPort = %d, want 1", b.Stats().RXDropsPort)
+	}
+}
+
+func TestDuplicatePortPanics(t *testing.T) {
+	n := NewNetwork(1)
+	h := n.NewHost("h", HostConfig{})
+	h.OpenUDP(5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate bind did not panic")
+		}
+	}()
+	h.OpenUDP(5, nil)
+}
+
+func TestSocketCloseUnbinds(t *testing.T) {
+	n := NewNetwork(1)
+	h := n.NewHost("h", HostConfig{})
+	s := h.OpenUDP(5, nil)
+	s.Close()
+	h.OpenUDP(5, nil) // must not panic
+	_ = n
+}
+
+func TestRoutingThroughRouters(t *testing.T) {
+	p := BuildPath(1, PathSpec{
+		Name: "test",
+		Links: []LinkConfig{
+			{Rate: 1e9, Delay: time.Millisecond},
+			{Rate: 1e8, Delay: 10 * time.Millisecond},
+			{Rate: 1e9, Delay: 2 * time.Millisecond},
+		},
+	})
+	if len(p.Routers) != 2 {
+		t.Fatalf("built %d routers, want 2", len(p.Routers))
+	}
+	if got := p.RTT(); got != 26*time.Millisecond {
+		t.Fatalf("RTT = %v, want 26ms", got)
+	}
+	if got := p.BottleneckRate(); got != 1e8 {
+		t.Fatalf("bottleneck = %v, want 1e8", got)
+	}
+
+	// A -> B and B -> A both work.
+	gotAB, gotBA := 0, 0
+	p.B.OpenUDP(7, func(*Packet) { gotAB++ })
+	p.A.OpenUDP(7, func(*Packet) { gotBA++ })
+	sa := p.A.OpenUDP(8, nil)
+	sb := p.B.OpenUDP(8, nil)
+	sa.SendTo(p.B.Addr(7), 500, nil)
+	sb.SendTo(p.A.Addr(7), 500, nil)
+	p.Run()
+	if gotAB != 1 || gotBA != 1 {
+		t.Fatalf("delivered A->B %d, B->A %d; want 1,1", gotAB, gotBA)
+	}
+}
+
+func TestRouterConsumesUnroutable(t *testing.T) {
+	p := BuildPath(1, PathSpec{
+		Name:  "t",
+		Links: []LinkConfig{{Rate: 1e9, Delay: 0}, {Rate: 1e9, Delay: 0}},
+	})
+	sa := p.A.OpenUDP(8, nil)
+	sa.SendTo(Addr{Node: p.Routers[0].ID(), Port: 0}, 100, nil)
+	p.Run()
+	if p.Routers[0].Consumed != 1 {
+		t.Fatalf("router consumed %d, want 1", p.Routers[0].Consumed)
+	}
+}
+
+func TestCrossTrafficCBRRate(t *testing.T) {
+	p := BuildPath(1, PathSpec{
+		Name:  "t",
+		Links: []LinkConfig{{Rate: 1e9, Delay: 0}, {Rate: 1e8, Delay: time.Millisecond}},
+	})
+	// 50 Mb/s CBR on the 100 Mb/s bottleneck for 1 second.
+	ct := p.Net.AttachCrossTraffic(p.Forward[1], TrafficConfig{
+		Rate: 50e6, PacketSize: 1250, Stop: time.Second,
+	})
+	p.Net.Sim.RunUntil(event.Time(time.Second))
+	// 50e6 bits/s / (1250*8 bits) = 5000 packets/s.
+	if ct.Injected < 4900 || ct.Injected > 5100 {
+		t.Fatalf("CBR injected %d packets in 1s, want ~5000", ct.Injected)
+	}
+}
+
+func TestCrossTrafficOnOffAverageRate(t *testing.T) {
+	p := BuildPath(42, PathSpec{
+		Name:  "t",
+		Links: []LinkConfig{{Rate: 1e9, Delay: 0}, {Rate: 1e9, Delay: time.Millisecond, QueueBytes: 1 << 30}},
+	})
+	ct := p.Net.AttachCrossTraffic(p.Forward[1], TrafficConfig{
+		Rate: 20e6, PacketSize: 1250, Pattern: OnOff, PeakRate: 80e6,
+		MeanOn: 50 * time.Millisecond, Stop: 20 * time.Second,
+	})
+	p.Net.Sim.RunUntil(event.Time(20 * time.Second))
+	// 20e6 b/s avg over 20 s = 4e8 bits = 40000 packets. Allow 25% slack
+	// for on/off variance.
+	if ct.Injected < 30000 || ct.Injected > 50000 {
+		t.Fatalf("OnOff injected %d packets, want ~40000", ct.Injected)
+	}
+}
+
+func TestCrossTrafficStops(t *testing.T) {
+	p := BuildPath(1, PathSpec{Name: "t", Links: []LinkConfig{{Rate: 1e9, Delay: 0}, {Rate: 1e9, Delay: 0}}})
+	ct := p.Net.AttachCrossTraffic(p.Forward[1], TrafficConfig{Rate: 1e6, PacketSize: 125})
+	p.Net.Sim.RunUntil(event.Time(10 * time.Millisecond))
+	ct.Stop()
+	before := ct.Injected
+	p.Net.Sim.RunFor(100 * time.Millisecond)
+	if ct.Injected != before {
+		t.Fatalf("generator kept injecting after Stop: %d -> %d", before, ct.Injected)
+	}
+}
+
+func TestPipeDeliversInOrderUnderLoss(t *testing.T) {
+	p := BuildPath(7, PathSpec{
+		Name: "t",
+		Links: []LinkConfig{
+			{Rate: 1e8, Delay: 5 * time.Millisecond, LossProb: 0.3},
+			{Rate: 1e8, Delay: 5 * time.Millisecond, LossProb: 0.3},
+		},
+	})
+	ea, eb := NewPipe(p.A, 100, p.B, 100, 100*time.Millisecond)
+	var got []int
+	eb.OnMessage = func(payload any) { got = append(got, payload.(int)) }
+	for i := 0; i < 20; i++ {
+		ea.Send(i, 64)
+	}
+	p.Run()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d messages, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order delivery: got[%d] = %d", i, v)
+		}
+	}
+	if ea.Retransmits == 0 {
+		t.Fatal("expected retransmissions under 30% loss, saw none")
+	}
+	if ea.Pending() {
+		t.Fatal("sender still has pending messages after quiescence")
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	p := BuildPath(3, PathSpec{Name: "t", Links: []LinkConfig{{Rate: 1e8, Delay: time.Millisecond}}})
+	ea, eb := NewPipe(p.A, 100, p.B, 100, 50*time.Millisecond)
+	var fromA, fromB []string
+	eb.OnMessage = func(m any) { fromA = append(fromA, m.(string)) }
+	ea.OnMessage = func(m any) { fromB = append(fromB, m.(string)) }
+	ea.Send("ping", 10)
+	eb.Send("pong", 10)
+	p.Run()
+	if len(fromA) != 1 || fromA[0] != "ping" || len(fromB) != 1 || fromB[0] != "pong" {
+		t.Fatalf("fromA=%v fromB=%v", fromA, fromB)
+	}
+}
+
+func TestLinkConfigValidation(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.NewHost("a", HostConfig{})
+	b := n.NewHost("b", HostConfig{})
+	for name, cfg := range map[string]LinkConfig{
+		"zero rate":     {Rate: 0},
+		"negative loss": {Rate: 1, LossProb: -0.5},
+		"loss of 1":     {Rate: 1, LossProb: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			n.Connect(a, b, cfg)
+		}()
+	}
+}
+
+func TestSendWithoutRoutePanics(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.NewHost("a", HostConfig{})
+	s := a.OpenUDP(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send with no links did not panic")
+		}
+	}()
+	s.SendTo(Addr{Node: 99, Port: 1}, 10, nil)
+}
+
+// Property: conservation — every packet offered to a lossless, unbounded
+// link is delivered exactly once, whatever the size mix.
+func TestPacketConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		n, a, b, ab, _ := directPair(t,
+			LinkConfig{Rate: 1e9, Delay: time.Millisecond, QueueBytes: 1 << 30},
+			HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+		got := 0
+		b.OpenUDP(9, func(p *Packet) { got++ })
+		sa := a.OpenUDP(9, nil)
+		sent := 0
+		for _, s := range sizes {
+			if sa.SendTo(b.Addr(9), int(s)+1, nil).OK {
+				sent++
+			}
+		}
+		n.Sim.Run()
+		return got == sent && ab.Stats().SentPackets == uint64(sent)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-link throughput never exceeds the configured rate.
+func TestLinkRateNeverExceeded(t *testing.T) {
+	f := func(seed int64, burst uint8) bool {
+		n, a, b, ab, _ := directPair(t,
+			LinkConfig{Rate: 1e6, Delay: 0, QueueBytes: 1 << 30},
+			HostConfig{RXBufBytes: 1 << 30}, HostConfig{RXBufBytes: 1 << 30})
+		var last event.Time
+		b.OpenUDP(9, func(p *Packet) { last = n.Now() })
+		sa := a.OpenUDP(9, nil)
+		count := int(burst)%100 + 1
+		for i := 0; i < count; i++ {
+			sa.SendTo(b.Addr(9), 125, nil) // 1000 bits each
+		}
+		n.Sim.Run()
+		// count packets of 1000 bits at 1e6 b/s need >= count ms.
+		return last >= event.Time(time.Duration(count)*time.Millisecond) &&
+			ab.Stats().SentBytes == uint64(count*125)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinkForwarding(b *testing.B) {
+	n := NewNetwork(1)
+	a := n.NewHost("a", HostConfig{RXBufBytes: 1 << 30})
+	h := n.NewHost("b", HostConfig{RXBufBytes: 1 << 30})
+	n.Connect(a, h, LinkConfig{Rate: 1e12, Delay: time.Microsecond, QueueBytes: 1 << 30})
+	n.ComputeRoutes()
+	h.OpenUDP(9, func(p *Packet) {})
+	sa := a.OpenUDP(9, nil)
+	dst := h.Addr(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sa.SendTo(dst, 1000, nil)
+		if i%1024 == 1023 {
+			n.Sim.Run()
+		}
+	}
+	n.Sim.Run()
+}
+
+func TestLinkBetween(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.NewHost("a", HostConfig{})
+	r := n.NewRouter("r")
+	b := n.NewHost("b", HostConfig{})
+	ar, ra := n.Connect(a, r, LinkConfig{Rate: 1e6})
+	rb, _ := n.Connect(r, b, LinkConfig{Rate: 1e6})
+	if LinkBetween(a, r) != ar || LinkBetween(r, a) != ra || LinkBetween(r, b) != rb {
+		t.Fatal("LinkBetween returned the wrong link")
+	}
+	if LinkBetween(a, b) != nil {
+		t.Fatal("non-adjacent nodes returned a link")
+	}
+}

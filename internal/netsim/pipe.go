@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"time"
+)
+
+// PipeEnd is one side of a minimal reliable, ordered message channel
+// between two hosts, built on simulated UDP with stop-and-go
+// retransmission. It stands in for the single TCP control connection the
+// paper's protocols use for signals like "all data received" — traffic so
+// small that its congestion dynamics are irrelevant, but which still
+// consumes link bandwidth and can be lost, so it flows through the same
+// simulated queues as everything else.
+type PipeEnd struct {
+	host *Host
+	sock *UDPSocket
+	peer Addr
+	rto  time.Duration
+
+	// OnMessage receives each payload exactly once, in send order.
+	OnMessage func(payload any)
+
+	nextSend    uint64
+	sendQ       []pipeEntry
+	inFlight    bool
+	nextDeliver uint64
+	reorder     map[uint64]any
+
+	// Retransmits counts timer-driven resends, for tests and diagnostics.
+	Retransmits uint64
+}
+
+type pipeEntry struct {
+	seq     uint64
+	size    int
+	payload any
+}
+
+type pipeMsg struct {
+	seq     uint64
+	isAck   bool
+	payload any
+}
+
+const pipeAckSize = 40
+const pipeHeaderSize = 40
+
+// NewPipe wires a reliable channel between a port on each of two hosts.
+// rto is the fixed retransmission timeout; pick a few times the path RTT.
+func NewPipe(a *Host, portA int, b *Host, portB int, rto time.Duration) (*PipeEnd, *PipeEnd) {
+	ea := &PipeEnd{host: a, peer: b.Addr(portB), rto: rto, reorder: make(map[uint64]any)}
+	eb := &PipeEnd{host: b, peer: a.Addr(portA), rto: rto, reorder: make(map[uint64]any)}
+	ea.sock = a.OpenUDP(portA, ea.onPacket)
+	eb.sock = b.OpenUDP(portB, eb.onPacket)
+	return ea, eb
+}
+
+// Send queues payload (declared wire size in bytes) for reliable in-order
+// delivery to the peer.
+func (e *PipeEnd) Send(payload any, size int) {
+	e.nextSend++
+	e.sendQ = append(e.sendQ, pipeEntry{seq: e.nextSend, size: size + pipeHeaderSize, payload: payload})
+	e.pump()
+}
+
+// Pending reports whether any message is unacknowledged or queued.
+func (e *PipeEnd) Pending() bool { return len(e.sendQ) > 0 }
+
+func (e *PipeEnd) pump() {
+	if e.inFlight || len(e.sendQ) == 0 {
+		return
+	}
+	e.inFlight = true
+	e.transmit(false)
+}
+
+func (e *PipeEnd) transmit(isRetransmit bool) {
+	if len(e.sendQ) == 0 {
+		e.inFlight = false
+		return
+	}
+	head := e.sendQ[0]
+	if isRetransmit {
+		e.Retransmits++
+	}
+	e.sock.SendTo(e.peer, head.size, pipeMsg{seq: head.seq, payload: head.payload})
+	seq := head.seq
+	e.host.net.Sim.After(e.rto, func() {
+		if len(e.sendQ) > 0 && e.sendQ[0].seq == seq {
+			e.transmit(true)
+		}
+	})
+}
+
+func (e *PipeEnd) onPacket(p *Packet) {
+	m, ok := p.Payload.(pipeMsg)
+	if !ok {
+		return
+	}
+	if m.isAck {
+		if len(e.sendQ) > 0 && e.sendQ[0].seq == m.seq {
+			e.sendQ = e.sendQ[1:]
+			e.inFlight = false
+			e.pump()
+		}
+		return
+	}
+	// Data: ack unconditionally (the ack for a duplicate may have been
+	// lost), then deliver in order exactly once.
+	e.sock.SendTo(e.peer, pipeAckSize, pipeMsg{seq: m.seq, isAck: true})
+	if m.seq <= e.nextDeliver {
+		return // duplicate
+	}
+	e.reorder[m.seq] = m.payload
+	for {
+		payload, ok := e.reorder[e.nextDeliver+1]
+		if !ok {
+			return
+		}
+		delete(e.reorder, e.nextDeliver+1)
+		e.nextDeliver++
+		if e.OnMessage != nil {
+			e.OnMessage(payload)
+		}
+	}
+}
+
+// PathSpec describes a linear topology: HostA — R1 — … — Rn — HostB, with
+// len(Links) = n+1 duplex links. A single-element Links connects the hosts
+// directly.
+type PathSpec struct {
+	Name  string
+	HostA HostConfig
+	HostB HostConfig
+	Links []LinkConfig
+}
+
+// Path is a built linear topology.
+type Path struct {
+	Net     *Network
+	A, B    *Host
+	Routers []*Router
+	// Forward[i] carries packets A→B across segment i; Reverse[i] is the
+	// same segment B→A.
+	Forward, Reverse []*Link
+}
+
+// BuildPath constructs the topology described by spec on a fresh network
+// seeded with seed and computes routes.
+func BuildPath(seed int64, spec PathSpec) *Path {
+	if len(spec.Links) == 0 {
+		panic("netsim: path needs at least one link")
+	}
+	n := NewNetwork(seed)
+	p := &Path{Net: n}
+	p.A = n.NewHost(spec.Name+"/A", spec.HostA)
+	p.B = n.NewHost(spec.Name+"/B", spec.HostB)
+	prev := Node(p.A)
+	for i := 0; i < len(spec.Links)-1; i++ {
+		r := n.NewRouter(spec.Name + "/r" + string(rune('1'+i)))
+		p.Routers = append(p.Routers, r)
+		fw, rv := n.Connect(prev, r, spec.Links[i])
+		p.Forward = append(p.Forward, fw)
+		p.Reverse = append(p.Reverse, rv)
+		prev = r
+	}
+	fw, rv := n.Connect(prev, p.B, spec.Links[len(spec.Links)-1])
+	p.Forward = append(p.Forward, fw)
+	p.Reverse = append(p.Reverse, rv)
+	n.ComputeRoutes()
+	return p
+}
+
+// RTT returns the round-trip propagation delay (excluding serialization and
+// queueing).
+func (p *Path) RTT() time.Duration {
+	var d time.Duration
+	for _, l := range p.Forward {
+		d += l.cfg.Delay
+	}
+	for _, l := range p.Reverse {
+		d += l.cfg.Delay
+	}
+	return d
+}
+
+// BottleneckRate returns the lowest forward-direction link rate in bits per
+// second.
+func (p *Path) BottleneckRate() float64 {
+	rate := p.Forward[0].cfg.Rate
+	for _, l := range p.Forward[1:] {
+		if l.cfg.Rate < rate {
+			rate = l.cfg.Rate
+		}
+	}
+	return rate
+}
+
+// Bottleneck returns the slowest forward link (the first, on ties).
+func (p *Path) Bottleneck() *Link {
+	best := p.Forward[0]
+	for _, l := range p.Forward[1:] {
+		if l.cfg.Rate < best.cfg.Rate {
+			best = l
+		}
+	}
+	return best
+}
+
+// Run drives the simulation until no events remain.
+func (p *Path) Run() { p.Net.Sim.Run() }
+
+// RunFor advances the simulation by d.
+func (p *Path) RunFor(d time.Duration) { p.Net.Sim.RunFor(d) }

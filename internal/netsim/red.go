@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+// REDConfig configures Random Early Detection (Floyd & Jacobson) on a
+// link's queue — the active queue management of the paper's era (its
+// congestion-control references [2] and [8] assume routers may drop
+// early). RED drops arriving packets probabilistically as the
+// exponentially weighted average queue grows, signalling responsive flows
+// (TCP, SABUL) to slow down before the queue overflows. Greedy FOBS
+// ignores the signal and simply retransmits — one of the sharper ways to
+// see the §7 congestion-control discussion.
+type REDConfig struct {
+	// MinBytes and MaxBytes are the average-queue thresholds: below Min
+	// nothing is dropped, above Max everything is.
+	MinBytes, MaxBytes int
+	// MaxP is the drop probability as the average reaches MaxBytes
+	// (default 0.1).
+	MaxP float64
+	// Weight is the EWMA weight for the average queue (default 0.002).
+	Weight float64
+}
+
+func (c REDConfig) withDefaults() REDConfig {
+	if c.MaxP == 0 {
+		c.MaxP = 0.1
+	}
+	if c.Weight == 0 {
+		c.Weight = 0.002
+	}
+	if c.MinBytes <= 0 || c.MaxBytes <= c.MinBytes {
+		panic(fmt.Sprintf("netsim: RED thresholds %d/%d invalid", c.MinBytes, c.MaxBytes))
+	}
+	if c.MaxP <= 0 || c.MaxP > 1 {
+		panic(fmt.Sprintf("netsim: RED MaxP %v out of (0,1]", c.MaxP))
+	}
+	if c.Weight <= 0 || c.Weight > 1 {
+		panic(fmt.Sprintf("netsim: RED weight %v out of (0,1]", c.Weight))
+	}
+	return c
+}
+
+// EnableRED turns Random Early Detection on for this link. The drop-tail
+// cap (QueueBytes) still applies as the hard limit behind RED.
+func (l *Link) EnableRED(cfg REDConfig) {
+	cfg = cfg.withDefaults()
+	l.red = &redState{cfg: cfg}
+}
+
+type redState struct {
+	cfg REDConfig
+	avg float64
+}
+
+// admit applies RED to one arriving packet, updating the average queue
+// estimate. It reports whether the packet may enter the queue.
+func (r *redState) admit(rng interface{ Float64() float64 }, queuedBytes int) bool {
+	r.avg = (1-r.cfg.Weight)*r.avg + r.cfg.Weight*float64(queuedBytes)
+	switch {
+	case r.avg < float64(r.cfg.MinBytes):
+		return true
+	case r.avg >= float64(r.cfg.MaxBytes):
+		return false
+	default:
+		p := r.cfg.MaxP * (r.avg - float64(r.cfg.MinBytes)) /
+			float64(r.cfg.MaxBytes-r.cfg.MinBytes)
+		return rng.Float64() >= p
+	}
+}
+
+// Policer enforces a QoS-style bandwidth contract at a link entrance with
+// a token bucket: packets within the reserved rate (plus burst allowance)
+// pass; excess is dropped at the edge. This is the "QoS-enabled network"
+// the paper's related work (RUDP) assumes — a greedy sender exceeding its
+// reservation sees policing drops no matter how empty the core is.
+type Policer struct {
+	rate   float64 // tokens (bytes) per second
+	burst  float64 // bucket depth in bytes
+	tokens float64
+	last   event.Time
+}
+
+// SetPolicer installs a token-bucket policer on the link: rate in bits per
+// second, burst in bytes. A zero burst defaults to one eighth of a
+// second's worth of tokens.
+func (l *Link) SetPolicer(rateBits float64, burstBytes int) {
+	if rateBits <= 0 {
+		panic("netsim: policer rate must be positive")
+	}
+	if burstBytes == 0 {
+		burstBytes = int(rateBits / 8 / 8)
+	}
+	if burstBytes <= 0 {
+		panic("netsim: policer burst must be positive")
+	}
+	l.policer = &Policer{
+		rate:   rateBits / 8,
+		burst:  float64(burstBytes),
+		tokens: float64(burstBytes),
+	}
+}
+
+// admit refills the bucket to now and reports whether a packet of the
+// given size conforms to the contract.
+func (p *Policer) admit(now event.Time, size int) bool {
+	dt := now.Sub(p.last).Seconds()
+	p.last = now
+	p.tokens += dt * p.rate
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	if p.tokens < float64(size) {
+		return false
+	}
+	p.tokens -= float64(size)
+	return true
+}

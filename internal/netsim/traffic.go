@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+)
+
+// TrafficPattern selects how a cross-traffic source spaces its packets.
+type TrafficPattern int
+
+const (
+	// CBR emits packets back-to-back at the configured rate.
+	CBR TrafficPattern = iota
+	// Poisson emits packets with exponentially distributed gaps whose
+	// mean matches the configured rate.
+	Poisson
+	// OnOff alternates exponential ON periods (emitting at PeakRate)
+	// with exponential OFF periods — the bursty contention that trips
+	// TCP's congestion control in the paper's long-haul runs.
+	OnOff
+)
+
+func (p TrafficPattern) String() string {
+	switch p {
+	case CBR:
+		return "cbr"
+	case Poisson:
+		return "poisson"
+	case OnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("TrafficPattern(%d)", int(p))
+	}
+}
+
+// TrafficConfig describes one background flow contending for a link.
+type TrafficConfig struct {
+	// Rate is the average offered load in bits per second.
+	Rate float64
+	// PacketSize is the wire size of each background packet (default 1500).
+	PacketSize int
+	// Pattern selects packet spacing (default CBR).
+	Pattern TrafficPattern
+	// PeakRate applies to OnOff: the rate during ON periods. It must be
+	// >= Rate; the duty cycle is derived as Rate/PeakRate. Default 4×Rate.
+	PeakRate float64
+	// MeanOn is the mean ON duration for OnOff (default 100 ms).
+	MeanOn time.Duration
+	// Start and Stop bound the generator's lifetime; Stop == 0 means
+	// forever.
+	Start, Stop time.Duration
+}
+
+func (c TrafficConfig) withDefaults() TrafficConfig {
+	if c.PacketSize == 0 {
+		c.PacketSize = 1500
+	}
+	if c.Rate <= 0 {
+		panic("netsim: cross traffic rate must be positive")
+	}
+	if c.Pattern == OnOff {
+		if c.PeakRate == 0 {
+			c.PeakRate = 4 * c.Rate
+		}
+		if c.PeakRate < c.Rate {
+			panic("netsim: OnOff peak rate below average rate")
+		}
+		if c.MeanOn == 0 {
+			c.MeanOn = 100 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// CrossTraffic injects background packets into one link, addressed to the
+// link's destination node itself (routers absorb them; hosts drop them at
+// the port demux), so they occupy exactly the target queue.
+type CrossTraffic struct {
+	net  *Network
+	link *Link
+	cfg  TrafficConfig
+
+	on       bool
+	stopped  bool
+	Injected uint64
+}
+
+// AttachCrossTraffic starts a background flow on link.
+func (n *Network) AttachCrossTraffic(link *Link, cfg TrafficConfig) *CrossTraffic {
+	ct := &CrossTraffic{net: n, link: link, cfg: cfg.withDefaults()}
+	n.Sim.After(cfg.Start, ct.begin)
+	return ct
+}
+
+// Stop halts the generator.
+func (ct *CrossTraffic) Stop() { ct.stopped = true }
+
+func (ct *CrossTraffic) begin() {
+	switch ct.cfg.Pattern {
+	case OnOff:
+		ct.on = true
+		ct.scheduleToggle()
+		ct.next()
+	default:
+		ct.next()
+	}
+}
+
+func (ct *CrossTraffic) expired() bool {
+	if ct.stopped {
+		return true
+	}
+	return ct.cfg.Stop > 0 && ct.net.Now() >= event.Time(ct.cfg.Stop)
+}
+
+// gap returns the spacing to the next packet given the current state.
+func (ct *CrossTraffic) gap() time.Duration {
+	bits := float64(ct.cfg.PacketSize * 8)
+	switch ct.cfg.Pattern {
+	case CBR:
+		return time.Duration(bits / ct.cfg.Rate * float64(time.Second))
+	case Poisson:
+		mean := bits / ct.cfg.Rate
+		return time.Duration(ct.net.rng.ExpFloat64() * mean * float64(time.Second))
+	case OnOff:
+		return time.Duration(bits / ct.cfg.PeakRate * float64(time.Second))
+	}
+	panic("unreachable")
+}
+
+func (ct *CrossTraffic) scheduleToggle() {
+	var mean time.Duration
+	if ct.on {
+		mean = ct.cfg.MeanOn
+	} else {
+		duty := ct.cfg.Rate / ct.cfg.PeakRate
+		mean = time.Duration(float64(ct.cfg.MeanOn) * (1 - duty) / duty)
+	}
+	d := time.Duration(ct.net.rng.ExpFloat64() * float64(mean))
+	if d > time.Duration(math.MaxInt64/2) {
+		d = mean * 10
+	}
+	ct.net.Sim.After(d, func() {
+		if ct.expired() {
+			return
+		}
+		ct.on = !ct.on
+		ct.scheduleToggle()
+		if ct.on {
+			ct.next()
+		}
+	})
+}
+
+func (ct *CrossTraffic) next() {
+	if ct.expired() {
+		return
+	}
+	if ct.cfg.Pattern == OnOff && !ct.on {
+		return // next() will be re-armed when an ON period starts
+	}
+	p := &Packet{
+		ID:   ct.net.allocPacketID(),
+		Src:  Addr{Node: -1},
+		Dst:  Addr{Node: ct.link.dst.ID(), Port: 0},
+		Size: ct.cfg.PacketSize,
+	}
+	ct.link.Enqueue(p) // drop-tail may reject; that is the point of contention
+	ct.Injected++
+	ct.net.Sim.After(ct.gap(), ct.next)
+}

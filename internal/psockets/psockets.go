@@ -1,0 +1,144 @@
+// Package psockets implements the PSockets baseline of the FOBS paper
+// (Sivakumar, Bailey & Grossman, SC2000): application-level striping of one
+// data flow across multiple parallel TCP connections.
+//
+// Striping helps for the two reasons the paper gives: the per-socket window
+// limit is multiplied by the stream count, and TCP's congestion response is
+// diluted — when one stream sits in recovery, others are still ready to
+// fire. PSockets' distinguishing feature is that it determines the optimal
+// stream count experimentally; FindOptimal reproduces that probe.
+package psockets
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/stats"
+	"github.com/hpcnet/fobs/internal/tcpsim"
+)
+
+// portBase spaces the per-stream port pairs.
+const portBase = 8100
+
+// Config selects the stripe layout.
+type Config struct {
+	// Streams is the number of parallel TCP connections (default 4).
+	Streams int
+	// TCP configures each stream. PSockets' claim to fame is working
+	// without kernel tuning, so the default leaves LargeWindows off —
+	// each socket keeps the 64 KiB window, and parallelism substitutes.
+	TCP tcpsim.Config
+	// Limit aborts the run at this virtual duration (default 10 min).
+	Limit time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.Streams < 1 || c.Streams > 512 {
+		panic(fmt.Sprintf("psockets: stream count %d out of range", c.Streams))
+	}
+	if c.Limit == 0 {
+		c.Limit = 10 * time.Minute
+	}
+	return c
+}
+
+// Run transfers nbytes from path.A to path.B striped over the configured
+// number of TCP streams and returns the aggregate result. The transfer is
+// complete when the last stream delivers its stripe.
+func Run(p *netsim.Path, nbytes int64, cfg Config) stats.TransferResult {
+	cfg = cfg.withDefaults()
+	if nbytes < int64(cfg.Streams) {
+		cfg.Streams = int(nbytes) // degenerate tiny objects
+	}
+	flows := make([]*tcpsim.Flow, cfg.Streams)
+	chunk := nbytes / int64(cfg.Streams)
+	remaining := cfg.Streams
+	start := p.Net.Now()
+	var end event.Time
+	for i := range flows {
+		size := chunk
+		if i == cfg.Streams-1 {
+			size = nbytes - chunk*int64(cfg.Streams-1)
+		}
+		f := tcpsim.NewFlow(p.Net, p.A, portBase+2*i, p.B, portBase+2*i+1, size, cfg.TCP)
+		f.OnComplete(func() {
+			remaining--
+			if remaining == 0 {
+				end = p.Net.Now()
+			}
+		})
+		flows[i] = f
+	}
+	for _, f := range flows {
+		f.Start()
+	}
+	deadline := start.Add(cfg.Limit)
+	for remaining > 0 && p.Net.Sim.Now() < deadline && p.Net.Sim.Pending() > 0 {
+		p.Net.Sim.RunUntil(deadline)
+	}
+	completed := remaining == 0
+	if !completed {
+		end = p.Net.Now()
+	}
+
+	var segs, rtx uint64
+	for _, f := range flows {
+		st := f.Stats()
+		segs += st.SegmentsSent
+		rtx += st.Retransmits
+	}
+	mss := cfg.TCP.MSS
+	if mss == 0 {
+		mss = 1460
+	}
+	needed := int((nbytes + int64(mss) - 1) / int64(mss))
+	res := stats.TransferResult{
+		Protocol:      fmt.Sprintf("psockets(%d)", cfg.Streams),
+		Bytes:         nbytes,
+		Elapsed:       end.Sub(start),
+		Completed:     completed,
+		PacketsSent:   int(segs),
+		PacketsNeeded: needed,
+	}
+	res = res.WithExtra("streams", float64(cfg.Streams))
+	res.Extra["retransmits"] = float64(rtx)
+	return res
+}
+
+// ProbeResult records one candidate stream count from the optimization
+// phase.
+type ProbeResult struct {
+	Streams int
+	Goodput float64 // bits per second
+}
+
+// FindOptimal reproduces PSockets' experimental determination of the
+// optimal socket count: it transfers probeBytes over a fresh path (built by
+// pathFactory, so probes do not interfere) for each candidate count and
+// returns the count with the highest goodput, plus every probe's result.
+func FindOptimal(pathFactory func(seed int64) *netsim.Path, probeBytes int64,
+	candidates []int, tcp tcpsim.Config) (best int, probes []ProbeResult) {
+	if len(candidates) == 0 {
+		panic("psockets: no candidate stream counts")
+	}
+	bestGoodput := -1.0
+	for i, n := range candidates {
+		p := pathFactory(int64(1000 + i))
+		res := Run(p, probeBytes, Config{Streams: n, TCP: tcp})
+		g := res.Goodput()
+		if !res.Completed {
+			g = 0
+		}
+		probes = append(probes, ProbeResult{Streams: n, Goodput: g})
+		if g > bestGoodput {
+			bestGoodput = g
+			best = n
+		}
+	}
+	return best, probes
+}

@@ -1,0 +1,160 @@
+package psockets
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/tcpsim"
+)
+
+// longPath is a 100 Mb/s, 60 ms RTT path with mild ambient loss — the
+// regime where window-limited single TCP streams leave most of the pipe
+// idle and striping pays.
+func longPath(seed int64, loss float64) *netsim.Path {
+	return netsim.BuildPath(seed, netsim.PathSpec{
+		Name:  "long",
+		HostA: netsim.HostConfig{RXBufBytes: 4 << 20},
+		HostB: netsim.HostConfig{RXBufBytes: 4 << 20},
+		Links: []netsim.LinkConfig{
+			{Rate: 100e6, Delay: 15 * time.Millisecond, QueueBytes: 768 << 10},
+			{Rate: 2400e6, Delay: 15 * time.Millisecond, QueueBytes: 4 << 20, LossProb: loss},
+		},
+	})
+}
+
+func TestSingleStreamMatchesPlainTCP(t *testing.T) {
+	nbytes := int64(4 << 20)
+	ps := Run(longPath(1, 0), nbytes, Config{Streams: 1})
+	if !ps.Completed {
+		t.Fatal("single-stream transfer incomplete")
+	}
+	// A 64 KiB window on a 60 ms RTT pins goodput near 8.7 Mb/s.
+	expected := 65535.0 * 8 / 0.060
+	if r := ps.Goodput() / expected; r < 0.7 || r > 1.15 {
+		t.Fatalf("single stream goodput %.1f Mb/s, want about %.1f Mb/s",
+			ps.Goodput()/1e6, expected/1e6)
+	}
+}
+
+func TestStripingScalesThroughput(t *testing.T) {
+	nbytes := int64(16 << 20)
+	one := Run(longPath(1, 0), nbytes, Config{Streams: 1})
+	eight := Run(longPath(1, 0), nbytes, Config{Streams: 8})
+	if !one.Completed || !eight.Completed {
+		t.Fatal("transfers incomplete")
+	}
+	if eight.Goodput() < 4*one.Goodput() {
+		t.Fatalf("8 streams %.1f Mb/s < 4x single stream %.1f Mb/s",
+			eight.Goodput()/1e6, one.Goodput()/1e6)
+	}
+}
+
+func TestAggregateBoundedByBottleneck(t *testing.T) {
+	res := Run(longPath(2, 0), 16<<20, Config{Streams: 32})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.Goodput() > 100e6 {
+		t.Fatalf("aggregate goodput %.1f Mb/s exceeds the 100 Mb/s bottleneck", res.Goodput()/1e6)
+	}
+}
+
+func TestCompletesUnderLoss(t *testing.T) {
+	res := Run(longPath(3, 0.002), 8<<20, Config{Streams: 8})
+	if !res.Completed {
+		t.Fatal("8-stream transfer under 0.2% loss incomplete")
+	}
+	if res.Extra["retransmits"] == 0 {
+		t.Fatal("loss produced no retransmissions")
+	}
+}
+
+func TestProtocolLabel(t *testing.T) {
+	res := Run(longPath(4, 0), 1<<20, Config{Streams: 3})
+	if res.Protocol != "psockets(3)" {
+		t.Fatalf("protocol label %q", res.Protocol)
+	}
+	if res.Extra["streams"] != 3 {
+		t.Fatalf("streams extra = %v", res.Extra["streams"])
+	}
+}
+
+func TestUnevenStripeSizes(t *testing.T) {
+	// nbytes not divisible by streams: last stripe absorbs the remainder.
+	res := Run(longPath(5, 0), 1<<20+12345, Config{Streams: 7})
+	if !res.Completed {
+		t.Fatal("uneven stripe transfer incomplete")
+	}
+	if res.Bytes != 1<<20+12345 {
+		t.Fatalf("Bytes = %d", res.Bytes)
+	}
+}
+
+func TestTinyObjectFewerStreamsThanBytes(t *testing.T) {
+	res := Run(longPath(6, 0), 3, Config{Streams: 8})
+	if !res.Completed {
+		t.Fatal("3-byte transfer incomplete")
+	}
+}
+
+func TestBadStreamCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative stream count did not panic")
+		}
+	}()
+	Run(longPath(7, 0), 1<<20, Config{Streams: -1})
+}
+
+func TestLimitReported(t *testing.T) {
+	res := Run(longPath(8, 0), 64<<20, Config{Streams: 1, Limit: 50 * time.Millisecond})
+	if res.Completed {
+		t.Fatal("64 MB over one 64 KiB-window stream in 50 ms reported complete")
+	}
+}
+
+func TestFindOptimalPrefersMultipleStreams(t *testing.T) {
+	factory := func(seed int64) *netsim.Path { return longPath(seed, 0) }
+	best, probes := FindOptimal(factory, 4<<20, []int{1, 4, 16}, tcpsim.Config{})
+	if best == 1 {
+		t.Fatalf("probe picked 1 stream on a window-limited path; probes: %+v", probes)
+	}
+	if len(probes) != 3 {
+		t.Fatalf("got %d probes, want 3", len(probes))
+	}
+	for _, pr := range probes {
+		if pr.Goodput <= 0 {
+			t.Fatalf("probe %+v has no goodput", pr)
+		}
+	}
+}
+
+func TestFindOptimalEmptyCandidatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty candidates did not panic")
+		}
+	}()
+	FindOptimal(func(int64) *netsim.Path { return nil }, 1, nil, tcpsim.Config{})
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(longPath(9, 0.005), 4<<20, Config{Streams: 6})
+	b := Run(longPath(9, 0.005), 4<<20, Config{Streams: 6})
+	if a.Elapsed != b.Elapsed || a.PacketsSent != b.PacketsSent {
+		t.Fatalf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestProbeIsSideEffectFree(t *testing.T) {
+	// FindOptimal must not disturb a later full run: each probe gets its
+	// own freshly built path.
+	factory := func(seed int64) *netsim.Path { return longPath(seed, 0) }
+	before := Run(longPath(1, 0), 2<<20, Config{Streams: 4})
+	FindOptimal(factory, 1<<20, []int{1, 2, 4}, tcpsim.Config{})
+	after := Run(longPath(1, 0), 2<<20, Config{Streams: 4})
+	if before.Elapsed != after.Elapsed {
+		t.Fatalf("probe phase leaked state into later runs: %v vs %v", before.Elapsed, after.Elapsed)
+	}
+}

@@ -1,0 +1,100 @@
+package rudp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/netsim"
+)
+
+func path(seed int64, loss float64) *netsim.Path {
+	return netsim.BuildPath(seed, netsim.PathSpec{
+		Name:  "rudp",
+		HostA: netsim.HostConfig{RXBufBytes: 1 << 20},
+		HostB: netsim.HostConfig{RXBufBytes: 1 << 20, ProcPerPacket: 5 * time.Microsecond},
+		Links: []netsim.LinkConfig{
+			{Rate: 100e6, Delay: 13 * time.Millisecond, QueueBytes: 256 << 10},
+			{Rate: 2400e6, Delay: 13 * time.Millisecond, QueueBytes: 4 << 20, LossProb: loss},
+		},
+	})
+}
+
+func TestCleanBlastSingleRound(t *testing.T) {
+	res := Run(path(1, 0), make([]byte, 4<<20), Config{})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.Extra["rounds"] != 1 {
+		t.Fatalf("clean path took %v rounds, want 1", res.Extra["rounds"])
+	}
+	if res.Waste() != 0 {
+		t.Fatalf("clean blast waste %.4f, want 0", res.Waste())
+	}
+	// 4 MiB at ~95 Mb/s goodput plus one control round trip lands ~0.83.
+	if u := res.Utilization(100e6); u < 0.78 {
+		t.Fatalf("clean blast utilization %.2f, want > 0.78", u)
+	}
+}
+
+func TestLossyBlastNeedsMultipleRounds(t *testing.T) {
+	res := Run(path(2, 0.02), make([]byte, 4<<20), Config{})
+	if !res.Completed {
+		t.Fatal("incomplete under 2% loss")
+	}
+	if res.Extra["rounds"] < 2 {
+		t.Fatalf("2%% loss finished in %v rounds, want >= 2", res.Extra["rounds"])
+	}
+	if res.Waste() <= 0 {
+		t.Fatal("loss produced no waste")
+	}
+}
+
+func TestRetransmitsOnlyMissing(t *testing.T) {
+	// Waste must be close to the loss rate, not a whole extra pass:
+	// RUDP retransmits exactly the missing list.
+	res := Run(path(3, 0.05), make([]byte, 4<<20), Config{})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if w := res.Waste(); w > 0.12 {
+		t.Fatalf("waste %.3f for 5%% loss; missing-list retransmission broken", w)
+	}
+	if res.Duplicates > res.PacketsNeeded/50 {
+		t.Fatalf("%d duplicates delivered; receiver should see almost none", res.Duplicates)
+	}
+}
+
+func TestHeavyLossEventuallyCompletes(t *testing.T) {
+	res := Run(path(4, 0.30), make([]byte, 512<<10), Config{})
+	if !res.Completed {
+		t.Fatal("incomplete under 30% loss")
+	}
+	if res.Extra["rounds"] < 3 {
+		t.Fatalf("30%% loss finished in %v rounds", res.Extra["rounds"])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(path(5, 0.05), make([]byte, 1<<20), Config{})
+	b := Run(path(5, 0.05), make([]byte, 1<<20), Config{})
+	if a.Elapsed != b.Elapsed || a.PacketsSent != b.PacketsSent {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	res := Run(path(6, 0), make([]byte, 16<<20), Config{Limit: 20 * time.Millisecond})
+	if res.Completed {
+		t.Fatal("16 MB in 20 ms reported complete")
+	}
+}
+
+func TestSmallPacketSize(t *testing.T) {
+	res := Run(path(7, 0.01), make([]byte, 256<<10), Config{PacketSize: 256})
+	if !res.Completed {
+		t.Fatal("256-byte-packet transfer incomplete")
+	}
+	if res.PacketsNeeded != 1024 {
+		t.Fatalf("PacketsNeeded = %d, want 1024", res.PacketsNeeded)
+	}
+}

@@ -1,0 +1,91 @@
+package simrun
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+)
+
+// Failure-injection tests: FOBS's object-based design claims not to care
+// about ordering or transient connectivity, only about eventual delivery.
+
+func TestFOBSSurvivesReordering(t *testing.T) {
+	p := shortHaulPath(1, 0)
+	// Heavy jitter on the backbone reorders packets aggressively.
+	p.Forward[1].SetJitter(10 * time.Millisecond)
+	p.Reverse[1].SetJitter(10 * time.Millisecond)
+	obj := makeObj(8 << 20)
+	run := NewFOBS(p, obj, core.Config{AckFrequency: 32}, Options{})
+	res := run.Run()
+	if !res.Completed {
+		t.Fatal("transfer under heavy reordering incomplete")
+	}
+	if !bytes.Equal(run.Receiver().Object(), obj) {
+		t.Fatal("object corrupted under reordering")
+	}
+	// Reordering alone must not inflate waste much: the bitmap does not
+	// care about arrival order. (The residual waste is the blast that
+	// happens while the completion signal crosses the jittered path.)
+	if res.Waste() > 0.10 {
+		t.Fatalf("waste %.3f under pure reordering, want < 0.10", res.Waste())
+	}
+}
+
+func TestFOBSSurvivesLinkFlaps(t *testing.T) {
+	p := shortHaulPath(2, 0)
+	// The backbone drops out for 50 ms every 500 ms.
+	p.Forward[1].FlapEvery(500*time.Millisecond, 50*time.Millisecond)
+	obj := makeObj(4 << 20)
+	run := NewFOBS(p, obj, core.Config{AckFrequency: 32}, Options{})
+	res := run.Run()
+	if !res.Completed {
+		t.Fatal("transfer across link flaps incomplete")
+	}
+	if !bytes.Equal(run.Receiver().Object(), obj) {
+		t.Fatal("object corrupted across link flaps")
+	}
+	if res.Waste() <= 0 {
+		t.Fatal("flap outages produced no retransmissions")
+	}
+}
+
+func TestFOBSSurvivesAckPathOutage(t *testing.T) {
+	// Outages on the reverse (acknowledgement) path: the sender goes
+	// blind but the greedy circular schedule keeps it productive, and
+	// the reliable control channel eventually delivers completion.
+	p := shortHaulPath(3, 0)
+	p.Reverse[1].FlapEvery(300*time.Millisecond, 100*time.Millisecond)
+	obj := makeObj(2 << 20)
+	run := NewFOBS(p, obj, core.Config{AckFrequency: 32}, Options{})
+	res := run.Run()
+	if !res.Completed {
+		t.Fatal("transfer with lossy ack path incomplete")
+	}
+	if !bytes.Equal(run.Receiver().Object(), obj) {
+		t.Fatal("object corrupted")
+	}
+}
+
+func TestFOBSTotalBlackoutEventuallyCompletes(t *testing.T) {
+	// A full one-second blackout in the middle of the transfer: both
+	// directions die; FOBS must pick up where it left off.
+	p := shortHaulPath(4, 0)
+	p.Net.Sim.After(100*time.Millisecond, func() {
+		p.Forward[1].Down(time.Second)
+		p.Reverse[1].Down(time.Second)
+	})
+	obj := makeObj(4 << 20)
+	run := NewFOBS(p, obj, core.Config{AckFrequency: 64}, Options{})
+	res := run.Run()
+	if !res.Completed {
+		t.Fatal("transfer across a 1s blackout incomplete")
+	}
+	if !bytes.Equal(run.Receiver().Object(), obj) {
+		t.Fatal("object corrupted across blackout")
+	}
+	if res.Elapsed < time.Second {
+		t.Fatalf("elapsed %v is shorter than the blackout itself", res.Elapsed)
+	}
+}

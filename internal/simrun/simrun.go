@@ -1,0 +1,347 @@
+// Package simrun binds the IO-free FOBS state machines of internal/core to
+// the netsim substrate: one FOBS transfer becomes one deterministic
+// discrete-event simulation.
+//
+// The driver reproduces the paper's process structure faithfully:
+//
+//   - the sender alternates batch-send operations with non-blocking polls
+//     of the acknowledgement socket, paced only by its NIC (the analogue
+//     of select()-guarded sends) plus whatever gap the configured rate
+//     controller requests;
+//   - the receiver handles data packets as the host CPU serves them,
+//     occupies the CPU while building each acknowledgement (the stall the
+//     paper identifies as the loss mechanism at high ack rates), and
+//     signals completion over a reliable control channel standing in for
+//     the paper's TCP connection.
+package simrun
+
+import (
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/stats"
+	"github.com/hpcnet/fobs/internal/trace"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// UDPIPOverhead is the per-datagram UDP+IPv4 header overhead on the wire.
+const UDPIPOverhead = 28
+
+// Default ports used by a FOBS transfer on both hosts; concurrent
+// transfers on one path offset them via Options.PortBase.
+const (
+	PortData = 7001 // receiver listens: data packets
+	PortAck  = 7002 // sender listens: acknowledgement packets
+	PortCtl  = 7003 // both: reliable control channel (hello/complete)
+)
+
+// Options tune the driver (not the protocol).
+type Options struct {
+	// AckBuildTime occupies the receiver's CPU for each acknowledgement
+	// built, modelling the cost the paper blames for stall losses
+	// (default 150 µs — constructing and pushing a 1 KB datagram through
+	// a 2002 kernel).
+	AckBuildTime time.Duration
+	// IdlePoll is how long the sender sleeps when it has nothing to send
+	// and is waiting for acknowledgements or the completion signal
+	// (default 500 µs).
+	IdlePoll time.Duration
+	// CtlRTO is the control channel's retransmission timeout
+	// (default 250 ms).
+	CtlRTO time.Duration
+	// Limit aborts the run at this virtual time (default 10 min).
+	Limit time.Duration
+	// SampleEvery enables tracing: the delivery and send rates are
+	// sampled at this period (zero disables tracing).
+	SampleEvery time.Duration
+	// PortBase offsets the three well-known ports so several FOBS
+	// transfers can share one path (zero uses the defaults).
+	PortBase int
+	// SchedNoise adds a uniformly distributed [0, SchedNoise) delay to
+	// each sender-loop iteration, modelling operating-system scheduling
+	// jitter on a user-level protocol. Zero keeps the loop perfectly
+	// periodic — fine against stochastic networks, but a deterministic
+	// rate limiter (a QoS policer) can phase-lock with a perfectly
+	// periodic sender and starve the same packet slots forever.
+	SchedNoise time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.AckBuildTime == 0 {
+		o.AckBuildTime = 150 * time.Microsecond
+	}
+	if o.IdlePoll == 0 {
+		o.IdlePoll = 500 * time.Microsecond
+	}
+	if o.CtlRTO == 0 {
+		o.CtlRTO = 250 * time.Millisecond
+	}
+	if o.Limit == 0 {
+		o.Limit = 10 * time.Minute
+	}
+	return o
+}
+
+// FOBSRun holds one in-flight or finished simulated FOBS transfer.
+type FOBSRun struct {
+	path *netsim.Path
+	opts Options
+	snd  *core.Sender
+	rcv  *core.Receiver
+
+	sndSock *netsim.UDPSocket
+	rcvSock *netsim.UDPSocket
+	ctlSnd  *netsim.PipeEnd
+	ctlRcv  *netsim.PipeEnd
+
+	dataAddr, ackAddr netsim.Addr
+
+	ackQ          []wire.Ack
+	loopScheduled bool
+	started       event.Time
+	finished      event.Time
+	done          bool
+
+	goodput  *trace.Rate
+	sendRate *trace.Rate
+}
+
+// NewFOBS wires a FOBS transfer of objSize bytes from path.A to path.B.
+// Call Start (or just Run) to execute it.
+func NewFOBS(p *netsim.Path, obj []byte, cfg core.Config, opts Options) *FOBSRun {
+	opts = opts.withDefaults()
+	r := &FOBSRun{
+		path: p,
+		opts: opts,
+		snd:  core.NewSender(obj, cfg),
+		rcv:  core.NewReceiver(int64(len(obj)), cfg),
+	}
+	base := opts.PortBase
+	if base == 0 {
+		base = PortData
+	}
+	r.dataAddr = p.B.Addr(base)
+	r.ackAddr = p.A.Addr(base + 1)
+	r.rcvSock = p.B.OpenUDP(base, r.onData)
+	r.sndSock = p.A.OpenUDP(base+1, r.onAck)
+	r.ctlSnd, r.ctlRcv = netsim.NewPipe(p.A, base+2, p.B, base+2, opts.CtlRTO)
+	r.ctlSnd.OnMessage = func(m any) {
+		if _, ok := m.(wire.Complete); ok {
+			r.complete()
+		}
+	}
+	if opts.SampleEvery > 0 {
+		r.goodput = trace.NewRate("goodput", "Mb/s", 8e-6)
+		r.sendRate = trace.NewRate("send_rate", "Mb/s", 8e-6)
+	}
+	return r
+}
+
+// Trace returns the delivery- and send-rate series collected when
+// Options.SampleEvery was set, or nils otherwise.
+func (r *FOBSRun) Trace() (goodput, sendRate *trace.Series) {
+	if r.goodput == nil {
+		return nil, nil
+	}
+	return r.goodput.Series(), r.sendRate.Series()
+}
+
+// sampleLoop records one trace observation and re-arms itself.
+func (r *FOBSRun) sampleLoop() {
+	if r.done {
+		return
+	}
+	at := time.Duration(r.path.Net.Now() - r.started)
+	ps := float64(r.rcv.Config().PacketSize)
+	r.goodput.Observe(at, float64(r.rcv.Stats().Received)*ps)
+	r.sendRate.Observe(at, float64(r.snd.Stats().PacketsSent)*ps)
+	r.path.Net.Sim.After(r.opts.SampleEvery, r.sampleLoop)
+}
+
+// Start schedules the transfer to begin now.
+func (r *FOBSRun) Start() {
+	r.started = r.path.Net.Now()
+	if r.goodput != nil {
+		r.sampleLoop()
+	}
+	r.scheduleLoop(0)
+}
+
+// Run starts the transfer and drives the simulation until it completes or
+// the option limit expires, returning the result.
+func (r *FOBSRun) Run() stats.TransferResult {
+	r.Start()
+	deadline := r.started.Add(r.opts.Limit)
+	sim := r.path.Net.Sim
+	for !r.done && sim.Now() < deadline && sim.Pending() > 0 {
+		sim.RunUntil(deadline)
+	}
+	return r.Result()
+}
+
+// Done reports whether the transfer has completed.
+func (r *FOBSRun) Done() bool { return r.done }
+
+// Receiver exposes the receive-side state machine (e.g. for object
+// retrieval).
+func (r *FOBSRun) Receiver() *core.Receiver { return r.rcv }
+
+// Sender exposes the send-side state machine.
+func (r *FOBSRun) Sender() *core.Sender { return r.snd }
+
+// Result summarizes the run.
+func (r *FOBSRun) Result() stats.TransferResult {
+	end := r.finished
+	if !r.done {
+		end = r.path.Net.Now()
+	}
+	sst := r.snd.Stats()
+	rst := r.rcv.Stats()
+	res := stats.TransferResult{
+		Protocol:      "fobs",
+		Bytes:         r.snd.ObjectSize(),
+		Elapsed:       end.Sub(r.started),
+		Completed:     r.done,
+		PacketsSent:   sst.PacketsSent,
+		PacketsNeeded: sst.PacketsNeeded,
+		Duplicates:    rst.Duplicates,
+	}
+	res = res.WithExtra("acks", float64(rst.AcksBuilt))
+	res.Extra["stale_acks"] = float64(sst.StaleAcks)
+	// Loss-cause attribution (the diagnostics the authors pursued in
+	// follow-up work): where along the path did packets die?
+	var queue, random, outage uint64
+	for _, l := range r.path.Forward {
+		st := l.Stats()
+		queue += st.QueueDrops
+		random += st.RandomDrops
+		outage += st.OutageDrops
+	}
+	res.Extra["drops_queue"] = float64(queue)
+	res.Extra["drops_random"] = float64(random)
+	res.Extra["drops_outage"] = float64(outage)
+	res.Extra["drops_rxbuf"] = float64(r.path.B.Stats().RXDropsFull)
+	return res
+}
+
+func (r *FOBSRun) complete() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.finished = r.path.Net.Now()
+	r.snd.SetComplete()
+}
+
+// scheduleLoop arms the sender loop to run after d, coalescing duplicates.
+func (r *FOBSRun) scheduleLoop(d time.Duration) {
+	if r.loopScheduled || r.done {
+		return
+	}
+	r.loopScheduled = true
+	r.path.Net.Sim.After(d, func() {
+		r.loopScheduled = false
+		r.senderLoop()
+	})
+}
+
+// senderLoop is one iteration of the paper's three-phase sender algorithm.
+func (r *FOBSRun) senderLoop() {
+	if r.done || r.snd.Done() {
+		return
+	}
+	// Phase 2 first on re-entry: process at most one pending ack, exactly
+	// like the paper's look-but-don't-block poll.
+	if len(r.ackQ) > 0 {
+		a := r.ackQ[0]
+		r.ackQ = r.ackQ[1:]
+		// A corrupted fragment cannot occur in the simulator; errors
+		// here would indicate a driver bug, so surface them loudly.
+		if err := r.snd.HandleAck(a); err != nil {
+			panic("simrun: " + err.Error())
+		}
+	}
+	// Phase 1 + 3: batch-send with the schedule choosing each packet.
+	batch := r.snd.BatchSize()
+	var last netsim.SendResult
+	sent := 0
+	dst := r.dataAddr
+	for i := 0; i < batch; i++ {
+		pkt, ok := r.snd.NextPacket()
+		if !ok {
+			break
+		}
+		size := wire.DataHeaderLen + len(pkt.Payload) + UDPIPOverhead
+		last = r.sndSock.SendTo(dst, size, pkt)
+		sent++
+	}
+	if sent == 0 {
+		// Everything known-received (or a stale bitmap says so): the
+		// repeated zero-packet batch-send of the paper — logically
+		// blocking on an acknowledgement or the completion signal.
+		r.scheduleLoop(r.opts.IdlePoll)
+		return
+	}
+	// Pace like a blocking send: resume when the NIC has drained AND the
+	// host CPU has finished the send-side work (a send system call blocks
+	// the process), plus any controller-requested gap.
+	next := last.NICFreeAt
+	if cpu := r.path.A.CPUFreeAt(); cpu > next {
+		next = cpu
+	}
+	now := r.path.Net.Now()
+	if next < now {
+		next = now
+	}
+	gap := r.snd.Config().Rate.Gap() * time.Duration(sent)
+	if r.opts.SchedNoise > 0 {
+		gap += time.Duration(r.path.Net.Rand().Int63n(int64(r.opts.SchedNoise)))
+	}
+	delay := next.Sub(now) + gap
+	if delay <= 0 {
+		// A drop at the NIC itself (policer, full queue) leaves the link
+		// idle; without a floor the loop would re-fire at this same
+		// virtual instant forever.
+		delay = time.Microsecond
+	}
+	r.scheduleLoop(delay)
+}
+
+// onAck queues an acknowledgement for the sender's next poll and wakes an
+// idle sender.
+func (r *FOBSRun) onAck(p *netsim.Packet) {
+	a, ok := p.Payload.(wire.Ack)
+	if !ok {
+		return
+	}
+	r.ackQ = append(r.ackQ, a)
+	r.scheduleLoop(0)
+}
+
+// onData handles one data packet at the receiver and emits acknowledgements
+// at the configured frequency.
+func (r *FOBSRun) onData(p *netsim.Packet) {
+	d, ok := p.Payload.(wire.Data)
+	if !ok {
+		return
+	}
+	ackDue, err := r.rcv.HandleData(d)
+	if err != nil {
+		return // malformed packet: drop, exactly as the real receiver would
+	}
+	if !ackDue {
+		return
+	}
+	// Building and sending the ack occupies the receiver CPU; packets
+	// arriving meanwhile queue in the finite RX buffer (or are lost).
+	r.path.B.Occupy(r.opts.AckBuildTime)
+	a := r.rcv.BuildAck()
+	size := wire.AckHeaderLen + 8*len(a.Frag.Words) + UDPIPOverhead
+	r.rcvSock.SendTo(r.ackAddr, size, a)
+	if r.rcv.Complete() {
+		r.ctlRcv.Send(wire.Complete{Transfer: r.rcv.Config().Transfer,
+			Received: uint64(r.rcv.NumPackets())}, wire.CompleteLen)
+	}
+}

@@ -1,0 +1,164 @@
+package tcpsim
+
+import (
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+)
+
+// receiver is the TCP receive-side state machine: in-order reassembly, flow
+// control advertisement, delayed and duplicate acks, SACK block generation.
+// The application is a bulk sink that consumes in-order data immediately
+// (exactly the paper's disk-less 40 MB memory-to-memory transfers).
+type receiver struct {
+	flow *Flow
+	host *netsim.Host
+	sock *netsim.UDPSocket
+	peer netsim.Addr
+
+	nbytes int64
+	rcvNxt int64
+
+	// ooo holds out-of-order byte ranges above rcvNxt, ordered, disjoint.
+	ooo []sackBlock
+	// recent SACK blocks, most recently changed first (RFC 2018 advice).
+	recentSack []sackBlock
+
+	delayedSegs  int
+	delayedTimer *event.Timer
+}
+
+func newReceiver(f *Flow, h *netsim.Host, port int, peer netsim.Addr, nbytes int64) *receiver {
+	r := &receiver{flow: f, host: h, peer: peer, nbytes: nbytes}
+	r.sock = h.OpenUDP(port, r.onPacket)
+	r.delayedTimer = event.NewTimer(f.net.Sim, func() { r.sendAck() })
+	return r
+}
+
+// window returns the advertised receive window: buffer space not occupied
+// by out-of-order data, clamped to 16 bits unless LWE is on.
+func (r *receiver) window() int64 {
+	buffered := int64(0)
+	for _, b := range r.ooo {
+		buffered += b.end - b.start
+	}
+	w := int64(r.flow.cfg.RecvBuf) - buffered
+	if w < 0 {
+		w = 0
+	}
+	return r.flow.advertisedCap(w)
+}
+
+func (r *receiver) onPacket(p *netsim.Packet) {
+	if c, ok := p.Payload.(ctlSeg); ok && c.flow == r.flow {
+		switch c.kind {
+		case synKind:
+			// Reply (and re-reply on duplicate SYNs — the SYN-ACK may
+			// have been lost).
+			r.sock.SendTo(r.peer, ackWireSize, ctlSeg{flow: r.flow, kind: synAckKind})
+		}
+		return
+	}
+	seg, ok := p.Payload.(segMsg)
+	if !ok || seg.flow != r.flow {
+		return
+	}
+	r.handleSegment(seg)
+}
+
+func (r *receiver) handleSegment(seg segMsg) {
+	end := seg.seq + int64(seg.length)
+	switch {
+	case end <= r.rcvNxt:
+		// Entirely duplicate: ack immediately so the sender unsticks.
+		r.sendAck()
+		return
+	case seg.seq > r.rcvNxt:
+		// Out of order: buffer (if window allows) and emit a duplicate
+		// ack carrying SACK information.
+		if end-r.rcvNxt <= int64(r.flow.cfg.RecvBuf) {
+			r.addOutOfOrder(sackBlock{seg.seq, end})
+		}
+		r.sendAck()
+		return
+	default:
+		// In-order (possibly overlapping the left edge).
+		r.rcvNxt = end
+		r.absorbOutOfOrder()
+		if r.rcvNxt >= r.nbytes {
+			r.sendAck()
+			r.flow.complete()
+			return
+		}
+		if r.flow.cfg.NoDelayedAck {
+			r.sendAck()
+			return
+		}
+		r.delayedSegs++
+		if r.delayedSegs >= 2 {
+			r.sendAck()
+		} else if !r.delayedTimer.Armed() {
+			r.delayedTimer.Reset(r.flow.cfg.DelayedAckTimeout)
+		}
+	}
+}
+
+// addOutOfOrder merges a block into the ooo list and records it as the most
+// recent SACK block.
+func (r *receiver) addOutOfOrder(b sackBlock) {
+	out := r.ooo[:0]
+	for _, x := range r.ooo {
+		if x.end < b.start || x.start > b.end {
+			out = append(out, x)
+			continue
+		}
+		if x.start < b.start {
+			b.start = x.start
+		}
+		if x.end > b.end {
+			b.end = x.end
+		}
+	}
+	final := make([]sackBlock, 0, len(out)+1)
+	inserted := false
+	for _, x := range out {
+		if !inserted && b.start < x.start {
+			final = append(final, b)
+			inserted = true
+		}
+		final = append(final, x)
+	}
+	if !inserted {
+		final = append(final, b)
+	}
+	r.ooo = final
+
+	r.recentSack = append([]sackBlock{b}, r.recentSack...)
+	if len(r.recentSack) > 3 {
+		r.recentSack = r.recentSack[:3]
+	}
+}
+
+// absorbOutOfOrder advances rcvNxt through any now-contiguous buffered
+// ranges.
+func (r *receiver) absorbOutOfOrder() {
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+func (r *receiver) sendAck() {
+	r.delayedSegs = 0
+	r.delayedTimer.Stop()
+	var sack []sackBlock
+	if r.flow.cfg.SACK && len(r.ooo) > 0 {
+		sack = make([]sackBlock, len(r.recentSack))
+		copy(sack, r.recentSack)
+	}
+	r.flow.stats.AcksSent++
+	r.sock.SendTo(r.peer, ackWireSize, ackMsg{
+		flow: r.flow, ackSeq: r.rcvNxt, window: r.window(), sack: sack,
+	})
+}

@@ -1,0 +1,492 @@
+package tcpsim
+
+import (
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+)
+
+// sender is the TCP transmit-side state machine.
+type sender struct {
+	flow *Flow
+	host *netsim.Host
+	sock *netsim.UDPSocket
+	peer netsim.Addr
+
+	nbytes int64
+
+	sndUna int64 // oldest unacknowledged byte
+	sndNxt int64 // next byte to send
+	rwnd   int64 // peer's advertised window
+
+	cwnd     int64 // congestion window, bytes
+	ssthresh int64
+	maxCwnd  int64
+
+	dupAcks     int
+	inRecovery  bool
+	recover     int64 // NewReno: highest byte outstanding when loss was detected
+	partialAcks int   // partial acks seen in this recovery episode
+	sackRtxNext int64 // next candidate for SACK-driven hole retransmission
+
+	// SACK scoreboard: byte ranges the receiver holds above sndUna.
+	sacked []sackBlock
+
+	// RTT estimation (Jacobson/Karels) with Karn's rule: only segments
+	// transmitted exactly once are timed.
+	srtt, rttvar time.Duration
+	rtoBackoff   uint
+	timedSeq     int64 // end-seq of the segment being timed; -1 if none
+	timedAt      event.Time
+	rtxTimer     *event.Timer
+	retryTimer   *event.Timer // local NIC backpressure retry
+
+	stopped     bool
+	established bool
+	synTimer    *event.Timer
+}
+
+func newSender(f *Flow, h *netsim.Host, port int, peer netsim.Addr, nbytes int64) *sender {
+	s := &sender{
+		flow:     f,
+		host:     h,
+		peer:     peer,
+		nbytes:   nbytes,
+		cwnd:     int64(f.cfg.InitialCwndSegs * f.cfg.MSS),
+		ssthresh: 1 << 30,
+		rwnd:     f.advertisedCap(int64(f.cfg.RecvBuf)),
+		timedSeq: -1,
+		recover:  -1,
+	}
+	s.maxCwnd = s.cwnd
+	s.sock = h.OpenUDP(port, s.onPacket)
+	s.rtxTimer = event.NewTimer(f.net.Sim, s.onTimeout)
+	s.retryTimer = event.NewTimer(f.net.Sim, s.trySend)
+	s.established = !f.cfg.Handshake
+	if f.cfg.Handshake {
+		s.synTimer = event.NewTimer(f.net.Sim, s.sendSyn)
+	}
+	return s
+}
+
+// advertisedCap applies the 16-bit window clamp when LWE is off.
+func (f *Flow) advertisedCap(w int64) int64 {
+	if !f.cfg.LargeWindows && w > advertisedWindowLimit {
+		return advertisedWindowLimit
+	}
+	return w
+}
+
+func (s *sender) start() {
+	if !s.established {
+		s.sendSyn()
+		return
+	}
+	s.trySend()
+}
+
+// sendSyn transmits (or retransmits) the SYN and arms its timer.
+func (s *sender) sendSyn() {
+	if s.stopped || s.established {
+		return
+	}
+	s.sock.SendTo(s.peer, ackWireSize, ctlSeg{flow: s.flow, kind: synKind})
+	s.synTimer.Reset(s.rto())
+}
+
+func (s *sender) stop() {
+	s.stopped = true
+	s.rtxTimer.Stop()
+	if s.synTimer != nil {
+		s.synTimer.Stop()
+	}
+}
+
+// rto returns the current retransmission timeout with exponential backoff.
+func (s *sender) rto() time.Duration {
+	var base time.Duration
+	if s.srtt == 0 {
+		base = time.Second // RFC 6298 initial RTO, pre-measurement
+	} else {
+		base = s.srtt + 4*s.rttvar
+	}
+	base <<= s.rtoBackoff
+	if base < s.flow.cfg.MinRTO {
+		base = s.flow.cfg.MinRTO
+	}
+	if base > s.flow.cfg.MaxRTO {
+		base = s.flow.cfg.MaxRTO
+	}
+	return base
+}
+
+// effectiveWindow is how many bytes past sndUna the sender may have in
+// flight.
+func (s *sender) effectiveWindow() int64 {
+	w := s.cwnd
+	if s.rwnd < w {
+		w = s.rwnd
+	}
+	return w
+}
+
+// trySend transmits as many new segments as the window allows.
+func (s *sender) trySend() {
+	if s.stopped {
+		return
+	}
+	for s.sndNxt < s.nbytes && s.sndNxt-s.sndUna+int64(s.flow.cfg.MSS) <= s.effectiveWindow() {
+		length := int64(s.flow.cfg.MSS)
+		if s.sndNxt+length > s.nbytes {
+			length = s.nbytes - s.sndNxt
+		}
+		if !s.transmit(s.sndNxt, int(length), false) {
+			break // local NIC backpressure; the retry timer is armed
+		}
+		s.sndNxt += length
+	}
+	if !s.rtxTimer.Armed() && s.sndUna < s.sndNxt {
+		s.rtxTimer.Reset(s.rto())
+	}
+}
+
+// transmit puts one segment on the wire. It returns false — without
+// consuming a sequence range — when the host's own NIC queue is full: a
+// real kernel blocks the sending process (sndbuf backpressure) rather than
+// dropping its own segments, so the sender retries when the NIC drains.
+func (s *sender) transmit(seq int64, length int, isRetransmit bool) bool {
+	res := s.sock.SendTo(s.peer, length+s.flow.cfg.HeaderBytes, segMsg{
+		flow: s.flow, seq: seq, length: length,
+	})
+	if !res.OK {
+		if !s.retryTimer.Armed() {
+			s.retryTimer.Reset(res.NICFreeAt.Sub(s.flow.net.Now()) + time.Microsecond)
+		}
+		return false
+	}
+	s.flow.stats.SegmentsSent++
+	if isRetransmit {
+		s.flow.stats.Retransmits++
+		s.flow.stats.BytesRetransmitted += int64(length)
+	} else if s.timedSeq < 0 && !s.inRecovery {
+		// Karn: time only first transmissions, one at a time, and never
+		// while recovering — a segment sent into a loss episode is only
+		// cumulatively acked once every earlier hole fills, which would
+		// poison the estimator with the whole recovery duration.
+		s.timedSeq = seq + int64(length)
+		s.timedAt = s.flow.net.Now()
+	}
+	return true
+}
+
+func (s *sender) onPacket(p *netsim.Packet) {
+	if s.stopped {
+		return
+	}
+	if c, ok := p.Payload.(ctlSeg); ok && c.flow == s.flow && c.kind == synAckKind {
+		// Complete the handshake: final ACK, then start the transfer.
+		s.sock.SendTo(s.peer, ackWireSize, ctlSeg{flow: s.flow, kind: ackKind})
+		if !s.established {
+			s.established = true
+			s.synTimer.Stop()
+			s.trySend()
+		}
+		return
+	}
+	ack, ok := p.Payload.(ackMsg)
+	if !ok || ack.flow != s.flow {
+		return
+	}
+	s.handleAck(ack)
+}
+
+func (s *sender) handleAck(ack ackMsg) {
+	s.rwnd = ack.window
+	if s.flow.cfg.SACK {
+		s.mergeSack(ack.sack)
+	}
+
+	switch {
+	case ack.ackSeq > s.sndUna:
+		s.onNewAck(ack.ackSeq)
+	case ack.ackSeq == s.sndUna && s.sndUna < s.sndNxt:
+		s.onDupAck()
+	}
+	s.trySend()
+}
+
+func (s *sender) onNewAck(ackSeq int64) {
+	// RTT sample if the timed segment is now covered and was not
+	// retransmitted (Karn's rule is preserved because a timeout clears
+	// timedSeq and retransmissions never arm it).
+	if s.timedSeq >= 0 && ackSeq >= s.timedSeq {
+		s.updateRTT(s.flow.net.Now().Sub(s.timedAt))
+		s.timedSeq = -1
+	}
+	s.rtoBackoff = 0
+
+	mss := int64(s.flow.cfg.MSS)
+	if s.inRecovery {
+		if ackSeq >= s.recover || s.flow.cfg.Variant == Reno {
+			// Full ack — or classic Reno, which exits recovery on any
+			// new ack and leaves remaining holes to the RTO.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.dupAcks = 0
+		} else {
+			// NewReno partial ack: retransmit the next hole, deflate by
+			// the amount acked, stay in recovery.
+			s.partialAcks++
+			s.retransmitHole(ackSeq)
+			acked := ackSeq - s.sndUna
+			s.cwnd -= acked
+			if s.cwnd < mss {
+				s.cwnd = mss
+			}
+			s.cwnd += mss
+		}
+	} else {
+		s.dupAcks = 0
+		if s.cwnd < s.ssthresh {
+			s.cwnd += mss // slow start
+		} else {
+			s.cwnd += mss * mss / s.cwnd // congestion avoidance
+			if s.cwnd < mss {
+				s.cwnd = mss
+			}
+		}
+	}
+	if s.cwnd > s.maxCwnd {
+		s.maxCwnd = s.cwnd
+	}
+
+	s.sndUna = ackSeq
+	s.dropSackedBelow(ackSeq)
+	switch {
+	case s.sndUna >= s.sndNxt:
+		s.rtxTimer.Stop()
+	case s.inRecovery && s.partialAcks > 1:
+		// RFC 3782 "Impatient" variant: during recovery only the first
+		// partial ack resets the retransmission timer, so a window with
+		// very many holes (which NewReno repairs at one per RTT) falls
+		// back to the RTO and slow start instead of crawling for
+		// hundreds of round trips.
+	default:
+		s.rtxTimer.Reset(s.rto())
+	}
+}
+
+func (s *sender) onDupAck() {
+	s.flow.stats.DupAcksSeen++
+	if s.inRecovery {
+		// Inflate: each dup ack signals a departed segment.
+		s.cwnd += int64(s.flow.cfg.MSS)
+		// With SACK the scoreboard tells us exactly which holes remain;
+		// use the departure signal to push the next one now instead of
+		// waiting a full RTT for a partial ack (RFC 2018-style recovery).
+		if s.flow.cfg.SACK {
+			s.sackRetransmitNext()
+		}
+		return
+	}
+	s.dupAcks++
+	if s.dupAcks < 3 {
+		return
+	}
+	// RFC 3782 "avoid multiple fast retransmits": dup acks that do not
+	// cover the previous recovery point are echoes of the old window (or
+	// of our own go-back-N duplicates) and must not halve cwnd again.
+	if s.sndUna <= s.recover {
+		s.dupAcks = 0
+		return
+	}
+	// Fast retransmit.
+	s.flow.stats.FastRetransmits++
+	flight := s.sndNxt - s.sndUna
+	mss := int64(s.flow.cfg.MSS)
+	s.ssthresh = flight / 2
+	if s.ssthresh < 2*mss {
+		s.ssthresh = 2 * mss
+	}
+	s.recover = s.sndNxt
+	s.sackRtxNext = s.sndUna
+	s.retransmitHole(s.sndUna)
+	s.timedSeq = -1 // retransmitted range: stop timing
+	if s.flow.cfg.Variant == Tahoe {
+		// No fast recovery: collapse to slow start, as a timeout would.
+		s.cwnd = mss
+		s.dupAcks = 0
+	} else {
+		// Reno/NewReno fast recovery with window inflation.
+		s.inRecovery = true
+		s.partialAcks = 0
+		s.cwnd = s.ssthresh + 3*mss
+	}
+	s.rtxTimer.Reset(s.rto())
+}
+
+// retransmitHole resends the first unacknowledged (and, with SACK, unsacked)
+// segment starting at seq.
+func (s *sender) retransmitHole(seq int64) {
+	if s.flow.cfg.SACK {
+		// A partial ack pointing below the SACK pointer means the hole —
+		// or our earlier retransmission of it — was lost again; resend it
+		// unconditionally rather than waiting for the RTO.
+		seq = s.firstUnsacked(seq)
+		if seq >= s.sndNxt {
+			return
+		}
+		s.resend(seq)
+		if next := seq + int64(s.flow.cfg.MSS); next > s.sackRtxNext {
+			s.sackRtxNext = next
+		}
+		return
+	}
+	s.resend(seq)
+}
+
+// sackRetransmitNext resends the lowest unsacked hole not yet retransmitted
+// in this recovery episode.
+func (s *sender) sackRetransmitNext() {
+	seq := s.sackRtxNext
+	if seq < s.sndUna {
+		seq = s.sndUna
+	}
+	seq = s.firstUnsacked(seq)
+	if seq >= s.recover || seq >= s.sndNxt {
+		return // every hole below the recovery point has been resent
+	}
+	s.resend(seq)
+	s.sackRtxNext = seq + int64(s.flow.cfg.MSS)
+}
+
+// resend puts one retransmission of the segment at seq on the wire.
+func (s *sender) resend(seq int64) {
+	length := int64(s.flow.cfg.MSS)
+	if seq+length > s.nbytes {
+		length = s.nbytes - seq
+	}
+	if length <= 0 {
+		return
+	}
+	s.transmit(seq, int(length), true)
+}
+
+func (s *sender) onTimeout() {
+	if s.stopped || s.sndUna >= s.sndNxt {
+		return
+	}
+	s.flow.stats.Timeouts++
+	mss := int64(s.flow.cfg.MSS)
+	flight := s.sndNxt - s.sndUna
+	s.ssthresh = flight / 2
+	if s.ssthresh < 2*mss {
+		s.ssthresh = 2 * mss
+	}
+	s.cwnd = mss
+	s.inRecovery = false
+	s.dupAcks = 0
+	// RFC 3782: remember where the window stood so post-timeout duplicate
+	// acks cannot trigger a spurious fast retransmit.
+	s.recover = s.sndNxt
+	s.timedSeq = -1
+	s.rtoBackoff++
+	if s.rtoBackoff > 16 {
+		s.rtoBackoff = 16
+	}
+	// Go-back-N: rewind and resend from the hole.
+	s.sndNxt = s.sndUna
+	s.sacked = nil // conservative: forget the scoreboard on timeout
+	s.trySend()
+	// trySend marked these as first transmissions for stats simplicity;
+	// count the timeout retransmission explicitly.
+	s.flow.stats.Retransmits++
+	s.rtxTimer.Reset(s.rto())
+}
+
+func (s *sender) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		return
+	}
+	diff := s.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + sample) / 8
+}
+
+// --- SACK scoreboard -----------------------------------------------------
+
+// mergeSack folds the receiver-reported blocks into the scoreboard.
+func (s *sender) mergeSack(blocks []sackBlock) {
+	for _, b := range blocks {
+		s.addSacked(b)
+	}
+}
+
+func (s *sender) addSacked(b sackBlock) {
+	if b.end <= b.start {
+		return
+	}
+	out := s.sacked[:0]
+	for _, x := range s.sacked {
+		if x.end < b.start || x.start > b.end {
+			out = append(out, x)
+			continue
+		}
+		if x.start < b.start {
+			b.start = x.start
+		}
+		if x.end > b.end {
+			b.end = x.end
+		}
+	}
+	// Insert keeping blocks ordered by start.
+	inserted := false
+	final := make([]sackBlock, 0, len(out)+1)
+	for _, x := range out {
+		if !inserted && b.start < x.start {
+			final = append(final, b)
+			inserted = true
+		}
+		final = append(final, x)
+	}
+	if !inserted {
+		final = append(final, b)
+	}
+	s.sacked = final
+}
+
+func (s *sender) dropSackedBelow(seq int64) {
+	out := s.sacked[:0]
+	for _, x := range s.sacked {
+		if x.end > seq {
+			if x.start < seq {
+				x.start = seq
+			}
+			out = append(out, x)
+		}
+	}
+	s.sacked = out
+}
+
+// firstUnsacked returns the lowest byte >= seq not covered by the
+// scoreboard.
+func (s *sender) firstUnsacked(seq int64) int64 {
+	for _, x := range s.sacked {
+		if seq < x.start {
+			return seq
+		}
+		if seq < x.end {
+			seq = x.end
+		}
+	}
+	return seq
+}

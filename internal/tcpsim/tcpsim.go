@@ -1,0 +1,272 @@
+// Package tcpsim implements TCP from scratch on top of the netsim
+// substrate: slow start, congestion avoidance, fast retransmit and NewReno
+// fast recovery, Jacobson/Karels RTO estimation with Karn's algorithm,
+// delayed acknowledgements, receiver-side flow control, and — as the
+// configuration axis Table 1 of the FOBS paper turns on — the RFC 1323
+// "Large Window Extensions" (window scaling), plus optional SACK-based loss
+// recovery (RFC 2018-style) as studied in the paper's related work.
+//
+// The implementation intentionally models an early-2000s bulk-transfer
+// stack: segments either side of the "window scaling available?" divide are
+// exactly what distinguished the paper's Windows 2000/HP-UX endpoints (LWE)
+// from the SGI Origin200 (no kernel access, 64 KiB window).
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/event"
+	"github.com/hpcnet/fobs/internal/netsim"
+	"github.com/hpcnet/fobs/internal/trace"
+)
+
+// Variant selects the congestion-control generation.
+type Variant int
+
+const (
+	// NewReno (RFC 3782): fast recovery with partial-ack hole
+	// retransmission — the default, matching turn-of-the-century stacks.
+	NewReno Variant = iota
+	// Reno (RFC 2581): fast retransmit + fast recovery, but any new ack
+	// ends recovery; multiple losses in one window usually cost an RTO.
+	Reno
+	// Tahoe (pre-1990): fast retransmit but no fast recovery — every
+	// loss collapses cwnd to one segment and restarts slow start.
+	Tahoe
+)
+
+func (v Variant) String() string {
+	switch v {
+	case NewReno:
+		return "newreno"
+	case Reno:
+		return "reno"
+	case Tahoe:
+		return "tahoe"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config selects the TCP variant and its parameters.
+type Config struct {
+	// Variant selects the congestion-control generation (default NewReno).
+	Variant Variant
+
+	// MSS is the maximum segment payload in bytes (default 1460).
+	MSS int
+	// HeaderBytes is the TCP/IP header overhead added to each segment on
+	// the wire (default 40).
+	HeaderBytes int
+	// RecvBuf is the receiver's socket buffer in bytes. Without
+	// LargeWindows the advertised window is additionally clamped to
+	// 65535 bytes, whatever the buffer size — that clamp is precisely
+	// what the Large Window extensions remove. Default 64 KiB without
+	// LWE, 4 MiB with.
+	RecvBuf int
+	// LargeWindows enables the RFC 1323 window-scaling behaviour.
+	LargeWindows bool
+	// SACK enables selective-acknowledgement loss recovery.
+	SACK bool
+	// InitialCwndSegs is the initial congestion window in segments
+	// (default 2, per RFC 2581).
+	InitialCwndSegs int
+	// DelayedAck enables the standard ack-every-other-segment behaviour
+	// (default on; construct with NoDelayedAck to disable).
+	NoDelayedAck bool
+	// DelayedAckTimeout bounds how long an ack may be withheld
+	// (default 200 ms).
+	DelayedAckTimeout time.Duration
+	// Handshake includes the SYN / SYN-ACK / ACK exchange before data
+	// flows (one extra RTT). Off by default: the paper's 40 MB transfers
+	// dwarf connection setup, and the experiments measure steady state.
+	Handshake bool
+	// MinRTO and MaxRTO clamp the retransmission timeout
+	// (defaults 1 s per RFC 2988 and 60 s). Lowering MinRTO below the
+	// delayed-ack timeout invites spurious timeouts on one-segment
+	// flights.
+	MinRTO, MaxRTO time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 40
+	}
+	if c.RecvBuf == 0 {
+		if c.LargeWindows {
+			c.RecvBuf = 4 << 20
+		} else {
+			c.RecvBuf = 64 << 10
+		}
+	}
+	if c.InitialCwndSegs == 0 {
+		c.InitialCwndSegs = 2
+	}
+	if c.DelayedAckTimeout == 0 {
+		c.DelayedAckTimeout = 200 * time.Millisecond
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = time.Second
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.MSS < 1 || c.RecvBuf < c.MSS {
+		panic(fmt.Sprintf("tcpsim: invalid MSS %d / RecvBuf %d", c.MSS, c.RecvBuf))
+	}
+	return c
+}
+
+// advertisedWindowLimit is the 16-bit window field ceiling that applies
+// when window scaling (LWE) is off.
+const advertisedWindowLimit = 65535
+
+// segMsg is a data segment on the wire.
+type segMsg struct {
+	flow   *Flow
+	seq    int64
+	length int
+}
+
+// ctlSeg is a control segment (connection establishment).
+type ctlSeg struct {
+	flow *Flow
+	kind int // synKind, synAckKind or ackKind
+}
+
+const (
+	synKind = iota + 1
+	synAckKind
+	ackKind
+)
+
+// ackMsg is an acknowledgement on the wire.
+type ackMsg struct {
+	flow   *Flow
+	ackSeq int64
+	window int64
+	sack   []sackBlock
+}
+
+type sackBlock struct{ start, end int64 }
+
+const ackWireSize = 40
+
+// FlowStats summarizes one bulk transfer.
+type FlowStats struct {
+	Bytes              int64
+	Start, End         event.Time
+	SegmentsSent       uint64 // includes retransmissions
+	Retransmits        uint64
+	FastRetransmits    uint64
+	Timeouts           uint64
+	DupAcksSeen        uint64
+	MaxCwnd            int64
+	FinalSsthresh      int64
+	AcksSent           uint64
+	BytesRetransmitted int64
+}
+
+// Duration is the transfer's elapsed virtual time.
+func (s FlowStats) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Goodput returns delivered application bits per second.
+func (s FlowStats) Goodput() float64 {
+	d := s.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Bytes*8) / d
+}
+
+// Flow is one unidirectional bulk TCP transfer between two simulated hosts.
+type Flow struct {
+	net  *netsim.Network
+	cfg  Config
+	s    *sender
+	r    *receiver
+	done bool
+
+	onComplete func()
+	stats      FlowStats
+	cwndTrace  *trace.Series
+	traceEvery time.Duration
+}
+
+// NewFlow prepares a transfer of nbytes from host a to host b, using one
+// port on each side. Call Start to begin. Connection establishment is
+// abstracted away (the paper's transfers are long enough that the 3-way
+// handshake is noise).
+func NewFlow(nw *netsim.Network, a *netsim.Host, portA int, b *netsim.Host, portB int, nbytes int64, cfg Config) *Flow {
+	cfg = cfg.withDefaults()
+	if nbytes <= 0 {
+		panic("tcpsim: transfer size must be positive")
+	}
+	f := &Flow{net: nw, cfg: cfg}
+	f.stats.Bytes = nbytes
+	f.s = newSender(f, a, portA, b.Addr(portB), nbytes)
+	f.r = newReceiver(f, b, portB, a.Addr(portA), nbytes)
+	return f
+}
+
+// OnComplete registers fn to run when the last byte is delivered in order.
+func (f *Flow) OnComplete(fn func()) { f.onComplete = fn }
+
+// TraceCwnd enables congestion-window tracing at the given sampling
+// period. Call before Start.
+func (f *Flow) TraceCwnd(every time.Duration) {
+	if every <= 0 {
+		panic("tcpsim: non-positive trace period")
+	}
+	f.cwndTrace = trace.NewSeries("cwnd", "bytes")
+	f.traceEvery = every
+}
+
+// CwndTrace returns the congestion-window series, or nil if tracing was
+// not enabled.
+func (f *Flow) CwndTrace() *trace.Series { return f.cwndTrace }
+
+func (f *Flow) sampleCwnd() {
+	if f.done {
+		return
+	}
+	f.cwndTrace.Sample(time.Duration(f.net.Now()-f.stats.Start), float64(f.s.cwnd))
+	f.net.Sim.After(f.traceEvery, f.sampleCwnd)
+}
+
+// Start begins transmission at the current virtual time.
+func (f *Flow) Start() {
+	f.stats.Start = f.net.Now()
+	if f.cwndTrace != nil {
+		f.sampleCwnd()
+	}
+	f.s.start()
+}
+
+// Done reports whether all bytes were delivered.
+func (f *Flow) Done() bool { return f.done }
+
+// Stats returns the transfer statistics collected so far.
+func (f *Flow) Stats() FlowStats {
+	st := f.stats
+	st.MaxCwnd = f.s.maxCwnd
+	st.FinalSsthresh = f.s.ssthresh
+	return st
+}
+
+// complete is called by the receiver when delivery finishes.
+func (f *Flow) complete() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.stats.End = f.net.Now()
+	f.s.stop()
+	if f.onComplete != nil {
+		f.onComplete()
+	}
+}

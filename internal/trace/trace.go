@@ -1,0 +1,220 @@
+// Package trace collects time series from running transfers — congestion
+// windows, delivery rates, queue depths — and renders them as CSV or as
+// compact ASCII charts. It works with both virtual (simulated) and wall
+// clock time, which it treats uniformly as a time.Duration from the start
+// of the observation.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series is an append-only (time, value) sequence.
+type Series struct {
+	Name string
+	Unit string
+	t    []time.Duration
+	v    []float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Sample appends one observation. Samples must arrive in non-decreasing
+// time order; out-of-order samples panic (they indicate a driver bug).
+func (s *Series) Sample(at time.Duration, v float64) {
+	if n := len(s.t); n > 0 && at < s.t[n-1] {
+		panic(fmt.Sprintf("trace: sample at %v before previous %v", at, s.t[n-1]))
+	}
+	s.t = append(s.t, at)
+	s.v = append(s.v, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.t) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) (time.Duration, float64) { return s.t[i], s.v[i] }
+
+// Last returns the final sample, or zeros for an empty series.
+func (s *Series) Last() (time.Duration, float64) {
+	if len(s.t) == 0 {
+		return 0, 0
+	}
+	return s.t[len(s.t)-1], s.v[len(s.v)-1]
+}
+
+// MinMax returns the value range, or zeros for an empty series.
+func (s *Series) MinMax() (lo, hi float64) {
+	if len(s.v) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.v[0], s.v[0]
+	for _, v := range s.v[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean of the values, or zero when empty.
+func (s *Series) Mean() float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.v {
+		sum += v
+	}
+	return sum / float64(len(s.v))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the values by
+// nearest-rank, or zero when empty.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.v...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as width characters of block glyphs,
+// resampling by bucket mean. Empty series render as spaces.
+func (s *Series) Sparkline(width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(s.v) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	start, end := s.t[0], s.t[len(s.t)-1]
+	span := end - start
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i := range s.t {
+		b := 0
+		if span > 0 {
+			b = int(float64(width-1) * float64(s.t[i]-start) / float64(span))
+		}
+		buckets[b] += s.v[i]
+		counts[b]++
+	}
+	lo, hi := s.MinMax()
+	out := make([]rune, width)
+	prev := lo
+	for i := range buckets {
+		v := prev
+		if counts[i] > 0 {
+			v = buckets[i] / float64(counts[i])
+			prev = v
+		}
+		idx := 0
+		if hi > lo {
+			idx = int(float64(len(sparkRunes)-1) * (v - lo) / (hi - lo))
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// Render prints a one-line summary with a sparkline.
+func (s *Series) Render(width int) string {
+	lo, hi := s.MinMax()
+	return fmt.Sprintf("%-12s %s  min %.4g  mean %.4g  max %.4g %s",
+		s.Name, s.Sparkline(width), lo, s.Mean(), hi, s.Unit)
+}
+
+// CSV renders one or more series with a shared time column (union of all
+// sample instants; missing values are left empty).
+func CSV(series ...*Series) string {
+	times := map[time.Duration]bool{}
+	for _, s := range series {
+		for _, at := range s.t {
+			times[at] = true
+		}
+	}
+	sorted := make([]time.Duration, 0, len(times))
+	for at := range times {
+		sorted = append(sorted, at)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var b strings.Builder
+	b.WriteString("t_seconds")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	// Per-series cursor walk keeps this O(total samples).
+	cursors := make([]int, len(series))
+	for _, at := range sorted {
+		fmt.Fprintf(&b, "%g", at.Seconds())
+		for si, s := range series {
+			cell := ""
+			for cursors[si] < len(s.t) && s.t[cursors[si]] < at {
+				cursors[si]++
+			}
+			if cursors[si] < len(s.t) && s.t[cursors[si]] == at {
+				cell = fmt.Sprintf("%g", s.v[cursors[si]])
+			}
+			fmt.Fprintf(&b, ",%s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rate converts a monotonically growing counter (bytes delivered, packets
+// sent) into a rate series by differencing samples.
+type Rate struct {
+	series *Series
+	scale  float64 // multiplier applied to delta/seconds
+	last   time.Duration
+	lastV  float64
+	primed bool
+}
+
+// NewRate returns a rate meter emitting into a series with the given name
+// and unit; scale converts counter-units-per-second into the output unit
+// (e.g. 8e-6 turns bytes/s into Mb/s).
+func NewRate(name, unit string, scale float64) *Rate {
+	return &Rate{series: NewSeries(name, unit), scale: scale}
+}
+
+// Observe records the counter value at the given instant; from the second
+// observation on, each call appends a rate sample.
+func (r *Rate) Observe(at time.Duration, counter float64) {
+	if !r.primed {
+		r.primed = true
+		r.last, r.lastV = at, counter
+		return
+	}
+	dt := (at - r.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	rate := (counter - r.lastV) / dt * r.scale
+	r.series.Sample(at, rate)
+	r.last, r.lastV = at, counter
+}
+
+// Series returns the accumulated rate series.
+func (r *Rate) Series() *Series { return r.series }

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleAndAccessors(t *testing.T) {
+	s := NewSeries("cwnd", "bytes")
+	s.Sample(0, 10)
+	s.Sample(time.Second, 20)
+	s.Sample(2*time.Second, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if at, v := s.At(1); at != time.Second || v != 20 {
+		t.Fatalf("At(1) = %v,%v", at, v)
+	}
+	if at, v := s.Last(); at != 2*time.Second || v != 5 {
+		t.Fatalf("Last = %v,%v", at, v)
+	}
+	lo, hi := s.MinMax()
+	if lo != 5 || hi != 20 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+	if got := s.Mean(); math.Abs(got-35.0/3) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestOutOfOrderSamplePanics(t *testing.T) {
+	s := NewSeries("x", "")
+	s.Sample(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order sample did not panic")
+		}
+	}()
+	s.Sample(time.Millisecond, 2)
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("empty", "")
+	if _, v := s.Last(); v != 0 {
+		t.Fatal("Last on empty not zero")
+	}
+	if lo, hi := s.MinMax(); lo != 0 || hi != 0 {
+		t.Fatal("MinMax on empty not zero")
+	}
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("Mean/Quantile on empty not zero")
+	}
+	if got := s.Sparkline(5); got != "     " {
+		t.Fatalf("empty sparkline %q", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := NewSeries("q", "")
+	for i := 1; i <= 100; i++ {
+		s.Sample(time.Duration(i), float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	med := s.Quantile(0.5)
+	if med < 49 || med > 52 {
+		t.Fatalf("median = %v", med)
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	s := NewSeries("ramp", "")
+	for i := 0; i <= 100; i++ {
+		s.Sample(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	sp := []rune(s.Sparkline(10))
+	if len(sp) != 10 {
+		t.Fatalf("sparkline width %d", len(sp))
+	}
+	if sp[0] != '▁' || sp[9] != '█' {
+		t.Fatalf("ramp sparkline %q does not rise", string(sp))
+	}
+	// Monotone non-decreasing glyphs for a ramp.
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1] {
+			t.Fatalf("ramp sparkline %q not monotone", string(sp))
+		}
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := NewSeries("flat", "")
+	s.Sample(0, 7)
+	s.Sample(time.Second, 7)
+	sp := s.Sparkline(4)
+	if strings.Trim(sp, "▁") != "" {
+		t.Fatalf("flat sparkline %q should be all-low glyphs", sp)
+	}
+}
+
+func TestSparklineZeroWidth(t *testing.T) {
+	s := NewSeries("x", "")
+	if s.Sparkline(0) != "" {
+		t.Fatal("zero width sparkline not empty")
+	}
+}
+
+func TestRenderIncludesStats(t *testing.T) {
+	s := NewSeries("rate", "Mb/s")
+	s.Sample(0, 10)
+	s.Sample(time.Second, 30)
+	out := s.Render(8)
+	for _, want := range []string{"rate", "min 10", "max 30", "Mb/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render %q missing %q", out, want)
+		}
+	}
+}
+
+func TestCSVAlignsSeries(t *testing.T) {
+	a := NewSeries("a", "")
+	b := NewSeries("b", "")
+	a.Sample(0, 1)
+	a.Sample(2*time.Second, 3)
+	b.Sample(time.Second, 2)
+	out := CSV(a, b)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "t_seconds,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "0,1," || lines[2] != "1,,2" || lines[3] != "2,3," {
+		t.Fatalf("rows:\n%s", out)
+	}
+}
+
+func TestRateDifferencesCounter(t *testing.T) {
+	r := NewRate("goodput", "Mb/s", 8e-6)
+	r.Observe(0, 0)
+	r.Observe(time.Second, 1e6)   // 1 MB in 1s = 8 Mb/s
+	r.Observe(3*time.Second, 3e6) // 2 MB in 2s = 8 Mb/s
+	s := r.Series()
+	if s.Len() != 2 {
+		t.Fatalf("rate samples = %d", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if _, v := s.At(i); math.Abs(v-8) > 1e-9 {
+			t.Fatalf("rate sample %d = %v, want 8", i, v)
+		}
+	}
+}
+
+func TestRateIgnoresZeroDt(t *testing.T) {
+	r := NewRate("x", "", 1)
+	r.Observe(time.Second, 1)
+	r.Observe(time.Second, 2)
+	if r.Series().Len() != 0 {
+		t.Fatal("zero-dt observation produced a sample")
+	}
+}
+
+// Property: sparkline glyph heights respect value ordering for two-bucket
+// series.
+func TestSparklineOrderingProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s := NewSeries("p", "")
+		s.Sample(0, float64(a))
+		s.Sample(time.Second, float64(b))
+		sp := []rune(s.Sparkline(2))
+		switch {
+		case a < b:
+			return sp[0] <= sp[1]
+		case a > b:
+			return sp[0] >= sp[1]
+		default:
+			return sp[0] == sp[1]
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

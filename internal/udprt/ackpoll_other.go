@@ -1,0 +1,21 @@
+//go:build !unix
+
+package udprt
+
+import (
+	"net"
+	"time"
+)
+
+// pollDatagram approximates a non-blocking read on platforms without
+// MSG_DONTWAIT semantics through the raw connection: a deadline one
+// microsecond ahead returns immediately when a datagram is buffered and
+// after a very short wait otherwise.
+func pollDatagram(conn *net.UDPConn, buf []byte) (int, bool) {
+	conn.SetReadDeadline(time.Now().Add(time.Microsecond))
+	n, err := conn.Read(buf)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package udprt
+
+import (
+	"net"
+	"syscall"
+)
+
+// pollDatagram performs one genuinely non-blocking read on the UDP socket:
+// it returns a buffered datagram if one is queued and (0, false) otherwise,
+// never waiting. Go's deadline mechanism cannot express this — a deadline
+// already in the past fails without attempting the read — so the poll goes
+// through the raw descriptor with MSG_DONTWAIT.
+//
+// This is the paper's select()-guarded "look for, but do not block for, an
+// acknowledgement packet", and it is what keeps the sender single-threaded:
+// on the single-CPU hosts of the era (and of CI runners), a separate
+// ack-reader goroutine starves behind the hot send loop.
+func pollDatagram(conn *net.UDPConn, buf []byte) (int, bool) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return 0, false
+	}
+	n := 0
+	ok := false
+	rc.Read(func(fd uintptr) bool {
+		got, _, err := syscall.Recvfrom(int(fd), buf, syscall.MSG_DONTWAIT)
+		if err == nil && got > 0 {
+			n, ok = got, true
+		}
+		return true // never let the runtime park us: this is a poll
+	})
+	return n, ok
+}

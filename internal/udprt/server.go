@@ -1,0 +1,209 @@
+package udprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// Server accepts many FOBS transfers concurrently on one address: a TCP
+// acceptor owns the per-transfer control connections while a single UDP
+// read loop demultiplexes data packets to per-transfer receivers by their
+// Transfer tag. Each sender must therefore pick a Transfer id distinct
+// from other transfers in flight to the same server.
+type Server struct {
+	tcp  *net.TCPListener
+	udp  *net.UDPConn
+	opts Options
+
+	mu        sync.Mutex
+	transfers map[uint32]*serverTransfer
+	closed    bool
+}
+
+// serverTransfer is the receive state for one in-flight transfer.
+type serverTransfer struct {
+	mu       sync.Mutex
+	rcv      *core.Receiver
+	ackBuf   []byte
+	complete chan struct{} // closed exactly once, on completion
+	done     bool
+}
+
+// NewServer binds addr for concurrent incoming transfers.
+func NewServer(addr string, opts Options) (*Server, error) {
+	l, err := Listen(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		tcp:       l.tcp,
+		udp:       l.udp,
+		opts:      l.opts,
+		transfers: make(map[uint32]*serverTransfer),
+	}, nil
+}
+
+// Addr returns the bound control address.
+func (s *Server) Addr() string { return s.tcp.Addr().String() }
+
+// Close stops the server; in-flight Accepts return errors.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.udp.Close()
+	return s.tcp.Close()
+}
+
+// Handler receives each completed transfer. It runs on the transfer's own
+// goroutine; the object is owned by the handler.
+type Handler func(transfer uint32, obj []byte, st core.ReceiverStats)
+
+// Serve runs the accept and data loops until ctx is cancelled or the
+// server is closed. Each completed transfer is passed to handle.
+func (s *Server) Serve(ctx context.Context, handle Handler) error {
+	if handle == nil {
+		return errors.New("udprt: nil handler")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.dataLoop(ctx)
+	}()
+	defer wg.Wait()
+	defer s.udp.Close() // unblocks dataLoop when accept ends
+
+	for {
+		if dl, ok := ctx.Deadline(); ok {
+			s.tcp.SetDeadline(dl)
+		}
+		ctl, err := s.tcp.AcceptTCP()
+		if err != nil {
+			if ctx.Err() != nil || s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("udprt: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handleControl(ctx, ctl, handle)
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// handleControl owns one transfer's control connection end to end.
+func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Handler) {
+	defer ctl.Close()
+	hello, err := readHello(ctx, ctl)
+	if err != nil {
+		return
+	}
+	st := &serverTransfer{complete: make(chan struct{})}
+	st.rcv = core.NewReceiver(int64(hello.ObjectSize), core.Config{
+		PacketSize:   int(hello.PacketSize),
+		Transfer:     hello.Transfer,
+		AckFrequency: core.DefaultAckFrequency,
+	})
+
+	s.mu.Lock()
+	if _, dup := s.transfers[hello.Transfer]; dup {
+		s.mu.Unlock()
+		return // duplicate transfer id: drop the connection, sender times out
+	}
+	s.transfers[hello.Transfer] = st
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.transfers, hello.Transfer)
+		s.mu.Unlock()
+	}()
+
+	select {
+	case <-st.complete:
+	case <-ctx.Done():
+		return
+	}
+	st.mu.Lock()
+	digest := wire.ObjectDigest(st.rcv.Object())
+	st.mu.Unlock()
+	msg := wire.AppendComplete(nil, &wire.Complete{
+		Transfer: hello.Transfer,
+		Received: hello.ObjectSize,
+		Digest:   digest,
+	})
+	ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := ctl.Write(msg); err != nil {
+		return
+	}
+	st.mu.Lock()
+	obj := st.rcv.Object()
+	rstats := st.rcv.Stats()
+	st.mu.Unlock()
+	handle(hello.Transfer, obj, rstats)
+}
+
+// dataLoop demultiplexes incoming datagrams to transfers.
+func (s *Server) dataLoop(ctx context.Context) {
+	buf := make([]byte, maxDatagram)
+	for {
+		s.udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if isTimeout(err) {
+				if ctx.Err() != nil || s.isClosed() {
+					return
+				}
+				continue
+			}
+			return // socket closed
+		}
+		d, err := wire.DecodeData(buf[:n])
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		st := s.transfers[d.Transfer]
+		s.mu.Unlock()
+		if st == nil {
+			continue // unknown or finished transfer
+		}
+		st.mu.Lock()
+		ackDue, err := st.rcv.HandleData(d)
+		if err != nil {
+			st.mu.Unlock()
+			continue
+		}
+		var ack []byte
+		if ackDue {
+			a := st.rcv.BuildAck()
+			st.ackBuf = wire.AppendAck(st.ackBuf[:0], &a)
+			ack = st.ackBuf
+		}
+		finished := st.rcv.Complete() && !st.done
+		if finished {
+			st.done = true
+		}
+		st.mu.Unlock()
+		if ack != nil {
+			s.udp.WriteToUDP(ack, from)
+		}
+		if finished {
+			close(st.complete)
+		}
+	}
+}

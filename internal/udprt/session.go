@@ -1,0 +1,261 @@
+package udprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// Session sends a sequence of objects to one receiver over a single pair
+// of sockets: the control connection carries one HELLO/COMPLETE exchange
+// per object, and transfer tags auto-increment so stragglers from a
+// previous object cannot corrupt the next. This is the shape of the
+// paper's remote-visualization workload — many frames, one peer.
+type Session struct {
+	ctl  *net.TCPConn
+	conn *net.UDPConn
+	opts Options
+	next uint32
+}
+
+// OpenSession dials a session towards a SessionListener at addr.
+func OpenSession(ctx context.Context, addr string, opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	var d net.Dialer
+	ctlRaw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udprt: dial session control: %w", err)
+	}
+	ctl := ctlRaw.(*net.TCPConn)
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		ctl.Close()
+		return nil, fmt.Errorf("udprt: resolve data addr: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		ctl.Close()
+		return nil, fmt.Errorf("udprt: dial data: %w", err)
+	}
+	_ = conn.SetReadBuffer(opts.ReadBuffer)
+	_ = conn.SetWriteBuffer(opts.WriteBuffer)
+	return &Session{ctl: ctl, conn: conn, opts: opts}, nil
+}
+
+// Close releases the session's sockets.
+func (s *Session) Close() error {
+	s.conn.Close()
+	return s.ctl.Close()
+}
+
+// Send transfers one object within the session. cfg.Transfer is
+// overridden by the session's own numbering.
+func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.SenderStats, error) {
+	if len(obj) == 0 {
+		return core.SenderStats{}, errors.New("udprt: empty object")
+	}
+	s.next++
+	cfg.Transfer = s.next
+	snd := core.NewSender(obj, cfg)
+	cfg = snd.Config()
+
+	hello := wire.AppendHello(nil, &wire.Hello{
+		Transfer:   cfg.Transfer,
+		ObjectSize: uint64(len(obj)),
+		PacketSize: uint32(cfg.PacketSize),
+	})
+	if _, err := s.ctl.Write(hello); err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: hello write: %w", err)
+	}
+	return runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts)
+}
+
+// SessionListener accepts one session at a time and yields its objects in
+// order.
+type SessionListener struct {
+	l *Listener
+}
+
+// ListenSession binds addr for incoming sessions.
+func ListenSession(addr string, opts Options) (*SessionListener, error) {
+	l, err := Listen(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionListener{l: l}, nil
+}
+
+// Addr returns the bound control address.
+func (sl *SessionListener) Addr() string { return sl.l.Addr() }
+
+// Close releases the listener.
+func (sl *SessionListener) Close() error { return sl.l.Close() }
+
+// IncomingSession is the receive side of one sender's session.
+type IncomingSession struct {
+	sl  *SessionListener
+	ctl *net.TCPConn
+}
+
+// AcceptSession waits for one sender to connect.
+func (sl *SessionListener) AcceptSession(ctx context.Context) (*IncomingSession, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		sl.l.tcp.SetDeadline(dl)
+	}
+	ctl, err := sl.l.tcp.AcceptTCP()
+	if err != nil {
+		return nil, fmt.Errorf("udprt: accept session: %w", err)
+	}
+	return &IncomingSession{sl: sl, ctl: ctl}, nil
+}
+
+// Close ends the session from the receive side.
+func (is *IncomingSession) Close() error { return is.ctl.Close() }
+
+// Next receives the session's next object. It returns io-style errors when
+// the sender closes the session or ctx expires.
+func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats, error) {
+	hello, err := readHello(ctx, is.ctl)
+	if err != nil {
+		return nil, core.ReceiverStats{}, err
+	}
+	rcv := core.NewReceiver(int64(hello.ObjectSize), core.Config{
+		PacketSize:   int(hello.PacketSize),
+		Transfer:     hello.Transfer,
+		AckFrequency: core.DefaultAckFrequency,
+	})
+	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp); err != nil {
+		return nil, rcv.Stats(), err
+	}
+	msg := wire.AppendComplete(nil, &wire.Complete{
+		Transfer: hello.Transfer,
+		Received: hello.ObjectSize,
+		Digest:   wire.ObjectDigest(rcv.Object()),
+	})
+	is.ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := is.ctl.Write(msg); err != nil {
+		return nil, rcv.Stats(), fmt.Errorf("udprt: completion write: %w", err)
+	}
+	return rcv.Object(), rcv.Stats(), nil
+}
+
+// runReceiveLoop drains the UDP socket into rcv until the object
+// completes, emitting acknowledgements. Packets from other transfers
+// (stragglers of a previous object in the session) are ignored by the
+// receiver's transfer tag.
+func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn) error {
+	buf := make([]byte, maxDatagram)
+	ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
+	for !rcv.Complete() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := udp.ReadFromUDP(buf)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return fmt.Errorf("udprt: data read: %w", err)
+		}
+		d, err := wire.DecodeData(buf[:n])
+		if err != nil {
+			continue
+		}
+		ackDue, err := rcv.HandleData(d)
+		if err != nil {
+			continue
+		}
+		if ackDue {
+			a := rcv.BuildAck()
+			ackBuf = wire.AppendAck(ackBuf[:0], &a)
+			if _, err := udp.WriteToUDP(ackBuf, from); err != nil {
+				return fmt.Errorf("udprt: ack write: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// runSenderLoop drives snd over the given sockets until the completion
+// signal arrives. It is the shared engine behind Send and Session.Send,
+// and it is deliberately single-threaded like the paper's sender: each
+// iteration performs one non-blocking poll of the acknowledgement socket
+// (the paper's select()-guarded "look for, but do not block for, an
+// acknowledgement packet") followed by one batch-send. Only the TCP
+// completion signal has its own goroutine — a hot sender loop must never
+// be able to starve the poll that feeds it.
+func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
+	conn *net.UDPConn, ctl net.Conn, opts Options) (core.SenderStats, error) {
+
+	done := make(chan error, 1)
+	go func() { done <- readCompleteVerified(ctl, snd) }()
+
+	buf := make([]byte, 0, cfg.PacketSize+wire.DataHeaderLen)
+	ackBuf := make([]byte, maxDatagram)
+	var paceDebt time.Duration
+	pollAck := func() {
+		n, ok := pollDatagram(conn, ackBuf)
+		if !ok {
+			return // nothing buffered; the paper's sender never waits here
+		}
+		a, err := wire.DecodeAck(ackBuf[:n])
+		if err != nil {
+			return
+		}
+		if snd.HandleAck(a) == nil && opts.Progress != nil {
+			opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
+		}
+	}
+	for {
+		select {
+		case err := <-done:
+			snd.SetComplete()
+			return snd.Stats(), err
+		case <-ctx.Done():
+			return snd.Stats(), ctx.Err()
+		default:
+		}
+		// Phase 2: look for — never block for — one acknowledgement.
+		pollAck()
+		// Phases 1+3: batch-send with the schedule choosing each packet.
+		batch := snd.BatchSize()
+		sent := 0
+		for i := 0; i < batch; i++ {
+			pkt, ok := snd.NextPacket()
+			if !ok {
+				break
+			}
+			buf = wire.AppendData(buf[:0], &pkt)
+			if _, err := conn.Write(buf); err != nil {
+				break
+			}
+			sent++
+		}
+		if sent == 0 {
+			// Everything known-received: logically blocked on an ack or
+			// the completion signal.
+			select {
+			case err := <-done:
+				snd.SetComplete()
+				return snd.Stats(), err
+			case <-ctx.Done():
+				return snd.Stats(), ctx.Err()
+			case <-time.After(opts.IdlePoll):
+			}
+			continue
+		}
+		if gap := cfg.Rate.Gap()*time.Duration(sent) + opts.Pace*time.Duration(sent); gap > 0 {
+			paceDebt += gap
+			if paceDebt >= time.Millisecond {
+				time.Sleep(paceDebt)
+				paceDebt = 0
+			}
+		}
+	}
+}

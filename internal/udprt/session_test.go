@@ -1,0 +1,131 @@
+package udprt
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+)
+
+func TestSessionStreamsObjectsInOrder(t *testing.T) {
+	sl, err := ListenSession("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const frames = 5
+	objs := make([][]byte, frames)
+	rng := rand.New(rand.NewSource(3))
+	for i := range objs {
+		objs[i] = make([]byte, 128<<10+i*7777)
+		rng.Read(objs[i])
+	}
+
+	type recv struct {
+		objs [][]byte
+		err  error
+	}
+	done := make(chan recv, 1)
+	go func() {
+		is, err := sl.AcceptSession(ctx)
+		if err != nil {
+			done <- recv{err: err}
+			return
+		}
+		defer is.Close()
+		var got [][]byte
+		for i := 0; i < frames; i++ {
+			obj, _, err := is.Next(ctx)
+			if err != nil {
+				done <- recv{err: err}
+				return
+			}
+			got = append(got, obj)
+		}
+		done <- recv{objs: got}
+	}()
+
+	sess, err := OpenSession(ctx, sl.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i, obj := range objs {
+		if _, err := sess.Send(ctx, obj, core.Config{AckFrequency: 32}); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	for i := range objs {
+		if !bytes.Equal(r.objs[i], objs[i]) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+}
+
+func TestSessionSendEmptyObject(t *testing.T) {
+	sl, err := ListenSession("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sess, err := OpenSession(ctx, sl.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Send(ctx, nil, core.Config{}); err == nil {
+		t.Fatal("empty object accepted")
+	}
+}
+
+func TestSessionNextAfterSenderCloses(t *testing.T) {
+	sl, err := ListenSession("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() {
+		is, err := sl.AcceptSession(ctx)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer is.Close()
+		_, _, err = is.Next(ctx) // sender closes without a HELLO
+		errCh <- err
+	}()
+
+	sess, err := OpenSession(ctx, sl.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("Next returned nil error after the sender closed the session")
+	}
+}
+
+func TestOpenSessionNoListener(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := OpenSession(ctx, "127.0.0.1:1", Options{}); err == nil {
+		t.Fatal("OpenSession to a dead port succeeded")
+	}
+}

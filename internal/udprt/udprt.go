@@ -1,0 +1,265 @@
+// Package udprt is the real-network FOBS runtime: the same IO-free state
+// machines of internal/core driven over genuine UDP sockets, with the
+// completion signal on a TCP control connection — the paper's deployment
+// shape, runnable on loopback, LAN or WAN.
+//
+// Channel layout (paper §3): the sender pushes DATA datagrams to the
+// receiver's UDP port; the receiver pushes ACK datagrams back to the source
+// address of the data flow; one TCP connection carries HELLO (object size,
+// packet size) sender→receiver and COMPLETE receiver→sender.
+package udprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// Options tune the real-network drivers.
+type Options struct {
+	// ReadBuffer and WriteBuffer request kernel socket buffer sizes for
+	// the UDP data socket (default 4 MiB; best effort).
+	ReadBuffer, WriteBuffer int
+	// IdlePoll is how long the sender waits for acknowledgements or the
+	// completion signal when it has nothing to send (default 2 ms).
+	IdlePoll time.Duration
+	// Pace inserts a fixed per-packet delay on top of the configured
+	// rate controller, useful to keep loopback transfers from
+	// overrunning the receiving process (default 0). Sub-millisecond
+	// gaps are accumulated and paid in batches, since operating systems
+	// cannot sleep that briefly.
+	Pace time.Duration
+	// Progress, when non-nil, is called from the sender loop as
+	// acknowledgements arrive, with the count of packets known received
+	// and the total. Calls are made at most once per processed ack.
+	Progress func(knownReceived, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReadBuffer == 0 {
+		o.ReadBuffer = 4 << 20
+	}
+	if o.WriteBuffer == 0 {
+		o.WriteBuffer = 4 << 20
+	}
+	if o.IdlePoll == 0 {
+		o.IdlePoll = 2 * time.Millisecond
+	}
+	return o
+}
+
+// maxDatagram bounds receive buffers: the largest packet size the paper
+// sweeps (32 KiB) plus headers.
+const maxDatagram = 64 << 10
+
+// Listener accepts incoming FOBS transfers on a TCP control port and a UDP
+// data socket bound to the same port number.
+type Listener struct {
+	tcp  *net.TCPListener
+	udp  *net.UDPConn
+	opts Options
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7700") for control (TCP) and data
+// (UDP, same port).
+func Listen(addr string, opts Options) (*Listener, error) {
+	opts = opts.withDefaults()
+	tcpAddr, err := net.ResolveTCPAddr("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udprt: resolve %q: %w", addr, err)
+	}
+	tl, err := net.ListenTCP("tcp", tcpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udprt: listen control: %w", err)
+	}
+	udpAddr := &net.UDPAddr{IP: tcpAddr.IP, Port: tl.Addr().(*net.TCPAddr).Port}
+	ul, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		tl.Close()
+		return nil, fmt.Errorf("udprt: listen data: %w", err)
+	}
+	// Best effort: large kernel buffers, as the paper's tuning guides
+	// prescribe.
+	_ = ul.SetReadBuffer(opts.ReadBuffer)
+	_ = ul.SetWriteBuffer(opts.WriteBuffer)
+	return &Listener{tcp: tl, udp: ul, opts: opts}, nil
+}
+
+// Addr returns the control address the listener is bound to.
+func (l *Listener) Addr() string { return l.tcp.Addr().String() }
+
+// Close releases both sockets.
+func (l *Listener) Close() error {
+	l.udp.Close()
+	return l.tcp.Close()
+}
+
+// Accept waits for a sender's control connection and its HELLO, then runs
+// the receive loop until the object completes or ctx is cancelled,
+// returning the assembled object.
+func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		l.tcp.SetDeadline(dl)
+	}
+	ctl, err := l.tcp.AcceptTCP()
+	if err != nil {
+		return nil, core.ReceiverStats{}, fmt.Errorf("udprt: accept control: %w", err)
+	}
+	defer ctl.Close()
+
+	hello, err := readHello(ctx, ctl)
+	if err != nil {
+		return nil, core.ReceiverStats{}, err
+	}
+	cfg := core.Config{
+		PacketSize: int(hello.PacketSize),
+		Transfer:   hello.Transfer,
+		// The receiver's ack frequency is its own policy; the sender
+		// adapts to whatever cadence arrives.
+		AckFrequency: core.DefaultAckFrequency,
+	}
+	rcv := core.NewReceiver(int64(hello.ObjectSize), cfg)
+
+	buf := make([]byte, maxDatagram)
+	ackBuf := make([]byte, 0, cfg.PacketSize+wire.AckHeaderLen)
+	for !rcv.Complete() {
+		if err := ctx.Err(); err != nil {
+			return nil, rcv.Stats(), err
+		}
+		l.udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := l.udp.ReadFromUDP(buf)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return nil, rcv.Stats(), fmt.Errorf("udprt: data read: %w", err)
+		}
+		d, err := wire.DecodeData(buf[:n])
+		if err != nil {
+			continue // hostile or foreign datagram: drop
+		}
+		ackDue, err := rcv.HandleData(d)
+		if err != nil {
+			continue
+		}
+		if ackDue {
+			a := rcv.BuildAck()
+			ackBuf = wire.AppendAck(ackBuf[:0], &a)
+			if _, err := l.udp.WriteToUDP(ackBuf, from); err != nil {
+				return nil, rcv.Stats(), fmt.Errorf("udprt: ack write: %w", err)
+			}
+		}
+	}
+	// Completion signal on the control channel, carrying the object
+	// digest for an end-to-end integrity check.
+	msg := wire.AppendComplete(nil, &wire.Complete{
+		Transfer: hello.Transfer,
+		Received: hello.ObjectSize,
+		Digest:   wire.ObjectDigest(rcv.Object()),
+	})
+	if dl, ok := ctx.Deadline(); ok {
+		ctl.SetWriteDeadline(dl)
+	}
+	if _, err := ctl.Write(msg); err != nil {
+		return nil, rcv.Stats(), fmt.Errorf("udprt: completion write: %w", err)
+	}
+	return rcv.Object(), rcv.Stats(), nil
+}
+
+func readHello(ctx context.Context, ctl *net.TCPConn) (wire.Hello, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		ctl.SetReadDeadline(dl)
+	} else {
+		ctl.SetReadDeadline(time.Now().Add(30 * time.Second))
+	}
+	buf := make([]byte, wire.HelloLen)
+	for got := 0; got < len(buf); {
+		n, err := ctl.Read(buf[got:])
+		if err != nil {
+			return wire.Hello{}, fmt.Errorf("udprt: hello read: %w", err)
+		}
+		got += n
+	}
+	h, err := wire.DecodeHello(buf)
+	if err != nil {
+		return wire.Hello{}, fmt.Errorf("udprt: bad hello: %w", err)
+	}
+	return h, nil
+}
+
+// Send transfers obj to the FOBS listener at addr and returns the sender's
+// statistics. cfg follows core.Config defaults; the Transfer tag is chosen
+// by the caller (zero is fine for a single transfer).
+func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Options) (core.SenderStats, error) {
+	opts = opts.withDefaults()
+	if len(obj) == 0 {
+		return core.SenderStats{}, errors.New("udprt: empty object")
+	}
+	snd := core.NewSender(obj, cfg)
+	cfg = snd.Config() // defaults applied
+
+	ctl, err := net.Dial("tcp", addr)
+	if err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: dial control: %w", err)
+	}
+	defer ctl.Close()
+
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: resolve data addr: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: dial data: %w", err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadBuffer(opts.ReadBuffer)
+	_ = conn.SetWriteBuffer(opts.WriteBuffer)
+
+	hello := wire.AppendHello(nil, &wire.Hello{
+		Transfer:   cfg.Transfer,
+		ObjectSize: uint64(len(obj)),
+		PacketSize: uint32(cfg.PacketSize),
+	})
+	if _, err := ctl.Write(hello); err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: hello write: %w", err)
+	}
+
+	// The shared sender engine drives the transfer until the completion
+	// signal arrives on the control channel.
+	return runSenderLoop(ctx, snd, cfg, conn, ctl, opts)
+}
+
+// readCompleteVerified blocks until the receiver's COMPLETE arrives, then
+// checks the reported digest against the sender's own object.
+func readCompleteVerified(ctl net.Conn, snd *core.Sender) error {
+	buf := make([]byte, wire.CompleteLen)
+	for got := 0; got < len(buf); {
+		n, err := ctl.Read(buf[got:])
+		if err != nil {
+			return fmt.Errorf("udprt: control read: %w", err)
+		}
+		got += n
+	}
+	c, err := wire.DecodeComplete(buf)
+	if err != nil {
+		return fmt.Errorf("udprt: bad completion: %w", err)
+	}
+	if c.Received != uint64(snd.ObjectSize()) {
+		return fmt.Errorf("udprt: receiver reports %d bytes, sent %d", c.Received, snd.ObjectSize())
+	}
+	if want := snd.ObjectDigest(); c.Digest != want {
+		return fmt.Errorf("udprt: object digest mismatch: receiver %08x, sender %08x", c.Digest, want)
+	}
+	return nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

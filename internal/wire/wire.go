@@ -1,0 +1,303 @@
+// Package wire defines the FOBS wire formats shared by the simulated and
+// real-network runtimes.
+//
+// FOBS uses three message families, mirroring the paper's three channels:
+//
+//   - DATA packets on the sender→receiver UDP flow,
+//   - ACK packets on the receiver→sender UDP flow, and
+//   - control messages (HELLO/COMPLETE) on the reliable TCP channel.
+//
+// All integers are big-endian. Every decoder bounds-checks so a corrupted or
+// hostile datagram can never panic a peer; decoders return an error and the
+// runtimes drop the packet, exactly as a UDP protocol must.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/hpcnet/fobs/internal/bitmap"
+)
+
+// Magic identifies FOBS datagrams. Packets with a different magic are
+// dropped silently.
+const Magic uint16 = 0xF0B5
+
+// Message types.
+const (
+	TypeData     uint8 = 1 // sender → receiver, carries object bytes
+	TypeAck      uint8 = 2 // receiver → sender, carries status bitmap fragments
+	TypeHello    uint8 = 3 // control channel, announces a transfer
+	TypeComplete uint8 = 4 // control channel, "all data received"
+)
+
+// Header sizes in bytes.
+const (
+	DataHeaderLen = 2 + 1 + 1 + 4 + 4 + 4 + 2 + 4 // magic,type,flags,xfer,seq,total,len,crc = 22
+	AckHeaderLen  = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 2
+	HelloLen      = 2 + 1 + 1 + 4 + 8 + 4
+	CompleteLen   = 2 + 1 + 1 + 4 + 8 + 4
+)
+
+// Flag bits in the data header.
+const (
+	// FlagChecksum marks a data packet whose header carries a CRC-32C of
+	// the payload. UDP's 16-bit checksum misses real corruption on
+	// multi-gigabyte transfers; object-based transfers add their own.
+	FlagChecksum uint8 = 1 << 0
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by decoders.
+var (
+	ErrShort    = errors.New("wire: datagram too short")
+	ErrBadMagic = errors.New("wire: bad magic")
+	ErrBadType  = errors.New("wire: unexpected message type")
+	ErrChecksum = errors.New("wire: payload checksum mismatch")
+)
+
+// Data is one object packet. Seq numbers the packet within the object;
+// Total is the object's packet count (so a receiver can sanity-check);
+// Payload is the object bytes (the final packet may be short).
+type Data struct {
+	Transfer uint32
+	Seq      uint32
+	Total    uint32
+	Payload  []byte
+	// Checksum requests a CRC-32C over the payload on encode; on decode
+	// it reports whether the packet carried (and passed) one.
+	Checksum bool
+}
+
+// AppendData serializes d onto buf and returns the extended slice.
+func AppendData(buf []byte, d *Data) []byte {
+	if len(d.Payload) > 0xFFFF {
+		panic(fmt.Sprintf("wire: payload %d exceeds 64KiB framing limit", len(d.Payload)))
+	}
+	var flags uint8
+	var crc uint32
+	if d.Checksum {
+		flags |= FlagChecksum
+		crc = crc32.Checksum(d.Payload, castagnoli)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeData, flags)
+	buf = binary.BigEndian.AppendUint32(buf, d.Transfer)
+	buf = binary.BigEndian.AppendUint32(buf, d.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, d.Total)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	return append(buf, d.Payload...)
+}
+
+// DecodeData parses a DATA datagram, verifying the payload checksum when
+// the packet carries one. The returned payload aliases b.
+func DecodeData(b []byte) (Data, error) {
+	var d Data
+	if len(b) < DataHeaderLen {
+		return d, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return d, ErrBadMagic
+	}
+	if b[2] != TypeData {
+		return d, ErrBadType
+	}
+	flags := b[3]
+	d.Transfer = binary.BigEndian.Uint32(b[4:])
+	d.Seq = binary.BigEndian.Uint32(b[8:])
+	d.Total = binary.BigEndian.Uint32(b[12:])
+	n := int(binary.BigEndian.Uint16(b[16:]))
+	crc := binary.BigEndian.Uint32(b[18:])
+	if len(b) < DataHeaderLen+n {
+		return d, ErrShort
+	}
+	d.Payload = b[DataHeaderLen : DataHeaderLen+n]
+	if d.Total == 0 || d.Seq >= d.Total {
+		return d, fmt.Errorf("wire: data seq %d outside object of %d packets", d.Seq, d.Total)
+	}
+	if flags&FlagChecksum != 0 {
+		if crc32.Checksum(d.Payload, castagnoli) != crc {
+			return d, ErrChecksum
+		}
+		d.Checksum = true
+	}
+	return d, nil
+}
+
+// Ack is one acknowledgement packet. AckSeq numbers acks so the sender can
+// ignore reordered stale ones. Received is the receiver's cumulative count
+// of distinct packets; Delta is how many arrived since the previous ack —
+// the signal the adaptive batch policy consumes. Frag carries a
+// word-aligned slice of the status bitmap.
+type Ack struct {
+	Transfer uint32
+	AckSeq   uint32
+	Received uint32
+	Delta    uint32
+	Frag     bitmap.Fragment
+}
+
+// MaxFragWords returns how many bitmap words fit in an ack constrained to
+// packetSize bytes on the wire.
+func MaxFragWords(packetSize int) int {
+	n := (packetSize - AckHeaderLen) / 8
+	if n < 1 {
+		n = 1 // always carry at least one word, even if it bloats a tiny MTU
+	}
+	return n
+}
+
+// AppendAck serializes a onto buf and returns the extended slice.
+func AppendAck(buf []byte, a *Ack) []byte {
+	if a.Frag.Start%64 != 0 || a.Frag.Start < 0 {
+		panic(fmt.Sprintf("wire: fragment start %d not word-aligned", a.Frag.Start))
+	}
+	if len(a.Frag.Words) > 0xFFFF {
+		panic("wire: fragment too large to frame")
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeAck, 0)
+	buf = binary.BigEndian.AppendUint32(buf, a.Transfer)
+	buf = binary.BigEndian.AppendUint32(buf, a.AckSeq)
+	buf = binary.BigEndian.AppendUint32(buf, a.Received)
+	buf = binary.BigEndian.AppendUint32(buf, a.Delta)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.Frag.Start))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Frag.Words)))
+	for _, w := range a.Frag.Words {
+		buf = binary.BigEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeAck parses an ACK datagram.
+func DecodeAck(b []byte) (Ack, error) {
+	var a Ack
+	if len(b) < AckHeaderLen {
+		return a, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return a, ErrBadMagic
+	}
+	if b[2] != TypeAck {
+		return a, ErrBadType
+	}
+	a.Transfer = binary.BigEndian.Uint32(b[4:])
+	a.AckSeq = binary.BigEndian.Uint32(b[8:])
+	a.Received = binary.BigEndian.Uint32(b[12:])
+	a.Delta = binary.BigEndian.Uint32(b[16:])
+	start := binary.BigEndian.Uint32(b[20:])
+	nw := int(binary.BigEndian.Uint16(b[24:]))
+	if len(b) < AckHeaderLen+8*nw {
+		return a, ErrShort
+	}
+	if start%64 != 0 || start > 1<<31 {
+		return a, fmt.Errorf("wire: ack fragment start %d not word-aligned", start)
+	}
+	a.Frag.Start = int(start)
+	a.Frag.Words = make([]uint64, nw)
+	for i := 0; i < nw; i++ {
+		a.Frag.Words[i] = binary.BigEndian.Uint64(b[AckHeaderLen+8*i:])
+	}
+	return a, nil
+}
+
+// Hello announces a transfer on the control channel: the object size in
+// bytes and the data packet payload size, from which both sides derive the
+// packet count.
+type Hello struct {
+	Transfer   uint32
+	ObjectSize uint64
+	PacketSize uint32
+}
+
+// AppendHello serializes h onto buf.
+func AppendHello(buf []byte, h *Hello) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeHello, 0)
+	buf = binary.BigEndian.AppendUint32(buf, h.Transfer)
+	buf = binary.BigEndian.AppendUint64(buf, h.ObjectSize)
+	buf = binary.BigEndian.AppendUint32(buf, h.PacketSize)
+	return buf
+}
+
+// DecodeHello parses a HELLO control message.
+func DecodeHello(b []byte) (Hello, error) {
+	var h Hello
+	if len(b) < HelloLen {
+		return h, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[2] != TypeHello {
+		return h, ErrBadType
+	}
+	h.Transfer = binary.BigEndian.Uint32(b[4:])
+	h.ObjectSize = binary.BigEndian.Uint64(b[8:])
+	h.PacketSize = binary.BigEndian.Uint32(b[16:])
+	if h.PacketSize == 0 {
+		return h, errors.New("wire: hello with zero packet size")
+	}
+	return h, nil
+}
+
+// Complete is the receiver's "all data received" signal on the control
+// channel. Received echoes the byte count and Digest the CRC-32C of the
+// assembled object, giving the sender an end-to-end integrity check.
+type Complete struct {
+	Transfer uint32
+	Received uint64
+	Digest   uint32
+}
+
+// ObjectDigest computes the whole-object CRC-32C carried in Complete.
+func ObjectDigest(obj []byte) uint32 { return crc32.Checksum(obj, castagnoli) }
+
+// AppendComplete serializes c onto buf.
+func AppendComplete(buf []byte, c *Complete) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeComplete, 0)
+	buf = binary.BigEndian.AppendUint32(buf, c.Transfer)
+	buf = binary.BigEndian.AppendUint64(buf, c.Received)
+	buf = binary.BigEndian.AppendUint32(buf, c.Digest)
+	return buf
+}
+
+// DecodeComplete parses a COMPLETE control message.
+func DecodeComplete(b []byte) (Complete, error) {
+	var c Complete
+	if len(b) < CompleteLen {
+		return c, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return c, ErrBadMagic
+	}
+	if b[2] != TypeComplete {
+		return c, ErrBadType
+	}
+	c.Transfer = binary.BigEndian.Uint32(b[4:])
+	c.Received = binary.BigEndian.Uint64(b[8:])
+	c.Digest = binary.BigEndian.Uint32(b[16:])
+	return c, nil
+}
+
+// PeekType returns the message type of a datagram without fully decoding
+// it, or an error if it cannot possibly be a FOBS message.
+func PeekType(b []byte) (uint8, error) {
+	if len(b) < 3 {
+		return 0, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return 0, ErrBadMagic
+	}
+	t := b[2]
+	if t < TypeData || t > TypeComplete {
+		return 0, ErrBadType
+	}
+	return t, nil
+}
