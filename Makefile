@@ -1,0 +1,32 @@
+# Developer entry points. `make verify` is the full local gate; `make tier1`
+# is the minimal build-and-test check the roadmap pins.
+
+GO ?= go
+
+.PHONY: all tier1 vet race short test bench verify
+
+all: verify
+
+# The roadmap's tier-1 gate: everything builds, every test passes.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency-heavy packages (real sockets, fault injection, server
+# demux) must stay clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Quick signal: skips the fault-injection and real-socket heavyweights.
+short:
+	$(GO) test -short ./...
+
+test: tier1
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+verify: tier1 vet race

@@ -186,6 +186,9 @@ func BenchmarkSimulatedTransfer40MB(b *testing.B) {
 // BenchmarkLoopbackTransfer measures the real-socket runtime end to end on
 // loopback with an 8 MB object.
 func BenchmarkLoopbackTransfer(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-socket benchmark skipped in -short mode")
+	}
 	obj := bytes.Repeat([]byte{0xAB}, 8<<20)
 	b.SetBytes(int64(len(obj)))
 	for i := 0; i < b.N; i++ {

@@ -24,10 +24,13 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:7700", "address to listen on (TCP control + UDP data)")
 		out     = flag.String("out", "", "file to write the received object to (empty: discard)")
 		timeout = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+
+		idleTimeout = flag.Duration("idle-timeout", 0,
+			"abort when no data arrives mid-transfer for this long (0: default 30s, negative: disabled)")
 	)
 	flag.Parse()
 
-	l, err := fobs.Listen(*listen, fobs.Options{})
+	l, err := fobs.Listen(*listen, fobs.Options{IdleTimeout: *idleTimeout})
 	if err != nil {
 		log.Fatalf("fobs-recv: %v", err)
 	}

@@ -52,6 +52,13 @@ func main() {
 		pace       = flag.Duration("pace", 0, "extra delay per batch (helps tiny kernel buffers)")
 		progress   = flag.Bool("progress", false, "print transfer progress")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+
+		stallTimeout = flag.Duration("stall-timeout", 0,
+			"abort when no acknowledgement arrives for this long (0: default 15s, negative: disabled)")
+		handshakeTimeout = flag.Duration("handshake-timeout", 0,
+			"bound on each HELLO/HELLO-ACK exchange (0: default 10s)")
+		handshakeRetries = flag.Int("handshake-retries", 0,
+			"connection+handshake attempts before giving up (0: default 3)")
 	)
 	flag.Parse()
 
@@ -79,7 +86,12 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	opts := fobs.Options{Pace: *pace}
+	opts := fobs.Options{
+		Pace:             *pace,
+		StallTimeout:     *stallTimeout,
+		HandshakeTimeout: *handshakeTimeout,
+		HandshakeRetries: *handshakeRetries,
+	}
 	if *progress {
 		lastPct := -1
 		opts.Progress = func(done, total int) {

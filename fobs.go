@@ -88,10 +88,26 @@ const (
 
 // Real-network runtime.
 type (
-	// Options tunes the socket runtime (buffer sizes, idle polling).
+	// Options tunes the socket runtime: buffer sizes, idle polling, and
+	// the failure model's liveness watchdogs and handshake retries.
 	Options = udprt.Options
 	// Listener accepts incoming FOBS transfers.
 	Listener = udprt.Listener
+	// AbortError reports that the peer terminated a transfer with a
+	// reasoned ABORT control frame (duplicate transfer id, idle timeout,
+	// stall, cancellation).
+	AbortError = udprt.AbortError
+)
+
+// Failure-model sentinels (see the "Failure model" section of DESIGN.md).
+// Match them with errors.Is.
+var (
+	// ErrStalled reports the sender's liveness watchdog: the transfer was
+	// incomplete and no acknowledgement arrived for Options.StallTimeout.
+	ErrStalled = udprt.ErrStalled
+	// ErrIdle reports the receiver's liveness watchdog: the object was
+	// incomplete and no data arrived for Options.IdleTimeout.
+	ErrIdle = udprt.ErrIdle
 )
 
 // Listen binds addr (e.g. "0.0.0.0:7700") for incoming transfers: TCP for

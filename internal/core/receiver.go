@@ -18,6 +18,9 @@ type ReceiverStats struct {
 	AcksBuilt int
 	// Rejected counts malformed or mismatched packets dropped.
 	Rejected int
+	// IdleTimeouts counts firings of the driver's idle watchdog: the
+	// object was incomplete and no data arrived for the configured window.
+	IdleTimeouts int
 }
 
 // Receiver is the FOBS data-receiving state machine: it places each packet
@@ -69,6 +72,10 @@ func (r *Receiver) Complete() bool { return r.got.Full() }
 
 // Stats returns a snapshot of the receiver counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// NoteIdle records one firing of the driver's idle watchdog (the state
+// machines never read a clock, so liveness deadlines live in the driver).
+func (r *Receiver) NoteIdle() { r.stats.IdleTimeouts++ }
 
 // HandleData incorporates one data packet. It reports whether an
 // acknowledgement packet is now due (AckFrequency new packets arrived since

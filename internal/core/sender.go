@@ -21,6 +21,11 @@ type SenderStats struct {
 	StaleAcks int
 	// KnownReceived is how many packets the sender knows arrived.
 	KnownReceived int
+	// Stalls counts firings of the driver's stall watchdog: the transfer
+	// was incomplete and no acknowledgement arrived for the configured
+	// window (the paper's greedy sender has no such exit; production
+	// movers need one).
+	Stalls int
 }
 
 // Waste is the paper's wasted-network-resources metric: packets sent beyond
@@ -86,6 +91,11 @@ func (s *Sender) Done() bool { return s.complete }
 // SetComplete records the receiver's "all data received" control signal;
 // afterwards NextPacket stops yielding packets.
 func (s *Sender) SetComplete() { s.complete = true }
+
+// NoteStall records one firing of the driver's stall watchdog. The state
+// machines never read a clock, so liveness deadlines live in the driver;
+// this keeps the count in the transfer's statistics.
+func (s *Sender) NoteStall() { s.stats.Stalls++ }
 
 // Stats returns a snapshot of the sender counters.
 func (s *Sender) Stats() SenderStats {

@@ -1,0 +1,25 @@
+package faultnet
+
+import "net"
+
+// WrapPacketConn returns a PacketConn whose outbound datagrams pass
+// through f. Reads are untouched; wrap both endpoints to fault both
+// directions. WriteTo always reports success — a dropped datagram looks
+// exactly like network loss, which is the point.
+func WrapPacketConn(c net.PacketConn, f *Faults) net.PacketConn {
+	return &wrappedPacketConn{PacketConn: c, f: f}
+}
+
+type wrappedPacketConn struct {
+	net.PacketConn
+	f *Faults
+}
+
+func (w *wrappedPacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	w.f.Apply(p, func(pkt []byte) {
+		// Late (delayed/held) sends race conn teardown; the injected
+		// fault model treats those as lost, like any real straggler.
+		w.PacketConn.WriteTo(pkt, addr)
+	})
+	return len(p), nil
+}

@@ -1,0 +1,178 @@
+package udprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// Failure-model errors (see DESIGN.md, "Failure model"). Both watchdogs are
+// driver-level: the paper's protocol assumes live endpoints and specifies no
+// exit for a dead peer, so liveness deadlines live here, not in the cores.
+var (
+	// ErrStalled reports the sender's liveness watchdog: the transfer was
+	// incomplete and no acknowledgement arrived for Options.StallTimeout.
+	ErrStalled = errors.New("udprt: transfer stalled: no acknowledgement progress")
+	// ErrIdle reports the receiver's liveness watchdog: the object was
+	// incomplete and no data arrived for Options.IdleTimeout.
+	ErrIdle = errors.New("udprt: transfer idle: no data arriving")
+)
+
+// AbortError reports that the peer terminated the transfer with an ABORT
+// control frame; Reason carries the peer's stated cause.
+type AbortError struct {
+	Transfer uint32
+	Reason   wire.AbortReason
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("udprt: transfer %d aborted by peer: %s", e.Transfer, e.Reason)
+}
+
+// controlFrame is one decoded control-channel message.
+type controlFrame struct {
+	typ      uint8
+	hello    wire.Hello
+	helloAck wire.HelloAck
+	complete wire.Complete
+	abort    wire.Abort
+}
+
+// readControlFrame consumes exactly one control message from the stream:
+// the fixed 4-byte header first, then the remainder sized by the type.
+// Deadlines are the caller's business.
+func readControlFrame(ctl net.Conn) (controlFrame, error) {
+	var f controlFrame
+	var hdr [4]byte
+	if _, err := io.ReadFull(ctl, hdr[:]); err != nil {
+		return f, err
+	}
+	typ, err := wire.PeekType(hdr[:])
+	if err != nil {
+		return f, fmt.Errorf("udprt: bad control frame: %w", err)
+	}
+	total, err := wire.ControlLen(typ)
+	if err != nil {
+		return f, fmt.Errorf("udprt: control channel: %w", err)
+	}
+	buf := make([]byte, total)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(ctl, buf[len(hdr):]); err != nil {
+		return f, err
+	}
+	f.typ = typ
+	switch typ {
+	case wire.TypeHello:
+		f.hello, err = wire.DecodeHello(buf)
+	case wire.TypeHelloAck:
+		f.helloAck, err = wire.DecodeHelloAck(buf)
+	case wire.TypeComplete:
+		f.complete, err = wire.DecodeComplete(buf)
+	case wire.TypeAbort:
+		f.abort, err = wire.DecodeAbort(buf)
+	}
+	return f, err
+}
+
+// writeAbort best-effort sends an ABORT frame with a short deadline. Errors
+// are ignored: abort is already the failure path, and a dead control
+// connection reports the same fact to the peer.
+func writeAbort(ctl net.Conn, transfer uint32, reason wire.AbortReason) {
+	if ctl == nil {
+		return
+	}
+	msg := wire.AppendAbort(nil, &wire.Abort{Transfer: transfer, Reason: reason})
+	ctl.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	ctl.Write(msg)
+	ctl.SetWriteDeadline(time.Time{})
+}
+
+// writeHelloAck accepts a handshake on the control channel.
+func writeHelloAck(ctl net.Conn, transfer uint32) error {
+	msg := wire.AppendHelloAck(nil, &wire.HelloAck{Transfer: transfer})
+	ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	defer ctl.SetWriteDeadline(time.Time{})
+	if _, err := ctl.Write(msg); err != nil {
+		return fmt.Errorf("udprt: hello-ack write: %w", err)
+	}
+	return nil
+}
+
+// awaitHelloAck reads the receiver's handshake response within timeout
+// (clipped to ctx's deadline). The sender places no data on the network
+// until this succeeds, so a dead or rejecting receiver can never cause an
+// open-loop UDP blast.
+func awaitHelloAck(ctx context.Context, ctl net.Conn, transfer uint32, timeout time.Duration) error {
+	dl := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	ctl.SetReadDeadline(dl)
+	defer ctl.SetReadDeadline(time.Time{})
+	f, err := readControlFrame(ctl)
+	if err != nil {
+		return fmt.Errorf("udprt: handshake: %w", err)
+	}
+	switch f.typ {
+	case wire.TypeHelloAck:
+		if f.helloAck.Transfer != transfer {
+			return fmt.Errorf("udprt: handshake: hello-ack for transfer %d, want %d",
+				f.helloAck.Transfer, transfer)
+		}
+		return nil
+	case wire.TypeAbort:
+		return &AbortError{Transfer: f.abort.Transfer, Reason: f.abort.Reason}
+	default:
+		return fmt.Errorf("udprt: handshake: unexpected control frame type %d", f.typ)
+	}
+}
+
+// watchControl reads one control frame in the background, converting it (or
+// the connection's death) into an error on the returned channel, so a
+// receive loop notices a sender's ABORT or disappearance without blocking.
+// The goroutine exits once a frame or error arrives; closing the connection
+// releases it. Only safe while the connection carries at most one more
+// frame toward us — i.e. not on a multi-object session conn, where it would
+// steal the next HELLO.
+func watchControl(ctl net.Conn, transfer uint32) <-chan error {
+	ch := make(chan error, 1)
+	go func() {
+		f, err := readControlFrame(ctl)
+		switch {
+		case err != nil:
+			ch <- fmt.Errorf("udprt: control connection lost: %w", err)
+		case f.typ == wire.TypeAbort:
+			ch <- &AbortError{Transfer: f.abort.Transfer, Reason: f.abort.Reason}
+		default:
+			ch <- fmt.Errorf("udprt: unexpected control frame type %d mid-transfer", f.typ)
+		}
+	}()
+	return ch
+}
+
+// unblockOnDone kicks a blocking accept (or read) out when ctx ends by
+// setting an immediate deadline. The returned stop function waits for the
+// watcher to finish, so the caller can then safely clear the deadline and
+// leave the socket clean for later use — a context deadline on one Accept
+// must not poison all later Accepts.
+func unblockOnDone(ctx context.Context, setDeadline func(time.Time) error) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-ctx.Done():
+			setDeadline(time.Now())
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -16,7 +16,9 @@ import (
 // acceptor owns the per-transfer control connections while a single UDP
 // read loop demultiplexes data packets to per-transfer receivers by their
 // Transfer tag. Each sender must therefore pick a Transfer id distinct
-// from other transfers in flight to the same server.
+// from other transfers in flight to the same server; a colliding HELLO is
+// rejected with an ABORT (duplicate transfer id) rather than silently
+// dropped, so the colliding sender fails fast instead of timing out.
 type Server struct {
 	tcp  *net.TCPListener
 	udp  *net.UDPConn
@@ -32,6 +34,7 @@ type serverTransfer struct {
 	mu       sync.Mutex
 	rcv      *core.Receiver
 	ackBuf   []byte
+	lastData time.Time     // last datagram for this transfer (idle watchdog)
 	complete chan struct{} // closed exactly once, on completion
 	done     bool
 }
@@ -81,10 +84,16 @@ func (s *Server) Serve(ctx context.Context, handle Handler) error {
 	defer wg.Wait()
 	defer s.udp.Close() // unblocks dataLoop when accept ends
 
+	// One watcher covers the whole accept loop: ctx cancellation kicks
+	// the blocking accept out via an immediate deadline, and the deadline
+	// is cleared on the way out so the listener stays usable.
+	stop := unblockOnDone(ctx, s.tcp.SetDeadline)
+	defer func() {
+		stop()
+		s.tcp.SetDeadline(time.Time{})
+	}()
+
 	for {
-		if dl, ok := ctx.Deadline(); ok {
-			s.tcp.SetDeadline(dl)
-		}
 		ctl, err := s.tcp.AcceptTCP()
 		if err != nil {
 			if ctx.Err() != nil || s.isClosed() {
@@ -111,9 +120,10 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	defer ctl.Close()
 	hello, err := readHello(ctx, ctl)
 	if err != nil {
+		writeAbort(ctl, 0, wire.AbortBadHello)
 		return
 	}
-	st := &serverTransfer{complete: make(chan struct{})}
+	st := &serverTransfer{complete: make(chan struct{}), lastData: time.Now()}
 	st.rcv = core.NewReceiver(int64(hello.ObjectSize), core.Config{
 		PacketSize:   int(hello.PacketSize),
 		Transfer:     hello.Transfer,
@@ -123,7 +133,11 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	s.mu.Lock()
 	if _, dup := s.transfers[hello.Transfer]; dup {
 		s.mu.Unlock()
-		return // duplicate transfer id: drop the connection, sender times out
+		// Reject promptly: the colliding sender gets a reasoned ABORT
+		// instead of blasting data that would corrupt the other transfer's
+		// accounting and then stalling out.
+		writeAbort(ctl, hello.Transfer, wire.AbortDuplicateTransfer)
+		return
 	}
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
@@ -133,10 +147,47 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 		s.mu.Unlock()
 	}()
 
-	select {
-	case <-st.complete:
-	case <-ctx.Done():
+	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
 		return
+	}
+	// The connection carries at most one more inbound frame (an ABORT),
+	// so it is safe to watch for sender death while waiting.
+	abortCh := watchControl(ctl, hello.Transfer)
+
+	var idleC <-chan time.Time
+	if s.opts.IdleTimeout > 0 {
+		period := s.opts.IdleTimeout / 4
+		if period < 50*time.Millisecond {
+			period = 50 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		idleC = tick.C
+	}
+wait:
+	for {
+		select {
+		case <-st.complete:
+			break wait
+		case <-ctx.Done():
+			writeAbort(ctl, hello.Transfer, wire.AbortCancelled)
+			return
+		case <-abortCh:
+			// Sender aborted or its control connection died; the data
+			// loop's packets for this id stop mattering once we deregister.
+			return
+		case <-idleC:
+			st.mu.Lock()
+			idle := !st.done && time.Since(st.lastData) > s.opts.IdleTimeout
+			if idle {
+				st.rcv.NoteIdle()
+			}
+			st.mu.Unlock()
+			if idle {
+				writeAbort(ctl, hello.Transfer, wire.AbortIdleTimeout)
+				return
+			}
+		}
 	}
 	st.mu.Lock()
 	digest := wire.ObjectDigest(st.rcv.Object())
@@ -183,6 +234,7 @@ func (s *Server) dataLoop(ctx context.Context) {
 			continue // unknown or finished transfer
 		}
 		st.mu.Lock()
+		st.lastData = time.Now() // even a duplicate proves the sender lives
 		ackDue, err := st.rcv.HandleData(d)
 		if err != nil {
 			st.mu.Unlock()

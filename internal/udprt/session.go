@@ -12,10 +12,14 @@ import (
 )
 
 // Session sends a sequence of objects to one receiver over a single pair
-// of sockets: the control connection carries one HELLO/COMPLETE exchange
-// per object, and transfer tags auto-increment so stragglers from a
-// previous object cannot corrupt the next. This is the shape of the
+// of sockets: the control connection carries one HELLO/HELLO-ACK/COMPLETE
+// exchange per object, and transfer tags auto-increment so stragglers from
+// a previous object cannot corrupt the next. This is the shape of the
 // paper's remote-visualization workload — many frames, one peer.
+//
+// A session is not usable after a Send returns an error: the control
+// stream's framing state is ambiguous at that point. Close it and open a
+// fresh one.
 type Session struct {
 	ctl  *net.TCPConn
 	conn *net.UDPConn
@@ -54,7 +58,9 @@ func (s *Session) Close() error {
 }
 
 // Send transfers one object within the session. cfg.Transfer is
-// overridden by the session's own numbering.
+// overridden by the session's own numbering. There is no handshake retry
+// inside a session — on any error the control stream is suspect and the
+// session must be closed.
 func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.SenderStats, error) {
 	if len(obj) == 0 {
 		return core.SenderStats{}, errors.New("udprt: empty object")
@@ -69,8 +75,14 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 		ObjectSize: uint64(len(obj)),
 		PacketSize: uint32(cfg.PacketSize),
 	})
+	s.ctl.SetWriteDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	if _, err := s.ctl.Write(hello); err != nil {
+		s.ctl.SetWriteDeadline(time.Time{})
 		return snd.Stats(), fmt.Errorf("udprt: hello write: %w", err)
+	}
+	s.ctl.SetWriteDeadline(time.Time{})
+	if err := awaitHelloAck(ctx, s.ctl, cfg.Transfer, s.opts.HandshakeTimeout); err != nil {
+		return snd.Stats(), err
 	}
 	return runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts)
 }
@@ -104,10 +116,7 @@ type IncomingSession struct {
 
 // AcceptSession waits for one sender to connect.
 func (sl *SessionListener) AcceptSession(ctx context.Context) (*IncomingSession, error) {
-	if dl, ok := ctx.Deadline(); ok {
-		sl.l.tcp.SetDeadline(dl)
-	}
-	ctl, err := sl.l.tcp.AcceptTCP()
+	ctl, err := acceptControl(ctx, sl.l.tcp)
 	if err != nil {
 		return nil, fmt.Errorf("udprt: accept session: %w", err)
 	}
@@ -118,7 +127,9 @@ func (sl *SessionListener) AcceptSession(ctx context.Context) (*IncomingSession,
 func (is *IncomingSession) Close() error { return is.ctl.Close() }
 
 // Next receives the session's next object. It returns io-style errors when
-// the sender closes the session or ctx expires.
+// the sender closes the session or ctx expires. The control connection
+// carries further HELLOs after this object, so the receive loop cannot
+// watch it for aborts; the idle watchdog covers a vanished sender instead.
 func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats, error) {
 	hello, err := readHello(ctx, is.ctl)
 	if err != nil {
@@ -129,17 +140,14 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 		Transfer:     hello.Transfer,
 		AckFrequency: core.DefaultAckFrequency,
 	})
-	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp); err != nil {
+	if err := writeHelloAck(is.ctl, hello.Transfer); err != nil {
 		return nil, rcv.Stats(), err
 	}
-	msg := wire.AppendComplete(nil, &wire.Complete{
-		Transfer: hello.Transfer,
-		Received: hello.ObjectSize,
-		Digest:   wire.ObjectDigest(rcv.Object()),
-	})
-	is.ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	if _, err := is.ctl.Write(msg); err != nil {
-		return nil, rcv.Stats(), fmt.Errorf("udprt: completion write: %w", err)
+	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp, is.ctl, is.sl.l.opts, false); err != nil {
+		return nil, rcv.Stats(), err
+	}
+	if err := writeComplete(is.ctl, hello.Transfer, hello.ObjectSize, rcv); err != nil {
+		return nil, rcv.Stats(), err
 	}
 	return rcv.Object(), rcv.Stats(), nil
 }
@@ -148,12 +156,39 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 // completes, emitting acknowledgements. Packets from other transfers
 // (stragglers of a previous object in the session) are ignored by the
 // receiver's transfer tag.
-func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn) error {
+//
+// Liveness: if no datagram for this transfer arrives for
+// Options.IdleTimeout, the loop aborts the transfer (ABORT idle-timeout on
+// the control channel) and returns an error wrapping ErrIdle. When
+// watchCtl is true the loop additionally watches the control connection in
+// the background, so a sender's ABORT or death ends the receive promptly;
+// that is only safe on a connection dedicated to one transfer — on a
+// session connection it would steal the next HELLO.
+func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
+	ctl net.Conn, opts Options, watchCtl bool) error {
+
+	transfer := rcv.Config().Transfer
+	var abortCh <-chan error
+	if watchCtl && ctl != nil {
+		abortCh = watchControl(ctl, transfer)
+	}
 	buf := make([]byte, maxDatagram)
 	ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
+	lastData := time.Now()
 	for !rcv.Complete() {
 		if err := ctx.Err(); err != nil {
+			writeAbort(ctl, transfer, wire.AbortCancelled)
 			return err
+		}
+		select {
+		case err := <-abortCh:
+			return err
+		default:
+		}
+		if opts.IdleTimeout > 0 && time.Since(lastData) > opts.IdleTimeout {
+			rcv.NoteIdle()
+			writeAbort(ctl, transfer, wire.AbortIdleTimeout)
+			return fmt.Errorf("udprt: no data for %v: %w", opts.IdleTimeout, ErrIdle)
 		}
 		udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
 		n, from, err := udp.ReadFromUDP(buf)
@@ -166,6 +201,11 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn) e
 		d, err := wire.DecodeData(buf[:n])
 		if err != nil {
 			continue
+		}
+		if d.Transfer == transfer {
+			// Any datagram for this transfer — even a duplicate — proves
+			// the sender is alive.
+			lastData = time.Now()
 		}
 		ackDue, err := rcv.HandleData(d)
 		if err != nil {
@@ -190,11 +230,18 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn) e
 // acknowledgement packet") followed by one batch-send. Only the TCP
 // completion signal has its own goroutine — a hot sender loop must never
 // be able to starve the poll that feeds it.
+//
+// Liveness: if the transfer is incomplete and no acknowledgement arrives
+// for Options.StallTimeout, the loop aborts (ABORT stalled on the control
+// channel) and returns an error wrapping ErrStalled. Persistent UDP write
+// errors (e.g. ECONNREFUSED once the peer's socket is gone) surface after
+// writeErrLimit failures with no intervening acknowledgement; transient
+// buffer pressure (ENOBUFS et al.) is absorbed by the pacing loop.
 func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 	conn *net.UDPConn, ctl net.Conn, opts Options) (core.SenderStats, error) {
 
 	done := make(chan error, 1)
-	go func() { done <- readCompleteVerified(ctl, snd) }()
+	go func() { done <- readCompletion(ctl, snd) }()
 
 	buf := make([]byte, 0, cfg.PacketSize+wire.DataHeaderLen)
 	ackBuf := make([]byte, maxDatagram)
@@ -212,17 +259,34 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 			opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
 		}
 	}
+	acksSeen := 0
+	lastAck := time.Now()
+	writeErrs := 0
+	var lastWriteErr error
 	for {
 		select {
 		case err := <-done:
 			snd.SetComplete()
 			return snd.Stats(), err
 		case <-ctx.Done():
+			writeAbort(ctl, cfg.Transfer, wire.AbortCancelled)
 			return snd.Stats(), ctx.Err()
 		default:
 		}
 		// Phase 2: look for — never block for — one acknowledgement.
 		pollAck()
+		// Liveness: any processed ack — fresh or stale — proves the
+		// receiver is alive and resets both watchdog counters.
+		if st := snd.Stats(); st.AcksProcessed > acksSeen {
+			acksSeen = st.AcksProcessed
+			lastAck = time.Now()
+			writeErrs = 0
+		} else if opts.StallTimeout > 0 && time.Since(lastAck) > opts.StallTimeout {
+			snd.NoteStall()
+			writeAbort(ctl, cfg.Transfer, wire.AbortStalled)
+			return snd.Stats(), fmt.Errorf("udprt: no acknowledgement for %v: %w",
+				opts.StallTimeout, ErrStalled)
+		}
 		// Phases 1+3: batch-send with the schedule choosing each packet.
 		batch := snd.BatchSize()
 		sent := 0
@@ -233,18 +297,28 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 			}
 			buf = wire.AppendData(buf[:0], &pkt)
 			if _, err := conn.Write(buf); err != nil {
+				if !isTransientWriteErr(err) {
+					writeErrs++
+					lastWriteErr = err
+					if writeErrs >= writeErrLimit {
+						writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
+						return snd.Stats(), fmt.Errorf("udprt: data write: %w", lastWriteErr)
+					}
+				}
 				break
 			}
 			sent++
 		}
 		if sent == 0 {
-			// Everything known-received: logically blocked on an ack or
-			// the completion signal.
+			// Everything known-received, or this round's write failed:
+			// logically blocked on an ack, the completion signal, or the
+			// kernel buffer draining.
 			select {
 			case err := <-done:
 				snd.SetComplete()
 				return snd.Stats(), err
 			case <-ctx.Done():
+				writeAbort(ctl, cfg.Transfer, wire.AbortCancelled)
 				return snd.Stats(), ctx.Err()
 			case <-time.After(opts.IdlePoll):
 			}

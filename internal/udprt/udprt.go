@@ -5,8 +5,17 @@
 //
 // Channel layout (paper §3): the sender pushes DATA datagrams to the
 // receiver's UDP port; the receiver pushes ACK datagrams back to the source
-// address of the data flow; one TCP connection carries HELLO (object size,
-// packet size) sender→receiver and COMPLETE receiver→sender.
+// address of the data flow; one TCP connection carries the control
+// handshake (HELLO sender→receiver, HELLO-ACK back) and the terminal
+// signal (COMPLETE receiver→sender, or ABORT from either side).
+//
+// Failure model (beyond the paper, which assumes both endpoints stay alive
+// for the whole transfer): the sender transmits no data until the receiver
+// accepts the HELLO; a stall watchdog aborts the sender when no
+// acknowledgement arrives for Options.StallTimeout; an idle watchdog
+// aborts the receiver when no data arrives for Options.IdleTimeout; and
+// either side announces termination with an ABORT control frame carrying a
+// reason code instead of silently dropping the connection.
 package udprt
 
 import (
@@ -38,6 +47,28 @@ type Options struct {
 	// acknowledgements arrive, with the count of packets known received
 	// and the total. Calls are made at most once per processed ack.
 	Progress func(knownReceived, total int)
+	// StallTimeout is the sender's liveness watchdog: if the transfer is
+	// incomplete and no acknowledgement arrives for this long, the
+	// sender emits ABORT on the control channel and returns an error
+	// wrapping ErrStalled. The paper's greedy sender would blast UDP
+	// forever at a dead receiver. Default 15s; negative disables.
+	StallTimeout time.Duration
+	// IdleTimeout is the receiver's liveness watchdog: if the object is
+	// incomplete and no data arrives for this long, the receiver emits
+	// ABORT and returns an error wrapping ErrIdle. Default 30s; negative
+	// disables.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds each HELLO → HELLO-ACK exchange (default
+	// 10s).
+	HandshakeTimeout time.Duration
+	// HandshakeRetries is how many times Send attempts the control
+	// connection plus handshake before giving up (default 3). Retries
+	// cover connection errors and timeouts only; an ABORT rejection from
+	// the receiver is final.
+	HandshakeRetries int
+	// HandshakeBackoff is the delay before the second handshake attempt,
+	// doubling on each further attempt (default 200ms).
+	HandshakeBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -50,12 +81,31 @@ func (o Options) withDefaults() Options {
 	if o.IdlePoll == 0 {
 		o.IdlePoll = 2 * time.Millisecond
 	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 15 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 30 * time.Second
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.HandshakeRetries == 0 {
+		o.HandshakeRetries = 3
+	}
+	if o.HandshakeBackoff == 0 {
+		o.HandshakeBackoff = 200 * time.Millisecond
+	}
 	return o
 }
 
 // maxDatagram bounds receive buffers: the largest packet size the paper
 // sweeps (32 KiB) plus headers.
 const maxDatagram = 64 << 10
+
+// writeErrLimit is how many consecutive persistently-failing batch-send
+// rounds the sender tolerates before surfacing the write error.
+const writeErrLimit = 8
 
 // Listener accepts incoming FOBS transfers on a TCP control port and a UDP
 // data socket bound to the same port number.
@@ -99,16 +149,31 @@ func (l *Listener) Close() error {
 	return l.tcp.Close()
 }
 
-// Accept waits for a sender's control connection and its HELLO, then runs
-// the receive loop until the object completes or ctx is cancelled,
+// acceptControl blocks for one control connection, honouring both ctx
+// cancellation and its deadline, and always leaves the listener's deadline
+// cleared so one bounded Accept cannot poison later ones.
+func acceptControl(ctx context.Context, tl *net.TCPListener) (*net.TCPConn, error) {
+	stop := unblockOnDone(ctx, tl.SetDeadline)
+	ctl, err := tl.AcceptTCP()
+	stop()
+	tl.SetDeadline(time.Time{})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("udprt: accept control: %w", ctxErr)
+		}
+		return nil, fmt.Errorf("udprt: accept control: %w", err)
+	}
+	return ctl, nil
+}
+
+// Accept waits for a sender's control connection and its HELLO,
+// acknowledges the handshake, then runs the receive loop until the object
+// completes, the idle watchdog fires, the sender aborts, or ctx ends,
 // returning the assembled object.
 func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, error) {
-	if dl, ok := ctx.Deadline(); ok {
-		l.tcp.SetDeadline(dl)
-	}
-	ctl, err := l.tcp.AcceptTCP()
+	ctl, err := acceptControl(ctx, l.tcp)
 	if err != nil {
-		return nil, core.ReceiverStats{}, fmt.Errorf("udprt: accept control: %w", err)
+		return nil, core.ReceiverStats{}, err
 	}
 	defer ctl.Close()
 
@@ -124,72 +189,55 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 		AckFrequency: core.DefaultAckFrequency,
 	}
 	rcv := core.NewReceiver(int64(hello.ObjectSize), cfg)
+	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
+		return nil, rcv.Stats(), err
+	}
 
-	buf := make([]byte, maxDatagram)
-	ackBuf := make([]byte, 0, cfg.PacketSize+wire.AckHeaderLen)
-	for !rcv.Complete() {
-		if err := ctx.Err(); err != nil {
-			return nil, rcv.Stats(), err
-		}
-		l.udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, from, err := l.udp.ReadFromUDP(buf)
-		if err != nil {
-			if isTimeout(err) {
-				continue
-			}
-			return nil, rcv.Stats(), fmt.Errorf("udprt: data read: %w", err)
-		}
-		d, err := wire.DecodeData(buf[:n])
-		if err != nil {
-			continue // hostile or foreign datagram: drop
-		}
-		ackDue, err := rcv.HandleData(d)
-		if err != nil {
-			continue
-		}
-		if ackDue {
-			a := rcv.BuildAck()
-			ackBuf = wire.AppendAck(ackBuf[:0], &a)
-			if _, err := l.udp.WriteToUDP(ackBuf, from); err != nil {
-				return nil, rcv.Stats(), fmt.Errorf("udprt: ack write: %w", err)
-			}
-		}
+	// The connection carries at most one more inbound frame (an ABORT),
+	// so the receive loop may watch it for sender death.
+	if err := runReceiveLoop(ctx, rcv, l.udp, ctl, l.opts, true); err != nil {
+		return nil, rcv.Stats(), err
 	}
-	// Completion signal on the control channel, carrying the object
-	// digest for an end-to-end integrity check.
-	msg := wire.AppendComplete(nil, &wire.Complete{
-		Transfer: hello.Transfer,
-		Received: hello.ObjectSize,
-		Digest:   wire.ObjectDigest(rcv.Object()),
-	})
-	if dl, ok := ctx.Deadline(); ok {
-		ctl.SetWriteDeadline(dl)
-	}
-	if _, err := ctl.Write(msg); err != nil {
-		return nil, rcv.Stats(), fmt.Errorf("udprt: completion write: %w", err)
+	if err := writeComplete(ctl, hello.Transfer, hello.ObjectSize, rcv); err != nil {
+		return nil, rcv.Stats(), err
 	}
 	return rcv.Object(), rcv.Stats(), nil
 }
 
-func readHello(ctx context.Context, ctl *net.TCPConn) (wire.Hello, error) {
-	if dl, ok := ctx.Deadline(); ok {
-		ctl.SetReadDeadline(dl)
-	} else {
-		ctl.SetReadDeadline(time.Now().Add(30 * time.Second))
+// writeComplete sends the terminal control signal, carrying the object
+// digest for an end-to-end integrity check.
+func writeComplete(ctl net.Conn, transfer uint32, size uint64, rcv *core.Receiver) error {
+	msg := wire.AppendComplete(nil, &wire.Complete{
+		Transfer: transfer,
+		Received: size,
+		Digest:   wire.ObjectDigest(rcv.Object()),
+	})
+	ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	defer ctl.SetWriteDeadline(time.Time{})
+	if _, err := ctl.Write(msg); err != nil {
+		return fmt.Errorf("udprt: completion write: %w", err)
 	}
-	buf := make([]byte, wire.HelloLen)
-	for got := 0; got < len(buf); {
-		n, err := ctl.Read(buf[got:])
-		if err != nil {
-			return wire.Hello{}, fmt.Errorf("udprt: hello read: %w", err)
-		}
-		got += n
+	return nil
+}
+
+// readHello consumes the transfer announcement, bounded by 30s or ctx's
+// deadline, whichever is sooner. The deadline is cleared afterwards so it
+// never lingers on the control connection.
+func readHello(ctx context.Context, ctl net.Conn) (wire.Hello, error) {
+	dl := time.Now().Add(30 * time.Second)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
 	}
-	h, err := wire.DecodeHello(buf)
+	ctl.SetReadDeadline(dl)
+	defer ctl.SetReadDeadline(time.Time{})
+	f, err := readControlFrame(ctl)
 	if err != nil {
-		return wire.Hello{}, fmt.Errorf("udprt: bad hello: %w", err)
+		return wire.Hello{}, fmt.Errorf("udprt: hello read: %w", err)
 	}
-	return h, nil
+	if f.typ != wire.TypeHello {
+		return wire.Hello{}, fmt.Errorf("udprt: expected HELLO, got control frame type %d", f.typ)
+	}
+	return f.hello, nil
 }
 
 // Send transfers obj to the FOBS listener at addr and returns the sender's
@@ -203,53 +251,104 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 	snd := core.NewSender(obj, cfg)
 	cfg = snd.Config() // defaults applied
 
-	ctl, err := net.Dial("tcp", addr)
+	hello := wire.AppendHello(nil, &wire.Hello{
+		Transfer:   cfg.Transfer,
+		ObjectSize: uint64(len(obj)),
+		PacketSize: uint32(cfg.PacketSize),
+	})
+	ctl, err := dialHandshake(ctx, addr, hello, cfg.Transfer, opts)
 	if err != nil {
-		return snd.Stats(), fmt.Errorf("udprt: dial control: %w", err)
+		return snd.Stats(), err
 	}
 	defer ctl.Close()
 
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
+		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
 		return snd.Stats(), fmt.Errorf("udprt: resolve data addr: %w", err)
 	}
 	conn, err := net.DialUDP("udp", nil, udpAddr)
 	if err != nil {
+		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
 		return snd.Stats(), fmt.Errorf("udprt: dial data: %w", err)
 	}
 	defer conn.Close()
 	_ = conn.SetReadBuffer(opts.ReadBuffer)
 	_ = conn.SetWriteBuffer(opts.WriteBuffer)
 
-	hello := wire.AppendHello(nil, &wire.Hello{
-		Transfer:   cfg.Transfer,
-		ObjectSize: uint64(len(obj)),
-		PacketSize: uint32(cfg.PacketSize),
-	})
-	if _, err := ctl.Write(hello); err != nil {
-		return snd.Stats(), fmt.Errorf("udprt: hello write: %w", err)
-	}
-
 	// The shared sender engine drives the transfer until the completion
 	// signal arrives on the control channel.
 	return runSenderLoop(ctx, snd, cfg, conn, ctl, opts)
 }
 
-// readCompleteVerified blocks until the receiver's COMPLETE arrives, then
-// checks the reported digest against the sender's own object.
-func readCompleteVerified(ctl net.Conn, snd *core.Sender) error {
-	buf := make([]byte, wire.CompleteLen)
-	for got := 0; got < len(buf); {
-		n, err := ctl.Read(buf[got:])
-		if err != nil {
-			return fmt.Errorf("udprt: control read: %w", err)
+// dialHandshake establishes the control connection and completes the
+// HELLO → HELLO-ACK exchange, retrying with exponential backoff on
+// connection errors and timeouts. An ABORT from the receiver (e.g. a
+// duplicate transfer id) is final and never retried.
+func dialHandshake(ctx context.Context, addr string, hello []byte, transfer uint32, opts Options) (net.Conn, error) {
+	var lastErr error
+	backoff := opts.HandshakeBackoff
+	for attempt := 0; attempt < opts.HandshakeRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("udprt: handshake: %w", ctx.Err())
+			case <-time.After(backoff):
+			}
+			backoff *= 2
 		}
-		got += n
+		ctl, err := attemptHandshake(ctx, addr, hello, transfer, opts)
+		if err == nil {
+			return ctl, nil
+		}
+		var abort *AbortError
+		if errors.As(err, &abort) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
 	}
-	c, err := wire.DecodeComplete(buf)
+	return nil, fmt.Errorf("udprt: handshake failed after %d attempts: %w",
+		opts.HandshakeRetries, lastErr)
+}
+
+func attemptHandshake(ctx context.Context, addr string, hello []byte, transfer uint32, opts Options) (net.Conn, error) {
+	var d net.Dialer
+	ctl, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return fmt.Errorf("udprt: bad completion: %w", err)
+		return nil, fmt.Errorf("udprt: dial control: %w", err)
 	}
+	ctl.SetWriteDeadline(time.Now().Add(opts.HandshakeTimeout))
+	if _, err := ctl.Write(hello); err != nil {
+		ctl.Close()
+		return nil, fmt.Errorf("udprt: hello write: %w", err)
+	}
+	ctl.SetWriteDeadline(time.Time{})
+	if err := awaitHelloAck(ctx, ctl, transfer, opts.HandshakeTimeout); err != nil {
+		ctl.Close()
+		return nil, err
+	}
+	return ctl, nil
+}
+
+// readCompletion blocks until the receiver's terminal control frame
+// arrives: COMPLETE (whose digest is verified against the sender's own
+// object) or ABORT.
+func readCompletion(ctl net.Conn, snd *core.Sender) error {
+	f, err := readControlFrame(ctl)
+	if err != nil {
+		return fmt.Errorf("udprt: control read: %w", err)
+	}
+	switch f.typ {
+	case wire.TypeAbort:
+		return &AbortError{Transfer: f.abort.Transfer, Reason: f.abort.Reason}
+	case wire.TypeComplete:
+	default:
+		return fmt.Errorf("udprt: unexpected control frame type %d awaiting completion", f.typ)
+	}
+	c := f.complete
 	if c.Received != uint64(snd.ObjectSize()) {
 		return fmt.Errorf("udprt: receiver reports %d bytes, sent %d", c.Received, snd.ObjectSize())
 	}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package udprt
+
+// isTransientWriteErr is conservative off unix: every write error counts
+// toward the persistent-failure limit.
+func isTransientWriteErr(error) bool { return false }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package udprt
+
+import (
+	"errors"
+	"syscall"
+)
+
+// isTransientWriteErr reports kernel-buffer pressure that a paced retry
+// absorbs (a greedy sender can outrun loopback socket buffers), as opposed
+// to a persistent failure — e.g. ECONNREFUSED once the peer's socket is
+// gone — that must surface instead of looping silently.
+func isTransientWriteErr(err error) bool {
+	return errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR)
+}

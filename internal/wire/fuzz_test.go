@@ -56,6 +56,8 @@ func FuzzDecodeAck(f *testing.F) {
 func FuzzDecodeControl(f *testing.F) {
 	f.Add(AppendHello(nil, &Hello{Transfer: 1, ObjectSize: 10, PacketSize: 1024}))
 	f.Add(AppendComplete(nil, &Complete{Transfer: 1, Received: 10}))
+	f.Add(AppendHelloAck(nil, &HelloAck{Transfer: 1}))
+	f.Add(AppendAbort(nil, &Abort{Transfer: 1, Reason: AbortStalled}))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if h, err := DecodeHello(b); err == nil {
 			if _, err := DecodeHello(AppendHello(nil, &h)); err != nil {
@@ -65,6 +67,22 @@ func FuzzDecodeControl(f *testing.F) {
 		if c, err := DecodeComplete(b); err == nil {
 			if _, err := DecodeComplete(AppendComplete(nil, &c)); err != nil {
 				t.Fatalf("complete re-decode failed: %v", err)
+			}
+		}
+		if h, err := DecodeHelloAck(b); err == nil {
+			if _, err := DecodeHelloAck(AppendHelloAck(nil, &h)); err != nil {
+				t.Fatalf("hello-ack re-decode failed: %v", err)
+			}
+		}
+		if a, err := DecodeAbort(b); err == nil {
+			if re, err := DecodeAbort(AppendAbort(nil, &a)); err != nil || re != a {
+				t.Fatalf("abort re-decode failed: %v (%+v vs %+v)", err, re, a)
+			}
+		}
+		// Any frame the stream framer would read must have a stable length.
+		if typ, err := PeekType(b); err == nil && typ != TypeData && typ != TypeAck {
+			if _, err := ControlLen(typ); err != nil {
+				t.Fatalf("PeekType accepted control type %d but ControlLen rejects it", typ)
 			}
 		}
 	})

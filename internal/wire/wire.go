@@ -31,6 +31,8 @@ const (
 	TypeAck      uint8 = 2 // receiver → sender, carries status bitmap fragments
 	TypeHello    uint8 = 3 // control channel, announces a transfer
 	TypeComplete uint8 = 4 // control channel, "all data received"
+	TypeHelloAck uint8 = 5 // control channel, receiver accepts the transfer
+	TypeAbort    uint8 = 6 // control channel, either side terminates the transfer
 )
 
 // Header sizes in bytes.
@@ -39,6 +41,8 @@ const (
 	AckHeaderLen  = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 2
 	HelloLen      = 2 + 1 + 1 + 4 + 8 + 4
 	CompleteLen   = 2 + 1 + 1 + 4 + 8 + 4
+	HelloAckLen   = 2 + 1 + 1 + 4
+	AbortLen      = 2 + 1 + 1 + 4 + 1
 )
 
 // Flag bits in the data header.
@@ -286,6 +290,128 @@ func DecodeComplete(b []byte) (Complete, error) {
 	return c, nil
 }
 
+// HelloAck is the receiver's acceptance of a HELLO on the control channel.
+// Until it arrives the sender does not place data on the network, so a dead
+// or rejecting receiver can never cause an open-loop UDP blast.
+type HelloAck struct {
+	Transfer uint32
+}
+
+// AppendHelloAck serializes h onto buf.
+func AppendHelloAck(buf []byte, h *HelloAck) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeHelloAck, 0)
+	return binary.BigEndian.AppendUint32(buf, h.Transfer)
+}
+
+// DecodeHelloAck parses a HELLO-ACK control message.
+func DecodeHelloAck(b []byte) (HelloAck, error) {
+	var h HelloAck
+	if len(b) < HelloAckLen {
+		return h, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[2] != TypeHelloAck {
+		return h, ErrBadType
+	}
+	h.Transfer = binary.BigEndian.Uint32(b[4:])
+	return h, nil
+}
+
+// AbortReason explains why a transfer was terminated.
+type AbortReason uint8
+
+const (
+	// AbortUnspecified is a generic termination.
+	AbortUnspecified AbortReason = iota
+	// AbortDuplicateTransfer rejects a HELLO whose transfer id is already
+	// in flight at the receiver.
+	AbortDuplicateTransfer
+	// AbortIdleTimeout is the receiver's liveness watchdog: no data
+	// arrived for the configured idle window.
+	AbortIdleTimeout
+	// AbortStalled is the sender's liveness watchdog: no acknowledgement
+	// arrived for the configured stall window.
+	AbortStalled
+	// AbortCancelled reports a local context cancellation or endpoint
+	// shutdown.
+	AbortCancelled
+	// AbortBadHello rejects a malformed or unacceptable handshake.
+	AbortBadHello
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortUnspecified:
+		return "unspecified"
+	case AbortDuplicateTransfer:
+		return "duplicate transfer id"
+	case AbortIdleTimeout:
+		return "receiver idle timeout"
+	case AbortStalled:
+		return "sender stalled"
+	case AbortCancelled:
+		return "cancelled"
+	case AbortBadHello:
+		return "handshake rejected"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Abort terminates a transfer from either side of the control channel. It
+// replaces the silent connection drop, which left the greedy peer running
+// until (at best) a watchdog fired.
+type Abort struct {
+	Transfer uint32
+	Reason   AbortReason
+}
+
+// AppendAbort serializes a onto buf.
+func AppendAbort(buf []byte, a *Abort) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeAbort, 0)
+	buf = binary.BigEndian.AppendUint32(buf, a.Transfer)
+	return append(buf, uint8(a.Reason))
+}
+
+// DecodeAbort parses an ABORT control message.
+func DecodeAbort(b []byte) (Abort, error) {
+	var a Abort
+	if len(b) < AbortLen {
+		return a, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return a, ErrBadMagic
+	}
+	if b[2] != TypeAbort {
+		return a, ErrBadType
+	}
+	a.Transfer = binary.BigEndian.Uint32(b[4:])
+	a.Reason = AbortReason(b[8])
+	return a, nil
+}
+
+// ControlLen returns the full frame length of a fixed-size control message
+// type, letting a stream reader consume exactly one frame after peeking the
+// 4-byte header.
+func ControlLen(typ uint8) (int, error) {
+	switch typ {
+	case TypeHello:
+		return HelloLen, nil
+	case TypeHelloAck:
+		return HelloAckLen, nil
+	case TypeComplete:
+		return CompleteLen, nil
+	case TypeAbort:
+		return AbortLen, nil
+	default:
+		return 0, ErrBadType
+	}
+}
+
 // PeekType returns the message type of a datagram without fully decoding
 // it, or an error if it cannot possibly be a FOBS message.
 func PeekType(b []byte) (uint8, error) {
@@ -296,7 +422,7 @@ func PeekType(b []byte) (uint8, error) {
 		return 0, ErrBadMagic
 	}
 	t := b[2]
-	if t < TypeData || t > TypeComplete {
+	if t < TypeData || t > TypeAbort {
 		return 0, ErrBadType
 	}
 	return t, nil

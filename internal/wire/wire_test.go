@@ -200,12 +200,97 @@ func TestCompleteRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloAckRoundTrip(t *testing.T) {
+	h := HelloAck{Transfer: 77}
+	got, err := DecodeHelloAck(AppendHelloAck(nil, &h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestDecodeHelloAckErrors(t *testing.T) {
+	good := AppendHelloAck(nil, &HelloAck{Transfer: 1})
+	if _, err := DecodeHelloAck(good[:HelloAckLen-1]); err != ErrShort {
+		t.Errorf("short: %v", err)
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 0
+	if _, err := DecodeHelloAck(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := DecodeHelloAck(AppendAbort(nil, &Abort{})); err != ErrBadType {
+		t.Errorf("wrong type: %v", err)
+	}
+}
+
+func TestAbortRoundTrip(t *testing.T) {
+	for _, reason := range []AbortReason{
+		AbortUnspecified, AbortDuplicateTransfer, AbortIdleTimeout,
+		AbortStalled, AbortCancelled, AbortBadHello, AbortReason(200),
+	} {
+		a := Abort{Transfer: 9, Reason: reason}
+		got, err := DecodeAbort(AppendAbort(nil, &a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, a)
+		}
+		if got.Reason.String() == "" {
+			t.Fatalf("reason %d has empty String()", reason)
+		}
+	}
+}
+
+func TestDecodeAbortErrors(t *testing.T) {
+	good := AppendAbort(nil, &Abort{Transfer: 1, Reason: AbortStalled})
+	if _, err := DecodeAbort(good[:AbortLen-1]); err != ErrShort {
+		t.Errorf("short: %v", err)
+	}
+	bad := append([]byte{}, good...)
+	bad[1] = 0
+	if _, err := DecodeAbort(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	// A HELLO frame is long enough to pass the length check but has the
+	// wrong type byte.
+	if _, err := DecodeAbort(AppendHello(nil, &Hello{PacketSize: 1})); err != ErrBadType {
+		t.Errorf("wrong type: %v", err)
+	}
+}
+
+func TestControlLen(t *testing.T) {
+	cases := map[uint8]int{
+		TypeHello:    len(AppendHello(nil, &Hello{PacketSize: 1})),
+		TypeHelloAck: len(AppendHelloAck(nil, &HelloAck{})),
+		TypeComplete: len(AppendComplete(nil, &Complete{})),
+		TypeAbort:    len(AppendAbort(nil, &Abort{})),
+	}
+	for typ, want := range cases {
+		got, err := ControlLen(typ)
+		if err != nil || got != want {
+			t.Errorf("ControlLen(%d) = (%d, %v), want (%d, nil)", typ, got, err, want)
+		}
+	}
+	// Data and ack are datagram types, never framed on the control stream.
+	for _, typ := range []uint8{TypeData, TypeAck, 99} {
+		if _, err := ControlLen(typ); err != ErrBadType {
+			t.Errorf("ControlLen(%d) err = %v, want ErrBadType", typ, err)
+		}
+	}
+}
+
 func TestPeekType(t *testing.T) {
 	msgs := map[uint8][]byte{
 		TypeData:     AppendData(nil, &Data{Total: 1}),
 		TypeAck:      AppendAck(nil, &Ack{}),
 		TypeHello:    AppendHello(nil, &Hello{PacketSize: 1}),
 		TypeComplete: AppendComplete(nil, &Complete{}),
+		TypeHelloAck: AppendHelloAck(nil, &HelloAck{}),
+		TypeAbort:    AppendAbort(nil, &Abort{Reason: AbortIdleTimeout}),
 	}
 	for want, buf := range msgs {
 		got, err := PeekType(buf)
@@ -236,6 +321,8 @@ func TestDecodersNeverPanic(t *testing.T) {
 		DecodeAck(b)
 		DecodeHello(b)
 		DecodeComplete(b)
+		DecodeHelloAck(b)
+		DecodeAbort(b)
 		PeekType(b)
 		return true
 	}

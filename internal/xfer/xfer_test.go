@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -139,8 +140,10 @@ func TestManifestRoundTripProperty(t *testing.T) {
 			if n == "" || len(n) > 200 {
 				continue
 			}
-			// Sanitize into a safe relative path.
-			safe := "f" + filepath.ToSlash(filepath.Clean(filepath.Base(n)))
+			// Sanitize into a safe relative path. Backslashes survive
+			// filepath.Base on non-Windows hosts but validateRelPath
+			// rejects them, so strip them here.
+			safe := "f" + filepath.ToSlash(filepath.Clean(filepath.Base(strings.ReplaceAll(n, `\`, "_"))))
 			if safe == "f." || safe == "f.." {
 				continue
 			}
