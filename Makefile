@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short test bench verify
+.PHONY: all tier1 vet race short test bench bench-json verify
 
 all: verify
 
@@ -26,7 +26,17 @@ short:
 
 test: tier1
 
+# Smoke-run every benchmark in the tree once. The real-socket heavyweights
+# honour -short and are skipped here; drop the flag for real numbers.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -short -bench=. -benchtime=1x -run=^$$ ./...
+
+# Full batched-IO benchmark sweep, recorded as machine-readable JSON for
+# regression tracking: ns/op, packets/sec and allocs/op per path, plus
+# fast-vs-scalar speedup ratios.
+bench-json:
+	$(GO) test -bench=. -benchtime=1s -run=^$$ ./internal/udprt \
+		| $(GO) run ./cmd/fobs-benchjson > BENCH_udprt.json
+	@grep -A4 '"ratios"' BENCH_udprt.json | head -8 || true
 
 verify: tier1 vet race

@@ -1,0 +1,148 @@
+// Command fobs-benchjson turns `go test -bench` text output into a JSON
+// benchmark record, for machine-readable regression tracking of the
+// batched-IO fast path (see `make bench-json`, which writes
+// BENCH_udprt.json).
+//
+//	go test -bench=. -run='^$' ./internal/udprt | fobs-benchjson
+//
+// Every metric pair the benchmark emitted (ns/op, MB/s, pkts/s, allocs/op,
+// ...) is carried through verbatim. Sub-benchmarks named .../fast and
+// .../scalar are additionally paired into speedup ratios, since the whole
+// point of the fast path is the multiple between those two rows.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line of `go test -bench` output.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Ratio compares the fast and scalar variants of one benchmark.
+type Ratio struct {
+	Name    string  `json:"name"`
+	Metric  string  `json:"metric"`
+	Fast    float64 `json:"fast"`
+	Scalar  float64 `json:"scalar"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Ratios     []Ratio           `json:"ratios"`
+}
+
+// parseLine parses one `BenchmarkX-8  1234  56.7 ns/op  8.9 MB/s ...` row.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+// ratioDirection reports whether a higher value of the metric is better
+// (throughput-like) or worse (cost-like); speedup is always expressed so
+// that >1 means the fast path wins.
+func higherIsBetter(metric string) bool {
+	switch metric {
+	case "ns/op", "B/op", "allocs/op":
+		return false
+	}
+	return true
+}
+
+func main() {
+	rep := Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+			continue
+		}
+		// Header rows: "goos: linux", "cpu: ...", "pkg: ...".
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+			rep.Env[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "fobs-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range rep.Benchmarks {
+		base, ok := strings.CutSuffix(b.Name, "/fast")
+		if !ok {
+			continue
+		}
+		scalar, ok := byName[base+"/scalar"]
+		if !ok {
+			continue
+		}
+		for metric, fv := range b.Metrics {
+			sv, ok := scalar.Metrics[metric]
+			if !ok || fv == 0 || sv == 0 {
+				continue
+			}
+			speedup := fv / sv
+			if !higherIsBetter(metric) {
+				speedup = sv / fv
+			}
+			rep.Ratios = append(rep.Ratios, Ratio{
+				Name: base, Metric: metric,
+				Fast: fv, Scalar: sv, Speedup: speedup,
+			})
+		}
+	}
+
+	sort.Slice(rep.Ratios, func(i, j int) bool {
+		if rep.Ratios[i].Name != rep.Ratios[j].Name {
+			return rep.Ratios[i].Name < rep.Ratios[j].Name
+		}
+		return rep.Ratios[i].Metric < rep.Ratios[j].Metric
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "fobs-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

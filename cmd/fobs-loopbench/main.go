@@ -53,9 +53,10 @@ func tcpBaseline(obj []byte) (time.Duration, error) {
 }
 
 // fobsRun moves obj over the FOBS runtime on loopback with the given
-// packet size and pacing, returning elapsed time and sender waste.
-func fobsRun(obj []byte, packetSize int, pace time.Duration) (time.Duration, float64, error) {
-	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{})
+// config and pacing, returning elapsed time and sender waste. scalar
+// forces one syscall per datagram on both endpoints.
+func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool) (time.Duration, float64, error) {
+	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -68,8 +69,8 @@ func fobsRun(obj []byte, packetSize int, pace time.Duration) (time.Duration, flo
 		done <- err
 	}()
 	start := time.Now()
-	st, err := fobs.Send(ctx, l.Addr(), obj, fobs.Config{PacketSize: packetSize},
-		fobs.Options{Pace: pace})
+	st, err := fobs.Send(ctx, l.Addr(), obj, cfg,
+		fobs.Options{Pace: pace, NoFastPath: scalar})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -99,13 +100,34 @@ func main() {
 	}
 
 	for _, ps := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		elapsed, waste, err := fobsRun(obj, ps, *pace)
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, false)
 		if err != nil {
 			log.Fatalf("fobs-loopbench: fobs ps=%d: %v", ps, err)
 		}
 		fmt.Printf("fobs packet=%-6d      %8.1f Mb/s   waste %.1f%%\n",
 			ps, float64(*size*8)/elapsed.Seconds()/1e6, 100*waste)
 	}
+
+	// Fast path versus scalar with a batch worth vectoring: the paper's
+	// tuned FixedBatch(2) never hands the socket layer more than two
+	// datagrams, so the comparison runs a deep batch at a small packet
+	// size, where per-datagram syscall cost dominates.
+	if fobs.FastPathAvailable() {
+		cfg := fobs.Config{PacketSize: 1024, Batch: fobs.FixedBatch(64)}
+		fast, _, err := fobsRun(obj, cfg, *pace, false)
+		if err != nil {
+			log.Fatalf("fobs-loopbench: fast path: %v", err)
+		}
+		scalar, _, err := fobsRun(obj, cfg, *pace, true)
+		if err != nil {
+			log.Fatalf("fobs-loopbench: scalar path: %v", err)
+		}
+		fmt.Printf("\nfast path vs scalar (packet=%d, batch=64): %8.1f vs %8.1f Mb/s (%.2fx)\n",
+			cfg.PacketSize, float64(*size*8)/fast.Seconds()/1e6,
+			float64(*size*8)/scalar.Seconds()/1e6,
+			scalar.Seconds()/fast.Seconds())
+	}
+
 	fmt.Println("\nLarger packets amortize per-datagram syscall cost — the same")
 	fmt.Println("endpoint-bound shape as the paper's Figure 3, on real sockets.")
 }

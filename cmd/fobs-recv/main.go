@@ -27,10 +27,25 @@ func main() {
 
 		idleTimeout = flag.Duration("idle-timeout", 0,
 			"abort when no data arrives mid-transfer for this long (0: default 30s, negative: disabled)")
+
+		ioBatch = flag.Int("io-batch", 0,
+			fmt.Sprintf("datagrams per recvmmsg vector (0: default %d)", fobs.DefaultIOBatch))
+		noFastPath = flag.Bool("no-fastpath", false,
+			"force one syscall per datagram even where recvmmsg is available")
+		ioStats = flag.Bool("io-stats", false, "print batched-IO syscall counters")
 	)
 	flag.Parse()
 
-	l, err := fobs.Listen(*listen, fobs.Options{IdleTimeout: *idleTimeout})
+	opts := fobs.Options{
+		IdleTimeout: *idleTimeout,
+		IOBatch:     *ioBatch,
+		NoFastPath:  *noFastPath,
+	}
+	var ioc fobs.IOCounters
+	if *ioStats {
+		opts.IOCounters = &ioc
+	}
+	l, err := fobs.Listen(*listen, opts)
 	if err != nil {
 		log.Fatalf("fobs-recv: %v", err)
 	}
@@ -49,6 +64,9 @@ func main() {
 	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6
 	fmt.Printf("fobs-recv: %d bytes in %v (%.1f Mb/s), %d packets (%d duplicates)\n",
 		len(obj), elapsed.Round(time.Millisecond), mbps, st.Received, st.Duplicates)
+	if *ioStats {
+		fmt.Printf("fobs-recv: io %s\n", ioc.String())
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, obj, 0o644); err != nil {

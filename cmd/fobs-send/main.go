@@ -59,6 +59,12 @@ func main() {
 			"bound on each HELLO/HELLO-ACK exchange (0: default 10s)")
 		handshakeRetries = flag.Int("handshake-retries", 0,
 			"connection+handshake attempts before giving up (0: default 3)")
+
+		ioBatch = flag.Int("io-batch", 0,
+			fmt.Sprintf("datagrams per sendmmsg/recvmmsg vector (0: default %d)", fobs.DefaultIOBatch))
+		noFastPath = flag.Bool("no-fastpath", false,
+			"force one syscall per datagram even where sendmmsg is available")
+		ioStats = flag.Bool("io-stats", false, "print batched-IO syscall counters")
 	)
 	flag.Parse()
 
@@ -91,6 +97,12 @@ func main() {
 		StallTimeout:     *stallTimeout,
 		HandshakeTimeout: *handshakeTimeout,
 		HandshakeRetries: *handshakeRetries,
+		IOBatch:          *ioBatch,
+		NoFastPath:       *noFastPath,
+	}
+	var ioc fobs.IOCounters
+	if *ioStats {
+		opts.IOCounters = &ioc
 	}
 	if *progress {
 		lastPct := -1
@@ -111,4 +123,7 @@ func main() {
 	fmt.Printf("fobs-send: %d bytes in %v (%.1f Mb/s)\n", len(obj), elapsed.Round(time.Millisecond), mbps)
 	fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed\n",
 		st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed)
+	if *ioStats {
+		fmt.Printf("fobs-send: io %s\n", ioc.String())
+	}
 }

@@ -97,7 +97,20 @@ type (
 	// reasoned ABORT control frame (duplicate transfer id, idle timeout,
 	// stall, cancellation).
 	AbortError = udprt.AbortError
+	// IOCounters tallies the batched-IO layer's syscalls and batch fill
+	// (sendmmsg/recvmmsg vector lengths, fast-path engagement). Point
+	// Options.IOCounters at one to collect a transfer's tallies.
+	IOCounters = stats.IOCounters
 )
+
+// DefaultIOBatch is the default sendmmsg/recvmmsg vector length used by
+// the batched-IO fast path (Options.IOBatch when left zero).
+const DefaultIOBatch = udprt.DefaultIOBatch
+
+// FastPathAvailable reports whether this build can use the vectored
+// sendmmsg/recvmmsg fast path at all (Linux on a supported 64-bit
+// architecture). Options.NoFastPath forces the scalar path regardless.
+func FastPathAvailable() bool { return udprt.FastPathAvailable() }
 
 // Failure-model sentinels (see the "Failure model" section of DESIGN.md).
 // Match them with errors.Is.

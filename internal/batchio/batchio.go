@@ -1,0 +1,311 @@
+// Package batchio provides batched datagram IO for the real-network FOBS
+// runtime: many datagrams per syscall via Linux sendmmsg/recvmmsg, with a
+// portable scalar fallback everywhere else.
+//
+// The motivation is the same observation the scalability literature makes
+// about reliable UDP movers: past a few hundred megabits the bottleneck is
+// no longer the window protocol but the per-packet cost — one syscall, one
+// header encode, one allocation per datagram. The paper's sender already
+// thinks in batches (the batch-send phase places B packets on the wire
+// before looking for an acknowledgement), so the B packets of one batch
+// map naturally onto the iovec array of one sendmmsg call, and a receiver
+// wakeup drains every queued datagram with one recvmmsg.
+//
+// Both directions are allocation-free in steady state: the caller encodes
+// into a ring of pre-sized buffers it owns, and Sender/Receiver keep their
+// iovec/msghdr/sockaddr arrays (and the closures handed to the raw
+// connection) alive across calls.
+//
+// Fast-path availability is a build-time property (vectoredSupported, set
+// by the mmsg_* files); callers can additionally force the scalar path at
+// runtime, which is how the equivalence suite runs both implementations in
+// one binary on one kernel.
+package batchio
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"syscall"
+
+	"github.com/hpcnet/fobs/internal/stats"
+)
+
+// ErrSendFault reports that at least one datagram of a vectored flush
+// tripped a latched socket error (on a connected socket, typically the
+// asynchronous ECONNREFUSED of an earlier send). sendmmsg reports such a
+// datagram as a short count with no errno — and the failed attempt clears
+// the latch, so the underlying errno is unrecoverable. The rest of the
+// vector was still sent; callers should treat the error as evidence of a
+// failing peer, not of lost data beyond what the protocol already
+// tolerates.
+var ErrSendFault = errors.New("batchio: vectored send consumed a latched socket error")
+
+// FastPathAvailable reports whether this build can use the vectored
+// sendmmsg/recvmmsg path at all (Linux on a supported architecture).
+func FastPathAvailable() bool { return vectoredSupported }
+
+// Sender batches outbound datagrams on a connected UDP socket.
+type Sender struct {
+	conn     *net.UDPConn
+	rc       syscall.RawConn
+	vectored bool
+
+	// Vectored-call state, sized to the construction-time batch capacity
+	// and reused for every flush (see mmsg_linux.go).
+	vs vecSendState
+
+	// FlushHook, when non-nil, observes every flush: k datagrams handed
+	// in, m actually accepted by the kernel. Tests use it to assert the
+	// batch policy's sizes reach the wire as real vector lengths.
+	FlushHook func(k, m int)
+
+	calls    int
+	sent     int
+	maxBatch int
+}
+
+// NewSender wraps conn (which must be connected, e.g. via DialUDP) for
+// batched sends of up to batch datagrams per call. vectored requests the
+// sendmmsg fast path; it is silently degraded to scalar writes when the
+// build does not support it.
+func NewSender(conn *net.UDPConn, batch int, vectored bool) (*Sender, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	s := &Sender{conn: conn, vectored: vectored && vectoredSupported}
+	if s.vectored {
+		rc, err := conn.SyscallConn()
+		if err != nil {
+			// The socket cannot hand out its descriptor; fall back.
+			s.vectored = false
+		} else {
+			s.rc = rc
+			s.vs.init(batch)
+		}
+	}
+	return s, nil
+}
+
+// Vectored reports whether this sender actually uses sendmmsg.
+func (s *Sender) Vectored() bool { return s.vectored }
+
+// Send places pkts on the wire, each slice one datagram, and returns how
+// many the kernel accepted. On the fast path the whole slice goes out as
+// sendmmsg vectors (parking on the netpoller across backpressure, so a
+// full count is the norm; a full count with ErrSendFault means the vector
+// went out but consumed a latched socket error on the way). On the scalar
+// path a short count carries the error that stopped the prefix. Unsent
+// packets are simply not sent — to a loss-tolerant protocol that is
+// indistinguishable from network loss.
+func (s *Sender) Send(pkts [][]byte) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	var (
+		m     int
+		sys   int
+		batch int // largest vector handed to one syscall
+		err   error
+	)
+	if s.vectored && len(pkts) <= s.vs.cap() {
+		m, err = s.sendVectored(pkts)
+		sys, batch = s.vs.nsys, len(pkts)
+	} else {
+		m, err = s.sendScalar(pkts)
+		sys = m
+		if err != nil {
+			sys++ // the failing write was a syscall too
+		}
+		if sys > 0 {
+			batch = 1 // scalar writes carry one datagram each
+		}
+	}
+	s.calls += sys
+	s.sent += m
+	if batch > s.maxBatch {
+		s.maxBatch = batch
+	}
+	if s.FlushHook != nil {
+		s.FlushHook(len(pkts), m)
+	}
+	return m, err
+}
+
+// sendScalar is the portable path: one write per datagram, stopping at the
+// first failure. The accepted prefix is returned together with the error
+// that stopped it — swallowing a mid-prefix error would lose it for good,
+// because the failing write already consumed any latched socket error.
+func (s *Sender) sendScalar(pkts [][]byte) (int, error) {
+	for i, p := range pkts {
+		if _, err := s.conn.Write(p); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+// Counters reports the syscall and batch-fill tallies so far.
+func (s *Sender) Counters() stats.IOCounters {
+	return stats.IOCounters{
+		SendCalls:     s.calls,
+		SentDatagrams: s.sent,
+		MaxSendBatch:  s.maxBatch,
+		FastPath:      s.vectored,
+	}
+}
+
+// Receiver drains inbound datagrams from a UDP socket in batches. Each of
+// the slots buffers holds one datagram of up to bufSize bytes; Recv and
+// TryRecv report how many slots they filled, and Datagram/Addr expose the
+// contents until the next call overwrites them.
+type Receiver struct {
+	conn     *net.UDPConn
+	rc       syscall.RawConn
+	vectored bool
+
+	bufs  [][]byte
+	lens  []int
+	addrs []netip.AddrPort
+
+	// Vectored-call state (see mmsg_linux.go).
+	vr vecRecvState
+
+	calls    int
+	recvd    int
+	maxBatch int
+}
+
+// NewReceiver prepares a receiver with the given number of slots, each
+// bufSize bytes. vectored requests the recvmmsg fast path; unsupported
+// builds silently degrade to one-datagram reads.
+func NewReceiver(conn *net.UDPConn, slots, bufSize int, vectored bool) (*Receiver, error) {
+	if slots < 1 {
+		slots = 1
+	}
+	r := &Receiver{
+		conn:     conn,
+		vectored: vectored && vectoredSupported,
+		bufs:     make([][]byte, slots),
+		lens:     make([]int, slots),
+		addrs:    make([]netip.AddrPort, slots),
+	}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, bufSize)
+	}
+	if r.vectored {
+		rc, err := conn.SyscallConn()
+		if err != nil {
+			r.vectored = false
+		} else {
+			r.rc = rc
+			r.vr.init(r.bufs)
+		}
+	}
+	return r, nil
+}
+
+// Vectored reports whether this receiver actually uses recvmmsg.
+func (r *Receiver) Vectored() bool { return r.vectored }
+
+// Slots returns the receiver's batch capacity.
+func (r *Receiver) Slots() int { return len(r.bufs) }
+
+// Datagram returns the i-th datagram of the most recent Recv/TryRecv. The
+// slice aliases the receiver's buffer ring and is valid until the next
+// receive call.
+func (r *Receiver) Datagram(i int) []byte { return r.bufs[i][:r.lens[i]] }
+
+// Addr returns the source address of the i-th datagram of the most recent
+// Recv. TryRecv does not resolve source addresses on every path; it is
+// meant for connected sockets, where the peer is already known.
+func (r *Receiver) Addr(i int) netip.AddrPort { return r.addrs[i] }
+
+// Recv blocks until at least one datagram is available (honouring the
+// connection's read deadline) and then drains up to Slots() of them
+// without further blocking. It returns the number of slots filled.
+func (r *Receiver) Recv() (int, error) {
+	var (
+		n   int
+		sys int
+		err error
+	)
+	if r.vectored {
+		n, err = r.recvVectored()
+		sys = r.vr.nsys
+	} else {
+		n, err = r.recvScalar()
+		sys = 1
+	}
+	r.note(n, sys)
+	return n, err
+}
+
+// recvScalar is the portable blocking path: exactly one datagram per call.
+func (r *Receiver) recvScalar() (int, error) {
+	n, from, err := r.conn.ReadFromUDPAddrPort(r.bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	r.lens[0] = n
+	r.addrs[0] = from
+	return 1, nil
+}
+
+// TryRecv performs one genuinely non-blocking drain: whatever datagrams
+// are already queued (up to Slots()) are returned immediately, and zero
+// means nothing was buffered. It never waits — this is the paper's
+// select()-guarded "look for, but do not block for, an acknowledgement
+// packet", widened to a whole queue per syscall.
+//
+// A non-nil error is a latched socket error the poll consumed (on a
+// connected socket, typically the asynchronous ECONNREFUSED of an earlier
+// send). Callers that poll a send socket should fold it into their
+// write-error accounting: a vectored sender can otherwise never see the
+// failure, because sendmmsg reports a datagram that trips the error as a
+// short count with no errno, and the next poll would silently clear it.
+func (r *Receiver) TryRecv() (int, error) {
+	var (
+		n   int
+		sys int
+		err error
+	)
+	if r.vectored {
+		n, err = r.tryRecvVectored()
+		sys = r.vr.nsys
+	} else {
+		n, err = r.tryRecvScalar()
+		sys = 1
+	}
+	r.note(n, sys)
+	return n, err
+}
+
+// tryRecvScalar polls for a single buffered datagram (see poll_unix.go and
+// poll_other.go for the per-platform trick).
+func (r *Receiver) tryRecvScalar() (int, error) {
+	n, err := pollDatagram(r.conn, r.bufs[0])
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	r.lens[0] = n
+	return 1, nil
+}
+
+func (r *Receiver) note(n, sys int) {
+	r.calls += sys
+	r.recvd += n
+	if n > r.maxBatch {
+		r.maxBatch = n
+	}
+}
+
+// Counters reports the syscall and batch-fill tallies so far.
+func (r *Receiver) Counters() stats.IOCounters {
+	return stats.IOCounters{
+		RecvCalls:     r.calls,
+		RecvDatagrams: r.recvd,
+		MaxRecvBatch:  r.maxBatch,
+		FastPath:      r.vectored,
+	}
+}

@@ -1,0 +1,307 @@
+package batchio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// udpPair returns a connected sender socket and a bound receiver socket on
+// loopback.
+func udpPair(t *testing.T) (*net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := net.DialUDP("udp", nil, rcv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		rcv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { snd.Close(); rcv.Close() })
+	return snd, rcv
+}
+
+// eachPath runs fn once per IO path this build supports, named subtests.
+func eachPath(t *testing.T, fn func(t *testing.T, vectored bool)) {
+	t.Run("scalar", func(t *testing.T) { fn(t, false) })
+	t.Run("vectored", func(t *testing.T) {
+		if !FastPathAvailable() {
+			t.Skip("vectored path not available in this build")
+		}
+		fn(t, true)
+	})
+}
+
+func makePackets(n, size int) [][]byte {
+	pkts := make([][]byte, n)
+	for i := range pkts {
+		pkts[i] = make([]byte, size)
+		for j := range pkts[i] {
+			pkts[i][j] = byte(i*31 + j)
+		}
+	}
+	return pkts
+}
+
+// TestRoundTrip pushes batches through Sender and drains them with
+// Receiver.Recv on both paths, checking payloads and source addresses.
+func TestRoundTrip(t *testing.T) {
+	eachPath(t, func(t *testing.T, vectored bool) {
+		snd, rcv := udpPair(t)
+		tx, err := NewSender(snd, 8, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := NewReceiver(rcv, 8, 512, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.Vectored() != vectored || rx.Vectored() != vectored {
+			t.Fatalf("path mismatch: tx=%v rx=%v want %v",
+				tx.Vectored(), rx.Vectored(), vectored)
+		}
+		pkts := makePackets(8, 300)
+		m, err := tx.Send(pkts)
+		if err != nil || m != len(pkts) {
+			t.Fatalf("Send = %d, %v; want %d, nil", m, err, len(pkts))
+		}
+		want := snd.LocalAddr().(*net.UDPAddr).AddrPort()
+		got := 0
+		rcv.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for got < len(pkts) {
+			n, err := rx.Recv()
+			if err != nil {
+				t.Fatalf("Recv after %d datagrams: %v", got, err)
+			}
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(rx.Datagram(i), pkts[got+i]) {
+					t.Fatalf("datagram %d corrupted", got+i)
+				}
+				if from := rx.Addr(i); from.Port() != want.Port() {
+					t.Fatalf("datagram %d from %v, want port %d", got+i, from, want.Port())
+				}
+			}
+			got += n
+		}
+		// MaxSendBatch is per syscall: the whole flush on the vectored
+		// path, always one datagram on the scalar path.
+		wantMax := 1
+		if tx.Vectored() {
+			wantMax = len(pkts)
+		}
+		c := tx.Counters()
+		if c.SentDatagrams != len(pkts) || c.SendCalls == 0 || c.MaxSendBatch != wantMax {
+			t.Fatalf("sender counters off: %+v", c)
+		}
+		if rc := rx.Counters(); rc.RecvDatagrams != len(pkts) {
+			t.Fatalf("receiver counters off: %+v", rc)
+		}
+	})
+}
+
+// TestTryRecvNonBlocking checks that an empty socket yields (0, nil)
+// immediately — the poll must never wait.
+func TestTryRecvNonBlocking(t *testing.T) {
+	eachPath(t, func(t *testing.T, vectored bool) {
+		_, rcv := udpPair(t)
+		rx, err := NewReceiver(rcv, 4, 256, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		n, err := rx.TryRecv()
+		if n != 0 || err != nil {
+			t.Fatalf("TryRecv on empty socket = %d, %v", n, err)
+		}
+		if e := time.Since(start); e > 100*time.Millisecond {
+			t.Fatalf("TryRecv blocked for %v", e)
+		}
+	})
+}
+
+// TestRecvHonoursDeadline checks that a blocking Recv on an empty socket
+// respects the connection's read deadline on both paths — the receive loop
+// leans on this for its watchdog wakeups.
+func TestRecvHonoursDeadline(t *testing.T) {
+	eachPath(t, func(t *testing.T, vectored bool) {
+		_, rcv := udpPair(t)
+		rx, err := NewReceiver(rcv, 4, 256, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		start := time.Now()
+		n, err := rx.Recv()
+		if n != 0 || err == nil {
+			t.Fatalf("Recv on empty socket = %d, %v; want timeout", n, err)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("Recv error %v is not a timeout", err)
+		}
+		if e := time.Since(start); e > 5*time.Second {
+			t.Fatalf("Recv overshot its deadline by %v", e)
+		}
+	})
+}
+
+// TestFlushHookObservesVectors checks the hook sees exactly the vector
+// lengths handed to Send, including a partial final chunk.
+func TestFlushHookObservesVectors(t *testing.T) {
+	eachPath(t, func(t *testing.T, vectored bool) {
+		snd, rcv := udpPair(t)
+		go func() { // drain so the send buffer cannot fill
+			buf := make([]byte, 2048)
+			for {
+				if _, err := rcv.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		tx, err := NewSender(snd, 16, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [][2]int
+		tx.FlushHook = func(k, m int) { got = append(got, [2]int{k, m}) }
+		pkts := makePackets(16, 100)
+		for _, k := range []int{16, 7, 1} {
+			if _, err := tx.Send(pkts[:k]); err != nil {
+				t.Fatalf("Send(%d): %v", k, err)
+			}
+		}
+		want := [][2]int{{16, 16}, {7, 7}, {1, 1}}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("flush hook saw %v, want %v", got, want)
+		}
+	})
+}
+
+// TestSendFaultSurfaces sends vectors at a port with no socket behind it
+// and requires the latched ECONNREFUSED to surface — as an error from Send
+// or from the poll — within a bounded number of rounds. sendmmsg reports
+// the tripping datagram only as a short count (consuming the errno), so
+// this is the regression test for the fast path's failure visibility.
+func TestSendFaultSurfaces(t *testing.T) {
+	eachPath(t, func(t *testing.T, vectored bool) {
+		tmp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := tmp.LocalAddr().(*net.UDPAddr)
+		tmp.Close() // the port is now unoccupied: writes draw ICMP refusals
+		snd, err := net.DialUDP("udp", nil, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snd.Close()
+		tx, err := NewSender(snd, 4, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := NewReceiver(snd, 4, 256, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := makePackets(4, 64)
+		for round := 0; round < 50; round++ {
+			if _, err := tx.Send(pkts); err != nil {
+				return // surfaced via the send
+			}
+			if _, err := rx.TryRecv(); err != nil {
+				return // surfaced via the consumed-error poll
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("ECONNREFUSED never surfaced through Send or TryRecv")
+	})
+}
+
+// TestZeroAllocSteadyState holds the hot-path budget: after warmup,
+// neither a batched send nor a batched receive allocates.
+func TestZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eachPath(t, func(t *testing.T, vectored bool) {
+		snd, rcv := udpPair(t)
+		snd.SetWriteBuffer(4 << 20)
+		rcv.SetReadBuffer(4 << 20)
+		tx, err := NewSender(snd, 8, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := NewReceiver(rcv, 8, 512, vectored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := makePackets(8, 400)
+
+		// Sender side: one Send per run; the drain goroutine keeps the
+		// socket buffer from filling (its own allocations are not ours).
+		stop := make(chan struct{})
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			buf := make([]byte, 2048)
+			rcv.SetReadDeadline(time.Time{})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rcv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+				rcv.Read(buf)
+			}
+		}()
+		if allocs := testing.AllocsPerRun(200, func() {
+			if _, err := tx.Send(pkts); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}); allocs > 0 {
+			t.Errorf("Send allocates %.1f times per batch, want 0", allocs)
+		}
+		close(stop)
+		<-drained
+
+		// Receiver side: a fresh flood before each measured Recv. The
+		// feeding Send runs in this goroutine too, but it is already
+		// proven allocation-free above.
+		rcv.SetReadDeadline(time.Time{})
+		if allocs := testing.AllocsPerRun(200, func() {
+			if _, err := tx.Send(pkts); err != nil {
+				t.Fatalf("feed: %v", err)
+			}
+			rcv.SetReadDeadline(time.Now().Add(2 * time.Second))
+			got := 0
+			for got < len(pkts) {
+				n, err := rx.Recv()
+				if err != nil {
+					t.Fatalf("Recv: %v", err)
+				}
+				got += n
+			}
+		}); allocs > 0 {
+			t.Errorf("Recv allocates %.1f times per batch, want 0", allocs)
+		}
+
+		// Non-blocking poll on the vectored path (the scalar poll's
+		// Recvfrom allocates a sockaddr by design; the budget belongs to
+		// the fast path).
+		if vectored {
+			if allocs := testing.AllocsPerRun(200, func() {
+				if _, err := rx.TryRecv(); err != nil {
+					t.Fatalf("TryRecv: %v", err)
+				}
+			}); allocs > 0 {
+				t.Errorf("TryRecv allocates %.1f times per poll, want 0", allocs)
+			}
+		}
+	})
+}

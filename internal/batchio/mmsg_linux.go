@@ -1,0 +1,221 @@
+//go:build linux && (amd64 || arm64 || riscv64 || loong64)
+
+package batchio
+
+import (
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// The vectored fast path: sendmmsg(2)/recvmmsg(2) through the raw
+// descriptor. The syscall numbers and the mmsghdr ABI are per-architecture,
+// so this file is gated to the 64-bit Linux targets whose frozen stdlib
+// syscall tables carry SYS_SENDMMSG/SYS_RECVMMSG; everywhere else the
+// scalar fallback in batchio.go is the only path.
+
+const vectoredSupported = true
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the kernel's
+// per-message byte count. Go pads the struct tail to pointer alignment
+// exactly as C does, so a []mmsghdr has the kernel's array stride.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// vecSendState is the reusable guts of one vectored flush: header and iovec
+// arrays sized once, and a closure created once (a fresh closure per flush
+// would allocate on every batch). Inputs and outputs travel through fields
+// because the raw-connection API offers the closure no other channel.
+type vecSendState struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	k     int // in: vector length for this flush
+	off   int // progress: datagrams accepted so far (survives parking)
+	short int // out: consumed latched-error events (see fn)
+	nsys  int // out: sendmmsg syscalls issued for this flush
+	// pendingShort marks a mid-vector stop whose cause is not yet known:
+	// the next syscall's outcome classifies it (EAGAIN → backpressure,
+	// progress → consumed socket error).
+	pendingShort bool
+	errno        syscall.Errno
+	fn           func(fd uintptr) bool
+}
+
+func (v *vecSendState) init(batch int) {
+	v.hdrs = make([]mmsghdr, batch)
+	v.iovs = make([]syscall.Iovec, batch)
+	for i := range v.hdrs {
+		// Connected socket: no per-message destination.
+		v.hdrs[i].hdr.Iov = &v.iovs[i]
+		v.hdrs[i].hdr.Iovlen = 1
+	}
+	// One flush may take several sendmmsg calls. The kernel stops a vector
+	// at the first datagram whose send fails, returns the accepted prefix
+	// as a short count, and discards the errno that stopped it — and when
+	// that errno was a latched asynchronous error (ECONNREFUSED delivered
+	// by ICMP after an earlier send), the failed attempt also CLEARS it, so
+	// no later syscall on the socket will ever report it. A short count is
+	// therefore the only observable trace of a dead peer on this path.
+	//
+	// Short counts are ambiguous, though: a full socket buffer stops the
+	// vector the same way (the EAGAIN is equally discarded). The retry
+	// disambiguates. After a stop, the loop re-submits the remainder: if
+	// the first datagram immediately hits EAGAIN the stop was backpressure
+	// (park on the netpoller, resume when writable); if the retry makes
+	// progress, the stopped datagram had tripped a consumed socket error —
+	// count it, so the caller can fold it into failure accounting.
+	v.fn = func(fd uintptr) bool {
+		for {
+			v.nsys++
+			n, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&v.hdrs[v.off])), uintptr(v.k-v.off), 0, 0, 0)
+			switch {
+			case errno == syscall.EAGAIN:
+				v.pendingShort = false // the stop was backpressure after all
+				return false           // park until the socket is writable again
+			case errno != 0:
+				v.errno = errno
+				return true
+			}
+			if v.pendingShort {
+				v.short++
+				v.pendingShort = false
+			}
+			if n == 0 {
+				// No progress, no errno: not a documented sendmmsg outcome;
+				// bail rather than spin.
+				v.errno = syscall.EIO
+				return true
+			}
+			v.off += int(n)
+			if v.off >= v.k {
+				return true
+			}
+			v.pendingShort = true
+		}
+	}
+}
+
+func (v *vecSendState) cap() int { return len(v.hdrs) }
+
+// sendVectored flushes pkts as sendmmsg vectors, retrying past mid-vector
+// stops, so on return every datagram has been handed to the kernel except
+// those that tripped a socket error. A non-nil ErrSendFault with a full
+// count means the kernel accepted the vector but consumed at least one
+// latched socket error along the way.
+func (s *Sender) sendVectored(pkts [][]byte) (int, error) {
+	v := &s.vs
+	for i, p := range pkts {
+		if len(p) > 0 {
+			v.iovs[i].Base = &p[0]
+		} else {
+			v.iovs[i].Base = nil
+		}
+		v.iovs[i].SetLen(len(p))
+	}
+	v.k, v.off, v.short, v.nsys, v.pendingShort, v.errno = len(pkts), 0, 0, 0, false, 0
+	if err := s.rc.Write(v.fn); err != nil {
+		return v.off, err
+	}
+	if v.errno != 0 {
+		return v.off, v.errno
+	}
+	if v.short > 0 {
+		return v.off, ErrSendFault
+	}
+	return v.off, nil
+}
+
+// vecRecvState is the reusable guts of one recvmmsg call. Buffers are
+// pinned into the iovecs at init; only the name lengths (which the kernel
+// overwrites with actual sockaddr sizes) are reset per call.
+type vecRecvState struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+	block bool // in: park on EAGAIN (Recv) or report empty (TryRecv)
+	n     int  // out: datagrams received
+	nsys  int  // out: recvmmsg syscalls issued for this drain
+	errno syscall.Errno
+	fn    func(fd uintptr) bool
+}
+
+func (v *vecRecvState) init(bufs [][]byte) {
+	n := len(bufs)
+	v.hdrs = make([]mmsghdr, n)
+	v.iovs = make([]syscall.Iovec, n)
+	v.names = make([]syscall.RawSockaddrInet6, n)
+	for i := range v.hdrs {
+		v.iovs[i].Base = &bufs[i][0]
+		v.iovs[i].SetLen(len(bufs[i]))
+		v.hdrs[i].hdr.Iov = &v.iovs[i]
+		v.hdrs[i].hdr.Iovlen = 1
+		v.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&v.names[i]))
+	}
+	v.fn = func(fd uintptr) bool {
+		for i := range v.hdrs {
+			v.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+		}
+		v.nsys++
+		n, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&v.hdrs[0])), uintptr(len(v.hdrs)),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if errno == syscall.EAGAIN {
+			if v.block {
+				return false // park until readable; deadlines still apply
+			}
+			v.n, v.errno = 0, 0
+			return true
+		}
+		if errno != 0 {
+			v.n, v.errno = 0, errno
+		} else {
+			v.n, v.errno = int(n), 0
+		}
+		return true
+	}
+}
+
+// drainVectored runs one recvmmsg (parking first when block is set) and
+// publishes lengths and source addresses for the filled slots.
+func (r *Receiver) drainVectored(block bool) (int, error) {
+	v := &r.vr
+	v.block, v.nsys = block, 0
+	if err := r.rc.Read(v.fn); err != nil {
+		return 0, err
+	}
+	if v.errno != 0 {
+		return 0, v.errno
+	}
+	for i := 0; i < v.n; i++ {
+		r.lens[i] = int(v.hdrs[i].n)
+		r.addrs[i] = sockaddrToAddrPort(&v.names[i])
+	}
+	return v.n, nil
+}
+
+func (r *Receiver) recvVectored() (int, error) { return r.drainVectored(true) }
+
+func (r *Receiver) tryRecvVectored() (int, error) { return r.drainVectored(false) }
+
+// sockaddrToAddrPort converts a kernel-written raw sockaddr to the value
+// type the net package's alloc-free WriteToUDPAddrPort consumes. The port
+// bytes sit in network order whatever the host endianness, so they are
+// read bytewise.
+func sockaddrToAddrPort(rsa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch rsa.Family {
+	case syscall.AF_INET:
+		r4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&r4.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(r4.Addr),
+			uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		p := (*[2]byte)(unsafe.Pointer(&rsa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(rsa.Addr),
+			uint16(p[0])<<8|uint16(p[1]))
+	default:
+		return netip.AddrPort{}
+	}
+}

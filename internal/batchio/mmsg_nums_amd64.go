@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package batchio
+
+// The stdlib syscall table for linux/amd64 predates sendmmsg(2), so the
+// numbers are pinned here (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

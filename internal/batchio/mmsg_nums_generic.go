@@ -1,0 +1,10 @@
+//go:build linux && (arm64 || riscv64 || loong64)
+
+package batchio
+
+// Architectures on the asm-generic syscall table (include/uapi/asm-generic/
+// unistd.h) share one numbering.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

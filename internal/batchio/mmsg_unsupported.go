@@ -1,0 +1,25 @@
+//go:build !linux || !(amd64 || arm64 || riscv64 || loong64)
+
+package batchio
+
+// Builds without sendmmsg/recvmmsg: the vectored entry points are never
+// reached (vectoredSupported gates them off in the constructors), but the
+// method set must exist, so each one defers to its scalar sibling.
+
+const vectoredSupported = false
+
+type vecSendState struct{}
+
+func (v *vecSendState) init(int) {}
+
+func (v *vecSendState) cap() int { return 0 }
+
+func (s *Sender) sendVectored(pkts [][]byte) (int, error) { return s.sendScalar(pkts) }
+
+type vecRecvState struct{}
+
+func (v *vecRecvState) init([][]byte) {}
+
+func (r *Receiver) recvVectored() (int, error) { return r.recvScalar() }
+
+func (r *Receiver) tryRecvVectored() (int, error) { return r.tryRecvScalar() }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package batchio
+
+const raceEnabled = false

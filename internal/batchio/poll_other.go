@@ -1,8 +1,9 @@
 //go:build !unix
 
-package udprt
+package batchio
 
 import (
+	"errors"
 	"net"
 	"time"
 )
@@ -11,11 +12,17 @@ import (
 // MSG_DONTWAIT semantics through the raw connection: a deadline one
 // microsecond ahead returns immediately when a datagram is buffered and
 // after a very short wait otherwise.
-func pollDatagram(conn *net.UDPConn, buf []byte) (int, bool) {
+// Timeouts mean "nothing queued"; any other consumed error is reported.
+func pollDatagram(conn *net.UDPConn, buf []byte) (int, error) {
 	conn.SetReadDeadline(time.Now().Add(time.Microsecond))
+	defer conn.SetReadDeadline(time.Time{})
 	n, err := conn.Read(buf)
 	if err != nil {
-		return 0, false
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return 0, nil
+		}
+		return 0, err
 	}
-	return n, true
+	return n, nil
 }

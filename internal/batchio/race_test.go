@@ -1,0 +1,7 @@
+//go:build race
+
+package batchio
+
+// raceEnabled mirrors the race-detector build tag: allocation-count tests
+// skip under -race, where the instrumentation itself allocates.
+const raceEnabled = true

@@ -184,6 +184,29 @@ func (b *Bitmap) Extract(from, maxWords int) Fragment {
 	return Fragment{Start: w * wordBits, Words: words}
 }
 
+// ExtractInto is Extract with a caller-owned word buffer: the fragment's
+// Words is dst (grown as needed), so a driver that serializes each
+// fragment before requesting the next can reuse one buffer and keep its
+// ack hot path allocation-free.
+func (b *Bitmap) ExtractInto(dst []uint64, from, maxWords int) Fragment {
+	if maxWords <= 0 {
+		panic("bitmap: ExtractInto needs maxWords > 0")
+	}
+	if b.n == 0 {
+		return Fragment{}
+	}
+	if from < 0 || from >= b.n {
+		from = 0
+	}
+	w := from / wordBits
+	end := w + maxWords
+	if end > len(b.words) {
+		end = len(b.words)
+	}
+	dst = append(dst[:0], b.words[w:end]...)
+	return Fragment{Start: w * wordBits, Words: dst}
+}
+
 // Merge ORs a fragment produced by another bitmap's Extract into b,
 // returning the number of newly set bits. Fragments whose Start is not
 // word-aligned or that extend past the bitmap are rejected with an error so

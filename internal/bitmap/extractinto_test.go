@@ -1,0 +1,56 @@
+package bitmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExtractIntoMatchesExtract checks the scratch-buffer variant returns
+// the same fragments as Extract across positions, including the wrap and
+// clamp cases, while reusing the caller's buffer.
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	b := New(300)
+	for _, i := range []int{0, 1, 63, 64, 65, 130, 299} {
+		b.Set(i)
+	}
+	scratch := make([]uint64, 0, 8)
+	for _, from := range []int{0, 1, 63, 64, 128, 299, -5, 1000} {
+		for _, maxWords := range []int{1, 2, 8} {
+			want := b.Extract(from, maxWords)
+			got := b.ExtractInto(scratch, from, maxWords)
+			if got.Start != want.Start || !reflect.DeepEqual(got.Words, want.Words) {
+				t.Fatalf("ExtractInto(from=%d, max=%d) = %+v, want %+v",
+					from, maxWords, got, want)
+			}
+			scratch = got.Words[:0]
+		}
+	}
+}
+
+// TestExtractIntoReusesBuffer checks that a buffer with enough capacity is
+// reused rather than reallocated — the sender's BuildAck depends on this
+// for its zero-allocation budget.
+func TestExtractIntoReusesBuffer(t *testing.T) {
+	b := New(512)
+	b.Set(7)
+	scratch := make([]uint64, 0, 8)
+	frag := b.ExtractInto(scratch, 0, 8)
+	if len(frag.Words) == 0 || &frag.Words[0] != &scratch[:1][0] {
+		t.Fatal("ExtractInto did not write into the caller's buffer")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		frag = b.ExtractInto(scratch, 0, 8)
+		scratch = frag.Words[:0]
+	}); allocs > 0 {
+		t.Errorf("ExtractInto allocates %.1f times per call with capacity available", allocs)
+	}
+}
+
+// TestExtractIntoEmptyBitmap covers the degenerate empty-bitmap fragment.
+func TestExtractIntoEmptyBitmap(t *testing.T) {
+	var b Bitmap
+	frag := b.ExtractInto(nil, 0, 4)
+	if frag.Start != 0 || len(frag.Words) != 0 {
+		t.Fatalf("empty bitmap fragment = %+v", frag)
+	}
+}

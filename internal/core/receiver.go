@@ -37,7 +37,8 @@ type Receiver struct {
 	highest      int // highest sequence number received; -1 initially
 	lastReported int // Received at the time of the previous ack
 	ackSeq       uint32
-	rot          int // rotating bitmap-fragment cursor (packet index)
+	rot          int      // rotating bitmap-fragment cursor (packet index)
+	fragBuf      []uint64 // reused by BuildAck's bitmap extraction
 
 	stats ReceiverStats
 }
@@ -129,6 +130,10 @@ func (r *Receiver) HandleData(d wire.Data) (ackDue bool, err error) {
 // rotates: the fragment starts at the lowest packet the receiver is still
 // missing when that region is stale, otherwise at a cursor that cycles
 // through the object, so the sender eventually learns every status.
+//
+// The returned ack's bitmap fragment aliases a buffer reused by the next
+// BuildAck; serialize (or copy) it first. Every driver does — an ack is
+// encoded and put on the wire before any more data is processed.
 func (r *Receiver) BuildAck() wire.Ack {
 	r.stats.AcksBuilt++
 	r.ackSeq++
@@ -137,7 +142,8 @@ func (r *Receiver) BuildAck() wire.Ack {
 	r.sinceAck = 0
 
 	words := wire.MaxFragWords(r.cfg.AckPacketSize)
-	frag := r.got.Extract(r.rot, words)
+	frag := r.got.ExtractInto(r.fragBuf, r.rot, words)
+	r.fragBuf = frag.Words[:0]
 	// Advance the rotation; wrap to the first missing packet so the
 	// region the sender most needs is refreshed every cycle.
 	r.rot = frag.Start + len(frag.Words)*64

@@ -338,6 +338,10 @@ func (r *FOBSRun) onData(p *netsim.Packet) {
 	// arriving meanwhile queue in the finite RX buffer (or are lost).
 	r.path.B.Occupy(r.opts.AckBuildTime)
 	a := r.rcv.BuildAck()
+	// The simulated network holds the ack in flight while the receiver
+	// keeps building acks, so the fragment must not alias BuildAck's
+	// reusable buffer (a real driver serializes it to the wire instead).
+	a.Frag.Words = append([]uint64(nil), a.Frag.Words...)
 	size := wire.AckHeaderLen + 8*len(a.Frag.Words) + UDPIPOverhead
 	r.rcvSock.SendTo(r.ackAddr, size, a)
 	if r.rcv.Complete() {

@@ -77,6 +77,70 @@ func (r TransferResult) String() string {
 		r.Goodput()/1e6, 100*r.Waste())
 }
 
+// IOCounters tallies the socket-level work behind one endpoint of a real
+// transfer: how many syscalls moved how many datagrams, and how full the
+// batched vectors ran. SentDatagrams/SendCalls is the quantity the batched
+// fast path exists to raise — the scalar path is pinned at 1.0.
+type IOCounters struct {
+	// SendCalls counts send syscalls (sendmmsg or scalar writes);
+	// SentDatagrams counts datagrams they placed on the wire.
+	SendCalls, SentDatagrams int
+	// RecvCalls counts receive syscalls (recvmmsg, reads, or
+	// non-blocking polls — including empty polls); RecvDatagrams counts
+	// datagrams they returned.
+	RecvCalls, RecvDatagrams int
+	// MaxSendBatch and MaxRecvBatch are the largest vector lengths seen.
+	MaxSendBatch, MaxRecvBatch int
+	// FastPath reports whether the vectored sendmmsg/recvmmsg path was
+	// active.
+	FastPath bool
+}
+
+// Add accumulates o into c, field by field (FastPath ors: a transfer whose
+// either direction ran vectored counts as fast-path).
+func (c *IOCounters) Add(o IOCounters) {
+	c.SendCalls += o.SendCalls
+	c.SentDatagrams += o.SentDatagrams
+	c.RecvCalls += o.RecvCalls
+	c.RecvDatagrams += o.RecvDatagrams
+	if o.MaxSendBatch > c.MaxSendBatch {
+		c.MaxSendBatch = o.MaxSendBatch
+	}
+	if o.MaxRecvBatch > c.MaxRecvBatch {
+		c.MaxRecvBatch = o.MaxRecvBatch
+	}
+	c.FastPath = c.FastPath || o.FastPath
+}
+
+// AvgSendBatch returns datagrams per send syscall (zero when none ran).
+func (c IOCounters) AvgSendBatch() float64 {
+	if c.SendCalls == 0 {
+		return 0
+	}
+	return float64(c.SentDatagrams) / float64(c.SendCalls)
+}
+
+// AvgRecvBatch returns datagrams per receive syscall, empty polls
+// included — for a sender's hot ack poll this is honest syscall-cost
+// accounting, while a receive loop (which blocks until at least one
+// datagram) reads it as vector fill.
+func (c IOCounters) AvgRecvBatch() float64 {
+	if c.RecvCalls == 0 {
+		return 0
+	}
+	return float64(c.RecvDatagrams) / float64(c.RecvCalls)
+}
+
+func (c IOCounters) String() string {
+	path := "scalar"
+	if c.FastPath {
+		path = "vectored"
+	}
+	return fmt.Sprintf("%s io: %d datagrams out in %d syscalls (avg %.1f, max %d); %d in over %d syscalls (max %d)",
+		path, c.SentDatagrams, c.SendCalls, c.AvgSendBatch(), c.MaxSendBatch,
+		c.RecvDatagrams, c.RecvCalls, c.MaxRecvBatch)
+}
+
 // FormatBytes renders a byte count in binary units.
 func FormatBytes(n int64) string {
 	switch {

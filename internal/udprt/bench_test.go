@@ -1,0 +1,177 @@
+package udprt
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/batchio"
+	"github.com/hpcnet/fobs/internal/core"
+)
+
+// benchBatch is the vector length the benchmarks drive: long enough that
+// one syscall amortizes over a meaningful batch on both endpoints. The
+// protocol's own batch policy is set to match, since the paper's tuned
+// FixedBatch(2) never hands the socket layer more than two datagrams.
+const benchBatch = 64
+
+// benchEachPath runs the benchmark once per socket path so the JSON
+// regression harness (make bench-json) can compute fast-vs-scalar ratios
+// from like-named sub-benchmarks.
+func benchEachPath(b *testing.B, fn func(b *testing.B, noFastPath bool)) {
+	b.Run("fast", func(b *testing.B) {
+		if !FastPathAvailable() {
+			b.Skip("vectored fast path not available in this build")
+		}
+		fn(b, false)
+	})
+	b.Run("scalar", func(b *testing.B) { fn(b, true) })
+}
+
+// udpBenchPair returns a connected sender socket and its bound peer with
+// generous kernel buffers.
+func udpBenchPair(b *testing.B) (*net.UDPConn, *net.UDPConn) {
+	b.Helper()
+	peer, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snd, err := net.DialUDP("udp", nil, peer.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		peer.Close()
+		b.Fatal(err)
+	}
+	peer.SetReadBuffer(8 << 20)
+	snd.SetWriteBuffer(8 << 20)
+	b.Cleanup(func() { snd.Close(); peer.Close() })
+	return snd, peer
+}
+
+// BenchmarkBatchFlush measures the sender's per-batch hot path in
+// isolation: pull benchBatch packets from the schedule, encode into the
+// ring, flush to the socket. The fast path pays one sendmmsg per
+// iteration, the scalar path one write per packet. Excess datagrams are
+// dropped by the unread peer socket, which on loopback costs the sender
+// nothing extra.
+func BenchmarkBatchFlush(b *testing.B) {
+	benchEachPath(b, func(b *testing.B, noFastPath bool) {
+		conn, _ := udpBenchPair(b)
+		const packetSize = 1024
+		snd := core.NewSender(makeObj(4<<20), core.Config{PacketSize: packetSize})
+		tx, err := batchio.NewSender(conn, benchBatch, !noFastPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring := newSendRing(benchBatch, packetSize)
+		b.SetBytes(benchBatch * packetSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := encodeBatch(snd, ring, benchBatch)
+			if _, err := tx.Send(ring[:k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "pkts/s")
+	})
+}
+
+// BenchmarkSocketPump measures the socket layer with both endpoints
+// engaged — a flooding batched sender and a draining batched receiver —
+// which is where the fast path's syscall amortization pays on both sides
+// of the loopback hop. One iteration is one received datagram.
+func BenchmarkSocketPump(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-socket benchmark skipped in -short mode")
+	}
+	benchEachPath(b, func(b *testing.B, noFastPath bool) {
+		snd, peer := udpBenchPair(b)
+		tx, err := batchio.NewSender(snd, benchBatch, !noFastPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rx, err := batchio.NewReceiver(peer, benchBatch, 2048, !noFastPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts := make([][]byte, benchBatch)
+		for i := range pkts {
+			pkts[i] = make([]byte, 1024)
+		}
+		stop := make(chan struct{})
+		flooded := make(chan struct{})
+		go func() {
+			defer close(flooded)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx.Send(pkts)
+			}
+		}()
+		defer func() { close(stop); <-flooded }()
+		b.SetBytes(1024)
+		b.ResetTimer()
+		got := 0
+		for got < b.N {
+			peer.SetReadDeadline(time.Now().Add(10 * time.Second))
+			n, err := rx.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += n
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(got)/b.Elapsed().Seconds(), "pkts/s")
+	})
+}
+
+// BenchmarkLoopbackTransfer moves a whole object through the real runtime
+// on loopback — handshake, batched data, acks, completion — once per
+// iteration. This is the end-to-end number the fast path must move: the
+// acceptance bar is ≥1.5x packets/sec over the scalar path.
+func BenchmarkLoopbackTransfer(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-socket benchmark skipped in -short mode")
+	}
+	benchEachPath(b, func(b *testing.B, noFastPath bool) {
+		obj := makeObj(8 << 20)
+		opts := Options{NoFastPath: noFastPath, IOBatch: benchBatch}
+		cfg := core.Config{Batch: core.FixedBatch(benchBatch)}
+		b.SetBytes(int64(len(obj)))
+		b.ResetTimer()
+		packets := 0
+		for i := 0; i < b.N; i++ {
+			l, err := Listen("127.0.0.1:0", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			var got []byte
+			var rerr error
+			done := make(chan struct{})
+			go func() { defer close(done); got, _, rerr = l.Accept(ctx) }()
+			sst, serr := Send(ctx, l.Addr(), obj, cfg, opts)
+			<-done
+			cancel()
+			l.Close()
+			if serr != nil || rerr != nil {
+				b.Fatalf("send: %v, receive: %v", serr, rerr)
+			}
+			if !bytes.Equal(got, obj) {
+				b.Fatal("object corrupted")
+			}
+			// Count delivered packets, not sends: the scalar path wastes
+			// heavily on retransmissions at this batch size, and the
+			// interesting rate is useful packets through the pipe.
+			packets += sst.PacketsNeeded
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/s")
+	})
+}

@@ -1,0 +1,149 @@
+package udprt
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/batchio"
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// TestSenderHotPathZeroAllocs measures the sender's steady-state per-batch
+// work — pull packets from the schedule, encode into the ring, flush —
+// exactly as runSenderLoop performs it, and requires zero allocations on
+// both socket paths.
+func TestSenderHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eachIOPath(t, func(t *testing.T, noFastPath bool) {
+		rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rcv.Close()
+		conn, err := net.DialUDP("udp", nil, rcv.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetWriteBuffer(4 << 20)
+		stop := make(chan struct{})
+		drained := make(chan struct{})
+		go func() { // keep the socket writable; its allocs are not measured
+			defer close(drained)
+			buf := make([]byte, 2048)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rcv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+				rcv.Read(buf)
+			}
+		}()
+		defer func() { close(stop); <-drained }()
+
+		snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: 1024})
+		cfg := snd.Config()
+		tx, err := batchio.NewSender(conn, 16, !noFastPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ring := newSendRing(16, cfg.PacketSize)
+		// With no acks the circular schedule supplies retransmissions
+		// forever, so every run encodes and flushes a full ring.
+		if allocs := testing.AllocsPerRun(300, func() {
+			k := encodeBatch(snd, ring, len(ring))
+			if k != len(ring) {
+				t.Fatalf("encodeBatch = %d, want %d", k, len(ring))
+			}
+			if _, err := tx.Send(ring[:k]); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}); allocs > 0 {
+			t.Errorf("sender encode+flush allocates %.1f times per batch, want 0", allocs)
+		}
+	})
+}
+
+// TestReceiverHotPathZeroAllocs measures the receiver's steady-state
+// per-wakeup work — drain the socket, decode each datagram, place it,
+// serialize and send the acknowledgement — as runReceiveLoop performs it,
+// and requires zero allocations on both socket paths.
+func TestReceiverHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eachIOPath(t, func(t *testing.T, noFastPath bool) {
+		udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer udp.Close()
+		udp.SetReadBuffer(4 << 20)
+		feeder, err := net.DialUDP("udp", nil, udp.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer feeder.Close()
+
+		const packetSize = 1024
+		snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: packetSize})
+		rcv := core.NewReceiver(snd.ObjectSize(), core.Config{
+			PacketSize:   packetSize,
+			AckFrequency: 4,
+		})
+		ftx, err := batchio.NewSender(feeder, 8, !noFastPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed := newSendRing(8, packetSize)
+		rx, err := batchio.NewReceiver(udp, 8, maxDatagram, !noFastPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
+		udp.SetReadDeadline(time.Time{})
+
+		// The feeding sends run in this goroutine too, but the sender side
+		// is proven allocation-free by TestSenderHotPathZeroAllocs.
+		if allocs := testing.AllocsPerRun(300, func() {
+			k := encodeBatch(snd, feed, len(feed))
+			if _, err := ftx.Send(feed[:k]); err != nil {
+				t.Fatalf("feed: %v", err)
+			}
+			udp.SetReadDeadline(time.Now().Add(2 * time.Second))
+			got := 0
+			for got < k {
+				n, err := rx.Recv()
+				if err != nil {
+					t.Fatalf("Recv: %v", err)
+				}
+				for i := 0; i < n; i++ {
+					d, err := wire.DecodeData(rx.Datagram(i))
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					ackDue, err := rcv.HandleData(d)
+					if err != nil {
+						t.Fatalf("place: %v", err)
+					}
+					if ackDue {
+						a := rcv.BuildAck()
+						ackBuf = wire.AppendAck(ackBuf[:0], &a)
+						if _, err := udp.WriteToUDPAddrPort(ackBuf, rx.Addr(i)); err != nil {
+							t.Fatalf("ack write: %v", err)
+						}
+					}
+				}
+				got += n
+			}
+		}); allocs > 0 {
+			t.Errorf("receiver drain+place+ack allocates %.1f times per wakeup, want 0", allocs)
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package udprt
+
+const raceEnabled = false

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
+	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -208,12 +210,18 @@ wait:
 	handle(hello.Transfer, obj, rstats)
 }
 
-// dataLoop demultiplexes incoming datagrams to transfers.
+// dataLoop demultiplexes incoming datagrams to transfers. One wakeup
+// drains up to Options.IOBatch datagrams through the batched receiver
+// (one per read on the scalar path) before touching the socket again, so
+// concurrent senders cost one recvmmsg per queueful, not one read each.
 func (s *Server) dataLoop(ctx context.Context) {
-	buf := make([]byte, maxDatagram)
+	rx, err := batchio.NewReceiver(s.udp, s.opts.IOBatch, maxDatagram, !s.opts.NoFastPath)
+	if err != nil {
+		return
+	}
 	for {
 		s.udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, from, err := s.udp.ReadFromUDP(buf)
+		n, err := rx.Recv()
 		if err != nil {
 			if isTimeout(err) {
 				if ctx.Err() != nil || s.isClosed() {
@@ -223,39 +231,47 @@ func (s *Server) dataLoop(ctx context.Context) {
 			}
 			return // socket closed
 		}
-		d, err := wire.DecodeData(buf[:n])
-		if err != nil {
-			continue
+		for i := 0; i < n; i++ {
+			s.handleDatagram(rx.Datagram(i), rx.Addr(i))
 		}
-		s.mu.Lock()
-		st := s.transfers[d.Transfer]
-		s.mu.Unlock()
-		if st == nil {
-			continue // unknown or finished transfer
-		}
-		st.mu.Lock()
-		st.lastData = time.Now() // even a duplicate proves the sender lives
-		ackDue, err := st.rcv.HandleData(d)
-		if err != nil {
-			st.mu.Unlock()
-			continue
-		}
-		var ack []byte
-		if ackDue {
-			a := st.rcv.BuildAck()
-			st.ackBuf = wire.AppendAck(st.ackBuf[:0], &a)
-			ack = st.ackBuf
-		}
-		finished := st.rcv.Complete() && !st.done
-		if finished {
-			st.done = true
-		}
+	}
+}
+
+// handleDatagram routes one data packet to its transfer, replying with an
+// acknowledgement when one is due.
+func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
+	d, err := wire.DecodeData(buf)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	st := s.transfers[d.Transfer]
+	s.mu.Unlock()
+	if st == nil {
+		return // unknown or finished transfer
+	}
+	st.mu.Lock()
+	st.lastData = time.Now() // even a duplicate proves the sender lives
+	ackDue, err := st.rcv.HandleData(d)
+	if err != nil {
 		st.mu.Unlock()
-		if ack != nil {
-			s.udp.WriteToUDP(ack, from)
-		}
-		if finished {
-			close(st.complete)
-		}
+		return
+	}
+	var ack []byte
+	if ackDue {
+		a := st.rcv.BuildAck()
+		st.ackBuf = wire.AppendAck(st.ackBuf[:0], &a)
+		ack = st.ackBuf
+	}
+	finished := st.rcv.Complete() && !st.done
+	if finished {
+		st.done = true
+	}
+	st.mu.Unlock()
+	if ack != nil {
+		s.udp.WriteToUDPAddrPort(ack, from)
+	}
+	if finished {
+		close(st.complete)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -157,6 +158,14 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 // (stragglers of a previous object in the session) are ignored by the
 // receiver's transfer tag.
 //
+// One wakeup processes a whole queue: the batched receiver pulls up to
+// Options.IOBatch datagrams per recvmmsg syscall (one per read on the
+// scalar path) and every datagram runs through the usual decode → place →
+// ack-frequency check pipeline before the loop looks at the socket again.
+// The hot path is allocation-free: datagrams land in the receiver's
+// buffer ring, acks are serialized into one reusable buffer, and replies
+// go out through the net package's value-typed address API.
+//
 // Liveness: if no datagram for this transfer arrives for
 // Options.IdleTimeout, the loop aborts the transfer (ABORT idle-timeout on
 // the control channel) and returns an error wrapping ErrIdle. When
@@ -172,8 +181,22 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 	if watchCtl && ctl != nil {
 		abortCh = watchControl(ctl, transfer)
 	}
-	buf := make([]byte, maxDatagram)
+	rx, err := batchio.NewReceiver(udp, opts.IOBatch, maxDatagram, !opts.NoFastPath)
+	if err != nil {
+		return fmt.Errorf("udprt: batched receiver: %w", err)
+	}
 	ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
+	ackCalls := 0
+	if opts.IOCounters != nil {
+		defer func() {
+			c := rx.Counters()
+			c.SendCalls, c.SentDatagrams = ackCalls, ackCalls
+			if ackCalls > 0 {
+				c.MaxSendBatch = 1 // acks go out one WriteToUDPAddrPort each
+			}
+			*opts.IOCounters = c
+		}()
+	}
 	lastData := time.Now()
 	for !rcv.Complete() {
 		if err := ctx.Err(); err != nil {
@@ -191,35 +214,70 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 			return fmt.Errorf("udprt: no data for %v: %w", opts.IdleTimeout, ErrIdle)
 		}
 		udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, from, err := udp.ReadFromUDP(buf)
+		n, err := rx.Recv()
 		if err != nil {
 			if isTimeout(err) {
 				continue
 			}
 			return fmt.Errorf("udprt: data read: %w", err)
 		}
-		d, err := wire.DecodeData(buf[:n])
-		if err != nil {
-			continue
-		}
-		if d.Transfer == transfer {
-			// Any datagram for this transfer — even a duplicate — proves
-			// the sender is alive.
-			lastData = time.Now()
-		}
-		ackDue, err := rcv.HandleData(d)
-		if err != nil {
-			continue
-		}
-		if ackDue {
-			a := rcv.BuildAck()
-			ackBuf = wire.AppendAck(ackBuf[:0], &a)
-			if _, err := udp.WriteToUDP(ackBuf, from); err != nil {
-				return fmt.Errorf("udprt: ack write: %w", err)
+		for i := 0; i < n; i++ {
+			d, err := wire.DecodeData(rx.Datagram(i))
+			if err != nil {
+				continue
+			}
+			if d.Transfer == transfer {
+				// Any datagram for this transfer — even a duplicate —
+				// proves the sender is alive.
+				lastData = time.Now()
+			}
+			ackDue, err := rcv.HandleData(d)
+			if err != nil {
+				continue
+			}
+			if ackDue {
+				a := rcv.BuildAck()
+				ackBuf = wire.AppendAck(ackBuf[:0], &a)
+				if _, err := udp.WriteToUDPAddrPort(ackBuf, rx.Addr(i)); err != nil {
+					return fmt.Errorf("udprt: ack write: %w", err)
+				}
+				ackCalls++
 			}
 		}
 	}
 	return nil
+}
+
+// ackPollSlots bounds the sender's acknowledgement-drain vector: acks are
+// outnumbered ~AckFrequency:1 by data packets, so a short vector already
+// catches every queued ack per poll.
+const ackPollSlots = 8
+
+// encodeBatch pulls up to max packets from the sender's schedule and
+// serializes each into its slot of the reusable ring, returning how many
+// slots were filled. The ring's buffers are pre-sized to the packet
+// framing, so steady-state encoding allocates nothing.
+func encodeBatch(snd *core.Sender, ring [][]byte, max int) int {
+	k := 0
+	for k < len(ring) && k < max {
+		pkt, ok := snd.NextPacket()
+		if !ok {
+			break
+		}
+		ring[k] = wire.AppendData(ring[k][:0], &pkt)
+		k++
+	}
+	return k
+}
+
+// newSendRing builds the reusable encode ring: slots buffers each sized
+// for one framed data packet.
+func newSendRing(slots, packetSize int) [][]byte {
+	ring := make([][]byte, slots)
+	for i := range ring {
+		ring[i] = make([]byte, 0, packetSize+wire.DataHeaderLen)
+	}
+	return ring
 }
 
 // runSenderLoop drives snd over the given sockets until the completion
@@ -231,38 +289,74 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 // completion signal has its own goroutine — a hot sender loop must never
 // be able to starve the poll that feeds it.
 //
+// The batch-send phase is where the fast path earns its keep: the B
+// packets the batch policy chose are encoded into a reusable ring of
+// pre-sized buffers and flushed as one sendmmsg vector (chunked at
+// Options.IOBatch when B is larger; one write syscall per packet on the
+// scalar path). The ack poll likewise drains every queued acknowledgement
+// in one recvmmsg. Steady state allocates nothing per packet.
+//
 // Liveness: if the transfer is incomplete and no acknowledgement arrives
 // for Options.StallTimeout, the loop aborts (ABORT stalled on the control
 // channel) and returns an error wrapping ErrStalled. Persistent UDP write
 // errors (e.g. ECONNREFUSED once the peer's socket is gone) surface after
-// writeErrLimit failures with no intervening acknowledgement; transient
-// buffer pressure (ENOBUFS et al.) is absorbed by the pacing loop.
+// writeErrLimit failing batch rounds with no intervening acknowledgement;
+// transient buffer pressure (ENOBUFS et al.) is absorbed by the pacing
+// loop.
 func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 	conn *net.UDPConn, ctl net.Conn, opts Options) (core.SenderStats, error) {
 
 	done := make(chan error, 1)
 	go func() { done <- readCompletion(ctl, snd) }()
 
-	buf := make([]byte, 0, cfg.PacketSize+wire.DataHeaderLen)
-	ackBuf := make([]byte, maxDatagram)
+	tx, err := batchio.NewSender(conn, opts.IOBatch, !opts.NoFastPath)
+	if err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: batched sender: %w", err)
+	}
+	tx.FlushHook = opts.testFlushHook
+	rx, err := batchio.NewReceiver(conn, ackPollSlots, maxDatagram, !opts.NoFastPath)
+	if err != nil {
+		return snd.Stats(), fmt.Errorf("udprt: ack receiver: %w", err)
+	}
+	if opts.IOCounters != nil {
+		defer func() {
+			c := tx.Counters()
+			c.Add(rx.Counters())
+			*opts.IOCounters = c
+		}()
+	}
+	ring := newSendRing(opts.IOBatch, cfg.PacketSize)
+	ackWords := make([]uint64, 0, wire.MaxFragWords(cfg.AckPacketSize))
 	var paceDebt time.Duration
-	pollAck := func() {
-		n, ok := pollDatagram(conn, ackBuf)
-		if !ok {
-			return // nothing buffered; the paper's sender never waits here
+	pollAck := func() error {
+		n, rerr := rx.TryRecv()
+		for i := 0; i < n; i++ {
+			a, err := wire.DecodeAckInto(rx.Datagram(i), ackWords)
+			if err != nil {
+				continue
+			}
+			ackWords = a.Frag.Words[:0] // HandleAck consumed the fragment
+			if snd.HandleAck(a) == nil && opts.Progress != nil {
+				opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
+			}
 		}
-		a, err := wire.DecodeAck(ackBuf[:n])
-		if err != nil {
-			return
-		}
-		if snd.HandleAck(a) == nil && opts.Progress != nil {
-			opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
-		}
+		return rerr
 	}
 	acksSeen := 0
 	lastAck := time.Now()
 	writeErrs := 0
 	var lastWriteErr error
+	// noteWriteErr folds one persistent socket failure into the abort
+	// accounting, reporting whether the limit is reached. Transient
+	// buffer pressure does not count.
+	noteWriteErr := func(err error) bool {
+		if isTransientWriteErr(err) || isTimeout(err) {
+			return false
+		}
+		writeErrs++
+		lastWriteErr = err
+		return writeErrs >= writeErrLimit
+	}
 	for {
 		select {
 		case err := <-done:
@@ -273,8 +367,16 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 			return snd.Stats(), ctx.Err()
 		default:
 		}
-		// Phase 2: look for — never block for — one acknowledgement.
-		pollAck()
+		// Phase 2: look for — never block for — acknowledgements. A
+		// latched socket error consumed by the poll (the asynchronous
+		// ECONNREFUSED of an earlier batch — which a partial sendmmsg
+		// reports as a short count, not an errno) counts toward the
+		// write-error limit, or the fast path could spin forever on a
+		// dead peer that scalar writes would have exposed.
+		if rerr := pollAck(); rerr != nil && noteWriteErr(rerr) {
+			writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
+			return snd.Stats(), fmt.Errorf("udprt: data socket: %w", lastWriteErr)
+		}
 		// Liveness: any processed ack — fresh or stale — proves the
 		// receiver is alive and resets both watchdog counters.
 		if st := snd.Stats(); st.AcksProcessed > acksSeen {
@@ -287,27 +389,27 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 			return snd.Stats(), fmt.Errorf("udprt: no acknowledgement for %v: %w",
 				opts.StallTimeout, ErrStalled)
 		}
-		// Phases 1+3: batch-send with the schedule choosing each packet.
+		// Phases 1+3: batch-send with the schedule choosing each packet,
+		// flushed in vectors of up to IOBatch datagrams.
 		batch := snd.BatchSize()
 		sent := 0
-		for i := 0; i < batch; i++ {
-			pkt, ok := snd.NextPacket()
-			if !ok {
+		for sent < batch {
+			k := encodeBatch(snd, ring, batch-sent)
+			if k == 0 {
 				break
 			}
-			buf = wire.AppendData(buf[:0], &pkt)
-			if _, err := conn.Write(buf); err != nil {
-				if !isTransientWriteErr(err) {
-					writeErrs++
-					lastWriteErr = err
-					if writeErrs >= writeErrLimit {
-						writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-						return snd.Stats(), fmt.Errorf("udprt: data write: %w", lastWriteErr)
-					}
+			m, err := tx.Send(ring[:k])
+			sent += m
+			if err != nil {
+				if noteWriteErr(err) {
+					writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
+					return snd.Stats(), fmt.Errorf("udprt: data write: %w", lastWriteErr)
 				}
 				break
 			}
-			sent++
+			if m < k {
+				break // kernel backpressure: pace, poll, come back
+			}
 		}
 		if sent == 0 {
 			// Everything known-received, or this round's write failed:

@@ -25,7 +25,9 @@ import (
 	"net"
 	"time"
 
+	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -69,6 +71,24 @@ type Options struct {
 	// HandshakeBackoff is the delay before the second handshake attempt,
 	// doubling on each further attempt (default 200ms).
 	HandshakeBackoff time.Duration
+	// IOBatch is the vector length of the batched socket path: how many
+	// datagrams one sendmmsg/recvmmsg syscall may move (default 32). The
+	// sender flushes each batch-send phase in vectors of up to this many
+	// packets; the receiver drains up to this many datagrams per wakeup.
+	IOBatch int
+	// NoFastPath forces the portable scalar socket path (one syscall per
+	// datagram) even on builds where the vectored fast path is available.
+	// The equivalence suite runs every scenario both ways.
+	NoFastPath bool
+	// IOCounters, when non-nil, is filled with the endpoint's
+	// socket-level counters (syscalls, datagrams, batch fill) when its
+	// transfer loop ends.
+	IOCounters *stats.IOCounters
+	// testFlushHook observes every sender-side flush (datagrams handed
+	// to the kernel, datagrams accepted). Unexported: only this
+	// package's tests can set it, to assert that batch-policy sizes
+	// reach the wire as real vector lengths.
+	testFlushHook func(k, m int)
 }
 
 func (o Options) withDefaults() Options {
@@ -96,8 +116,25 @@ func (o Options) withDefaults() Options {
 	if o.HandshakeBackoff == 0 {
 		o.HandshakeBackoff = 200 * time.Millisecond
 	}
+	if o.IOBatch == 0 {
+		o.IOBatch = DefaultIOBatch
+	}
+	if o.IOBatch < 1 {
+		o.IOBatch = 1
+	}
 	return o
 }
+
+// DefaultIOBatch is the default sendmmsg/recvmmsg vector length. Large
+// enough that a receiver wakeup amortizes its syscall over a queue of
+// datagrams, small enough that the per-transfer buffer ring stays cheap.
+const DefaultIOBatch = 32
+
+// FastPathAvailable reports whether this build has the vectored
+// sendmmsg/recvmmsg socket path (Linux on a 64-bit architecture). When
+// false, Options.NoFastPath is a no-op: every transfer runs the scalar
+// path.
+func FastPathAvailable() bool { return batchio.FastPathAvailable() }
 
 // maxDatagram bounds receive buffers: the largest packet size the paper
 // sweeps (32 KiB) plus headers.

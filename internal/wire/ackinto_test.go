@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hpcnet/fobs/internal/bitmap"
+)
+
+func sampleAck() Ack {
+	return Ack{
+		Transfer: 9, AckSeq: 3, Received: 120, Delta: 16,
+		Frag: bitmap.Fragment{Start: 64, Words: []uint64{0xdeadbeef, 0x0, 0xffff}},
+	}
+}
+
+// TestDecodeAckIntoMatchesDecodeAck checks the scratch-buffer variant
+// produces the same result as the allocating one.
+func TestDecodeAckIntoMatchesDecodeAck(t *testing.T) {
+	buf := AppendAck(nil, &Ack{Transfer: 9, AckSeq: 3, Received: 120, Delta: 16,
+		Frag: sampleAck().Frag})
+	want, err := DecodeAck(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]uint64, 0, 8)
+	got, err := DecodeAckInto(buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DecodeAckInto = %+v, want %+v", got, want)
+	}
+	if len(got.Frag.Words) == 0 || &got.Frag.Words[0] != &scratch[:1][0] {
+		t.Fatal("DecodeAckInto did not use the caller's buffer")
+	}
+}
+
+// TestDecodeAckIntoZeroAlloc holds the ack-poll hot path's budget: with
+// enough capacity in the scratch buffer, decoding allocates nothing.
+func TestDecodeAckIntoZeroAlloc(t *testing.T) {
+	a := sampleAck()
+	buf := AppendAck(nil, &a)
+	words := make([]uint64, 0, MaxFragWords(1024))
+	if allocs := testing.AllocsPerRun(200, func() {
+		got, err := DecodeAckInto(buf, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = got.Frag.Words[:0]
+	}); allocs > 0 {
+		t.Errorf("DecodeAckInto allocates %.1f times per ack with capacity available", allocs)
+	}
+}
+
+// TestDecodeAckIntoRejectsTruncatedFragment checks the variant keeps the
+// original's framing validation.
+func TestDecodeAckIntoRejectsTruncatedFragment(t *testing.T) {
+	a := sampleAck()
+	buf := AppendAck(nil, &a)
+	if _, err := DecodeAckInto(buf[:len(buf)-3], nil); err == nil {
+		t.Fatal("truncated fragment accepted")
+	}
+}

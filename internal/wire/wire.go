@@ -178,8 +178,17 @@ func AppendAck(buf []byte, a *Ack) []byte {
 	return buf
 }
 
-// DecodeAck parses an ACK datagram.
+// DecodeAck parses an ACK datagram, allocating a fresh word slice.
 func DecodeAck(b []byte) (Ack, error) {
+	return DecodeAckInto(b, nil)
+}
+
+// DecodeAckInto parses an ACK datagram into a caller-owned word buffer:
+// the returned fragment's Words is words (grown as needed), letting a
+// sender's ack poll loop decode without per-packet allocations. The
+// caller must consume the fragment before the next DecodeAckInto reusing
+// the same buffer.
+func DecodeAckInto(b []byte, words []uint64) (Ack, error) {
 	var a Ack
 	if len(b) < AckHeaderLen {
 		return a, ErrShort
@@ -203,10 +212,11 @@ func DecodeAck(b []byte) (Ack, error) {
 		return a, fmt.Errorf("wire: ack fragment start %d not word-aligned", start)
 	}
 	a.Frag.Start = int(start)
-	a.Frag.Words = make([]uint64, nw)
+	words = words[:0]
 	for i := 0; i < nw; i++ {
-		a.Frag.Words[i] = binary.BigEndian.Uint64(b[AckHeaderLen+8*i:])
+		words = append(words, binary.BigEndian.Uint64(b[AckHeaderLen+8*i:]))
 	}
+	a.Frag.Words = words
 	return a, nil
 }
 
