@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short test bench bench-json verify
+.PHONY: all tier1 vet race short test bench bench-json fuzz-smoke verify
 
 all: verify
 
@@ -12,8 +12,14 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
+# Static checks: go vet plus a gofmt cleanliness gate (gofmt -l prints
+# nothing when the tree is formatted; any output fails the target).
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # The concurrency-heavy packages (real sockets, fault injection, server
 # demux) must stay clean under the race detector.
@@ -39,4 +45,13 @@ bench-json:
 		| $(GO) run ./cmd/fobs-benchjson > BENCH_udprt.json
 	@grep -A4 '"ratios"' BENCH_udprt.json | head -8 || true
 
-verify: tier1 vet race
+# Short fuzz pass over every decoder fuzz target: the committed seed corpus
+# plus 10 seconds of exploration each. A format regression that survives the
+# unit tests rarely survives this.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeData -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeAck -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeControl -fuzztime 10s
+	$(GO) test ./internal/xfer -run '^$$' -fuzz FuzzDecodeManifest -fuzztime 10s
+
+verify: tier1 vet race fuzz-smoke

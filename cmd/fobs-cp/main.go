@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"github.com/hpcnet/fobs"
@@ -30,6 +31,11 @@ func main() {
 		checksum   = flag.Bool("checksum", true, "CRC-32C every data packet in addition to per-file checksums")
 		pace       = flag.Duration("pace", 0, "per-packet pacing delay (loopback/LAN tuning)")
 		timeout    = flag.Duration("timeout", time.Hour, "give up after this long")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
+		statsInterval = flag.Duration("stats-interval", 0,
+			"print a one-line metrics summary this often (0: off)")
 	)
 	flag.Parse()
 
@@ -38,6 +44,21 @@ func main() {
 
 	cfg := fobs.Config{PacketSize: *packetSize, Checksum: *checksum}
 	opts := fobs.Options{Pace: *pace}
+	if *debugAddr != "" || *statsInterval > 0 {
+		reg := fobs.NewMetrics()
+		opts.Metrics = reg
+		if *debugAddr != "" {
+			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
+			if err != nil {
+				log.Fatalf("fobs-cp: debug server: %v", err)
+			}
+			defer dbg.Close()
+			fmt.Printf("fobs-cp: metrics at http://%s/debug/fobs\n", dbg.Addr())
+		}
+		if *statsInterval > 0 {
+			defer reg.StartReporter(os.Stderr, *statsInterval)()
+		}
+	}
 
 	switch {
 	case *send != "" && *recv != "":

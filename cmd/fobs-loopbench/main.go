@@ -12,6 +12,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"github.com/hpcnet/fobs"
@@ -54,9 +55,11 @@ func tcpBaseline(obj []byte) (time.Duration, error) {
 
 // fobsRun moves obj over the FOBS runtime on loopback with the given
 // config and pacing, returning elapsed time and sender waste. scalar
-// forces one syscall per datagram on both endpoints.
-func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool) (time.Duration, float64, error) {
-	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar})
+// forces one syscall per datagram on both endpoints. Both endpoints share
+// reg (which may be nil) so the bench's transfers show up on the debug
+// endpoint and in the periodic summaries.
+func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *fobs.Metrics) (time.Duration, float64, error) {
+	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar, Metrics: reg})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -70,7 +73,7 @@ func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool) (time
 	}()
 	start := time.Now()
 	st, err := fobs.Send(ctx, l.Addr(), obj, cfg,
-		fobs.Options{Pace: pace, NoFastPath: scalar})
+		fobs.Options{Pace: pace, NoFastPath: scalar, Metrics: reg})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -84,8 +87,29 @@ func main() {
 	var (
 		size = flag.Int64("size", 32<<20, "object size in bytes")
 		pace = flag.Duration("pace", 5*time.Microsecond, "per-packet pacing (loopback needs a little)")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
+		statsInterval = flag.Duration("stats-interval", 0,
+			"print a one-line metrics summary this often (0: off)")
 	)
 	flag.Parse()
+
+	var reg *fobs.Metrics
+	if *debugAddr != "" || *statsInterval > 0 {
+		reg = fobs.NewMetrics()
+		if *debugAddr != "" {
+			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
+			if err != nil {
+				log.Fatalf("fobs-loopbench: debug server: %v", err)
+			}
+			defer dbg.Close()
+			fmt.Printf("fobs-loopbench: metrics at http://%s/debug/fobs\n", dbg.Addr())
+		}
+		if *statsInterval > 0 {
+			defer reg.StartReporter(os.Stderr, *statsInterval)()
+		}
+	}
 
 	obj := make([]byte, *size)
 	for i := range obj {
@@ -100,7 +124,7 @@ func main() {
 	}
 
 	for _, ps := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, false)
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, false, reg)
 		if err != nil {
 			log.Fatalf("fobs-loopbench: fobs ps=%d: %v", ps, err)
 		}
@@ -114,11 +138,11 @@ func main() {
 	// size, where per-datagram syscall cost dominates.
 	if fobs.FastPathAvailable() {
 		cfg := fobs.Config{PacketSize: 1024, Batch: fobs.FixedBatch(64)}
-		fast, _, err := fobsRun(obj, cfg, *pace, false)
+		fast, _, err := fobsRun(obj, cfg, *pace, false, reg)
 		if err != nil {
 			log.Fatalf("fobs-loopbench: fast path: %v", err)
 		}
-		scalar, _, err := fobsRun(obj, cfg, *pace, true)
+		scalar, _, err := fobsRun(obj, cfg, *pace, true, reg)
 		if err != nil {
 			log.Fatalf("fobs-loopbench: scalar path: %v", err)
 		}

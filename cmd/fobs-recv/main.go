@@ -33,6 +33,11 @@ func main() {
 		noFastPath = flag.Bool("no-fastpath", false,
 			"force one syscall per datagram even where recvmmsg is available")
 		ioStats = flag.Bool("io-stats", false, "print batched-IO syscall counters")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
+		statsInterval = flag.Duration("stats-interval", 0,
+			"print a one-line metrics summary this often (0: off)")
 	)
 	flag.Parse()
 
@@ -44,6 +49,21 @@ func main() {
 	var ioc fobs.IOCounters
 	if *ioStats {
 		opts.IOCounters = &ioc
+	}
+	if *debugAddr != "" || *statsInterval > 0 {
+		reg := fobs.NewMetrics()
+		opts.Metrics = reg
+		if *debugAddr != "" {
+			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
+			if err != nil {
+				log.Fatalf("fobs-recv: debug server: %v", err)
+			}
+			defer dbg.Close()
+			fmt.Printf("fobs-recv: metrics at http://%s/debug/fobs\n", dbg.Addr())
+		}
+		if *statsInterval > 0 {
+			defer reg.StartReporter(os.Stderr, *statsInterval)()
+		}
 	}
 	l, err := fobs.Listen(*listen, opts)
 	if err != nil {

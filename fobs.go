@@ -40,6 +40,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/experiments"
+	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/udprt"
 	"github.com/hpcnet/fobs/internal/xfer"
@@ -106,6 +107,46 @@ type (
 // DefaultIOBatch is the default sendmmsg/recvmmsg vector length used by
 // the batched-IO fast path (Options.IOBatch when left zero).
 const DefaultIOBatch = udprt.DefaultIOBatch
+
+// Live observability (see internal/metrics). Point Options.Metrics at a
+// Metrics registry and every transfer the runtime runs — sender or
+// receiver, single, session or server — records its packets, bytes, acks,
+// retransmissions, watchdog firings and phase timestamps there.
+type (
+	// Metrics is a registry of live per-transfer counters and lifecycle
+	// events. Snapshot() returns everything; StartReporter emits periodic
+	// one-line summaries; ServeMetricsDebug exposes it over HTTP.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is one observation of a whole registry.
+	MetricsSnapshot = metrics.Snapshot
+	// TransferMetrics is the frozen state of one transfer endpoint.
+	TransferMetrics = metrics.TransferSnapshot
+	// MetricsEvent is one lifecycle event (handshake, first data, stall,
+	// idle, complete, abort) from the registry's event ring.
+	MetricsEvent = metrics.Event
+	// MetricsDebugServer is a running debug HTTP endpoint.
+	MetricsDebugServer = metrics.DebugServer
+	// MetricsRole distinguishes a transfer's two endpoints in a snapshot
+	// (MetricsSnapshot.Find takes one).
+	MetricsRole = metrics.Role
+)
+
+// Endpoint roles for MetricsSnapshot.Find.
+const (
+	RoleSender   = metrics.RoleSender
+	RoleReceiver = metrics.RoleReceiver
+)
+
+// NewMetrics returns an empty metrics registry to hang on Options.Metrics.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// ServeMetricsDebug starts an HTTP server on addr (":0" for ephemeral)
+// serving the registry as expvar-style JSON (/debug/fobs), sampled trace
+// series (/debug/fobs/trace CSV, /debug/fobs/charts ASCII) and the
+// standard pprof profiles (/debug/pprof/).
+func ServeMetricsDebug(addr string, reg *Metrics) (*MetricsDebugServer, error) {
+	return metrics.ServeDebug(addr, reg)
+}
 
 // FastPathAvailable reports whether this build can use the vectored
 // sendmmsg/recvmmsg fast path at all (Linux on a supported 64-bit

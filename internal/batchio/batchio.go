@@ -20,6 +20,11 @@
 // by the mmsg_* files); callers can additionally force the scalar path at
 // runtime, which is how the equivalence suite runs both implementations in
 // one binary on one kernel.
+//
+// Both directions tally their syscall and batch-fill counts (Counters);
+// the udprt drivers fold those tallies into per-transfer
+// internal/metrics records when a transfer's IO loop ends, so a snapshot
+// shows packets-per-syscall amortization next to the protocol counters.
 package batchio
 
 import (

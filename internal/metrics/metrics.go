@@ -1,0 +1,620 @@
+// Package metrics is the live observability layer of the real-network FOBS
+// runtime: a low-overhead registry of per-transfer counters and lifecycle
+// events that the sender, receiver, session and multi-transfer server
+// drivers feed while a transfer is in flight.
+//
+// The paper's evaluation is entirely about measured behaviour — goodput,
+// retransmission cost, duplicate rate as a function of batch size and ack
+// frequency — and the simulated runtime already exposes those quantities
+// through internal/stats and internal/trace. This package gives the socket
+// runtime the same visibility, live: every quantity the paper reports is a
+// counter here, sampled into trace series so a running transfer can emit
+// the same CSV/ASCII charts the simulator produces.
+//
+// Design constraints, in order:
+//
+//  1. The hot paths (one note per datagram and per acknowledgement) must
+//     not allocate and must not take locks: every per-packet quantity is an
+//     atomic counter on a pre-allocated Transfer handle, and the
+//     retransmission classifier is a test-and-set on a pre-sized atomic
+//     bitmap. The hot-path allocation gates in internal/udprt run with
+//     metrics enabled to keep this honest.
+//  2. Lifecycle events (handshake, first data, completion, abort, watchdog
+//     firings) go through a fixed-size lock-free ring (see ring.go), so
+//     recording an event never blocks a transfer loop and a crashed or
+//     wedged transfer leaves its last events readable.
+//  3. Everything is nil-safe: a nil *Registry hands out nil *Transfer
+//     handles whose methods are no-ops, so drivers instrument
+//     unconditionally and pay one predictable nil check when metrics are
+//     off.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/stats"
+)
+
+// Role distinguishes the two endpoints of a transfer inside one registry
+// (a process may hold both ends of a loopback transfer).
+type Role uint8
+
+const (
+	// RoleSender marks the data-sending endpoint.
+	RoleSender Role = iota
+	// RoleReceiver marks the data-receiving endpoint.
+	RoleReceiver
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSender:
+		return "sender"
+	case RoleReceiver:
+		return "receiver"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// MarshalJSON renders the role as its name.
+func (r Role) MarshalJSON() ([]byte, error) { return []byte(`"` + r.String() + `"`), nil }
+
+// Outcome is a transfer's terminal state.
+type Outcome uint8
+
+const (
+	// OutcomeRunning means the transfer has not finished.
+	OutcomeRunning Outcome = iota
+	// OutcomeCompleted means the transfer delivered the whole object.
+	OutcomeCompleted
+	// OutcomeAborted means the transfer ended on an error or ABORT.
+	OutcomeAborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeRunning:
+		return "running"
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// MarshalJSON renders the outcome as its name.
+func (o Outcome) MarshalJSON() ([]byte, error) { return []byte(`"` + o.String() + `"`), nil }
+
+// historyCap bounds how many finished transfers a registry retains; older
+// snapshots are dropped oldest-first so a long-lived server's registry
+// cannot grow without bound.
+const historyCap = 256
+
+// Registry collects the metrics of every transfer an endpoint (or a whole
+// multi-transfer server) runs. The zero value is not usable; construct with
+// New. All methods are safe for concurrent use, and safe on a nil receiver
+// (they no-op or return zero values).
+type Registry struct {
+	start time.Time
+	ring  eventRing
+
+	mu       sync.Mutex
+	active   map[transferKey]*Transfer
+	finished []TransferSnapshot
+
+	sampler samplerState
+}
+
+// transferKey identifies one endpoint of one transfer: a loopback test
+// registers both roles of the same id in one registry.
+type transferKey struct {
+	id   uint32
+	role Role
+}
+
+// New returns an empty registry whose clock starts now.
+func New() *Registry {
+	return &Registry{
+		start:  time.Now(),
+		active: make(map[transferKey]*Transfer),
+	}
+}
+
+// Since returns the registry-relative timestamp of the given instant.
+func (r *Registry) Since(t time.Time) time.Duration { return t.Sub(r.start) }
+
+// now returns the registry-relative current time.
+func (r *Registry) now() time.Duration { return time.Since(r.start) }
+
+// StartSender registers the sending end of a transfer: packetsNeeded is the
+// object's packet count and objectBytes its size. The returned handle is
+// what the driver feeds; it is nil (and safe to use) when the registry is
+// nil. Starting a role+id pair that is already active replaces the old
+// handle, snapshotting it into history first — ids are reusable once a
+// transfer ends.
+func (r *Registry) StartSender(id uint32, packetsNeeded int, objectBytes int64) *Transfer {
+	return r.startTransfer(id, RoleSender, packetsNeeded, objectBytes)
+}
+
+// StartReceiver registers the receiving end of a transfer.
+func (r *Registry) StartReceiver(id uint32, packetsNeeded int, objectBytes int64) *Transfer {
+	return r.startTransfer(id, RoleReceiver, packetsNeeded, objectBytes)
+}
+
+func (r *Registry) startTransfer(id uint32, role Role, packetsNeeded int, objectBytes int64) *Transfer {
+	if r == nil {
+		return nil
+	}
+	t := &Transfer{
+		reg:         r,
+		id:          id,
+		role:        role,
+		needed:      int64(packetsNeeded),
+		objectBytes: objectBytes,
+	}
+	if role == RoleSender && packetsNeeded > 0 {
+		t.sentOnce = make([]atomic.Uint64, (packetsNeeded+63)/64)
+	}
+	t.startedNs.Store(int64(r.now()))
+	key := transferKey{id: id, role: role}
+	r.mu.Lock()
+	if old := r.active[key]; old != nil {
+		r.retireLocked(old)
+	}
+	r.active[key] = t
+	r.mu.Unlock()
+	return t
+}
+
+// retireLocked moves a transfer into the finished history. Caller holds
+// r.mu.
+func (r *Registry) retireLocked(t *Transfer) {
+	r.finished = append(r.finished, t.snapshot())
+	if len(r.finished) > historyCap {
+		r.finished = r.finished[len(r.finished)-historyCap:]
+	}
+}
+
+// finish is called by Transfer.Complete/Abort exactly once: it removes the
+// handle from the active set and archives its final snapshot.
+func (r *Registry) finish(t *Transfer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := transferKey{id: t.id, role: t.role}
+	if r.active[key] == t {
+		delete(r.active, key)
+	}
+	r.retireLocked(t)
+}
+
+// Events returns the lifecycle events still held in the ring, oldest
+// first. The ring is fixed-size; a busy registry only retains the most
+// recent events.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.ring.collect()
+}
+
+// Snapshot captures the registry's current state: every active transfer,
+// the retained finished history (oldest first), aggregate totals across
+// both, and the event ring.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	transfers := make([]TransferSnapshot, 0, len(r.finished)+len(r.active))
+	transfers = append(transfers, r.finished...)
+	for _, t := range r.active {
+		transfers = append(transfers, t.snapshot())
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		At:        r.now(),
+		Transfers: transfers,
+		Events:    r.Events(),
+	}
+	for i := range transfers {
+		snap.Totals.add(&transfers[i])
+		if transfers[i].Outcome == OutcomeRunning {
+			snap.Active++
+		}
+	}
+	return snap
+}
+
+// Snapshot is one observation of a whole registry.
+type Snapshot struct {
+	// At is the observation instant, relative to the registry's start.
+	At time.Duration `json:"at_ns"`
+	// Active counts transfers still running.
+	Active int `json:"active"`
+	// Totals aggregates the counters of every transfer the registry has
+	// seen (running and finished).
+	Totals Totals `json:"totals"`
+	// Transfers lists finished transfers (oldest first, capped) followed
+	// by running ones.
+	Transfers []TransferSnapshot `json:"transfers"`
+	// Events is the retained lifecycle event ring, oldest first.
+	Events []Event `json:"events"`
+}
+
+// Find returns the snapshot of the given transfer endpoint and whether it
+// was present. When an id was reused, the most recent entry wins.
+func (s Snapshot) Find(id uint32, role Role) (TransferSnapshot, bool) {
+	for i := len(s.Transfers) - 1; i >= 0; i-- {
+		if t := s.Transfers[i]; t.Transfer == id && t.Role == role {
+			return t, true
+		}
+	}
+	return TransferSnapshot{}, false
+}
+
+// Totals aggregates counters across transfers. Fields mirror
+// TransferSnapshot; see there for meanings.
+type Totals struct {
+	PacketsSent   int64 `json:"packets_sent"`
+	Retransmits   int64 `json:"retransmits"`
+	BytesSent     int64 `json:"bytes_sent"`
+	AcksReceived  int64 `json:"acks_received"`
+	Rounds        int64 `json:"rounds"`
+	Stalls        int64 `json:"stalls"`
+	DataDemuxed   int64 `json:"data_demuxed"`
+	Fresh         int64 `json:"packets_fresh"`
+	Duplicates    int64 `json:"duplicates"`
+	Rejected      int64 `json:"rejected"`
+	BytesReceived int64 `json:"bytes_received"`
+	AcksSent      int64 `json:"acks_sent"`
+	IdleTimeouts  int64 `json:"idle_timeouts"`
+	Completed     int64 `json:"completed"`
+	Aborted       int64 `json:"aborted"`
+}
+
+func (a *Totals) add(t *TransferSnapshot) {
+	a.PacketsSent += t.PacketsSent
+	a.Retransmits += t.Retransmits
+	a.BytesSent += t.BytesSent
+	a.AcksReceived += t.AcksReceived
+	a.Rounds += t.Rounds
+	a.Stalls += t.Stalls
+	a.DataDemuxed += t.DataDemuxed
+	a.Fresh += t.Fresh
+	a.Duplicates += t.Duplicates
+	a.Rejected += t.Rejected
+	a.BytesReceived += t.BytesReceived
+	a.AcksSent += t.AcksSent
+	a.IdleTimeouts += t.IdleTimeouts
+	switch t.Outcome {
+	case OutcomeCompleted:
+		a.Completed++
+	case OutcomeAborted:
+		a.Aborted++
+	}
+}
+
+// TransferSnapshot is the frozen state of one transfer endpoint. Sender
+// fields are zero on receiver snapshots and vice versa. Durations are
+// relative to the registry's start; zero means "has not happened yet"
+// (StartedAt is always set, so the zero ambiguity only affects transfers
+// registered in the registry's first nanosecond — tolerable).
+type TransferSnapshot struct {
+	Transfer uint32 `json:"transfer"`
+	Role     Role   `json:"role"`
+	// PacketsNeeded is the object's packet count; ObjectBytes its size.
+	PacketsNeeded int64 `json:"packets_needed"`
+	ObjectBytes   int64 `json:"object_bytes"`
+
+	// Sender side. PacketsSent counts every data packet placed on the
+	// wire; Retransmits counts the subset whose sequence number had been
+	// sent before, so at completion PacketsSent == PacketsNeeded +
+	// Retransmits. KnownReceived is the receiver's cumulative count as of
+	// the last acknowledgement.
+	PacketsSent   int64 `json:"packets_sent"`
+	Retransmits   int64 `json:"retransmits"`
+	BytesSent     int64 `json:"bytes_sent"`
+	AcksReceived  int64 `json:"acks_received"`
+	KnownReceived int64 `json:"known_received"`
+	// Rounds counts batch-send phases that placed at least one packet.
+	Rounds int64 `json:"rounds"`
+	Stalls int64 `json:"stalls"`
+
+	// Receiver side. DataDemuxed counts well-formed data packets routed
+	// to this transfer; every one is classified as exactly one of Fresh,
+	// Duplicates or Rejected, so Fresh + Duplicates + Rejected ==
+	// DataDemuxed always.
+	DataDemuxed   int64 `json:"data_demuxed"`
+	Fresh         int64 `json:"packets_fresh"`
+	Duplicates    int64 `json:"duplicates"`
+	Rejected      int64 `json:"rejected"`
+	BytesReceived int64 `json:"bytes_received"`
+	AcksSent      int64 `json:"acks_sent"`
+	IdleTimeouts  int64 `json:"idle_timeouts"`
+
+	// Phase timestamps, relative to the registry's start.
+	StartedAt   time.Duration `json:"started_at_ns"`
+	HandshakeAt time.Duration `json:"handshake_at_ns"`
+	FirstDataAt time.Duration `json:"first_data_at_ns"`
+	DoneAt      time.Duration `json:"done_at_ns"`
+
+	Outcome Outcome `json:"outcome"`
+	// AbortReason carries the wire.AbortReason code when Outcome is
+	// aborted (stored as a plain integer to keep this package free of
+	// protocol imports).
+	AbortReason uint32 `json:"abort_reason,omitempty"`
+
+	// IO is the transfer's socket-level syscall accounting, filled when
+	// the driver's IO loop ends.
+	IO stats.IOCounters `json:"io"`
+}
+
+// Transfer is the live handle one endpoint's driver feeds. All Note
+// methods are safe for concurrent use, never allocate, never lock, and
+// no-op on a nil receiver.
+type Transfer struct {
+	reg         *Registry
+	id          uint32
+	role        Role
+	needed      int64
+	objectBytes int64
+
+	packetsSent   atomic.Int64
+	firstSends    atomic.Int64
+	bytesSent     atomic.Int64
+	acksReceived  atomic.Int64
+	knownReceived atomic.Int64
+	rounds        atomic.Int64
+	stalls        atomic.Int64
+
+	demuxed       atomic.Int64
+	fresh         atomic.Int64
+	duplicates    atomic.Int64
+	rejected      atomic.Int64
+	bytesReceived atomic.Int64
+	acksSent      atomic.Int64
+	idles         atomic.Int64
+
+	startedNs   atomic.Int64
+	handshakeNs atomic.Int64
+	firstDataNs atomic.Int64
+	doneNs      atomic.Int64
+	outcome     atomic.Uint32
+	abortReason atomic.Uint32
+
+	// sentOnce marks sequence numbers that have been sent at least once,
+	// classifying later sends as retransmissions (sender role only).
+	sentOnce []atomic.Uint64
+
+	// cold guards the rarely-written, non-atomic tail (IO counters).
+	cold sync.Mutex
+	io   stats.IOCounters
+}
+
+// ID returns the transfer tag, or zero on a nil handle.
+func (t *Transfer) ID() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// NoteHandshake records the completion of the HELLO/HELLO-ACK exchange.
+func (t *Transfer) NoteHandshake() {
+	if t == nil {
+		return
+	}
+	now := t.reg.now()
+	t.handshakeNs.Store(int64(now))
+	t.reg.ring.record(now, t.id, t.role, EventHandshake, 0)
+}
+
+// NoteDataSent records one data packet placed on the wire: seq is its
+// sequence number (used to classify retransmissions), n its payload bytes.
+func (t *Transfer) NoteDataSent(seq uint32, n int) {
+	if t == nil {
+		return
+	}
+	t.packetsSent.Add(1)
+	t.bytesSent.Add(int64(n))
+	if w := int(seq) / 64; w < len(t.sentOnce) {
+		bit := uint64(1) << (seq % 64)
+		if old := t.sentOnce[w].Load(); old&bit == 0 {
+			// Plain load/store pair: drivers send a given transfer's
+			// packets from one goroutine, so no first-send can be lost;
+			// the atomic store only orders the word against concurrent
+			// snapshot readers.
+			t.sentOnce[w].Store(old | bit)
+			t.firstSends.Add(1)
+		}
+	}
+}
+
+// NoteRound records one batch-send phase that placed at least one packet.
+func (t *Transfer) NoteRound() {
+	if t == nil {
+		return
+	}
+	t.rounds.Add(1)
+}
+
+// NoteAckReceived records one acknowledgement consumed by the sender;
+// received is the receiver's cumulative delivered count the ack carried.
+func (t *Transfer) NoteAckReceived(received int64) {
+	if t == nil {
+		return
+	}
+	t.acksReceived.Add(1)
+	// Acks can arrive reordered; the gauge keeps the maximum.
+	for {
+		cur := t.knownReceived.Load()
+		if received <= cur || t.knownReceived.CompareAndSwap(cur, received) {
+			return
+		}
+	}
+}
+
+// NoteStall records one firing of the sender's stall watchdog.
+func (t *Transfer) NoteStall() {
+	if t == nil {
+		return
+	}
+	t.stalls.Add(1)
+	t.reg.ring.record(t.reg.now(), t.id, t.role, EventStall, 0)
+}
+
+// noteFirstData stamps the first-data phase timestamp once.
+func (t *Transfer) noteFirstData() {
+	if t.firstDataNs.Load() != 0 {
+		return
+	}
+	now := t.reg.now()
+	if t.firstDataNs.CompareAndSwap(0, int64(now)) {
+		t.reg.ring.record(now, t.id, t.role, EventFirstData, 0)
+	}
+}
+
+// NoteDataFresh records one never-before-seen data packet of n payload
+// bytes delivered to the receiver.
+func (t *Transfer) NoteDataFresh(n int) {
+	if t == nil {
+		return
+	}
+	t.demuxed.Add(1)
+	t.fresh.Add(1)
+	t.bytesReceived.Add(int64(n))
+	t.noteFirstData()
+}
+
+// NoteDataDuplicate records one retransmission of a packet the receiver
+// already held.
+func (t *Transfer) NoteDataDuplicate() {
+	if t == nil {
+		return
+	}
+	t.demuxed.Add(1)
+	t.duplicates.Add(1)
+	t.noteFirstData()
+}
+
+// NoteDataRejected records one well-formed packet for this transfer that
+// the receiver state machine refused (wrong total, bad payload length).
+func (t *Transfer) NoteDataRejected() {
+	if t == nil {
+		return
+	}
+	t.demuxed.Add(1)
+	t.rejected.Add(1)
+}
+
+// NoteAckSent records one acknowledgement of n wire bytes sent by the
+// receiver.
+func (t *Transfer) NoteAckSent(n int) {
+	if t == nil {
+		return
+	}
+	t.acksSent.Add(1)
+}
+
+// NoteIdle records one firing of the receiver's idle watchdog.
+func (t *Transfer) NoteIdle() {
+	if t == nil {
+		return
+	}
+	t.idles.Add(1)
+	t.reg.ring.record(t.reg.now(), t.id, t.role, EventIdle, 0)
+}
+
+// NoteIO stores the endpoint's socket-level counters; drivers call it once
+// when their IO loop ends.
+func (t *Transfer) NoteIO(c stats.IOCounters) {
+	if t == nil {
+		return
+	}
+	t.cold.Lock()
+	t.io.Add(c)
+	t.cold.Unlock()
+}
+
+// Complete marks the transfer delivered and archives it. Only the first
+// Complete/Abort call takes effect.
+func (t *Transfer) Complete() {
+	if t == nil {
+		return
+	}
+	if !t.outcome.CompareAndSwap(uint32(OutcomeRunning), uint32(OutcomeCompleted)) {
+		return
+	}
+	now := t.reg.now()
+	t.doneNs.Store(int64(now))
+	t.reg.ring.record(now, t.id, t.role, EventComplete, 0)
+	t.reg.finish(t)
+}
+
+// Abort marks the transfer failed with the given wire abort-reason code
+// and archives it. Only the first Complete/Abort call takes effect.
+func (t *Transfer) Abort(reason uint32) {
+	if t == nil {
+		return
+	}
+	if !t.outcome.CompareAndSwap(uint32(OutcomeRunning), uint32(OutcomeAborted)) {
+		return
+	}
+	t.abortReason.Store(reason)
+	now := t.reg.now()
+	t.doneNs.Store(int64(now))
+	t.reg.ring.record(now, t.id, t.role, EventAbort, reason)
+	t.reg.finish(t)
+}
+
+// Snapshot freezes the transfer's current counters.
+func (t *Transfer) Snapshot() TransferSnapshot {
+	if t == nil {
+		return TransferSnapshot{}
+	}
+	return t.snapshot()
+}
+
+func (t *Transfer) snapshot() TransferSnapshot {
+	s := TransferSnapshot{
+		Transfer:      t.id,
+		Role:          t.role,
+		PacketsNeeded: t.needed,
+		ObjectBytes:   t.objectBytes,
+
+		PacketsSent:   t.packetsSent.Load(),
+		BytesSent:     t.bytesSent.Load(),
+		AcksReceived:  t.acksReceived.Load(),
+		KnownReceived: t.knownReceived.Load(),
+		Rounds:        t.rounds.Load(),
+		Stalls:        t.stalls.Load(),
+
+		DataDemuxed:   t.demuxed.Load(),
+		Fresh:         t.fresh.Load(),
+		Duplicates:    t.duplicates.Load(),
+		Rejected:      t.rejected.Load(),
+		BytesReceived: t.bytesReceived.Load(),
+		AcksSent:      t.acksSent.Load(),
+		IdleTimeouts:  t.idles.Load(),
+
+		StartedAt:   time.Duration(t.startedNs.Load()),
+		HandshakeAt: time.Duration(t.handshakeNs.Load()),
+		FirstDataAt: time.Duration(t.firstDataNs.Load()),
+		DoneAt:      time.Duration(t.doneNs.Load()),
+
+		Outcome:     Outcome(t.outcome.Load()),
+		AbortReason: t.abortReason.Load(),
+	}
+	s.Retransmits = s.PacketsSent - t.firstSends.Load()
+	t.cold.Lock()
+	s.IO = t.io
+	t.cold.Unlock()
+	return s
+}

@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/stats"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	tm := r.StartSender(1, 10, 1000)
+	if tm != nil {
+		t.Fatalf("nil registry handed out non-nil transfer")
+	}
+	// Every method must be a no-op on the nil handle.
+	tm.NoteHandshake()
+	tm.NoteDataSent(0, 100)
+	tm.NoteRound()
+	tm.NoteAckReceived(5)
+	tm.NoteStall()
+	tm.NoteDataFresh(100)
+	tm.NoteDataDuplicate()
+	tm.NoteDataRejected()
+	tm.NoteAckSent(32)
+	tm.NoteIdle()
+	tm.NoteIO(stats.IOCounters{})
+	tm.Complete()
+	tm.Abort(0)
+	if got := tm.Snapshot(); got != (TransferSnapshot{}) {
+		t.Fatalf("nil transfer snapshot = %+v, want zero", got)
+	}
+	if got := r.Snapshot(); got.Active != 0 || len(got.Transfers) != 0 {
+		t.Fatalf("nil registry snapshot = %+v, want zero", got)
+	}
+	r.Sample()
+	r.StartSampler(time.Millisecond)()
+	r.StartReporter(io.Discard, time.Millisecond)()
+	if got := r.TraceCSV(); got != "" {
+		t.Fatalf("nil registry CSV = %q", got)
+	}
+}
+
+func TestRetransmitClassification(t *testing.T) {
+	r := New()
+	tm := r.StartSender(7, 4, 4000)
+	// First pass: all four packets fresh.
+	for seq := uint32(0); seq < 4; seq++ {
+		tm.NoteDataSent(seq, 1000)
+	}
+	// Second pass: two retransmissions.
+	tm.NoteDataSent(1, 1000)
+	tm.NoteDataSent(3, 1000)
+	s := tm.Snapshot()
+	if s.PacketsSent != 6 || s.Retransmits != 2 {
+		t.Fatalf("sent=%d retx=%d, want 6/2", s.PacketsSent, s.Retransmits)
+	}
+	if s.PacketsSent != s.PacketsNeeded+s.Retransmits {
+		t.Fatalf("conservation violated: sent=%d needed=%d retx=%d",
+			s.PacketsSent, s.PacketsNeeded, s.Retransmits)
+	}
+	if s.BytesSent != 6000 {
+		t.Fatalf("bytes=%d, want 6000", s.BytesSent)
+	}
+	// Out-of-range sequence numbers must not panic or misclassify.
+	tm.NoteDataSent(1<<30, 10)
+	if got := tm.Snapshot(); got.Retransmits != 3 {
+		// An out-of-range seq cannot be proven fresh, so it counts as a
+		// retransmit (sent - firstSends).
+		t.Fatalf("out-of-range retx=%d, want 3", got.Retransmits)
+	}
+}
+
+func TestReceiverClassificationAndTotals(t *testing.T) {
+	r := New()
+	tm := r.StartReceiver(9, 3, 3000)
+	tm.NoteHandshake()
+	tm.NoteDataFresh(1000)
+	tm.NoteDataFresh(1000)
+	tm.NoteDataDuplicate()
+	tm.NoteDataRejected()
+	tm.NoteDataFresh(1000)
+	tm.NoteAckSent(40)
+	tm.NoteAckSent(40)
+	s := tm.Snapshot()
+	if s.Fresh != 3 || s.Duplicates != 1 || s.Rejected != 1 || s.DataDemuxed != 5 {
+		t.Fatalf("fresh=%d dup=%d rej=%d demux=%d", s.Fresh, s.Duplicates, s.Rejected, s.DataDemuxed)
+	}
+	if s.Fresh+s.Duplicates+s.Rejected != s.DataDemuxed {
+		t.Fatalf("receiver conservation violated: %+v", s)
+	}
+	if s.BytesReceived != 3000 || s.AcksSent != 2 {
+		t.Fatalf("bytes=%d acks=%d", s.BytesReceived, s.AcksSent)
+	}
+	if s.HandshakeAt == 0 || s.FirstDataAt == 0 {
+		t.Fatalf("phase stamps missing: %+v", s)
+	}
+	if s.FirstDataAt < s.HandshakeAt {
+		t.Fatalf("first data %v before handshake %v", s.FirstDataAt, s.HandshakeAt)
+	}
+	tm.Complete()
+	snap := r.Snapshot()
+	if snap.Active != 0 || snap.Totals.Completed != 1 {
+		t.Fatalf("after complete: active=%d completed=%d", snap.Active, snap.Totals.Completed)
+	}
+	got, ok := snap.Find(9, RoleReceiver)
+	if !ok || got.Outcome != OutcomeCompleted || got.DoneAt == 0 {
+		t.Fatalf("Find(9, receiver) = %+v, %v", got, ok)
+	}
+}
+
+func TestCompleteAbortFirstWins(t *testing.T) {
+	r := New()
+	tm := r.StartSender(1, 1, 10)
+	tm.Complete()
+	tm.Abort(3)
+	s := tm.Snapshot()
+	if s.Outcome != OutcomeCompleted || s.AbortReason != 0 {
+		t.Fatalf("outcome=%v reason=%d, want completed/0", s.Outcome, s.AbortReason)
+	}
+	if total := r.Snapshot(); len(total.Transfers) != 1 {
+		t.Fatalf("double-finish duplicated history: %d entries", len(total.Transfers))
+	}
+}
+
+func TestKnownReceivedIsMonotone(t *testing.T) {
+	r := New()
+	tm := r.StartSender(1, 10, 100)
+	tm.NoteAckReceived(4)
+	tm.NoteAckReceived(2) // reordered ack must not regress the gauge
+	tm.NoteAckReceived(7)
+	s := tm.Snapshot()
+	if s.KnownReceived != 7 || s.AcksReceived != 3 {
+		t.Fatalf("known=%d acks=%d, want 7/3", s.KnownReceived, s.AcksReceived)
+	}
+}
+
+func TestIDReuseArchivesOldHandle(t *testing.T) {
+	r := New()
+	a := r.StartSender(5, 1, 10)
+	a.NoteDataSent(0, 10)
+	b := r.StartSender(5, 2, 20) // same id, new transfer
+	b.NoteDataSent(0, 10)
+	b.NoteDataSent(1, 10)
+	b.Complete()
+	snap := r.Snapshot()
+	if len(snap.Transfers) != 2 {
+		t.Fatalf("want both generations retained, got %d", len(snap.Transfers))
+	}
+	got, _ := snap.Find(5, RoleSender)
+	if got.PacketsSent != 2 {
+		t.Fatalf("Find returned the stale generation: %+v", got)
+	}
+}
+
+func TestEventRingConcurrent(t *testing.T) {
+	r := New()
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.ring.record(time.Duration(i), uint32(w), RoleSender, EventStall, uint32(i))
+				if i%16 == 0 {
+					r.ring.collect() // readers race the writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) == 0 || len(evs) > ringSize {
+		t.Fatalf("ring holds %d events, want 1..%d", len(evs), ringSize)
+	}
+	for _, e := range evs {
+		if e.Kind != EventStall || e.Transfer >= writers {
+			t.Fatalf("torn event read: %+v", e)
+		}
+		if uint32(e.At) != e.Arg {
+			t.Fatalf("mixed-generation slot: at=%d arg=%d", e.At, e.Arg)
+		}
+	}
+}
+
+func TestEventRingOrderAndLapping(t *testing.T) {
+	var ring eventRing
+	total := ringSize + 40
+	for i := 0; i < total; i++ {
+		ring.record(time.Duration(i), uint32(i), RoleReceiver, EventIdle, 0)
+	}
+	evs := ring.collect()
+	if len(evs) != ringSize {
+		t.Fatalf("got %d events, want %d", len(evs), ringSize)
+	}
+	for i, e := range evs {
+		want := uint32(total - ringSize + i)
+		if e.Transfer != want {
+			t.Fatalf("event %d = transfer %d, want %d (oldest-first order)", i, e.Transfer, want)
+		}
+	}
+}
+
+func TestSamplerAndCharts(t *testing.T) {
+	r := New()
+	tm := r.StartReceiver(1, 100, 100_000)
+	r.Sample()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 20; j++ {
+			tm.NoteDataFresh(1000)
+		}
+		time.Sleep(2 * time.Millisecond)
+		r.Sample()
+	}
+	tm.Complete()
+	csv := r.TraceCSV()
+	if !strings.HasPrefix(csv, "t_seconds,active,goodput,send,pkts,retx,acks\n") {
+		t.Fatalf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if lines := strings.Count(csv, "\n"); lines < 4 {
+		t.Fatalf("CSV has %d lines, want several samples", lines)
+	}
+	charts := r.Charts(24)
+	if !strings.Contains(charts, "goodput") {
+		t.Fatalf("charts missing goodput series:\n%s", charts)
+	}
+}
+
+func TestReporterWritesSummaries(t *testing.T) {
+	r := New()
+	tm := r.StartSender(3, 10, 10_000)
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := r.StartReporter(w, 5*time.Millisecond)
+	for i := uint32(0); i < 10; i++ {
+		tm.NoteDataSent(i, 1000)
+	}
+	time.Sleep(15 * time.Millisecond)
+	tm.Complete()
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "[fobs] t=") || !strings.Contains(out, "sent=10 pkts") {
+		t.Fatalf("reporter output = %q", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestDebugEndpointServesSnapshot(t *testing.T) {
+	r := New()
+	tm := r.StartSender(42, 8, 8000)
+	for i := uint32(0); i < 8; i++ {
+		tm.NoteDataSent(i, 1000)
+	}
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/fobs")
+	if err != nil {
+		t.Fatalf("GET /debug/fobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var snap struct {
+		Active    int `json:"active"`
+		Transfers []struct {
+			Transfer    uint32 `json:"transfer"`
+			Role        string `json:"role"`
+			PacketsSent int64  `json:"packets_sent"`
+		} `json:"transfers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Active != 1 || len(snap.Transfers) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if tr := snap.Transfers[0]; tr.Transfer != 42 || tr.Role != "sender" || tr.PacketsSent != 8 {
+		t.Fatalf("transfer = %+v", tr)
+	}
+
+	for _, path := range []string{"/debug/fobs/trace", "/debug/fobs/charts", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d body %q", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{RoleSender.String(), "sender"},
+		{RoleReceiver.String(), "receiver"},
+		{OutcomeCompleted.String(), "completed"},
+		{OutcomeAborted.String(), "aborted"},
+		{EventAbort.String(), "abort"},
+		{EventHandshake.String(), "handshake"},
+		{fmt.Sprint(Role(9)), "role(9)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

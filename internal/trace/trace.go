@@ -142,6 +142,21 @@ func (s *Series) Render(width int) string {
 		s.Name, s.Sparkline(width), lo, s.Mean(), hi, s.Unit)
 }
 
+// Dashboard renders each non-empty series as one Render line — a compact
+// multi-series ASCII view of a run, used by both the sim harness and the
+// live metrics endpoint.
+func Dashboard(width int, series ...*Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		b.WriteString(s.Render(width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // CSV renders one or more series with a shared time column (union of all
 // sample instants; missing values are left empty).
 func CSV(series ...*Series) string {

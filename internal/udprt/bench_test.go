@@ -69,7 +69,7 @@ func BenchmarkBatchFlush(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			k := encodeBatch(snd, ring, benchBatch)
+			k := encodeBatch(snd, ring, benchBatch, nil)
 			if _, err := tx.Send(ring[:k]); err != nil {
 				b.Fatal(err)
 			}

@@ -7,143 +7,184 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
+// eachInstrumentation runs fn once with metrics off (nil handle, the
+// zero-configuration default) and once with a live per-transfer handle, so
+// every hot-path allocation gate also proves the instrumentation itself
+// allocation-free.
+func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t *testing.T, tm *metrics.Transfer)) {
+	t.Run("bare", func(t *testing.T) { fn(t, nil) })
+	t.Run("metrics", func(t *testing.T) {
+		reg := metrics.New()
+		var tm *metrics.Transfer
+		if role == metrics.RoleSender {
+			tm = reg.StartSender(0, packets, int64(packets)*1024)
+		} else {
+			tm = reg.StartReceiver(0, packets, int64(packets)*1024)
+		}
+		fn(t, tm)
+	})
+}
+
 // TestSenderHotPathZeroAllocs measures the sender's steady-state per-batch
-// work — pull packets from the schedule, encode into the ring, flush —
-// exactly as runSenderLoop performs it, and requires zero allocations on
-// both socket paths.
+// work — pull packets from the schedule, note them in the metrics, encode
+// into the ring, flush — exactly as runSenderLoop performs it, and requires
+// zero allocations on both socket paths, with and without metrics.
 func TestSenderHotPathZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
-		rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer rcv.Close()
-		conn, err := net.DialUDP("udp", nil, rcv.LocalAddr().(*net.UDPAddr))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer conn.Close()
-		conn.SetWriteBuffer(4 << 20)
-		stop := make(chan struct{})
-		drained := make(chan struct{})
-		go func() { // keep the socket writable; its allocs are not measured
-			defer close(drained)
-			buf := make([]byte, 2048)
-			for {
-				select {
-				case <-stop:
-					return
-				default:
+		eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer) {
+			rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rcv.Close()
+			conn, err := net.DialUDP("udp", nil, rcv.LocalAddr().(*net.UDPAddr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			conn.SetWriteBuffer(4 << 20)
+			stop := make(chan struct{})
+			drained := make(chan struct{})
+			go func() { // keep the socket writable; its allocs are not measured
+				defer close(drained)
+				buf := make([]byte, 2048)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rcv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+					rcv.Read(buf)
 				}
-				rcv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
-				rcv.Read(buf)
-			}
-		}()
-		defer func() { close(stop); <-drained }()
+			}()
+			defer func() { close(stop); <-drained }()
 
-		snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: 1024})
-		cfg := snd.Config()
-		tx, err := batchio.NewSender(conn, 16, !noFastPath)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ring := newSendRing(16, cfg.PacketSize)
-		// With no acks the circular schedule supplies retransmissions
-		// forever, so every run encodes and flushes a full ring.
-		if allocs := testing.AllocsPerRun(300, func() {
-			k := encodeBatch(snd, ring, len(ring))
-			if k != len(ring) {
-				t.Fatalf("encodeBatch = %d, want %d", k, len(ring))
+			snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: 1024})
+			cfg := snd.Config()
+			tx, err := batchio.NewSender(conn, 16, !noFastPath)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if _, err := tx.Send(ring[:k]); err != nil {
-				t.Fatalf("Send: %v", err)
+			ring := newSendRing(16, cfg.PacketSize)
+			// With no acks the circular schedule supplies retransmissions
+			// forever, so every run encodes and flushes a full ring.
+			if allocs := testing.AllocsPerRun(300, func() {
+				k := encodeBatch(snd, ring, len(ring), tm)
+				if k != len(ring) {
+					t.Fatalf("encodeBatch = %d, want %d", k, len(ring))
+				}
+				if _, err := tx.Send(ring[:k]); err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+			}); allocs > 0 {
+				t.Errorf("sender encode+flush allocates %.1f times per batch, want 0", allocs)
 			}
-		}); allocs > 0 {
-			t.Errorf("sender encode+flush allocates %.1f times per batch, want 0", allocs)
-		}
+			if tm != nil {
+				s := tm.Snapshot()
+				if s.PacketsSent == 0 || s.PacketsSent != s.PacketsNeeded+s.Retransmits {
+					t.Errorf("metrics conservation: sent=%d needed=%d retx=%d",
+						s.PacketsSent, s.PacketsNeeded, s.Retransmits)
+				}
+			}
+		})
 	})
 }
 
 // TestReceiverHotPathZeroAllocs measures the receiver's steady-state
 // per-wakeup work — drain the socket, decode each datagram, place it,
-// serialize and send the acknowledgement — as runReceiveLoop performs it,
-// and requires zero allocations on both socket paths.
+// classify it for the metrics, serialize and send the acknowledgement — as
+// runReceiveLoop performs it, and requires zero allocations on both socket
+// paths, with and without metrics.
 func TestReceiverHotPathZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
-		udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer udp.Close()
-		udp.SetReadBuffer(4 << 20)
-		feeder, err := net.DialUDP("udp", nil, udp.LocalAddr().(*net.UDPAddr))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer feeder.Close()
-
-		const packetSize = 1024
-		snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: packetSize})
-		rcv := core.NewReceiver(snd.ObjectSize(), core.Config{
-			PacketSize:   packetSize,
-			AckFrequency: 4,
-		})
-		ftx, err := batchio.NewSender(feeder, 8, !noFastPath)
-		if err != nil {
-			t.Fatal(err)
-		}
-		feed := newSendRing(8, packetSize)
-		rx, err := batchio.NewReceiver(udp, 8, maxDatagram, !noFastPath)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
-		udp.SetReadDeadline(time.Time{})
-
-		// The feeding sends run in this goroutine too, but the sender side
-		// is proven allocation-free by TestSenderHotPathZeroAllocs.
-		if allocs := testing.AllocsPerRun(300, func() {
-			k := encodeBatch(snd, feed, len(feed))
-			if _, err := ftx.Send(feed[:k]); err != nil {
-				t.Fatalf("feed: %v", err)
+		eachInstrumentation(t, metrics.RoleReceiver, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer) {
+			udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
 			}
-			udp.SetReadDeadline(time.Now().Add(2 * time.Second))
-			got := 0
-			for got < k {
-				n, err := rx.Recv()
-				if err != nil {
-					t.Fatalf("Recv: %v", err)
+			defer udp.Close()
+			udp.SetReadBuffer(4 << 20)
+			feeder, err := net.DialUDP("udp", nil, udp.LocalAddr().(*net.UDPAddr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer feeder.Close()
+
+			const packetSize = 1024
+			snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: packetSize})
+			rcv := core.NewReceiver(snd.ObjectSize(), core.Config{
+				PacketSize:   packetSize,
+				AckFrequency: 4,
+			})
+			ftx, err := batchio.NewSender(feeder, 8, !noFastPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed := newSendRing(8, packetSize)
+			rx, err := batchio.NewReceiver(udp, 8, maxDatagram, !noFastPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
+			udp.SetReadDeadline(time.Time{})
+
+			// The feeding sends run in this goroutine too, but the sender side
+			// is proven allocation-free by TestSenderHotPathZeroAllocs.
+			if allocs := testing.AllocsPerRun(300, func() {
+				k := encodeBatch(snd, feed, len(feed), nil)
+				if _, err := ftx.Send(feed[:k]); err != nil {
+					t.Fatalf("feed: %v", err)
 				}
-				for i := 0; i < n; i++ {
-					d, err := wire.DecodeData(rx.Datagram(i))
+				udp.SetReadDeadline(time.Now().Add(2 * time.Second))
+				got := 0
+				for got < k {
+					n, err := rx.Recv()
 					if err != nil {
-						t.Fatalf("decode: %v", err)
+						t.Fatalf("Recv: %v", err)
 					}
-					ackDue, err := rcv.HandleData(d)
-					if err != nil {
-						t.Fatalf("place: %v", err)
-					}
-					if ackDue {
-						a := rcv.BuildAck()
-						ackBuf = wire.AppendAck(ackBuf[:0], &a)
-						if _, err := udp.WriteToUDPAddrPort(ackBuf, rx.Addr(i)); err != nil {
-							t.Fatalf("ack write: %v", err)
+					for i := 0; i < n; i++ {
+						d, err := wire.DecodeData(rx.Datagram(i))
+						if err != nil {
+							t.Fatalf("decode: %v", err)
+						}
+						before := rcv.Stats()
+						ackDue, err := rcv.HandleData(d)
+						noteReceiverDelta(tm, before, rcv.Stats(), len(d.Payload))
+						if err != nil {
+							t.Fatalf("place: %v", err)
+						}
+						if ackDue {
+							a := rcv.BuildAck()
+							ackBuf = wire.AppendAck(ackBuf[:0], &a)
+							if _, err := udp.WriteToUDPAddrPort(ackBuf, rx.Addr(i)); err != nil {
+								t.Fatalf("ack write: %v", err)
+							}
+							tm.NoteAckSent(len(ackBuf))
 						}
 					}
+					got += n
 				}
-				got += n
+			}); allocs > 0 {
+				t.Errorf("receiver drain+place+ack allocates %.1f times per wakeup, want 0", allocs)
 			}
-		}); allocs > 0 {
-			t.Errorf("receiver drain+place+ack allocates %.1f times per wakeup, want 0", allocs)
-		}
+			if tm != nil {
+				s := tm.Snapshot()
+				if s.DataDemuxed == 0 || s.Fresh+s.Duplicates+s.Rejected != s.DataDemuxed {
+					t.Errorf("metrics conservation: fresh=%d dup=%d rej=%d demux=%d",
+						s.Fresh, s.Duplicates, s.Rejected, s.DataDemuxed)
+				}
+			}
+		})
 	})
 }

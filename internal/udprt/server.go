@@ -11,6 +11,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -35,6 +36,7 @@ type Server struct {
 type serverTransfer struct {
 	mu       sync.Mutex
 	rcv      *core.Receiver
+	tm       *metrics.Transfer
 	ackBuf   []byte
 	lastData time.Time     // last datagram for this transfer (idle watchdog)
 	complete chan struct{} // closed exactly once, on completion
@@ -141,6 +143,12 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 		writeAbort(ctl, hello.Transfer, wire.AbortDuplicateTransfer)
 		return
 	}
+	// Register metrics inside the same critical section that publishes the
+	// transfer to the data loop: after the duplicate-id check (a rejected
+	// colliding HELLO must not disturb the in-flight transfer's record)
+	// and before the map insert (the data loop reads st.tm as soon as the
+	// transfer is routable).
+	st.tm = s.opts.Metrics.StartReceiver(hello.Transfer, st.rcv.NumPackets(), int64(hello.ObjectSize))
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
 	defer func() {
@@ -150,8 +158,10 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	}()
 
 	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
+		finishMetrics(st.tm, err)
 		return
 	}
+	st.tm.NoteHandshake()
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so it is safe to watch for sender death while waiting.
 	abortCh := watchControl(ctl, hello.Transfer)
@@ -173,10 +183,12 @@ wait:
 			break wait
 		case <-ctx.Done():
 			writeAbort(ctl, hello.Transfer, wire.AbortCancelled)
+			st.tm.Abort(uint32(wire.AbortCancelled))
 			return
-		case <-abortCh:
+		case err := <-abortCh:
 			// Sender aborted or its control connection died; the data
 			// loop's packets for this id stop mattering once we deregister.
+			finishMetrics(st.tm, err)
 			return
 		case <-idleC:
 			st.mu.Lock()
@@ -186,11 +198,16 @@ wait:
 			}
 			st.mu.Unlock()
 			if idle {
+				st.tm.NoteIdle()
 				writeAbort(ctl, hello.Transfer, wire.AbortIdleTimeout)
+				st.tm.Abort(uint32(wire.AbortIdleTimeout))
 				return
 			}
 		}
 	}
+	// The object is fully received at this point, whatever becomes of the
+	// COMPLETE control write below.
+	st.tm.Complete()
 	st.mu.Lock()
 	digest := wire.ObjectDigest(st.rcv.Object())
 	st.mu.Unlock()
@@ -252,7 +269,9 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 	}
 	st.mu.Lock()
 	st.lastData = time.Now() // even a duplicate proves the sender lives
+	before := st.rcv.Stats()
 	ackDue, err := st.rcv.HandleData(d)
+	noteReceiverDelta(st.tm, before, st.rcv.Stats(), len(d.Payload))
 	if err != nil {
 		st.mu.Unlock()
 		return
@@ -270,6 +289,7 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 	st.mu.Unlock()
 	if ack != nil {
 		s.udp.WriteToUDPAddrPort(ack, from)
+		st.tm.NoteAckSent(len(ack))
 	}
 	if finished {
 		close(st.complete)

@@ -9,6 +9,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -70,6 +71,7 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 	cfg.Transfer = s.next
 	snd := core.NewSender(obj, cfg)
 	cfg = snd.Config()
+	tm := s.opts.Metrics.StartSender(cfg.Transfer, snd.NumPackets(), int64(len(obj)))
 
 	hello := wire.AppendHello(nil, &wire.Hello{
 		Transfer:   cfg.Transfer,
@@ -79,13 +81,19 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 	s.ctl.SetWriteDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	if _, err := s.ctl.Write(hello); err != nil {
 		s.ctl.SetWriteDeadline(time.Time{})
-		return snd.Stats(), fmt.Errorf("udprt: hello write: %w", err)
+		err = fmt.Errorf("udprt: hello write: %w", err)
+		finishMetrics(tm, err)
+		return snd.Stats(), err
 	}
 	s.ctl.SetWriteDeadline(time.Time{})
 	if err := awaitHelloAck(ctx, s.ctl, cfg.Transfer, s.opts.HandshakeTimeout); err != nil {
+		finishMetrics(tm, err)
 		return snd.Stats(), err
 	}
-	return runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts)
+	tm.NoteHandshake()
+	st, err := runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts, tm)
+	finishMetrics(tm, err)
+	return st, err
 }
 
 // SessionListener accepts one session at a time and yields its objects in
@@ -141,13 +149,19 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 		Transfer:     hello.Transfer,
 		AckFrequency: core.DefaultAckFrequency,
 	})
+	tm := is.sl.l.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize))
 	if err := writeHelloAck(is.ctl, hello.Transfer); err != nil {
+		finishMetrics(tm, err)
 		return nil, rcv.Stats(), err
 	}
-	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp, is.ctl, is.sl.l.opts, false); err != nil {
+	tm.NoteHandshake()
+	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp, is.ctl, is.sl.l.opts, false, tm); err != nil {
+		finishMetrics(tm, err)
 		return nil, rcv.Stats(), err
 	}
-	if err := writeComplete(is.ctl, hello.Transfer, hello.ObjectSize, rcv); err != nil {
+	err = writeComplete(is.ctl, hello.Transfer, hello.ObjectSize, rcv)
+	finishMetrics(tm, err)
+	if err != nil {
 		return nil, rcv.Stats(), err
 	}
 	return rcv.Object(), rcv.Stats(), nil
@@ -174,7 +188,7 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 // that is only safe on a connection dedicated to one transfer — on a
 // session connection it would steal the next HELLO.
 func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
-	ctl net.Conn, opts Options, watchCtl bool) error {
+	ctl net.Conn, opts Options, watchCtl bool, tm *metrics.Transfer) error {
 
 	transfer := rcv.Config().Transfer
 	var abortCh <-chan error
@@ -187,16 +201,17 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 	}
 	ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
 	ackCalls := 0
-	if opts.IOCounters != nil {
-		defer func() {
-			c := rx.Counters()
-			c.SendCalls, c.SentDatagrams = ackCalls, ackCalls
-			if ackCalls > 0 {
-				c.MaxSendBatch = 1 // acks go out one WriteToUDPAddrPort each
-			}
+	defer func() {
+		c := rx.Counters()
+		c.SendCalls, c.SentDatagrams = ackCalls, ackCalls
+		if ackCalls > 0 {
+			c.MaxSendBatch = 1 // acks go out one WriteToUDPAddrPort each
+		}
+		if opts.IOCounters != nil {
 			*opts.IOCounters = c
-		}()
-	}
+		}
+		tm.NoteIO(c)
+	}()
 	lastData := time.Now()
 	for !rcv.Complete() {
 		if err := ctx.Err(); err != nil {
@@ -210,6 +225,7 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 		}
 		if opts.IdleTimeout > 0 && time.Since(lastData) > opts.IdleTimeout {
 			rcv.NoteIdle()
+			tm.NoteIdle()
 			writeAbort(ctl, transfer, wire.AbortIdleTimeout)
 			return fmt.Errorf("udprt: no data for %v: %w", opts.IdleTimeout, ErrIdle)
 		}
@@ -231,7 +247,13 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 				// proves the sender is alive.
 				lastData = time.Now()
 			}
+			// The state machine classifies the packet (fresh, duplicate,
+			// rejected, other-transfer straggler); diffing its value-typed
+			// stats before and after mirrors that verdict into the metrics
+			// without a second classification — and without allocating.
+			before := rcv.Stats()
 			ackDue, err := rcv.HandleData(d)
+			noteReceiverDelta(tm, before, rcv.Stats(), len(d.Payload))
 			if err != nil {
 				continue
 			}
@@ -242,10 +264,29 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 					return fmt.Errorf("udprt: ack write: %w", err)
 				}
 				ackCalls++
+				tm.NoteAckSent(len(ackBuf))
 			}
 		}
 	}
 	return nil
+}
+
+// noteReceiverDelta translates one HandleData call's effect on the
+// receiver's counters into the metrics classification. A packet that moved
+// no counter belonged to another transfer and is not this transfer's
+// traffic.
+func noteReceiverDelta(tm *metrics.Transfer, before, after core.ReceiverStats, payload int) {
+	if tm == nil {
+		return
+	}
+	switch {
+	case after.Received > before.Received:
+		tm.NoteDataFresh(payload)
+	case after.Duplicates > before.Duplicates:
+		tm.NoteDataDuplicate()
+	case after.Rejected > before.Rejected:
+		tm.NoteDataRejected()
+	}
 }
 
 // ackPollSlots bounds the sender's acknowledgement-drain vector: acks are
@@ -256,8 +297,10 @@ const ackPollSlots = 8
 // encodeBatch pulls up to max packets from the sender's schedule and
 // serializes each into its slot of the reusable ring, returning how many
 // slots were filled. The ring's buffers are pre-sized to the packet
-// framing, so steady-state encoding allocates nothing.
-func encodeBatch(snd *core.Sender, ring [][]byte, max int) int {
+// framing, so steady-state encoding allocates nothing — including the
+// metrics note, which is a handful of atomic adds plus a bitmap
+// test-and-set to classify retransmissions.
+func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer) int {
 	k := 0
 	for k < len(ring) && k < max {
 		pkt, ok := snd.NextPacket()
@@ -265,6 +308,7 @@ func encodeBatch(snd *core.Sender, ring [][]byte, max int) int {
 			break
 		}
 		ring[k] = wire.AppendData(ring[k][:0], &pkt)
+		tm.NoteDataSent(pkt.Seq, len(pkt.Payload))
 		k++
 	}
 	return k
@@ -304,7 +348,7 @@ func newSendRing(slots, packetSize int) [][]byte {
 // transient buffer pressure (ENOBUFS et al.) is absorbed by the pacing
 // loop.
 func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
-	conn *net.UDPConn, ctl net.Conn, opts Options) (core.SenderStats, error) {
+	conn *net.UDPConn, ctl net.Conn, opts Options, tm *metrics.Transfer) (core.SenderStats, error) {
 
 	done := make(chan error, 1)
 	go func() { done <- readCompletion(ctl, snd) }()
@@ -318,13 +362,14 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 	if err != nil {
 		return snd.Stats(), fmt.Errorf("udprt: ack receiver: %w", err)
 	}
-	if opts.IOCounters != nil {
-		defer func() {
-			c := tx.Counters()
-			c.Add(rx.Counters())
+	defer func() {
+		c := tx.Counters()
+		c.Add(rx.Counters())
+		if opts.IOCounters != nil {
 			*opts.IOCounters = c
-		}()
-	}
+		}
+		tm.NoteIO(c)
+	}()
 	ring := newSendRing(opts.IOBatch, cfg.PacketSize)
 	ackWords := make([]uint64, 0, wire.MaxFragWords(cfg.AckPacketSize))
 	var paceDebt time.Duration
@@ -336,6 +381,9 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 				continue
 			}
 			ackWords = a.Frag.Words[:0] // HandleAck consumed the fragment
+			if a.Transfer == cfg.Transfer {
+				tm.NoteAckReceived(int64(a.Received))
+			}
 			if snd.HandleAck(a) == nil && opts.Progress != nil {
 				opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
 			}
@@ -385,6 +433,7 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 			writeErrs = 0
 		} else if opts.StallTimeout > 0 && time.Since(lastAck) > opts.StallTimeout {
 			snd.NoteStall()
+			tm.NoteStall()
 			writeAbort(ctl, cfg.Transfer, wire.AbortStalled)
 			return snd.Stats(), fmt.Errorf("udprt: no acknowledgement for %v: %w",
 				opts.StallTimeout, ErrStalled)
@@ -394,7 +443,7 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 		batch := snd.BatchSize()
 		sent := 0
 		for sent < batch {
-			k := encodeBatch(snd, ring, batch-sent)
+			k := encodeBatch(snd, ring, batch-sent, tm)
 			if k == 0 {
 				break
 			}
@@ -426,6 +475,7 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 			}
 			continue
 		}
+		tm.NoteRound()
 		if gap := cfg.Rate.Gap()*time.Duration(sent) + opts.Pace*time.Duration(sent); gap > 0 {
 			paceDebt += gap
 			if paceDebt >= time.Millisecond {

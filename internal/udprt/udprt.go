@@ -27,6 +27,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -84,6 +85,13 @@ type Options struct {
 	// socket-level counters (syscalls, datagrams, batch fill) when its
 	// transfer loop ends.
 	IOCounters *stats.IOCounters
+	// Metrics, when non-nil, receives a live per-transfer record of every
+	// run: packets sent/retransmitted/duplicate, acks both ways, bytes,
+	// watchdog firings and phase timestamps, queryable via
+	// Registry.Snapshot and the metrics debug HTTP endpoint. The
+	// instrumentation is allocation-free on the hot paths; leaving the
+	// field nil costs one predictable nil check per event.
+	Metrics *metrics.Registry
 	// testFlushHook observes every sender-side flush (datagrams handed
 	// to the kernel, datagrams accepted). Unexported: only this
 	// package's tests can set it, to assert that batch-policy sizes
@@ -226,19 +234,57 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 		AckFrequency: core.DefaultAckFrequency,
 	}
 	rcv := core.NewReceiver(int64(hello.ObjectSize), cfg)
+	tm := l.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize))
 	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
+		finishMetrics(tm, err)
 		return nil, rcv.Stats(), err
 	}
+	tm.NoteHandshake()
 
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so the receive loop may watch it for sender death.
-	if err := runReceiveLoop(ctx, rcv, l.udp, ctl, l.opts, true); err != nil {
+	if err := runReceiveLoop(ctx, rcv, l.udp, ctl, l.opts, true, tm); err != nil {
+		finishMetrics(tm, err)
 		return nil, rcv.Stats(), err
 	}
-	if err := writeComplete(ctl, hello.Transfer, hello.ObjectSize, rcv); err != nil {
+	err = writeComplete(ctl, hello.Transfer, hello.ObjectSize, rcv)
+	finishMetrics(tm, err)
+	if err != nil {
 		return nil, rcv.Stats(), err
 	}
 	return rcv.Object(), rcv.Stats(), nil
+}
+
+// finishMetrics stamps the transfer's terminal state: completed on nil
+// error, aborted with the best matching wire reason code otherwise. Safe on
+// a nil handle, and idempotent (the first outcome wins).
+func finishMetrics(tm *metrics.Transfer, err error) {
+	if tm == nil {
+		return
+	}
+	if err == nil {
+		tm.Complete()
+		return
+	}
+	tm.Abort(uint32(abortReasonFor(err)))
+}
+
+// abortReasonFor maps a driver error onto the wire abort-reason taxonomy,
+// mirroring what the driver put (or would have put) on the control channel.
+func abortReasonFor(err error) wire.AbortReason {
+	var abort *AbortError
+	switch {
+	case errors.As(err, &abort):
+		return abort.Reason
+	case errors.Is(err, ErrStalled):
+		return wire.AbortStalled
+	case errors.Is(err, ErrIdle):
+		return wire.AbortIdleTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return wire.AbortCancelled
+	default:
+		return wire.AbortUnspecified
+	}
 }
 
 // writeComplete sends the terminal control signal, carrying the object
@@ -287,6 +333,7 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 	}
 	snd := core.NewSender(obj, cfg)
 	cfg = snd.Config() // defaults applied
+	tm := opts.Metrics.StartSender(cfg.Transfer, snd.NumPackets(), int64(len(obj)))
 
 	hello := wire.AppendHello(nil, &wire.Hello{
 		Transfer:   cfg.Transfer,
@@ -295,19 +342,25 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 	})
 	ctl, err := dialHandshake(ctx, addr, hello, cfg.Transfer, opts)
 	if err != nil {
+		finishMetrics(tm, err)
 		return snd.Stats(), err
 	}
 	defer ctl.Close()
+	tm.NoteHandshake()
 
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-		return snd.Stats(), fmt.Errorf("udprt: resolve data addr: %w", err)
+		err = fmt.Errorf("udprt: resolve data addr: %w", err)
+		finishMetrics(tm, err)
+		return snd.Stats(), err
 	}
 	conn, err := net.DialUDP("udp", nil, udpAddr)
 	if err != nil {
 		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-		return snd.Stats(), fmt.Errorf("udprt: dial data: %w", err)
+		err = fmt.Errorf("udprt: dial data: %w", err)
+		finishMetrics(tm, err)
+		return snd.Stats(), err
 	}
 	defer conn.Close()
 	_ = conn.SetReadBuffer(opts.ReadBuffer)
@@ -315,7 +368,9 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 
 	// The shared sender engine drives the transfer until the completion
 	// signal arrives on the control channel.
-	return runSenderLoop(ctx, snd, cfg, conn, ctl, opts)
+	st, err := runSenderLoop(ctx, snd, cfg, conn, ctl, opts, tm)
+	finishMetrics(tm, err)
+	return st, err
 }
 
 // dialHandshake establishes the control connection and completes the

@@ -1,28 +1,98 @@
-package wire
+// Decoder fuzz targets. They live in the external test package so the seed
+// corpus can be captured from a genuine core sender/receiver exchange —
+// core imports wire, so an in-package test could not import it back. On top
+// of these in-code seeds, testdata/fuzz/ holds a committed corpus of
+// captured frames (regenerate with `go run gen_corpus.go`).
+//
+// `go test` runs the seed corpus; `go test -fuzz` digs deeper. The
+// invariant everywhere: decoders must never panic, and whatever they accept
+// must re-encode to something they accept again.
+package wire_test
 
 import (
 	"bytes"
 	"testing"
 
 	"github.com/hpcnet/fobs/internal/bitmap"
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
 )
 
-// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz` digs
-// deeper. The invariant everywhere: decoders must never panic, and
-// whatever they accept must re-encode to something they accept again.
+// captureFrames runs a miniature in-memory transfer and returns the raw
+// frames it put on the wire: every data packet until the object completed,
+// every acknowledgement the receiver built, and the control frames of the
+// handshake and teardown. These are real protocol bytes, not hand-rolled
+// approximations, so the fuzz corpus starts from the live format.
+func captureFrames(tb testing.TB) (datas, acks, control [][]byte) {
+	tb.Helper()
+	obj := make([]byte, 8<<10+5)
+	for i := range obj {
+		obj[i] = byte(i * 131)
+	}
+	cfg := core.Config{PacketSize: 1024, AckFrequency: 4, Checksum: true}
+	snd := core.NewSender(obj, cfg)
+	cfg = snd.Config()
+	rcv := core.NewReceiver(int64(len(obj)), cfg)
+	for i := 0; i < 10000 && !rcv.Complete(); i++ {
+		pkt, ok := snd.NextPacket()
+		if !ok {
+			break
+		}
+		frame := wire.AppendData(nil, &pkt)
+		datas = append(datas, frame)
+		d, err := wire.DecodeData(frame)
+		if err != nil {
+			tb.Fatalf("captured data frame does not decode: %v", err)
+		}
+		ackDue, err := rcv.HandleData(d)
+		if err != nil {
+			tb.Fatalf("receiver rejected captured frame: %v", err)
+		}
+		if ackDue {
+			a := rcv.BuildAck()
+			ackFrame := wire.AppendAck(nil, &a)
+			acks = append(acks, ackFrame)
+			back, err := wire.DecodeAck(ackFrame)
+			if err != nil {
+				tb.Fatalf("captured ack frame does not decode: %v", err)
+			}
+			if err := snd.HandleAck(back); err != nil {
+				tb.Fatalf("sender rejected captured ack: %v", err)
+			}
+		}
+	}
+	if !rcv.Complete() || len(acks) == 0 {
+		tb.Fatalf("capture exchange never completed (%d datas, %d acks)", len(datas), len(acks))
+	}
+	control = [][]byte{
+		wire.AppendHello(nil, &wire.Hello{
+			Transfer: cfg.Transfer, ObjectSize: uint64(len(obj)), PacketSize: uint32(cfg.PacketSize),
+		}),
+		wire.AppendHelloAck(nil, &wire.HelloAck{Transfer: cfg.Transfer}),
+		wire.AppendComplete(nil, &wire.Complete{
+			Transfer: cfg.Transfer, Received: uint64(len(obj)), Digest: wire.ObjectDigest(rcv.Object()),
+		}),
+		wire.AppendAbort(nil, &wire.Abort{Transfer: cfg.Transfer, Reason: wire.AbortStalled}),
+	}
+	return datas, acks, control
+}
 
 func FuzzDecodeData(f *testing.F) {
-	f.Add(AppendData(nil, &Data{Transfer: 1, Seq: 3, Total: 10, Payload: []byte("seed")}))
-	f.Add(AppendData(nil, &Data{Transfer: 9, Seq: 0, Total: 1, Payload: nil, Checksum: true}))
+	datas, _, _ := captureFrames(f)
+	for _, frame := range datas {
+		f.Add(frame)
+	}
+	f.Add(wire.AppendData(nil, &wire.Data{Transfer: 1, Seq: 3, Total: 10, Payload: []byte("seed")}))
+	f.Add(wire.AppendData(nil, &wire.Data{Transfer: 9, Seq: 0, Total: 1, Payload: nil, Checksum: true}))
 	f.Add([]byte{})
 	f.Add([]byte{0xF0, 0xB5, 1})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		d, err := DecodeData(b)
+		d, err := wire.DecodeData(b)
 		if err != nil {
 			return
 		}
 		// Accepted packets survive a re-encode/decode cycle unchanged.
-		re, err := DecodeData(AppendData(nil, &d))
+		re, err := wire.DecodeData(wire.AppendData(nil, &d))
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
@@ -34,15 +104,19 @@ func FuzzDecodeData(f *testing.F) {
 }
 
 func FuzzDecodeAck(f *testing.F) {
-	f.Add(AppendAck(nil, &Ack{Transfer: 1, AckSeq: 2, Received: 3, Delta: 4,
+	_, acks, _ := captureFrames(f)
+	for _, frame := range acks {
+		f.Add(frame)
+	}
+	f.Add(wire.AppendAck(nil, &wire.Ack{Transfer: 1, AckSeq: 2, Received: 3, Delta: 4,
 		Frag: bitmap.Fragment{Start: 64, Words: []uint64{7}}}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		a, err := DecodeAck(b)
+		a, err := wire.DecodeAck(b)
 		if err != nil {
 			return
 		}
-		re, err := DecodeAck(AppendAck(nil, &a))
+		re, err := wire.DecodeAck(wire.AppendAck(nil, &a))
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
@@ -54,34 +128,34 @@ func FuzzDecodeAck(f *testing.F) {
 }
 
 func FuzzDecodeControl(f *testing.F) {
-	f.Add(AppendHello(nil, &Hello{Transfer: 1, ObjectSize: 10, PacketSize: 1024}))
-	f.Add(AppendComplete(nil, &Complete{Transfer: 1, Received: 10}))
-	f.Add(AppendHelloAck(nil, &HelloAck{Transfer: 1}))
-	f.Add(AppendAbort(nil, &Abort{Transfer: 1, Reason: AbortStalled}))
+	_, _, control := captureFrames(f)
+	for _, frame := range control {
+		f.Add(frame)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
-		if h, err := DecodeHello(b); err == nil {
-			if _, err := DecodeHello(AppendHello(nil, &h)); err != nil {
+		if h, err := wire.DecodeHello(b); err == nil {
+			if _, err := wire.DecodeHello(wire.AppendHello(nil, &h)); err != nil {
 				t.Fatalf("hello re-decode failed: %v", err)
 			}
 		}
-		if c, err := DecodeComplete(b); err == nil {
-			if _, err := DecodeComplete(AppendComplete(nil, &c)); err != nil {
+		if c, err := wire.DecodeComplete(b); err == nil {
+			if _, err := wire.DecodeComplete(wire.AppendComplete(nil, &c)); err != nil {
 				t.Fatalf("complete re-decode failed: %v", err)
 			}
 		}
-		if h, err := DecodeHelloAck(b); err == nil {
-			if _, err := DecodeHelloAck(AppendHelloAck(nil, &h)); err != nil {
+		if h, err := wire.DecodeHelloAck(b); err == nil {
+			if _, err := wire.DecodeHelloAck(wire.AppendHelloAck(nil, &h)); err != nil {
 				t.Fatalf("hello-ack re-decode failed: %v", err)
 			}
 		}
-		if a, err := DecodeAbort(b); err == nil {
-			if re, err := DecodeAbort(AppendAbort(nil, &a)); err != nil || re != a {
+		if a, err := wire.DecodeAbort(b); err == nil {
+			if re, err := wire.DecodeAbort(wire.AppendAbort(nil, &a)); err != nil || re != a {
 				t.Fatalf("abort re-decode failed: %v (%+v vs %+v)", err, re, a)
 			}
 		}
 		// Any frame the stream framer would read must have a stable length.
-		if typ, err := PeekType(b); err == nil && typ != TypeData && typ != TypeAck {
-			if _, err := ControlLen(typ); err != nil {
+		if typ, err := wire.PeekType(b); err == nil && typ != wire.TypeData && typ != wire.TypeAck {
+			if _, err := wire.ControlLen(typ); err != nil {
 				t.Fatalf("PeekType accepted control type %d but ControlLen rejects it", typ)
 			}
 		}

@@ -1,0 +1,91 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed fuzz seed corpus under testdata/fuzz
+// from a captured in-memory transfer: real data, acknowledgement and
+// control frames in the Go fuzzing corpus-file format. Run it from this
+// directory after a wire-format change:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+func main() {
+	obj := make([]byte, 8<<10+5)
+	for i := range obj {
+		obj[i] = byte(i * 131)
+	}
+	cfg := core.Config{PacketSize: 1024, AckFrequency: 4, Checksum: true}
+	snd := core.NewSender(obj, cfg)
+	cfg = snd.Config()
+	rcv := core.NewReceiver(int64(len(obj)), cfg)
+
+	var datas, acks [][]byte
+	for i := 0; i < 10000 && !rcv.Complete(); i++ {
+		pkt, ok := snd.NextPacket()
+		if !ok {
+			break
+		}
+		frame := wire.AppendData(nil, &pkt)
+		datas = append(datas, frame)
+		d, err := wire.DecodeData(frame)
+		if err != nil {
+			log.Fatalf("data frame does not decode: %v", err)
+		}
+		ackDue, err := rcv.HandleData(d)
+		if err != nil {
+			log.Fatalf("receiver rejected frame: %v", err)
+		}
+		if ackDue {
+			a := rcv.BuildAck()
+			acks = append(acks, wire.AppendAck(nil, &a))
+			if err := snd.HandleAck(a); err != nil {
+				log.Fatalf("sender rejected ack: %v", err)
+			}
+		}
+	}
+	if !rcv.Complete() {
+		log.Fatal("capture exchange never completed")
+	}
+
+	control := [][]byte{
+		wire.AppendHello(nil, &wire.Hello{
+			Transfer: cfg.Transfer, ObjectSize: uint64(len(obj)), PacketSize: uint32(cfg.PacketSize),
+		}),
+		wire.AppendHelloAck(nil, &wire.HelloAck{Transfer: cfg.Transfer}),
+		wire.AppendComplete(nil, &wire.Complete{
+			Transfer: cfg.Transfer, Received: uint64(len(obj)), Digest: wire.ObjectDigest(rcv.Object()),
+		}),
+		wire.AppendAbort(nil, &wire.Abort{Transfer: cfg.Transfer, Reason: wire.AbortStalled}),
+	}
+
+	// A handful of representative frames per target keeps the committed
+	// corpus small; the in-code f.Add seeds cover the rest of the capture.
+	write("FuzzDecodeData", [][]byte{datas[0], datas[len(datas)/2], datas[len(datas)-1]})
+	write("FuzzDecodeAck", [][]byte{acks[0], acks[len(acks)-1]})
+	write("FuzzDecodeControl", control)
+}
+
+// write stores each frame as one corpus file for the named fuzz target.
+func write(target string, frames [][]byte) {
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, frame := range frames {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("captured-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
