@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short test bench bench-json fuzz-smoke verify
+.PHONY: all tier1 vet race short test bench bench-json cover fuzz-smoke verify
 
 all: verify
 
@@ -44,6 +44,16 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1s -run=^$$ ./internal/udprt \
 		| $(GO) run ./cmd/fobs-benchjson > BENCH_udprt.json
 	@grep -A4 '"ratios"' BENCH_udprt.json | head -8 || true
+	@grep -A4 '"overheads"' BENCH_udprt.json | head -8 || true
+
+# Statement coverage with a per-package summary. The full profile lands in
+# cover.out for `go tool cover -html=cover.out`; the summary totals are
+# recorded in DESIGN.md's testing section.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@echo "per-package:"
+	@$(GO) test -count=1 -cover ./... 2>/dev/null | awk '/coverage:/ {printf "  %-40s %s\n", $$2, $$5}'
 
 # Short fuzz pass over every decoder fuzz target: the committed seed corpus
 # plus 10 seconds of exploration each. A format regression that survives the

@@ -1,0 +1,225 @@
+// Command fobs-analyze replays a .fobrec flight recording offline: it
+// mechanically verifies the circular-buffer fairness invariant on sender
+// streams, reconstructs goodput/retransmission time series as ASCII charts
+// or CSV, prints retransmit-count and ack-delay histograms, and
+// cross-checks the record stream against the final metrics snapshot
+// embedded in the file trailer.
+//
+// Usage:
+//
+//	fobs-analyze transfer.fobrec
+//	fobs-analyze -csv - transfer.fobrec          # time series as CSV on stdout
+//	fobs-analyze -buckets 120 -width 80 file.fobrec
+//
+// Exit status: 0 when every stream is consistent and every checked
+// invariant holds; 1 when the file is unreadable or corrupt; 2 when a
+// protocol invariant was violated or the records disagree with the
+// embedded metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/flight"
+	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/trace"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "write reconstructed time series as CSV to this path ('-': stdout) instead of charts")
+		buckets = flag.Int("buckets", 60, "time bins for the reconstructed series")
+		width   = flag.Int("width", 60, "ASCII chart width in glyphs")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fobs-analyze [flags] <file.fobrec>")
+		flag.PrintDefaults()
+		os.Exit(1)
+	}
+	path := flag.Arg(0)
+	eps, err := flight.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fobs-analyze: %v\n", err)
+		os.Exit(1)
+	}
+
+	exit := 0
+	for i, ep := range eps {
+		if i > 0 {
+			fmt.Println()
+		}
+		a, err := flight.Analyze(ep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fobs-analyze: %s %v stream: %v\n", path, ep.Meta.Role, err)
+			os.Exit(1)
+		}
+		report(ep, a)
+		if a.ViolationCount > 0 {
+			exit = 2
+		}
+		if mismatches, checked := a.CrossCheck(ep.Snapshot); checked && len(mismatches) > 0 {
+			exit = 2
+		}
+
+		series := flight.SeriesFor(ep, *buckets)
+		switch {
+		case *csvPath == "-":
+			fmt.Print(trace.CSV(series...))
+		case *csvPath != "":
+			name := *csvPath
+			if len(eps) > 1 {
+				name = fmt.Sprintf("%s.%s", *csvPath, strings.ToLower(fmt.Sprint(ep.Meta.Role)))
+			}
+			if err := os.WriteFile(name, []byte(trace.CSV(series...)), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "fobs-analyze: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", name)
+		default:
+			fmt.Print(trace.Dashboard(*width, series...))
+		}
+	}
+	os.Exit(exit)
+}
+
+// report prints one endpoint's analysis: totals, invariant verdicts,
+// histograms, and the records-vs-metrics cross-check.
+func report(ep *flight.EndpointLog, a *flight.Analysis) {
+	m := ep.Meta
+	fmt.Printf("== %v transfer %d: %d packets x %d bytes (%d object bytes), span %v\n",
+		m.Role, m.Transfer, m.PacketsNeeded, m.PacketSize, m.ObjectBytes,
+		a.Span.Round(time.Millisecond))
+	if !a.Ended {
+		fmt.Println("   recording CUT OFF mid-transfer (no trailer)")
+	}
+	if a.Dropped > 0 {
+		fmt.Printf("   PARTIAL capture: %d records lost to ring overrun; strict checks skipped\n", a.Dropped)
+	}
+
+	if m.Role == metrics.RoleSender {
+		fmt.Printf("   sent %d packets (%d retransmits, %d bytes) in %d batches' worth; acks %d (%d stale), acked %d, peer holds %d\n",
+			a.PacketsSent, a.Retransmits, a.BytesSent,
+			a.PacketsSent, a.AcksReceived, a.StaleAcks, a.AckedPackets, a.KnownReceived)
+		fmt.Printf("   outcome %v%s, handshakes %d, stalls %d\n",
+			a.Outcome, abortSuffix(a), a.Handshakes, a.Stalls)
+	} else {
+		fmt.Printf("   demuxed %d packets: %d fresh (%d bytes), %d duplicate, %d rejected; acks sent %d\n",
+			a.DataDemuxed, a.Fresh, a.BytesReceived, a.Duplicates, a.Rejected, a.AcksSent)
+		fmt.Printf("   outcome %v%s, handshakes %d, idle firings %d\n",
+			a.Outcome, abortSuffix(a), a.Handshakes, a.Idles)
+	}
+
+	switch {
+	case a.FairnessChecked && a.ViolationCount == 0:
+		fmt.Println("   fairness: OK — circular-buffer invariant holds (transmit spread <= 1 over unacked packets)")
+	case a.FairnessChecked:
+		fmt.Printf("   fairness: VIOLATED %d time(s):\n", a.ViolationCount)
+		for _, v := range a.Violations {
+			fmt.Printf("     - %s\n", v)
+		}
+		if int64(len(a.Violations)) < a.ViolationCount {
+			fmt.Printf("     ... and %d more\n", a.ViolationCount-int64(len(a.Violations)))
+		}
+	default:
+		fmt.Println("   fairness: not checked (needs a complete circular-schedule sender stream)")
+	}
+
+	if len(a.RetransmitCounts) > 0 {
+		fmt.Println("   transmissions per acknowledged packet:")
+		printCounts(a.RetransmitCounts)
+	}
+	if a.AckDelay.Count > 0 {
+		fmt.Printf("   ack delay (first send -> acked): mean %v p50 %v p90 %v p99 %v max %v\n",
+			ns(int64(a.AckDelay.Mean())), ns(a.AckDelay.P50), ns(a.AckDelay.P90), ns(a.AckDelay.P99), ns(a.AckDelay.Max))
+		printHistogram(a.AckDelay, 12)
+	}
+	if a.RTT.Count > 0 {
+		fmt.Printf("   rtt (last send -> acked):       mean %v p50 %v p90 %v p99 %v max %v\n",
+			ns(int64(a.RTT.Mean())), ns(a.RTT.P50), ns(a.RTT.P90), ns(a.RTT.P99), ns(a.RTT.Max))
+	}
+
+	mismatches, checked := a.CrossCheck(ep.Snapshot)
+	switch {
+	case !checked:
+		fmt.Println("   cross-check: skipped (no embedded metrics snapshot or partial capture)")
+	case len(mismatches) == 0:
+		fmt.Println("   cross-check: OK — record totals match the embedded metrics snapshot exactly")
+	default:
+		fmt.Printf("   cross-check: MISMATCH (%d):\n", len(mismatches))
+		for _, mm := range mismatches {
+			fmt.Printf("     - %s\n", mm)
+		}
+	}
+}
+
+func abortSuffix(a *flight.Analysis) string {
+	if a.Outcome == metrics.OutcomeAborted {
+		return fmt.Sprintf(" (reason %d)", a.AbortReason)
+	}
+	return ""
+}
+
+// printCounts renders transmissions-per-packet as bars: row k is the number
+// of packets acknowledged after exactly k transmissions.
+func printCounts(counts []int64) {
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Printf("     %3dx %8d %s\n", k, c, bar(c, max, 40))
+	}
+}
+
+// printHistogram renders a latency snapshot coalesced into at most rows
+// display buckets.
+func printHistogram(s metrics.HistogramSnapshot, rows int) {
+	if len(s.Buckets) == 0 {
+		return
+	}
+	step := (len(s.Buckets) + rows - 1) / rows
+	type row struct {
+		low   int64
+		count int64
+	}
+	var merged []row
+	for i := 0; i < len(s.Buckets); i += step {
+		r := row{low: s.Buckets[i].Low}
+		for j := i; j < i+step && j < len(s.Buckets); j++ {
+			r.count += s.Buckets[j].Count
+		}
+		merged = append(merged, r)
+	}
+	var max int64
+	for _, r := range merged {
+		if r.count > max {
+			max = r.count
+		}
+	}
+	for _, r := range merged {
+		fmt.Printf("     >= %-9v %8d %s\n", ns(r.low), r.count, bar(r.count, max, 40))
+	}
+}
+
+func bar(v, max int64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v * int64(width) / max)
+	if n == 0 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond) }

@@ -8,7 +8,9 @@
 // Every metric pair the benchmark emitted (ns/op, MB/s, pkts/s, allocs/op,
 // ...) is carried through verbatim. Sub-benchmarks named .../fast and
 // .../scalar are additionally paired into speedup ratios, since the whole
-// point of the fast path is the multiple between those two rows.
+// point of the fast path is the multiple between those two rows; .../bare
+// and .../recorded pairs likewise become overhead ratios, pinning the cost
+// of the flight recorder against the uninstrumented hot path.
 package main
 
 import (
@@ -37,11 +39,23 @@ type Ratio struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// Overhead compares the recorded and bare variants of one benchmark:
+// Overhead > 1 means recording made that metric worse by the given factor
+// (so 1.03 on pkts/s is a 3% throughput cost).
+type Overhead struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Bare     float64 `json:"bare"`
+	Recorded float64 `json:"recorded"`
+	Overhead float64 `json:"overhead"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Env        map[string]string `json:"env"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Ratios     []Ratio           `json:"ratios"`
+	Overheads  []Overhead        `json:"overheads"`
 }
 
 // parseLine parses one `BenchmarkX-8  1234  56.7 ns/op  8.9 MB/s ...` row.
@@ -132,6 +146,37 @@ func main() {
 		}
 	}
 
+	for _, b := range rep.Benchmarks {
+		base, ok := strings.CutSuffix(b.Name, "/recorded")
+		if !ok {
+			continue
+		}
+		bare, ok := byName[base+"/bare"]
+		if !ok {
+			continue
+		}
+		for metric, rv := range b.Metrics {
+			bv, ok := bare.Metrics[metric]
+			if !ok || rv == 0 || bv == 0 {
+				continue
+			}
+			overhead := bv / rv // throughput-like: lost rate
+			if !higherIsBetter(metric) {
+				overhead = rv / bv // cost-like: added cost
+			}
+			rep.Overheads = append(rep.Overheads, Overhead{
+				Name: base, Metric: metric,
+				Bare: bv, Recorded: rv, Overhead: overhead,
+			})
+		}
+	}
+
+	sort.Slice(rep.Overheads, func(i, j int) bool {
+		if rep.Overheads[i].Name != rep.Overheads[j].Name {
+			return rep.Overheads[i].Name < rep.Overheads[j].Name
+		}
+		return rep.Overheads[i].Metric < rep.Overheads[j].Metric
+	})
 	sort.Slice(rep.Ratios, func(i, j int) bool {
 		if rep.Ratios[i].Name != rep.Ratios[j].Name {
 			return rep.Ratios[i].Name < rep.Ratios[j].Name

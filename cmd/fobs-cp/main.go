@@ -8,20 +8,35 @@
 // Sender:
 //
 //	fobs-cp -send /data/outgoing -addr host:7700
+//
+// SIGINT/SIGTERM abort the copy cleanly: any -record flight recording is
+// flushed and sealed before exit.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/hpcnet/fobs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("fobs-cp: %v", err)
+	}
+}
+
+// run carries the whole copy so its defers — sealing the flight recording,
+// stopping the reporter with a final line — execute on every exit path,
+// including a SIGINT/SIGTERM abort.
+func run() error {
 	var (
 		send       = flag.String("send", "", "directory tree to send")
 		recv       = flag.String("recv", "", "directory to receive into")
@@ -36,21 +51,25 @@ func main() {
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
 		statsInterval = flag.Duration("stats-interval", 0,
 			"print a one-line metrics summary this often (0: off)")
+		record = flag.String("record", "",
+			"write a packet-level flight recording of every transfer to this .fobrec file")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := fobs.Config{PacketSize: *packetSize, Checksum: *checksum}
 	opts := fobs.Options{Pace: *pace}
-	if *debugAddr != "" || *statsInterval > 0 {
+	if *debugAddr != "" || *statsInterval > 0 || *record != "" {
 		reg := fobs.NewMetrics()
 		opts.Metrics = reg
 		if *debugAddr != "" {
 			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
 			if err != nil {
-				log.Fatalf("fobs-cp: debug server: %v", err)
+				return fmt.Errorf("debug server: %w", err)
 			}
 			defer dbg.Close()
 			fmt.Printf("fobs-cp: metrics at http://%s/debug/fobs\n", dbg.Addr())
@@ -59,31 +78,46 @@ func main() {
 			defer reg.StartReporter(os.Stderr, *statsInterval)()
 		}
 	}
+	if *record != "" {
+		rec, err := fobs.CreateFlightLog(*record)
+		if err != nil {
+			return err
+		}
+		opts.Record = rec
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fobs-cp: sealing %s: %v\n", *record, err)
+				return
+			}
+			fmt.Printf("fobs-cp: flight recording sealed in %s\n", *record)
+		}()
+	}
 
 	switch {
 	case *send != "" && *recv != "":
-		log.Fatal("fobs-cp: use either -send or -recv, not both")
+		return errors.New("use either -send or -recv, not both")
 	case *send != "":
 		sum, err := fobs.SendTree(ctx, *addr, *send, cfg, opts)
 		if err != nil {
-			log.Fatalf("fobs-cp: %v", err)
+			return err
 		}
 		fmt.Printf("fobs-cp: sent %d files, %d bytes in %v (%.1f Mb/s)\n",
 			sum.Files, sum.Bytes, sum.Elapsed.Round(time.Millisecond), sum.Goodput()/1e6)
 	case *recv != "":
 		sl, err := fobs.ListenSession(*listen, opts)
 		if err != nil {
-			log.Fatalf("fobs-cp: %v", err)
+			return err
 		}
 		defer sl.Close()
 		fmt.Printf("fobs-cp: listening on %s\n", sl.Addr())
 		sum, err := fobs.ReceiveTree(ctx, sl, *recv)
 		if err != nil {
-			log.Fatalf("fobs-cp: %v", err)
+			return err
 		}
 		fmt.Printf("fobs-cp: received %d files, %d bytes in %v (%.1f Mb/s)\n",
 			sum.Files, sum.Bytes, sum.Elapsed.Round(time.Millisecond), sum.Goodput()/1e6)
 	default:
-		log.Fatal("fobs-cp: pass -send DIR or -recv DIR")
+		return errors.New("pass -send DIR or -recv DIR")
 	}
+	return nil
 }

@@ -56,10 +56,10 @@ func tcpBaseline(obj []byte) (time.Duration, error) {
 // fobsRun moves obj over the FOBS runtime on loopback with the given
 // config and pacing, returning elapsed time and sender waste. scalar
 // forces one syscall per datagram on both endpoints. Both endpoints share
-// reg (which may be nil) so the bench's transfers show up on the debug
-// endpoint and in the periodic summaries.
-func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *fobs.Metrics) (time.Duration, float64, error) {
-	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar, Metrics: reg})
+// reg and rec (either may be nil) so the bench's transfers show up on the
+// debug endpoint, in the periodic summaries, and in the flight recording.
+func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *fobs.Metrics, rec *fobs.FlightLog) (time.Duration, float64, error) {
+	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar, Metrics: reg, Record: rec})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -73,7 +73,7 @@ func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *
 	}()
 	start := time.Now()
 	st, err := fobs.Send(ctx, l.Addr(), obj, cfg,
-		fobs.Options{Pace: pace, NoFastPath: scalar, Metrics: reg})
+		fobs.Options{Pace: pace, NoFastPath: scalar, Metrics: reg, Record: rec})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -84,6 +84,12 @@ func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("fobs-loopbench: %v", err)
+	}
+}
+
+func run() error {
 	var (
 		size = flag.Int64("size", 32<<20, "object size in bytes")
 		pace = flag.Duration("pace", 5*time.Microsecond, "per-packet pacing (loopback needs a little)")
@@ -92,16 +98,18 @@ func main() {
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
 		statsInterval = flag.Duration("stats-interval", 0,
 			"print a one-line metrics summary this often (0: off)")
+		record = flag.String("record", "",
+			"write a packet-level flight recording of every bench transfer to this .fobrec file")
 	)
 	flag.Parse()
 
 	var reg *fobs.Metrics
-	if *debugAddr != "" || *statsInterval > 0 {
+	if *debugAddr != "" || *statsInterval > 0 || *record != "" {
 		reg = fobs.NewMetrics()
 		if *debugAddr != "" {
 			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
 			if err != nil {
-				log.Fatalf("fobs-loopbench: debug server: %v", err)
+				return fmt.Errorf("debug server: %w", err)
 			}
 			defer dbg.Close()
 			fmt.Printf("fobs-loopbench: metrics at http://%s/debug/fobs\n", dbg.Addr())
@@ -110,6 +118,21 @@ func main() {
 			defer reg.StartReporter(os.Stderr, *statsInterval)()
 		}
 	}
+	var rec *fobs.FlightLog
+	if *record != "" {
+		var err error
+		rec, err = fobs.CreateFlightLog(*record)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fobs-loopbench: sealing %s: %v\n", *record, err)
+				return
+			}
+			fmt.Printf("fobs-loopbench: flight recording sealed in %s\n", *record)
+		}()
+	}
 
 	obj := make([]byte, *size)
 	for i := range obj {
@@ -117,16 +140,16 @@ func main() {
 	}
 
 	if elapsed, err := tcpBaseline(obj); err != nil {
-		log.Fatalf("fobs-loopbench: tcp baseline: %v", err)
+		return fmt.Errorf("tcp baseline: %w", err)
 	} else {
 		fmt.Printf("%-22s %8.1f Mb/s\n", "kernel tcp (loopback)",
 			float64(*size*8)/elapsed.Seconds()/1e6)
 	}
 
 	for _, ps := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, false, reg)
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, false, reg, rec)
 		if err != nil {
-			log.Fatalf("fobs-loopbench: fobs ps=%d: %v", ps, err)
+			return fmt.Errorf("fobs ps=%d: %w", ps, err)
 		}
 		fmt.Printf("fobs packet=%-6d      %8.1f Mb/s   waste %.1f%%\n",
 			ps, float64(*size*8)/elapsed.Seconds()/1e6, 100*waste)
@@ -138,13 +161,13 @@ func main() {
 	// size, where per-datagram syscall cost dominates.
 	if fobs.FastPathAvailable() {
 		cfg := fobs.Config{PacketSize: 1024, Batch: fobs.FixedBatch(64)}
-		fast, _, err := fobsRun(obj, cfg, *pace, false, reg)
+		fast, _, err := fobsRun(obj, cfg, *pace, false, reg, rec)
 		if err != nil {
-			log.Fatalf("fobs-loopbench: fast path: %v", err)
+			return fmt.Errorf("fast path: %w", err)
 		}
-		scalar, _, err := fobsRun(obj, cfg, *pace, true, reg)
+		scalar, _, err := fobsRun(obj, cfg, *pace, true, reg, rec)
 		if err != nil {
-			log.Fatalf("fobs-loopbench: scalar path: %v", err)
+			return fmt.Errorf("scalar path: %w", err)
 		}
 		fmt.Printf("\nfast path vs scalar (packet=%d, batch=64): %8.1f vs %8.1f Mb/s (%.2fx)\n",
 			cfg.PacketSize, float64(*size*8)/fast.Seconds()/1e6,
@@ -154,4 +177,5 @@ func main() {
 
 	fmt.Println("\nLarger packets amortize per-datagram syscall cost — the same")
 	fmt.Println("endpoint-bound shape as the paper's Figure 3, on real sockets.")
+	return nil
 }

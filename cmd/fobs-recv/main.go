@@ -4,8 +4,10 @@
 // Usage:
 //
 //	fobs-recv -listen 0.0.0.0:7700 -out object.bin
+//	fobs-recv -listen 0.0.0.0:7700 -record run.fobrec
 //
-// Pair it with fobs-send on the other end.
+// Pair it with fobs-send on the other end. SIGINT/SIGTERM abort cleanly:
+// the flight recording is flushed and sealed before exit.
 package main
 
 import (
@@ -14,12 +16,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/hpcnet/fobs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("fobs-recv: %v", err)
+	}
+}
+
+// run carries the whole session so its defers — sealing the flight
+// recording, stopping the reporter with a final line — execute on every
+// exit path, including a SIGINT/SIGTERM abort.
+func run() error {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7700", "address to listen on (TCP control + UDP data)")
 		out     = flag.String("out", "", "file to write the received object to (empty: discard)")
@@ -38,6 +51,8 @@ func main() {
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
 		statsInterval = flag.Duration("stats-interval", 0,
 			"print a one-line metrics summary this often (0: off)")
+		record = flag.String("record", "",
+			"write a packet-level flight recording to this .fobrec file (analyze with fobs-analyze)")
 	)
 	flag.Parse()
 
@@ -50,13 +65,13 @@ func main() {
 	if *ioStats {
 		opts.IOCounters = &ioc
 	}
-	if *debugAddr != "" || *statsInterval > 0 {
+	if *debugAddr != "" || *statsInterval > 0 || *record != "" {
 		reg := fobs.NewMetrics()
 		opts.Metrics = reg
 		if *debugAddr != "" {
 			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
 			if err != nil {
-				log.Fatalf("fobs-recv: debug server: %v", err)
+				return fmt.Errorf("debug server: %w", err)
 			}
 			defer dbg.Close()
 			fmt.Printf("fobs-recv: metrics at http://%s/debug/fobs\n", dbg.Addr())
@@ -65,20 +80,36 @@ func main() {
 			defer reg.StartReporter(os.Stderr, *statsInterval)()
 		}
 	}
+	if *record != "" {
+		rec, err := fobs.CreateFlightLog(*record)
+		if err != nil {
+			return err
+		}
+		opts.Record = rec
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fobs-recv: sealing %s: %v\n", *record, err)
+				return
+			}
+			fmt.Printf("fobs-recv: flight recording sealed in %s\n", *record)
+		}()
+	}
 	l, err := fobs.Listen(*listen, opts)
 	if err != nil {
-		log.Fatalf("fobs-recv: %v", err)
+		return err
 	}
 	defer l.Close()
 	fmt.Printf("fobs-recv: listening on %s\n", l.Addr())
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	start := time.Now()
 	obj, st, err := l.Accept(ctx)
 	if err != nil {
-		log.Fatalf("fobs-recv: %v", err)
+		return err
 	}
 	elapsed := time.Since(start)
 	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6
@@ -90,8 +121,9 @@ func main() {
 
 	if *out != "" {
 		if err := os.WriteFile(*out, obj, 0o644); err != nil {
-			log.Fatalf("fobs-recv: write %s: %v", *out, err)
+			return fmt.Errorf("write %s: %w", *out, err)
 		}
 		fmt.Printf("fobs-recv: wrote %s\n", *out)
 	}
+	return nil
 }

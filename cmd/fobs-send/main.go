@@ -5,6 +5,10 @@
 //
 //	fobs-send -addr host:7700 -file object.bin
 //	fobs-send -addr host:7700 -size 40MiB        # synthetic object
+//	fobs-send -addr host:7700 -record run.fobrec # capture a flight recording
+//
+// SIGINT/SIGTERM abort the transfer cleanly: the flight recording is
+// flushed and sealed and the final stats line still prints.
 package main
 
 import (
@@ -14,8 +18,10 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/hpcnet/fobs"
@@ -42,6 +48,15 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("fobs-send: %v", err)
+	}
+}
+
+// run carries the whole transfer so its defers — sealing the flight
+// recording, stopping the reporter with a final line — execute on every
+// exit path, including a SIGINT/SIGTERM abort.
+func run() error {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7700", "fobs-recv address")
 		file       = flag.String("file", "", "file to send (overrides -size)")
@@ -70,6 +85,8 @@ func main() {
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
 		statsInterval = flag.Duration("stats-interval", 0,
 			"print a one-line metrics summary this often (0: off)")
+		record = flag.String("record", "",
+			"write a packet-level flight recording to this .fobrec file (analyze with fobs-analyze)")
 	)
 	flag.Parse()
 
@@ -77,13 +94,13 @@ func main() {
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {
-			log.Fatalf("fobs-send: %v", err)
+			return err
 		}
 		obj = data
 	} else {
 		n, err := parseSize(*size)
 		if err != nil {
-			log.Fatalf("fobs-send: %v", err)
+			return err
 		}
 		obj = make([]byte, n)
 		rand.New(rand.NewSource(time.Now().UnixNano())).Read(obj)
@@ -96,6 +113,8 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := fobs.Options{
 		Pace:             *pace,
@@ -109,13 +128,13 @@ func main() {
 	if *ioStats {
 		opts.IOCounters = &ioc
 	}
-	if *debugAddr != "" || *statsInterval > 0 {
+	if *debugAddr != "" || *statsInterval > 0 || *record != "" {
 		reg := fobs.NewMetrics()
 		opts.Metrics = reg
 		if *debugAddr != "" {
 			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
 			if err != nil {
-				log.Fatalf("fobs-send: debug server: %v", err)
+				return fmt.Errorf("debug server: %w", err)
 			}
 			defer dbg.Close()
 			fmt.Printf("fobs-send: metrics at http://%s/debug/fobs\n", dbg.Addr())
@@ -123,6 +142,20 @@ func main() {
 		if *statsInterval > 0 {
 			defer reg.StartReporter(os.Stderr, *statsInterval)()
 		}
+	}
+	if *record != "" {
+		rec, err := fobs.CreateFlightLog(*record)
+		if err != nil {
+			return err
+		}
+		opts.Record = rec
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fobs-send: sealing %s: %v\n", *record, err)
+				return
+			}
+			fmt.Printf("fobs-send: flight recording sealed in %s\n", *record)
+		}()
 	}
 	if *progress {
 		lastPct := -1
@@ -135,15 +168,20 @@ func main() {
 	}
 	start := time.Now()
 	st, err := fobs.Send(ctx, *addr, obj, cfg, opts)
-	if err != nil {
-		log.Fatalf("fobs-send: %v", err)
-	}
 	elapsed := time.Since(start)
-	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6
-	fmt.Printf("fobs-send: %d bytes in %v (%.1f Mb/s)\n", len(obj), elapsed.Round(time.Millisecond), mbps)
-	fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed\n",
-		st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed)
+	// The stats line prints even on an aborted run: a partial transfer's
+	// accounting (and its flight recording) is exactly what post-mortems
+	// need.
+	fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed in %v\n",
+		st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed,
+		elapsed.Round(time.Millisecond))
 	if *ioStats {
 		fmt.Printf("fobs-send: io %s\n", ioc.String())
 	}
+	if err != nil {
+		return err
+	}
+	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6
+	fmt.Printf("fobs-send: %d bytes in %v (%.1f Mb/s)\n", len(obj), elapsed.Round(time.Millisecond), mbps)
+	return nil
 }

@@ -40,6 +40,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/experiments"
+	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/udprt"
@@ -139,6 +140,36 @@ const (
 
 // NewMetrics returns an empty metrics registry to hang on Options.Metrics.
 func NewMetrics() *Metrics { return metrics.New() }
+
+// Flight recording (see internal/flight). Point Options.Record at a
+// FlightLog and every transfer records its packet-level protocol decisions
+// — each send with attempt number, each acknowledgement with the packets it
+// newly covered, batch-size changes, phase transitions — into a compact
+// .fobrec file that cmd/fobs-analyze verifies and replays offline.
+type (
+	// FlightLog is one .fobrec capture in progress; CreateFlightLog opens
+	// one on disk, Close seals it.
+	FlightLog = flight.Log
+	// FlightRecord is one decoded flight-recorder entry.
+	FlightRecord = flight.Record
+	// FlightEndpoint is one endpoint's complete recorded stream, as read
+	// back by ReadFlightLog.
+	FlightEndpoint = flight.EndpointLog
+	// FlightAnalysis is the offline reconstruction of one recorded stream:
+	// totals, verified invariants, latency histograms.
+	FlightAnalysis = flight.Analysis
+)
+
+// CreateFlightLog opens path for writing as a .fobrec flight recording;
+// hang the result on Options.Record and Close it after the transfers end.
+func CreateFlightLog(path string) (*FlightLog, error) { return flight.Create(path) }
+
+// ReadFlightLog parses a sealed .fobrec file into its per-endpoint streams.
+func ReadFlightLog(path string) ([]*FlightEndpoint, error) { return flight.ReadFile(path) }
+
+// AnalyzeFlight replays one endpoint's records, rebuilding totals and
+// verifying the stream's consistency and protocol invariants.
+func AnalyzeFlight(ep *FlightEndpoint) (*FlightAnalysis, error) { return flight.Analyze(ep) }
 
 // ServeMetricsDebug starts an HTTP server on addr (":0" for ephemeral)
 // serving the registry as expvar-style JSON (/debug/fobs), sampled trace

@@ -8,7 +8,9 @@ package batchio
 
 const vectoredSupported = false
 
-type vecSendState struct{}
+type vecSendState struct {
+	nsys int // always zero: no vectored syscalls on this platform
+}
 
 func (v *vecSendState) init(int) {}
 
@@ -16,7 +18,9 @@ func (v *vecSendState) cap() int { return 0 }
 
 func (s *Sender) sendVectored(pkts [][]byte) (int, error) { return s.sendScalar(pkts) }
 
-type vecRecvState struct{}
+type vecRecvState struct {
+	nsys int // always zero: no vectored syscalls on this platform
+}
 
 func (v *vecRecvState) init([][]byte) {}
 

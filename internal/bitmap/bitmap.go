@@ -212,6 +212,15 @@ func (b *Bitmap) ExtractInto(dst []uint64, from, maxWords int) Fragment {
 // word-aligned or that extend past the bitmap are rejected with an error so
 // that a corrupted ack cannot poison the sender's state.
 func (b *Bitmap) Merge(f Fragment) (newlySet int, err error) {
+	return b.MergeFunc(f, nil)
+}
+
+// MergeFunc is Merge with a per-bit observer: fn (when non-nil) is called
+// with the index of every newly set bit, in ascending order, as it is
+// set. The total work across a transfer is bounded — each bit is newly
+// set at most once — so instrumentation layered on the ack path stays
+// O(packets) overall.
+func (b *Bitmap) MergeFunc(f Fragment, fn func(i int)) (newlySet int, err error) {
 	if f.Start%wordBits != 0 || f.Start < 0 {
 		return 0, fmt.Errorf("bitmap: fragment start %d not word-aligned", f.Start)
 	}
@@ -231,6 +240,12 @@ func (b *Bitmap) Merge(f Fragment) (newlySet int, err error) {
 		if added != 0 {
 			b.words[w+i] |= added
 			newlySet += bits.OnesCount64(added)
+			if fn != nil {
+				base := (w + i) * wordBits
+				for rest := added; rest != 0; rest &= rest - 1 {
+					fn(base + bits.TrailingZeros64(rest))
+				}
+			}
 		}
 	}
 	b.set += newlySet

@@ -37,6 +37,22 @@ func (s SenderStats) Waste() float64 {
 	return float64(s.PacketsSent-s.PacketsNeeded) / float64(s.PacketsNeeded)
 }
 
+// AckObserver sees the sender-internal acknowledgement processing that a
+// driver cannot reconstruct from outside: which acknowledgement was
+// processed, and exactly which packets its bitmap fragment newly marked
+// received. The flight recorder and latency histograms hang off this
+// hook; implementations must not call back into the Sender.
+type AckObserver interface {
+	// OnAck is called once per acknowledgement processed for this
+	// transfer, before the fragment merge: serial is the ack sequence
+	// number, received the cumulative delivered count it carried, stale
+	// whether the serial had already been passed (a reordered ack).
+	OnAck(serial uint32, received int, stale bool)
+	// OnPacketAcked is called after OnAck for each packet the fragment
+	// newly acknowledged, in ascending sequence order.
+	OnPacketAcked(seq uint32)
+}
+
 // Sender is the FOBS data-sending state machine. Drivers call BatchSize and
 // NextPacket to emit packets, HandleAck whenever an acknowledgement is
 // available (never blocking for one), and SetComplete when the completion
@@ -46,6 +62,10 @@ type Sender struct {
 	obj   []byte
 	n     int
 	acked *bitmap.Bitmap
+	obs   AckObserver
+	// onAcked adapts obs.OnPacketAcked to the bitmap's merge callback; it
+	// is built once in SetObserver so the ack path allocates nothing.
+	onAcked func(i int)
 
 	cursor    int // circular schedule position
 	lastAck   uint32
@@ -69,6 +89,16 @@ func NewSender(obj []byte, cfg Config) *Sender {
 		n:     n,
 		acked: bitmap.New(n),
 		stats: SenderStats{PacketsNeeded: n},
+	}
+}
+
+// SetObserver installs the acknowledgement observer (nil to remove).
+// Drivers set it before the first HandleAck.
+func (s *Sender) SetObserver(o AckObserver) {
+	s.obs = o
+	s.onAcked = nil
+	if o != nil {
+		s.onAcked = func(i int) { o.OnPacketAcked(uint32(i)) }
 	}
 }
 
@@ -183,7 +213,13 @@ func (s *Sender) HandleAck(a wire.Ack) error {
 	} else {
 		s.stats.StaleAcks++
 	}
-	if _, err := s.acked.Merge(a.Frag); err != nil {
+	if s.obs != nil {
+		// The observer hears about the ack even when the fragment is then
+		// rejected, matching the driver-level accounting (which counts
+		// every decoded ack for this transfer).
+		s.obs.OnAck(a.AckSeq, int(a.Received), !fresh)
+	}
+	if _, err := s.acked.MergeFunc(a.Frag, s.onAcked); err != nil {
 		return fmt.Errorf("core: rejecting ack fragment: %w", err)
 	}
 	// The cumulative count can outrun the fragments we have seen; it is

@@ -1,0 +1,428 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/metrics"
+)
+
+// fileMagic opens every .fobrec file.
+const fileMagic = "FOBREC01"
+
+// Frame types within a .fobrec file. A file is the magic followed by a
+// sequence of frames; frames from concurrent transfers interleave freely
+// and the reader regroups them by (transfer, role).
+const (
+	frameStart   = 1 // endpoint announcement: meta payload
+	frameRecords = 2 // a run of encoded records
+	frameEnd     = 3 // endpoint trailer: drop count + final metrics snapshot
+)
+
+// frameHeaderLen is the fixed frame header: marker byte, frame type, role,
+// reserved, transfer id (4), payload length (4).
+const frameHeaderLen = 12
+
+// frameMarker begins every frame header, so a reader landing mid-stream
+// fails loudly instead of misparsing.
+const frameMarker = 0xFB
+
+// startPayloadLen is the frameStart payload: packetsNeeded (4), packetSize
+// (4), schedule (1), reserved (3), objectBytes (8), startNs (8).
+const startPayloadLen = 28
+
+// defaultRingSize is the per-recorder ring capacity in records. At 24
+// bytes per record a 64K ring holds ~1.5 MiB — roughly 30 ms of headroom
+// at two million records per second, far beyond loopback rates.
+const defaultRingSize = 1 << 16
+
+// drainInterval is how often the background drainer sweeps every ring.
+const drainInterval = 5 * time.Millisecond
+
+// Log is one .fobrec capture in progress: a shared destination file, a
+// common timebase, and the set of per-endpoint recorders feeding it. All
+// methods are safe for concurrent use and safe on a nil receiver (Start*
+// return nil recorders; Close no-ops).
+type Log struct {
+	// RingSize overrides the per-recorder ring capacity (in records) for
+	// recorders started after it is set; zero means defaultRingSize.
+	// Tests use tiny rings to exercise overload; production leaves it
+	// alone.
+	RingSize int
+
+	start time.Time
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	file   *os.File // nil when writing to a caller-supplied io.Writer
+	recs   []*Recorder
+	err    error
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Create opens path for writing and returns a running Log. The file is
+// complete and readable only after Close.
+func Create(path string) (*Log, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: create %s: %w", path, err)
+	}
+	l := newLog(f)
+	l.file = f
+	return l, nil
+}
+
+// NewLog returns a running Log writing to w, for tests and in-memory use.
+func NewLog(w io.Writer) *Log { return newLog(w) }
+
+func newLog(w io.Writer) *Log {
+	l := &Log{
+		start: time.Now(),
+		w:     bufio.NewWriterSize(w, 1<<16),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	l.w.WriteString(fileMagic)
+	go l.drainLoop()
+	return l
+}
+
+// since returns the log-relative timestamp now. Hot path: no allocation.
+func (l *Log) since() time.Duration { return time.Since(l.start) }
+
+// StartSender registers the data-sending endpoint of a transfer and
+// returns its recorder. packetsNeeded sizes the per-packet attempt table;
+// schedule is the core schedule code (0 = circular), recorded so the
+// analyzer knows which invariants apply.
+func (l *Log) StartSender(transfer uint32, packetsNeeded int, objectBytes int64, packetSize, schedule int) *Recorder {
+	if l == nil {
+		return nil
+	}
+	r := l.startRecorder(Meta{
+		Transfer:      transfer,
+		Role:          metrics.RoleSender,
+		PacketsNeeded: packetsNeeded,
+		PacketSize:    packetSize,
+		ObjectBytes:   objectBytes,
+		Schedule:      schedule,
+		StartAt:       l.since(),
+	})
+	if r != nil && packetsNeeded > 0 {
+		r.tx = make([]uint32, packetsNeeded)
+	}
+	return r
+}
+
+// StartReceiver registers the data-receiving endpoint of a transfer.
+func (l *Log) StartReceiver(transfer uint32, packetsNeeded int, objectBytes int64, packetSize int) *Recorder {
+	if l == nil {
+		return nil
+	}
+	return l.startRecorder(Meta{
+		Transfer:      transfer,
+		Role:          metrics.RoleReceiver,
+		PacketsNeeded: packetsNeeded,
+		PacketSize:    packetSize,
+		ObjectBytes:   objectBytes,
+		StartAt:       l.since(),
+	})
+}
+
+func (l *Log) startRecorder(m Meta) *Recorder {
+	size := l.RingSize
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	r := &Recorder{log: l, meta: m, ring: newRecordRing(size), lastBatch: -1}
+	// One sweep never yields more records than the ring holds, so sizing
+	// the drain buffer to the ring keeps the drainer allocation-free for
+	// the recorder's whole life (the hot-path gates measure process-wide
+	// allocations, so the background writer must be quiet too).
+	r.buf = make([]byte, 0, len(r.ring.slots)*recordBytes)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.writeStartLocked(m)
+	l.recs = append(l.recs, r)
+	return r
+}
+
+// writeStartLocked emits the endpoint announcement frame. Caller holds
+// l.mu.
+func (l *Log) writeStartLocked(m Meta) {
+	var p [startPayloadLen]byte
+	be32(p[0:], uint32(m.PacketsNeeded))
+	be32(p[4:], uint32(m.PacketSize))
+	p[8] = uint8(m.Schedule)
+	be64(p[12:], uint64(m.ObjectBytes))
+	be64(p[20:], uint64(m.StartAt.Nanoseconds()))
+	l.writeFrameLocked(frameStart, m.Role, m.Transfer, p[:])
+}
+
+// writeFrameLocked serializes one frame. Caller holds l.mu; the first
+// write error latches and poisons Close.
+func (l *Log) writeFrameLocked(typ uint8, role metrics.Role, transfer uint32, payload []byte) {
+	if l.err != nil {
+		return
+	}
+	var h [frameHeaderLen]byte
+	h[0] = frameMarker
+	h[1] = typ
+	h[2] = uint8(role)
+	be32(h[4:], transfer)
+	be32(h[8:], uint32(len(payload)))
+	if _, err := l.w.Write(h[:]); err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.err = err
+	}
+}
+
+// drainLoop is the background writer: it sweeps every recorder's ring on
+// a short period so rings stay nearly empty and a crash loses little.
+func (l *Log) drainLoop() {
+	defer close(l.done)
+	tick := time.NewTicker(drainInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-tick.C:
+			l.mu.Lock()
+			for _, r := range l.recs {
+				l.drainLocked(r)
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// drainLocked moves every published record of r into the file as one
+// records frame. Caller holds l.mu.
+func (l *Log) drainLocked(r *Recorder) {
+	var dropped uint64
+	r.buf, dropped = r.ring.drain(&r.cursor, r.buf[:0])
+	r.dropped += dropped
+	if len(r.buf) > 0 {
+		l.writeFrameLocked(frameRecords, r.meta.Role, r.meta.Transfer, r.buf)
+	}
+}
+
+// finish retires one recorder: a final drain, then the trailer frame
+// embedding the endpoint's final metrics snapshot (zero-valued when the
+// run had metrics disabled; the analyzer skips the cross-check then).
+func (l *Log) finish(r *Recorder, snap metrics.TransferSnapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.drainLocked(r)
+	js, err := json.Marshal(snap)
+	if err != nil {
+		js = nil
+	}
+	trailer := make([]byte, 12+len(js))
+	be64(trailer[0:], r.dropped)
+	be32(trailer[8:], uint32(len(js)))
+	copy(trailer[12:], js)
+	l.writeFrameLocked(frameEnd, r.meta.Role, r.meta.Transfer, trailer)
+	for i, rr := range l.recs {
+		if rr == r {
+			l.recs = append(l.recs[:i], l.recs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Close stops the drainer, performs a final sweep of any recorder still
+// open (emitting its trailer with whatever was captured), flushes and —
+// when the Log owns the file — closes it. The first underlying write
+// error, if any, is returned. Safe on nil and idempotent.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	close(l.stop)
+	<-l.done
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range l.recs {
+		r.finished.Store(true)
+		l.drainLocked(r)
+		var trailer [12]byte
+		be64(trailer[0:], r.dropped)
+		l.writeFrameLocked(frameEnd, r.meta.Role, r.meta.Transfer, trailer[:])
+	}
+	l.recs = nil
+	l.closed = true
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.file != nil {
+		if err := l.file.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	return l.err
+}
+
+// Recorder captures one endpoint's protocol decisions. The recording
+// methods are allocation-free, lock-free, and safe on a nil receiver.
+// DataSent and AckedSeq additionally assume the driver's usual discipline
+// of one sending goroutine per transfer (they maintain the per-packet
+// attempt table without atomics); the other methods are safe from any
+// goroutine.
+type Recorder struct {
+	log  *Log
+	meta Meta
+	ring *recordRing
+
+	// tx is the per-packet transmit count (sender role): attempt numbers
+	// in DataSent records come from here, and AckedSeq snapshots the
+	// count at acknowledgement time.
+	tx []uint32
+	// lastBatch dedups KindBatch records to actual policy changes.
+	lastBatch int
+	// finished gates late records from stragglers (a server's data loop
+	// can race a datagram past the control goroutine's trailer).
+	finished atomic.Bool
+
+	// Drain state, owned by the Log (under its mutex).
+	cursor  uint64
+	buf     []byte
+	dropped uint64
+}
+
+// Meta describes one recorded endpoint.
+type Meta struct {
+	Transfer      uint32
+	Role          metrics.Role
+	PacketsNeeded int
+	PacketSize    int
+	ObjectBytes   int64
+	// Schedule is the core schedule code (0 = circular) for sender
+	// endpoints; the analyzer's fairness checks apply only to circular
+	// recordings.
+	Schedule int
+	// StartAt is when the endpoint registered, relative to the Log start.
+	StartAt time.Duration
+}
+
+func (r *Recorder) push(rec Record) {
+	if r == nil || r.finished.Load() {
+		return
+	}
+	rec.At = r.log.since()
+	w0, w1, w2 := rec.words()
+	r.ring.push(w0, w1, w2)
+}
+
+// DataSent records one data packet placed on the wire; batchIdx is its
+// position within the current batch round. The attempt number is derived
+// from the recorder's own transmit table.
+func (r *Recorder) DataSent(seq uint32, size, batchIdx int) {
+	if r == nil || r.finished.Load() {
+		return
+	}
+	attempt := uint32(1)
+	if int(seq) < len(r.tx) {
+		r.tx[seq]++
+		attempt = r.tx[seq]
+	}
+	r.push(Record{Kind: KindDataSend, Seq: seq, Aux: attempt, Aux2: uint32(batchIdx), Size: uint16(size)})
+}
+
+// AckReceived records one acknowledgement consumed by the sender: serial
+// is the ack sequence, received the cumulative count it carried, stale
+// whether the serial had already been passed. The fragment's newly
+// acknowledged packets follow as AckedSeq records.
+func (r *Recorder) AckReceived(serial uint32, received int, stale bool) {
+	var flag uint8
+	if stale {
+		flag = 1
+	}
+	r.push(Record{Kind: KindAckRecv, Seq: serial, Aux: uint32(received), Flag: flag})
+}
+
+// AckedSeq records one packet newly acknowledged by the fragment of the
+// preceding AckReceived.
+func (r *Recorder) AckedSeq(seq uint32) {
+	if r == nil || r.finished.Load() {
+		return
+	}
+	var count uint32
+	if int(seq) < len(r.tx) {
+		count = r.tx[seq]
+	}
+	r.push(Record{Kind: KindAcked, Seq: seq, Aux: count})
+}
+
+// BatchSize records the B policy's chosen size when it changes.
+func (r *Recorder) BatchSize(b int) {
+	if r == nil || r.finished.Load() || b == r.lastBatch {
+		return
+	}
+	r.lastBatch = b
+	r.push(Record{Kind: KindBatch, Seq: uint32(b)})
+}
+
+// DataReceived records one data packet routed to the receiver with its
+// classification (ClassFresh, ClassDuplicate, ClassRejected).
+func (r *Recorder) DataReceived(seq uint32, size int, class uint8) {
+	r.push(Record{Kind: KindDataRecv, Seq: seq, Size: uint16(size), Flag: class})
+}
+
+// AckSent records one acknowledgement emitted by the receiver.
+func (r *Recorder) AckSent(serial uint32, received int, size int) {
+	r.push(Record{Kind: KindAckSend, Seq: serial, Aux: uint32(received), Size: uint16(size)})
+}
+
+// Phase records a lifecycle transition (PhaseHandshake, PhaseStall, ...);
+// arg carries the abort-reason code for PhaseAbort.
+func (r *Recorder) Phase(code uint32, arg uint32) {
+	r.push(Record{Kind: KindPhase, Seq: code, Aux: arg})
+}
+
+// Finish retires the recorder, emitting its trailer frame with the final
+// metrics snapshot for the analyzer's cross-check. Pass the zero snapshot
+// when the run had metrics disabled. Records arriving after Finish (late
+// stragglers) are discarded. Safe on nil; only the first call writes.
+func (r *Recorder) Finish(snap metrics.TransferSnapshot) {
+	if r == nil || r.finished.Swap(true) {
+		return
+	}
+	r.log.finish(r, snap)
+}
+
+func be32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func be64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32)
+	b[4], b[5], b[6], b[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}

@@ -1,0 +1,103 @@
+package flight
+
+import "sync/atomic"
+
+// recordRing is the fixed-size, lock-free buffer between a transfer's hot
+// loops and the background drainer. It reuses the claim-then-publish
+// seqlock discipline of internal/metrics' event ring — writers claim a
+// slot with one atomic add and bracket the payload stores with a per-slot
+// sequence marker — but adds an in-order consumer: drain walks a cursor
+// through claim numbers, emitting each published record exactly once and
+// counting the records it lost to lapping, so the file preserves the exact
+// decision order of the protocol (which the analyzer's invariant checks
+// depend on) and overload is detected rather than silently reordered.
+//
+// Multi-producer safety matters for the server shape, where the data loop
+// and the control goroutine both record against one transfer. Every slot
+// field is individually atomic, so the race detector sees a data-race-free
+// program.
+type recordRing struct {
+	next  atomic.Uint64 // claim counter; slot = claim & mask
+	mask  uint64
+	slots []recordSlot
+}
+
+type recordSlot struct {
+	// seq is the publication marker: 0 means never written; an odd value
+	// means a writer owns the slot; seq == 2*claim + 2 means generation
+	// `claim` of this slot is fully published.
+	seq        atomic.Uint64
+	w0, w1, w2 atomic.Uint64
+}
+
+// newRecordRing returns a ring of the given size, rounded up to a power of
+// two (minimum 64).
+func newRecordRing(size int) *recordRing {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &recordRing{mask: uint64(n - 1), slots: make([]recordSlot, n)}
+}
+
+// push publishes one record. It never blocks and never allocates; a
+// producer that laps the drain cursor overwrites the oldest unconsumed
+// slot, which drain detects and counts.
+func (r *recordRing) push(w0, w1, w2 uint64) {
+	claim := r.next.Add(1) - 1
+	s := &r.slots[claim&r.mask]
+	seq := 2*claim + 1
+	s.seq.Store(seq)
+	s.w0.Store(w0)
+	s.w1.Store(w1)
+	s.w2.Store(w2)
+	s.seq.Store(seq + 1)
+}
+
+// drain appends the encoded bytes of every record published since *cursor
+// to buf, in claim order, stopping at the first claim whose slot is not
+// yet published (a writer between its bracket stores). Records the
+// producers overwrote before this drain reached them are skipped and
+// counted in dropped. The caller owns cursor and calls drain from one
+// goroutine at a time.
+func (r *recordRing) drain(cursor *uint64, buf []byte) (out []byte, dropped uint64) {
+	head := r.next.Load()
+	size := uint64(len(r.slots))
+	// Claims at least a full ring behind head are gone wholesale.
+	if head > size && *cursor < head-size {
+		dropped += head - size - *cursor
+		*cursor = head - size
+	}
+	for *cursor < head {
+		s := &r.slots[*cursor&r.mask]
+		want := 2*(*cursor) + 2
+		got := s.seq.Load()
+		if got < want {
+			break // not yet published; retry next drain pass
+		}
+		if got > want {
+			// A producer lapped this claim between the head check and
+			// here; its record is lost.
+			dropped++
+			*cursor++
+			continue
+		}
+		w0, w1, w2 := s.w0.Load(), s.w1.Load(), s.w2.Load()
+		if s.seq.Load() != want {
+			dropped++
+			*cursor++
+			continue
+		}
+		buf = appendWord(buf, w0)
+		buf = appendWord(buf, w1)
+		buf = appendWord(buf, w2)
+		*cursor++
+	}
+	return buf, dropped
+}
+
+func appendWord(b []byte, w uint64) []byte {
+	return append(b,
+		byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+		byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+}

@@ -12,6 +12,8 @@ import (
 // inspection:
 //
 //	/debug/fobs         expvar-style JSON snapshot of every transfer
+//	/debug/fobs/prom    aggregate counters and latency histograms in the
+//	                    Prometheus text exposition format
 //	/debug/fobs/trace   sampled series as CSV
 //	/debug/fobs/charts  sampled series as ASCII sparkline charts
 //	/debug/pprof/...    the standard runtime profiles
@@ -27,6 +29,11 @@ func (r *Registry) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/fobs/prom", func(w http.ResponseWriter, req *http.Request) {
+		r.Sample()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/fobs/trace", func(w http.ResponseWriter, req *http.Request) {
 		r.Sample()

@@ -63,6 +63,20 @@ func (r Role) String() string {
 // MarshalJSON renders the role as its name.
 func (r Role) MarshalJSON() ([]byte, error) { return []byte(`"` + r.String() + `"`), nil }
 
+// UnmarshalJSON parses a role name, so snapshots round-trip through JSON
+// (the flight-recorder trailer embeds one).
+func (r *Role) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"sender"`:
+		*r = RoleSender
+	case `"receiver"`:
+		*r = RoleReceiver
+	default:
+		return fmt.Errorf("metrics: unknown role %s", b)
+	}
+	return nil
+}
+
 // Outcome is a transfer's terminal state.
 type Outcome uint8
 
@@ -90,6 +104,21 @@ func (o Outcome) String() string {
 
 // MarshalJSON renders the outcome as its name.
 func (o Outcome) MarshalJSON() ([]byte, error) { return []byte(`"` + o.String() + `"`), nil }
+
+// UnmarshalJSON parses an outcome name; see Role.UnmarshalJSON.
+func (o *Outcome) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"running"`:
+		*o = OutcomeRunning
+	case `"completed"`:
+		*o = OutcomeCompleted
+	case `"aborted"`:
+		*o = OutcomeAborted
+	default:
+		return fmt.Errorf("metrics: unknown outcome %s", b)
+	}
+	return nil
+}
 
 // historyCap bounds how many finished transfers a registry retains; older
 // snapshots are dropped oldest-first so a long-lived server's registry
@@ -160,6 +189,10 @@ func (r *Registry) startTransfer(id uint32, role Role, packetsNeeded int, object
 	}
 	if role == RoleSender && packetsNeeded > 0 {
 		t.sentOnce = make([]atomic.Uint64, (packetsNeeded+63)/64)
+		t.firstSendNs = make([]int64, packetsNeeded)
+		t.lastSendNs = make([]int64, packetsNeeded)
+		t.ackDelay = new(Histogram)
+		t.rtt = new(Histogram)
 	}
 	t.startedNs.Store(int64(r.now()))
 	key := transferKey{id: id, role: role}
@@ -351,6 +384,13 @@ type TransferSnapshot struct {
 	// protocol imports).
 	AbortReason uint32 `json:"abort_reason,omitempty"`
 
+	// AckDelay and RTT are the sender's per-packet latency histograms
+	// (nanoseconds): AckDelay is first-send → acknowledgement, RTT is
+	// last-send → acknowledgement. Nil on receiver snapshots and on
+	// senders that saw no acknowledged packet.
+	AckDelay *HistogramSnapshot `json:"ack_delay,omitempty"`
+	RTT      *HistogramSnapshot `json:"rtt,omitempty"`
+
 	// IO is the transfer's socket-level syscall accounting, filled when
 	// the driver's IO loop ends.
 	IO stats.IOCounters `json:"io"`
@@ -392,6 +432,19 @@ type Transfer struct {
 	// sentOnce marks sequence numbers that have been sent at least once,
 	// classifying later sends as retransmissions (sender role only).
 	sentOnce []atomic.Uint64
+
+	// Per-packet send timestamps feeding the latency histograms (sender
+	// role only). Plain slices: NoteDataSent and NoteSeqAcked both run on
+	// the transfer's single sending goroutine, and nothing else reads
+	// them — only the histograms (which are atomic) cross goroutines.
+	firstSendNs []int64
+	lastSendNs  []int64
+	// ackDelay observes first-send → acknowledgement per packet (the
+	// paper-relevant recovery latency, retransmission waits included);
+	// rtt observes last-send → acknowledgement, a lower-bound round-trip
+	// sample per packet.
+	ackDelay *Histogram
+	rtt      *Histogram
 
 	// cold guards the rarely-written, non-atomic tail (IO counters).
 	cold sync.Mutex
@@ -435,6 +488,30 @@ func (t *Transfer) NoteDataSent(seq uint32, n int) {
 			t.firstSends.Add(1)
 		}
 	}
+	if int(seq) < len(t.lastSendNs) {
+		now := int64(t.reg.now())
+		t.lastSendNs[seq] = now
+		if t.firstSendNs[seq] == 0 {
+			t.firstSendNs[seq] = now
+		}
+	}
+}
+
+// NoteSeqAcked records that one packet became known-received: the latency
+// histograms get the delay since the packet's first send (ack delay) and
+// since its most recent send (an RTT sample). Drivers call it from the
+// sending goroutine, once per newly acknowledged packet.
+func (t *Transfer) NoteSeqAcked(seq uint32) {
+	if t == nil || int(seq) >= len(t.firstSendNs) {
+		return
+	}
+	first := t.firstSendNs[seq]
+	if first == 0 {
+		return // acked a packet never sent: corrupt peer, nothing to time
+	}
+	now := int64(t.reg.now())
+	t.ackDelay.Observe(now - first)
+	t.rtt.Observe(now - t.lastSendNs[seq])
 }
 
 // NoteRound records one batch-send phase that placed at least one packet.
@@ -613,6 +690,12 @@ func (t *Transfer) snapshot() TransferSnapshot {
 		AbortReason: t.abortReason.Load(),
 	}
 	s.Retransmits = s.PacketsSent - t.firstSends.Load()
+	if h := t.ackDelay.Snapshot(); h.Count > 0 {
+		s.AckDelay = &h
+	}
+	if h := t.rtt.Snapshot(); h.Count > 0 {
+		s.RTT = &h
+	}
 	t.cold.Lock()
 	s.IO = t.io
 	t.cold.Unlock()

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// MergedAckDelay folds the ack-delay histograms of every sender transfer in
+// the snapshot into one distribution.
+func (s Snapshot) MergedAckDelay() HistogramSnapshot {
+	var out HistogramSnapshot
+	for _, t := range s.Transfers {
+		if t.AckDelay != nil {
+			out.Merge(*t.AckDelay)
+		}
+	}
+	return out
+}
+
+// MergedRTT folds the per-packet RTT histograms of every sender transfer in
+// the snapshot into one distribution.
+func (s Snapshot) MergedRTT() HistogramSnapshot {
+	var out HistogramSnapshot
+	for _, t := range s.Transfers {
+		if t.RTT != nil {
+			out.Merge(*t.RTT)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry's aggregate counters and latency
+// histograms in the Prometheus text exposition format (no client library —
+// the format is a stable line protocol). Counters aggregate over every
+// transfer the registry has seen; histograms are in seconds, as the
+// convention demands.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	snap := r.Snapshot()
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("fobs_active_transfers", "Transfers currently in flight.", float64(snap.Active))
+	t := snap.Totals
+	counter("fobs_packets_sent_total", "Data packets placed on the wire.", t.PacketsSent)
+	counter("fobs_retransmits_total", "Data packets sent more than once.", t.Retransmits)
+	counter("fobs_bytes_sent_total", "Payload bytes placed on the wire.", t.BytesSent)
+	counter("fobs_acks_received_total", "Acknowledgements consumed by senders.", t.AcksReceived)
+	counter("fobs_rounds_total", "Batch-send rounds that placed at least one packet.", t.Rounds)
+	counter("fobs_stalls_total", "Sender stall-watchdog firings.", t.Stalls)
+	counter("fobs_data_demuxed_total", "Well-formed data packets routed to receivers.", t.DataDemuxed)
+	counter("fobs_packets_fresh_total", "Data packets delivering new payload.", t.Fresh)
+	counter("fobs_duplicates_total", "Data packets already held by the receiver.", t.Duplicates)
+	counter("fobs_rejected_total", "Data packets the receiver state machine refused.", t.Rejected)
+	counter("fobs_bytes_received_total", "Fresh payload bytes delivered.", t.BytesReceived)
+	counter("fobs_acks_sent_total", "Acknowledgements emitted by receivers.", t.AcksSent)
+	counter("fobs_idle_timeouts_total", "Receiver idle-watchdog firings.", t.IdleTimeouts)
+	counter("fobs_transfers_completed_total", "Transfers that delivered their whole object.", t.Completed)
+	counter("fobs_transfers_aborted_total", "Transfers that terminated early.", t.Aborted)
+	writePromHistogram(w, "fobs_ack_delay_seconds",
+		"Per-packet first-send to acknowledgement latency.", snap.MergedAckDelay())
+	writePromHistogram(w, "fobs_rtt_seconds",
+		"Per-packet last-send to acknowledgement latency.", snap.MergedRTT())
+}
+
+// writePromHistogram converts one nanosecond-valued snapshot into a
+// Prometheus histogram in seconds. Our buckets are sparse (only non-empty
+// ones survive the snapshot) with recorded lower bounds; each bucket's
+// upper bound is recovered from the bucketing function, and counts are
+// accumulated into the cumulative form the exposition format requires.
+func writePromHistogram(w io.Writer, name, help string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		upper := bucketLow(histBucket(b.Low) + 1)
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(upper)/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}

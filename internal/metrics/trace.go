@@ -157,12 +157,17 @@ func (r *Registry) StartReporter(w io.Writer, interval time.Duration) (stop func
 		}
 		goodput := float64(snap.Totals.BytesReceived-prev.BytesReceived) * 8e-6 / dt
 		sendRate := float64(snap.Totals.BytesSent-prev.BytesSent) * 8e-6 / dt
-		fmt.Fprintf(w, "[fobs] t=%.1fs active=%d sent=%d pkts (%d retx) recv=%d (%d dup) acks=%d/%d send=%.1fMb/s goodput=%.1fMb/s done=%d/%d\n",
+		lat := ""
+		if d := snap.MergedAckDelay(); d.Count > 0 {
+			lat = fmt.Sprintf(" ackdelay=%s/%s", time.Duration(d.P50).Round(10*time.Microsecond),
+				time.Duration(d.P99).Round(10*time.Microsecond))
+		}
+		fmt.Fprintf(w, "[fobs] t=%.1fs active=%d sent=%d pkts (%d retx) recv=%d (%d dup) acks=%d/%d send=%.1fMb/s goodput=%.1fMb/s%s done=%d/%d\n",
 			snap.At.Seconds(), snap.Active,
 			snap.Totals.PacketsSent, snap.Totals.Retransmits,
 			snap.Totals.Fresh, snap.Totals.Duplicates,
 			snap.Totals.AcksReceived, snap.Totals.AcksSent,
-			sendRate, goodput,
+			sendRate, goodput, lat,
 			snap.Totals.Completed, snap.Totals.Completed+snap.Totals.Aborted)
 		prev, prevAt = snap.Totals, snap.At
 	}

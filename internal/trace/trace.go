@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -195,6 +196,50 @@ func CSV(series ...*Series) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// ParseCSV inverts CSV: it reconstructs the series from their shared-time
+// rendering, so recorded runs can be reloaded and re-plotted offline. Units
+// are not part of the CSV format and come back empty; sample instants and
+// values survive exactly (emit → parse → re-emit is byte-identical).
+func ParseCSV(text string) ([]*Series, error) {
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "t_seconds" {
+		return nil, fmt.Errorf("trace: CSV header starts with %q, want t_seconds", header[0])
+	}
+	series := make([]*Series, len(header)-1)
+	for i, name := range header[1:] {
+		series[i] = NewSeries(name, "")
+	}
+	for ln, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		if len(cells) != len(header) {
+			return nil, fmt.Errorf("trace: CSV line %d has %d cells, want %d", ln+2, len(cells), len(header))
+		}
+		secs, err := strconv.ParseFloat(cells[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d time: %w", ln+2, err)
+		}
+		// Sample instants are integer nanoseconds; rounding undoes the
+		// float noise of the seconds conversion so re-emitting reproduces
+		// the original %g rendering.
+		at := time.Duration(math.Round(secs * 1e9))
+		for si, cell := range cells[1:] {
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV line %d column %s: %w", ln+2, series[si].Name, err)
+			}
+			series[si].Sample(at, v)
+		}
+	}
+	return series, nil
 }
 
 // Rate converts a monotonically growing counter (bytes delivered, packets

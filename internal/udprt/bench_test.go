@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"net"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/flight"
 )
 
 // benchBatch is the vector length the benchmarks drive: long enough that
@@ -69,13 +71,51 @@ func BenchmarkBatchFlush(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			k := encodeBatch(snd, ring, benchBatch, nil)
+			k := encodeBatch(snd, ring, benchBatch, nil, nil, 0)
 			if _, err := tx.Send(ring[:k]); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "pkts/s")
+	})
+}
+
+// BenchmarkRecordingOverhead measures the sender's per-batch hot path with
+// the flight recorder off and on, writing a real .fobrec file in the
+// recorded case. The JSON regression harness (make bench-json) pairs the
+// sub-benchmarks; the acceptance bar is the recorded run within 5% of the
+// bare run's pkts/s.
+func BenchmarkRecordingOverhead(b *testing.B) {
+	run := func(b *testing.B, fr *flight.Recorder) {
+		conn, _ := udpBenchPair(b)
+		const packetSize = 1024
+		snd := core.NewSender(makeObj(4<<20), core.Config{PacketSize: packetSize})
+		tx, err := batchio.NewSender(conn, benchBatch, FastPathAvailable())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring := newSendRing(benchBatch, packetSize)
+		b.SetBytes(benchBatch * packetSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := encodeBatch(snd, ring, benchBatch, nil, fr, 0)
+			if _, err := tx.Send(ring[:k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "pkts/s")
+	}
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("recorded", func(b *testing.B) {
+		log, err := flight.Create(filepath.Join(b.TempDir(), "bench.fobrec"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		run(b, log.StartSender(0, (4<<20)/1024, 4<<20, 1024, 0))
 	})
 }
 

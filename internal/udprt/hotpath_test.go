@@ -1,31 +1,42 @@
 package udprt
 
 import (
+	"io"
 	"net"
 	"testing"
 	"time"
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
-// eachInstrumentation runs fn once with metrics off (nil handle, the
-// zero-configuration default) and once with a live per-transfer handle, so
-// every hot-path allocation gate also proves the instrumentation itself
-// allocation-free.
-func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t *testing.T, tm *metrics.Transfer)) {
-	t.Run("bare", func(t *testing.T) { fn(t, nil) })
-	t.Run("metrics", func(t *testing.T) {
+// eachInstrumentation runs fn with instrumentation off (nil handles, the
+// zero-configuration default), with live metrics, and with metrics plus a
+// flight recording, so every hot-path allocation gate also proves both
+// instrumentation layers allocation-free.
+func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder)) {
+	t.Run("bare", func(t *testing.T) { fn(t, nil, nil) })
+	startTM := func() *metrics.Transfer {
 		reg := metrics.New()
-		var tm *metrics.Transfer
 		if role == metrics.RoleSender {
-			tm = reg.StartSender(0, packets, int64(packets)*1024)
-		} else {
-			tm = reg.StartReceiver(0, packets, int64(packets)*1024)
+			return reg.StartSender(0, packets, int64(packets)*1024)
 		}
-		fn(t, tm)
+		return reg.StartReceiver(0, packets, int64(packets)*1024)
+	}
+	t.Run("metrics", func(t *testing.T) { fn(t, startTM(), nil) })
+	t.Run("recorded", func(t *testing.T) {
+		log := flight.NewLog(io.Discard)
+		defer log.Close()
+		var fr *flight.Recorder
+		if role == metrics.RoleSender {
+			fr = log.StartSender(0, packets, int64(packets)*1024, 1024, 0)
+		} else {
+			fr = log.StartReceiver(0, packets, int64(packets)*1024, 1024)
+		}
+		fn(t, startTM(), fr)
 	})
 }
 
@@ -38,7 +49,7 @@ func TestSenderHotPathZeroAllocs(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
-		eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer) {
+		eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder) {
 			rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 			if err != nil {
 				t.Fatal(err)
@@ -77,7 +88,7 @@ func TestSenderHotPathZeroAllocs(t *testing.T) {
 			// With no acks the circular schedule supplies retransmissions
 			// forever, so every run encodes and flushes a full ring.
 			if allocs := testing.AllocsPerRun(300, func() {
-				k := encodeBatch(snd, ring, len(ring), tm)
+				k := encodeBatch(snd, ring, len(ring), tm, fr, 0)
 				if k != len(ring) {
 					t.Fatalf("encodeBatch = %d, want %d", k, len(ring))
 				}
@@ -108,7 +119,7 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
-		eachInstrumentation(t, metrics.RoleReceiver, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer) {
+		eachInstrumentation(t, metrics.RoleReceiver, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder) {
 			udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 			if err != nil {
 				t.Fatal(err)
@@ -142,7 +153,7 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 			// The feeding sends run in this goroutine too, but the sender side
 			// is proven allocation-free by TestSenderHotPathZeroAllocs.
 			if allocs := testing.AllocsPerRun(300, func() {
-				k := encodeBatch(snd, feed, len(feed), nil)
+				k := encodeBatch(snd, feed, len(feed), nil, nil, 0)
 				if _, err := ftx.Send(feed[:k]); err != nil {
 					t.Fatalf("feed: %v", err)
 				}
@@ -160,7 +171,7 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 						}
 						before := rcv.Stats()
 						ackDue, err := rcv.HandleData(d)
-						noteReceiverDelta(tm, before, rcv.Stats(), len(d.Payload))
+						noteReceiverDelta(tm, fr, d.Seq, before, rcv.Stats(), len(d.Payload))
 						if err != nil {
 							t.Fatalf("place: %v", err)
 						}
@@ -171,6 +182,7 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 								t.Fatalf("ack write: %v", err)
 							}
 							tm.NoteAckSent(len(ackBuf))
+							fr.AckSent(a.AckSeq, int(a.Received), len(ackBuf))
 						}
 					}
 					got += n

@@ -11,6 +11,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -37,6 +38,7 @@ type serverTransfer struct {
 	mu       sync.Mutex
 	rcv      *core.Receiver
 	tm       *metrics.Transfer
+	fr       *flight.Recorder
 	ackBuf   []byte
 	lastData time.Time     // last datagram for this transfer (idle watchdog)
 	complete chan struct{} // closed exactly once, on completion
@@ -143,12 +145,13 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 		writeAbort(ctl, hello.Transfer, wire.AbortDuplicateTransfer)
 		return
 	}
-	// Register metrics inside the same critical section that publishes the
-	// transfer to the data loop: after the duplicate-id check (a rejected
-	// colliding HELLO must not disturb the in-flight transfer's record)
-	// and before the map insert (the data loop reads st.tm as soon as the
-	// transfer is routable).
+	// Register instrumentation inside the same critical section that
+	// publishes the transfer to the data loop: after the duplicate-id check
+	// (a rejected colliding HELLO must not disturb the in-flight transfer's
+	// record) and before the map insert (the data loop reads st.tm and
+	// st.fr as soon as the transfer is routable).
 	st.tm = s.opts.Metrics.StartReceiver(hello.Transfer, st.rcv.NumPackets(), int64(hello.ObjectSize))
+	st.fr = s.opts.Record.StartReceiver(hello.Transfer, st.rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize))
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
 	defer func() {
@@ -158,10 +161,10 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	}()
 
 	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
-		finishMetrics(st.tm, err)
+		finishInstruments(st.tm, st.fr, err)
 		return
 	}
-	st.tm.NoteHandshake()
+	noteHandshake(st.tm, st.fr)
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so it is safe to watch for sender death while waiting.
 	abortCh := watchControl(ctl, hello.Transfer)
@@ -183,12 +186,12 @@ wait:
 			break wait
 		case <-ctx.Done():
 			writeAbort(ctl, hello.Transfer, wire.AbortCancelled)
-			st.tm.Abort(uint32(wire.AbortCancelled))
+			abortInstruments(st.tm, st.fr, wire.AbortCancelled)
 			return
 		case err := <-abortCh:
 			// Sender aborted or its control connection died; the data
 			// loop's packets for this id stop mattering once we deregister.
-			finishMetrics(st.tm, err)
+			finishInstruments(st.tm, st.fr, err)
 			return
 		case <-idleC:
 			st.mu.Lock()
@@ -199,15 +202,16 @@ wait:
 			st.mu.Unlock()
 			if idle {
 				st.tm.NoteIdle()
+				st.fr.Phase(flight.PhaseIdle, 0)
 				writeAbort(ctl, hello.Transfer, wire.AbortIdleTimeout)
-				st.tm.Abort(uint32(wire.AbortIdleTimeout))
+				abortInstruments(st.tm, st.fr, wire.AbortIdleTimeout)
 				return
 			}
 		}
 	}
 	// The object is fully received at this point, whatever becomes of the
 	// COMPLETE control write below.
-	st.tm.Complete()
+	finishInstruments(st.tm, st.fr, nil)
 	st.mu.Lock()
 	digest := wire.ObjectDigest(st.rcv.Object())
 	st.mu.Unlock()
@@ -271,16 +275,19 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 	st.lastData = time.Now() // even a duplicate proves the sender lives
 	before := st.rcv.Stats()
 	ackDue, err := st.rcv.HandleData(d)
-	noteReceiverDelta(st.tm, before, st.rcv.Stats(), len(d.Payload))
+	noteReceiverDelta(st.tm, st.fr, d.Seq, before, st.rcv.Stats(), len(d.Payload))
 	if err != nil {
 		st.mu.Unlock()
 		return
 	}
 	var ack []byte
+	var ackSeq uint32
+	var ackRecv int
 	if ackDue {
 		a := st.rcv.BuildAck()
 		st.ackBuf = wire.AppendAck(st.ackBuf[:0], &a)
 		ack = st.ackBuf
+		ackSeq, ackRecv = a.AckSeq, int(a.Received)
 	}
 	finished := st.rcv.Complete() && !st.done
 	if finished {
@@ -290,6 +297,7 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 	if ack != nil {
 		s.udp.WriteToUDPAddrPort(ack, from)
 		st.tm.NoteAckSent(len(ack))
+		st.fr.AckSent(ackSeq, ackRecv, len(ack))
 	}
 	if finished {
 		close(st.complete)

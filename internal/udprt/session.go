@@ -9,6 +9,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -71,7 +72,7 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 	cfg.Transfer = s.next
 	snd := core.NewSender(obj, cfg)
 	cfg = snd.Config()
-	tm := s.opts.Metrics.StartSender(cfg.Transfer, snd.NumPackets(), int64(len(obj)))
+	tm, fr := instrumentSender(snd, cfg, int64(len(obj)), s.opts.Metrics, s.opts.Record)
 
 	hello := wire.AppendHello(nil, &wire.Hello{
 		Transfer:   cfg.Transfer,
@@ -82,17 +83,17 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 	if _, err := s.ctl.Write(hello); err != nil {
 		s.ctl.SetWriteDeadline(time.Time{})
 		err = fmt.Errorf("udprt: hello write: %w", err)
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return snd.Stats(), err
 	}
 	s.ctl.SetWriteDeadline(time.Time{})
 	if err := awaitHelloAck(ctx, s.ctl, cfg.Transfer, s.opts.HandshakeTimeout); err != nil {
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return snd.Stats(), err
 	}
-	tm.NoteHandshake()
-	st, err := runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts, tm)
-	finishMetrics(tm, err)
+	noteHandshake(tm, fr)
+	st, err := runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts, tm, fr)
+	finishInstruments(tm, fr, err)
 	return st, err
 }
 
@@ -150,17 +151,18 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 		AckFrequency: core.DefaultAckFrequency,
 	})
 	tm := is.sl.l.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize))
+	fr := is.sl.l.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize))
 	if err := writeHelloAck(is.ctl, hello.Transfer); err != nil {
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return nil, rcv.Stats(), err
 	}
-	tm.NoteHandshake()
-	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp, is.ctl, is.sl.l.opts, false, tm); err != nil {
-		finishMetrics(tm, err)
+	noteHandshake(tm, fr)
+	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp, is.ctl, is.sl.l.opts, false, tm, fr); err != nil {
+		finishInstruments(tm, fr, err)
 		return nil, rcv.Stats(), err
 	}
 	err = writeComplete(is.ctl, hello.Transfer, hello.ObjectSize, rcv)
-	finishMetrics(tm, err)
+	finishInstruments(tm, fr, err)
 	if err != nil {
 		return nil, rcv.Stats(), err
 	}
@@ -188,7 +190,7 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 // that is only safe on a connection dedicated to one transfer — on a
 // session connection it would steal the next HELLO.
 func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
-	ctl net.Conn, opts Options, watchCtl bool, tm *metrics.Transfer) error {
+	ctl net.Conn, opts Options, watchCtl bool, tm *metrics.Transfer, fr *flight.Recorder) error {
 
 	transfer := rcv.Config().Transfer
 	var abortCh <-chan error
@@ -226,6 +228,7 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 		if opts.IdleTimeout > 0 && time.Since(lastData) > opts.IdleTimeout {
 			rcv.NoteIdle()
 			tm.NoteIdle()
+			fr.Phase(flight.PhaseIdle, 0)
 			writeAbort(ctl, transfer, wire.AbortIdleTimeout)
 			return fmt.Errorf("udprt: no data for %v: %w", opts.IdleTimeout, ErrIdle)
 		}
@@ -253,7 +256,7 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 			// without a second classification — and without allocating.
 			before := rcv.Stats()
 			ackDue, err := rcv.HandleData(d)
-			noteReceiverDelta(tm, before, rcv.Stats(), len(d.Payload))
+			noteReceiverDelta(tm, fr, d.Seq, before, rcv.Stats(), len(d.Payload))
 			if err != nil {
 				continue
 			}
@@ -265,6 +268,7 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 				}
 				ackCalls++
 				tm.NoteAckSent(len(ackBuf))
+				fr.AckSent(a.AckSeq, int(a.Received), len(ackBuf))
 			}
 		}
 	}
@@ -272,20 +276,21 @@ func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
 }
 
 // noteReceiverDelta translates one HandleData call's effect on the
-// receiver's counters into the metrics classification. A packet that moved
-// no counter belonged to another transfer and is not this transfer's
-// traffic.
-func noteReceiverDelta(tm *metrics.Transfer, before, after core.ReceiverStats, payload int) {
-	if tm == nil {
-		return
-	}
+// receiver's counters into the instrumentation classification. A packet
+// that moved no counter belonged to another transfer and is not this
+// transfer's traffic.
+func noteReceiverDelta(tm *metrics.Transfer, fr *flight.Recorder, seq uint32,
+	before, after core.ReceiverStats, payload int) {
 	switch {
 	case after.Received > before.Received:
 		tm.NoteDataFresh(payload)
+		fr.DataReceived(seq, payload, flight.ClassFresh)
 	case after.Duplicates > before.Duplicates:
 		tm.NoteDataDuplicate()
+		fr.DataReceived(seq, payload, flight.ClassDuplicate)
 	case after.Rejected > before.Rejected:
 		tm.NoteDataRejected()
+		fr.DataReceived(seq, payload, flight.ClassRejected)
 	}
 }
 
@@ -300,7 +305,7 @@ const ackPollSlots = 8
 // framing, so steady-state encoding allocates nothing — including the
 // metrics note, which is a handful of atomic adds plus a bitmap
 // test-and-set to classify retransmissions.
-func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer) int {
+func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer, fr *flight.Recorder, base int) int {
 	k := 0
 	for k < len(ring) && k < max {
 		pkt, ok := snd.NextPacket()
@@ -309,6 +314,7 @@ func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer)
 		}
 		ring[k] = wire.AppendData(ring[k][:0], &pkt)
 		tm.NoteDataSent(pkt.Seq, len(pkt.Payload))
+		fr.DataSent(pkt.Seq, len(pkt.Payload), base+k)
 		k++
 	}
 	return k
@@ -348,7 +354,7 @@ func newSendRing(slots, packetSize int) [][]byte {
 // transient buffer pressure (ENOBUFS et al.) is absorbed by the pacing
 // loop.
 func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
-	conn *net.UDPConn, ctl net.Conn, opts Options, tm *metrics.Transfer) (core.SenderStats, error) {
+	conn *net.UDPConn, ctl net.Conn, opts Options, tm *metrics.Transfer, fr *flight.Recorder) (core.SenderStats, error) {
 
 	done := make(chan error, 1)
 	go func() { done <- readCompletion(ctl, snd) }()
@@ -381,9 +387,10 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 				continue
 			}
 			ackWords = a.Frag.Words[:0] // HandleAck consumed the fragment
-			if a.Transfer == cfg.Transfer {
-				tm.NoteAckReceived(int64(a.Received))
-			}
+			// Per-ack instrumentation (metrics counter, flight record,
+			// latency histograms) fires inside HandleAck via the sender's
+			// ack observer, which also sees exactly which packets the
+			// fragment newly acknowledged.
 			if snd.HandleAck(a) == nil && opts.Progress != nil {
 				opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
 			}
@@ -434,6 +441,7 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 		} else if opts.StallTimeout > 0 && time.Since(lastAck) > opts.StallTimeout {
 			snd.NoteStall()
 			tm.NoteStall()
+			fr.Phase(flight.PhaseStall, 0)
 			writeAbort(ctl, cfg.Transfer, wire.AbortStalled)
 			return snd.Stats(), fmt.Errorf("udprt: no acknowledgement for %v: %w",
 				opts.StallTimeout, ErrStalled)
@@ -441,9 +449,10 @@ func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
 		// Phases 1+3: batch-send with the schedule choosing each packet,
 		// flushed in vectors of up to IOBatch datagrams.
 		batch := snd.BatchSize()
+		fr.BatchSize(batch)
 		sent := 0
 		for sent < batch {
-			k := encodeBatch(snd, ring, batch-sent, tm)
+			k := encodeBatch(snd, ring, batch-sent, tm, fr, sent)
 			if k == 0 {
 				break
 			}

@@ -27,6 +27,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/wire"
@@ -92,6 +93,14 @@ type Options struct {
 	// instrumentation is allocation-free on the hot paths; leaving the
 	// field nil costs one predictable nil check per event.
 	Metrics *metrics.Registry
+	// Record, when non-nil, captures a packet-level flight recording of
+	// every transfer this endpoint runs: each data send with its attempt
+	// number, each acknowledgement with the packets it newly covered,
+	// batch-size changes and phase transitions, written in the background
+	// to the log's .fobrec file for offline replay by fobs-analyze. The
+	// hot-path cost is one lock-free ring push per event; leaving the
+	// field nil costs one predictable nil check.
+	Record *flight.Log
 	// testFlushHook observes every sender-side flush (datagrams handed
 	// to the kernel, datagrams accepted). Unexported: only this
 	// package's tests can set it, to assert that batch-policy sizes
@@ -235,20 +244,21 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 	}
 	rcv := core.NewReceiver(int64(hello.ObjectSize), cfg)
 	tm := l.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize))
+	fr := l.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), cfg.PacketSize)
 	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return nil, rcv.Stats(), err
 	}
-	tm.NoteHandshake()
+	noteHandshake(tm, fr)
 
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so the receive loop may watch it for sender death.
-	if err := runReceiveLoop(ctx, rcv, l.udp, ctl, l.opts, true, tm); err != nil {
-		finishMetrics(tm, err)
+	if err := runReceiveLoop(ctx, rcv, l.udp, ctl, l.opts, true, tm, fr); err != nil {
+		finishInstruments(tm, fr, err)
 		return nil, rcv.Stats(), err
 	}
 	err = writeComplete(ctl, hello.Transfer, hello.ObjectSize, rcv)
-	finishMetrics(tm, err)
+	finishInstruments(tm, fr, err)
 	if err != nil {
 		return nil, rcv.Stats(), err
 	}
@@ -267,6 +277,71 @@ func finishMetrics(tm *metrics.Transfer, err error) {
 		return
 	}
 	tm.Abort(uint32(abortReasonFor(err)))
+}
+
+// finishInstruments stamps the terminal state into both instrumentation
+// sinks, then seals the flight recording with the final metrics snapshot
+// as its trailer (the zero snapshot when metrics were off — the analyzer
+// skips its cross-check then). The metrics handle stays readable after
+// Complete/Abort, so the snapshot reflects the terminal state.
+func finishInstruments(tm *metrics.Transfer, fr *flight.Recorder, err error) {
+	finishMetrics(tm, err)
+	if fr == nil {
+		return
+	}
+	if err == nil {
+		fr.Phase(flight.PhaseComplete, 0)
+	} else {
+		fr.Phase(flight.PhaseAbort, uint32(abortReasonFor(err)))
+	}
+	fr.Finish(tm.Snapshot())
+}
+
+// abortInstruments is finishInstruments for paths that already know the
+// wire abort reason instead of holding a driver error.
+func abortInstruments(tm *metrics.Transfer, fr *flight.Recorder, reason wire.AbortReason) {
+	tm.Abort(uint32(reason))
+	if fr == nil {
+		return
+	}
+	fr.Phase(flight.PhaseAbort, uint32(reason))
+	fr.Finish(tm.Snapshot())
+}
+
+// senderObserver fans the core sender's acknowledgement callbacks out to
+// the live metrics and the flight recorder; it is installed once per
+// transfer, so the ack hot path adds two nil checks and no allocation.
+type senderObserver struct {
+	tm *metrics.Transfer
+	fr *flight.Recorder
+}
+
+func (o *senderObserver) OnAck(serial uint32, received int, stale bool) {
+	o.tm.NoteAckReceived(int64(received))
+	o.fr.AckReceived(serial, received, stale)
+}
+
+func (o *senderObserver) OnPacketAcked(seq uint32) {
+	o.tm.NoteSeqAcked(seq)
+	o.fr.AckedSeq(seq)
+}
+
+// instrumentSender registers the transfer with both sinks and installs
+// the ack observer. Either registry may be nil.
+func instrumentSender(snd *core.Sender, cfg core.Config, objBytes int64, reg *metrics.Registry, rec *flight.Log) (*metrics.Transfer, *flight.Recorder) {
+	tm := reg.StartSender(cfg.Transfer, snd.NumPackets(), objBytes)
+	fr := rec.StartSender(cfg.Transfer, snd.NumPackets(), objBytes, cfg.PacketSize, int(cfg.Schedule))
+	if tm != nil || fr != nil {
+		snd.SetObserver(&senderObserver{tm: tm, fr: fr})
+	}
+	return tm, fr
+}
+
+// noteHandshake records the completed HELLO/HELLO-ACK exchange in both
+// sinks.
+func noteHandshake(tm *metrics.Transfer, fr *flight.Recorder) {
+	tm.NoteHandshake()
+	fr.Phase(flight.PhaseHandshake, 0)
 }
 
 // abortReasonFor maps a driver error onto the wire abort-reason taxonomy,
@@ -333,7 +408,7 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 	}
 	snd := core.NewSender(obj, cfg)
 	cfg = snd.Config() // defaults applied
-	tm := opts.Metrics.StartSender(cfg.Transfer, snd.NumPackets(), int64(len(obj)))
+	tm, fr := instrumentSender(snd, cfg, int64(len(obj)), opts.Metrics, opts.Record)
 
 	hello := wire.AppendHello(nil, &wire.Hello{
 		Transfer:   cfg.Transfer,
@@ -342,24 +417,24 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 	})
 	ctl, err := dialHandshake(ctx, addr, hello, cfg.Transfer, opts)
 	if err != nil {
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return snd.Stats(), err
 	}
 	defer ctl.Close()
-	tm.NoteHandshake()
+	noteHandshake(tm, fr)
 
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
 		err = fmt.Errorf("udprt: resolve data addr: %w", err)
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return snd.Stats(), err
 	}
 	conn, err := net.DialUDP("udp", nil, udpAddr)
 	if err != nil {
 		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
 		err = fmt.Errorf("udprt: dial data: %w", err)
-		finishMetrics(tm, err)
+		finishInstruments(tm, fr, err)
 		return snd.Stats(), err
 	}
 	defer conn.Close()
@@ -368,8 +443,8 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 
 	// The shared sender engine drives the transfer until the completion
 	// signal arrives on the control channel.
-	st, err := runSenderLoop(ctx, snd, cfg, conn, ctl, opts, tm)
-	finishMetrics(tm, err)
+	st, err := runSenderLoop(ctx, snd, cfg, conn, ctl, opts, tm, fr)
+	finishInstruments(tm, fr, err)
 	return st, err
 }
 
