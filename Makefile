@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short test bench bench-json cover fuzz-smoke verify
+.PHONY: all tier1 vet race short test bench bench-smoke bench-json cover fuzz-smoke verify
 
 all: verify
 
@@ -36,6 +36,12 @@ test: tier1
 # honour -short and are skipped here; drop the flag for real numbers.
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run=^$$ ./...
+
+# One pass of the striped loopback benchmark: a quick end-to-end signal
+# that 1/2/4-stream transfers all complete on this machine. Informational
+# (CI runs it non-gating) — loopback numbers vary too much to gate on.
+bench-smoke:
+	$(GO) test ./internal/udprt -run '^$$' -bench BenchmarkStripedLoopback -benchtime=1x
 
 # Full batched-IO benchmark sweep, recorded as machine-readable JSON for
 # regression tracking: ns/op, packets/sec and allocs/op per path, plus

@@ -45,7 +45,9 @@ func run() error {
 		packetSize = flag.Int("packet-size", fobs.PacketSize, "data packet payload bytes")
 		checksum   = flag.Bool("checksum", true, "CRC-32C every data packet in addition to per-file checksums")
 		pace       = flag.Duration("pace", 0, "per-packet pacing delay (loopback/LAN tuning)")
-		timeout    = flag.Duration("timeout", time.Hour, "give up after this long")
+		streams    = flag.Int("streams", 1,
+			fmt.Sprintf("parallel stripes per file, each its own UDP flow (1..%d; with -send)", fobs.MaxStreams))
+		timeout = flag.Duration("timeout", time.Hour, "give up after this long")
 
 		debugAddr = flag.String("debug-addr", "",
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
@@ -62,7 +64,7 @@ func run() error {
 	defer stop()
 
 	cfg := fobs.Config{PacketSize: *packetSize, Checksum: *checksum}
-	opts := fobs.Options{Pace: *pace}
+	opts := fobs.Options{Pace: *pace, Streams: *streams}
 	if *debugAddr != "" || *statsInterval > 0 || *record != "" {
 		reg := fobs.NewMetrics()
 		opts.Metrics = reg

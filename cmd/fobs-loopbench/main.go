@@ -54,11 +54,12 @@ func tcpBaseline(obj []byte) (time.Duration, error) {
 }
 
 // fobsRun moves obj over the FOBS runtime on loopback with the given
-// config and pacing, returning elapsed time and sender waste. scalar
-// forces one syscall per datagram on both endpoints. Both endpoints share
-// reg and rec (either may be nil) so the bench's transfers show up on the
-// debug endpoint, in the periodic summaries, and in the flight recording.
-func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *fobs.Metrics, rec *fobs.FlightLog) (time.Duration, float64, error) {
+// config, pacing and stripe count, returning elapsed time and sender
+// waste. scalar forces one syscall per datagram on both endpoints. Both
+// endpoints share reg and rec (either may be nil) so the bench's
+// transfers show up on the debug endpoint, in the periodic summaries, and
+// in the flight recording.
+func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, streams int, scalar bool, reg *fobs.Metrics, rec *fobs.FlightLog) (time.Duration, float64, error) {
 	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar, Metrics: reg, Record: rec})
 	if err != nil {
 		return 0, 0, err
@@ -73,7 +74,7 @@ func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, scalar bool, reg *
 	}()
 	start := time.Now()
 	st, err := fobs.Send(ctx, l.Addr(), obj, cfg,
-		fobs.Options{Pace: pace, NoFastPath: scalar, Metrics: reg, Record: rec})
+		fobs.Options{Pace: pace, Streams: streams, NoFastPath: scalar, Metrics: reg, Record: rec})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -91,8 +92,10 @@ func main() {
 
 func run() error {
 	var (
-		size = flag.Int64("size", 32<<20, "object size in bytes")
-		pace = flag.Duration("pace", 5*time.Microsecond, "per-packet pacing (loopback needs a little)")
+		size    = flag.Int64("size", 32<<20, "object size in bytes")
+		pace    = flag.Duration("pace", 5*time.Microsecond, "per-packet pacing (loopback needs a little)")
+		streams = flag.Int("streams", 1,
+			fmt.Sprintf("stripes for the packet-size sweep (1..%d)", fobs.MaxStreams))
 
 		debugAddr = flag.String("debug-addr", "",
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
@@ -147,12 +150,27 @@ func run() error {
 	}
 
 	for _, ps := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, false, reg, rec)
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, *streams, false, reg, rec)
 		if err != nil {
 			return fmt.Errorf("fobs ps=%d: %w", ps, err)
 		}
 		fmt.Printf("fobs packet=%-6d      %8.1f Mb/s   waste %.1f%%\n",
 			ps, float64(*size*8)/elapsed.Seconds()/1e6, 100*waste)
+	}
+
+	// Striped parallel flows: the real-network counterpart of the paper's
+	// parallel-sockets baseline. On an uncontended loopback path one
+	// greedy FOBS flow already fills the pipe, so the interesting output
+	// is how little striping costs (or gains) — compare with the
+	// simulated curve from fobs-bench's striping sweep.
+	fmt.Println()
+	for _, n := range []int{1, 2, 4} {
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: 8192}, *pace, n, false, reg, rec)
+		if err != nil {
+			return fmt.Errorf("fobs streams=%d: %w", n, err)
+		}
+		fmt.Printf("fobs streams=%-2d packet=8192 %8.1f Mb/s   waste %.1f%%\n",
+			n, float64(*size*8)/elapsed.Seconds()/1e6, 100*waste)
 	}
 
 	// Fast path versus scalar with a batch worth vectoring: the paper's
@@ -161,11 +179,11 @@ func run() error {
 	// size, where per-datagram syscall cost dominates.
 	if fobs.FastPathAvailable() {
 		cfg := fobs.Config{PacketSize: 1024, Batch: fobs.FixedBatch(64)}
-		fast, _, err := fobsRun(obj, cfg, *pace, false, reg, rec)
+		fast, _, err := fobsRun(obj, cfg, *pace, 1, false, reg, rec)
 		if err != nil {
 			return fmt.Errorf("fast path: %w", err)
 		}
-		scalar, _, err := fobsRun(obj, cfg, *pace, true, reg, rec)
+		scalar, _, err := fobsRun(obj, cfg, *pace, 1, true, reg, rec)
 		if err != nil {
 			return fmt.Errorf("scalar path: %w", err)
 		}

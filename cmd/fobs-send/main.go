@@ -5,6 +5,7 @@
 //
 //	fobs-send -addr host:7700 -file object.bin
 //	fobs-send -addr host:7700 -size 40MiB        # synthetic object
+//	fobs-send -addr host:7700 -streams 4         # stripe across 4 UDP flows
 //	fobs-send -addr host:7700 -record run.fobrec # capture a flight recording
 //
 // SIGINT/SIGTERM abort the transfer cleanly: the flight recording is
@@ -65,8 +66,10 @@ func run() error {
 		ackFreq    = flag.Int("ack-freq", fobs.DefaultAckFrequency, "receiver ack frequency hint (informational)")
 		batch      = flag.Int("batch", fobs.DefaultBatch, "packets per batch-send operation")
 		pace       = flag.Duration("pace", 0, "extra delay per batch (helps tiny kernel buffers)")
-		progress   = flag.Bool("progress", false, "print transfer progress")
-		timeout    = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+		streams    = flag.Int("streams", 1,
+			fmt.Sprintf("parallel stripes, each its own UDP flow (1..%d)", fobs.MaxStreams))
+		progress = flag.Bool("progress", false, "print transfer progress")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
 
 		stallTimeout = flag.Duration("stall-timeout", 0,
 			"abort when no acknowledgement arrives for this long (0: default 15s, negative: disabled)")
@@ -118,6 +121,7 @@ func run() error {
 
 	opts := fobs.Options{
 		Pace:             *pace,
+		Streams:          *streams,
 		StallTimeout:     *stallTimeout,
 		HandshakeTimeout: *handshakeTimeout,
 		HandshakeRetries: *handshakeRetries,

@@ -44,6 +44,7 @@ import (
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/udprt"
+	"github.com/hpcnet/fobs/internal/wire"
 	"github.com/hpcnet/fobs/internal/xfer"
 )
 
@@ -108,6 +109,10 @@ type (
 // DefaultIOBatch is the default sendmmsg/recvmmsg vector length used by
 // the batched-IO fast path (Options.IOBatch when left zero).
 const DefaultIOBatch = udprt.DefaultIOBatch
+
+// MaxStreams is the wire-format limit on Options.Streams: how many
+// parallel stripes one striped transfer may announce.
+const MaxStreams = wire.MaxStreams
 
 // Live observability (see internal/metrics). Point Options.Metrics at a
 // Metrics registry and every transfer the runtime runs — sender or
@@ -193,6 +198,9 @@ var (
 	// ErrIdle reports the receiver's liveness watchdog: the object was
 	// incomplete and no data arrived for Options.IdleTimeout.
 	ErrIdle = udprt.ErrIdle
+	// ErrSessionBroken reports a Session.Send after an earlier Send on
+	// the same session failed; the session must be closed and reopened.
+	ErrSessionBroken = udprt.ErrSessionBroken
 )
 
 // Listen binds addr (e.g. "0.0.0.0:7700") for incoming transfers: TCP for

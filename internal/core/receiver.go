@@ -50,12 +50,32 @@ func NewReceiver(size int64, cfg Config) *Receiver {
 	if size <= 0 {
 		panic("core: cannot receive an empty object")
 	}
-	n := NumPackets(size, cfg.PacketSize)
-	r := &Receiver{cfg: cfg, n: n, got: bitmap.New(n), highest: -1}
+	r := newReceiver(size, cfg)
 	if !cfg.Discard {
 		r.obj = make([]byte, size)
 	}
 	return r
+}
+
+// NewReceiverInto prepares a receiver that assembles directly into buf
+// instead of allocating its own object buffer. A striped transfer hands
+// each stripe's receiver the stripe's slice of the one pre-allocated
+// object, so reassembly is placement — no copy joins the stripes at the
+// end. Config.Discard is ignored: a provided buffer means assemble.
+func NewReceiverInto(buf []byte, cfg Config) *Receiver {
+	cfg = cfg.withDefaults()
+	if len(buf) == 0 {
+		panic("core: cannot receive an empty object")
+	}
+	r := newReceiver(int64(len(buf)), cfg)
+	r.obj = buf
+	return r
+}
+
+// newReceiver builds the bufferless common state; cfg already defaulted.
+func newReceiver(size int64, cfg Config) *Receiver {
+	n := NumPackets(size, cfg.PacketSize)
+	return &Receiver{cfg: cfg, n: n, got: bitmap.New(n), highest: -1}
 }
 
 // NumPackets returns the object's packet count.

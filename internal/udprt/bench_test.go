@@ -3,6 +3,7 @@ package udprt
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"path/filepath"
 	"testing"
@@ -169,6 +170,48 @@ func BenchmarkSocketPump(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(got)/b.Elapsed().Seconds(), "pkts/s")
 	})
+}
+
+// BenchmarkStripedLoopback is the 1-vs-N striping comparison on loopback:
+// the same object end to end through the real runtime with 1, 2 and 4
+// parallel stripes. On an uncontended loopback path one greedy flow
+// already fills the pipe, so the number to watch is how little striping
+// costs — the real-network cross-check for the simulated parallel-sockets
+// curve (experiments.StripedFOBS).
+func BenchmarkStripedLoopback(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-socket benchmark skipped in -short mode")
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("streams=%d", n), func(b *testing.B) {
+			obj := makeObj(8 << 20)
+			opts := Options{IOBatch: benchBatch, Streams: n}
+			cfg := core.Config{PacketSize: 8192, Batch: core.FixedBatch(benchBatch)}
+			b.SetBytes(int64(len(obj)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, err := Listen("127.0.0.1:0", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				var got []byte
+				var rerr error
+				done := make(chan struct{})
+				go func() { defer close(done); got, _, rerr = l.Accept(ctx) }()
+				_, serr := Send(ctx, l.Addr(), obj, cfg, opts)
+				<-done
+				cancel()
+				l.Close()
+				if serr != nil || rerr != nil {
+					b.Fatalf("send: %v, receive: %v", serr, rerr)
+				}
+				if !bytes.Equal(got, obj) {
+					b.Fatal("object corrupted")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkLoopbackTransfer moves a whole object through the real runtime

@@ -38,6 +38,7 @@ func (e *AbortError) Error() string {
 type controlFrame struct {
 	typ      uint8
 	hello    wire.Hello
+	hellox   wire.HelloX
 	helloAck wire.HelloAck
 	complete wire.Complete
 	abort    wire.Abort
@@ -45,6 +46,10 @@ type controlFrame struct {
 
 // readControlFrame consumes exactly one control message from the stream:
 // the fixed 4-byte header first, then the remainder sized by the type.
+// The one variable-length frame, HELLOX, carries its stripe count inside
+// the fixed prefix (a position every HELLOX revision keeps), so the
+// reader sizes the stripe trailer before decoding — and still consumes a
+// whole frame even when the decode then rejects a future version.
 // Deadlines are the caller's business.
 func readControlFrame(ctl net.Conn) (controlFrame, error) {
 	var f controlFrame
@@ -65,10 +70,23 @@ func readControlFrame(ctl net.Conn) (controlFrame, error) {
 	if _, err := io.ReadFull(ctl, buf[len(hdr):]); err != nil {
 		return f, err
 	}
+	if typ == wire.TypeHelloX {
+		n, err := wire.HelloXStripeCount(buf)
+		if err != nil {
+			return f, fmt.Errorf("udprt: bad control frame: %w", err)
+		}
+		trailer := make([]byte, n*wire.StripeDescLen)
+		if _, err := io.ReadFull(ctl, trailer); err != nil {
+			return f, err
+		}
+		buf = append(buf, trailer...)
+	}
 	f.typ = typ
 	switch typ {
 	case wire.TypeHello:
 		f.hello, err = wire.DecodeHello(buf)
+	case wire.TypeHelloX:
+		f.hellox, err = wire.DecodeHelloX(buf)
 	case wire.TypeHelloAck:
 		f.helloAck, err = wire.DecodeHelloAck(buf)
 	case wire.TypeComplete:

@@ -11,8 +11,6 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
-	"github.com/hpcnet/fobs/internal/flight"
-	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -33,16 +31,16 @@ type Server struct {
 	closed    bool
 }
 
-// serverTransfer is the receive state for one in-flight transfer.
+// serverTransfer is the receive state for one in-flight transfer: the
+// shared receiver engine plus the push-side bookkeeping the data loop
+// needs. The engine is driven under mu — the Server is the one receive
+// path where datagrams arrive from a demux loop instead of a dedicated
+// pull loop, so the lock provides the serialization the engine requires.
 type serverTransfer struct {
 	mu       sync.Mutex
-	rcv      *core.Receiver
-	tm       *metrics.Transfer
-	fr       *flight.Recorder
-	ackBuf   []byte
+	eng      *receiverEngine
 	lastData time.Time     // last datagram for this transfer (idle watchdog)
 	complete chan struct{} // closed exactly once, on completion
-	done     bool
 }
 
 // NewServer binds addr for concurrent incoming transfers.
@@ -124,13 +122,29 @@ func (s *Server) isClosed() bool {
 // handleControl owns one transfer's control connection end to end.
 func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Handler) {
 	defer ctl.Close()
-	hello, err := readHello(ctx, ctl)
+	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
-		writeAbort(ctl, 0, wire.AbortBadHello)
+		if errors.Is(err, wire.ErrHelloXVersion) {
+			writeAbort(ctl, 0, wire.AbortUnsupported)
+		} else {
+			writeAbort(ctl, 0, wire.AbortBadHello)
+		}
 		return
 	}
+	if plan.striped() {
+		// Receive-side striping for the concurrent server is not built
+		// yet (see ROADMAP.md); refuse cleanly so the striped sender
+		// fails its handshake instead of stalling out.
+		writeAbort(ctl, plan.base, wire.AbortUnsupported)
+		return
+	}
+	hello := wire.Hello{
+		Transfer:   plan.base,
+		ObjectSize: plan.objectSize,
+		PacketSize: uint32(plan.packetSize),
+	}
 	st := &serverTransfer{complete: make(chan struct{}), lastData: time.Now()}
-	st.rcv = core.NewReceiver(int64(hello.ObjectSize), core.Config{
+	rcv := core.NewReceiver(int64(hello.ObjectSize), core.Config{
 		PacketSize:   int(hello.PacketSize),
 		Transfer:     hello.Transfer,
 		AckFrequency: core.DefaultAckFrequency,
@@ -148,10 +162,11 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	// Register instrumentation inside the same critical section that
 	// publishes the transfer to the data loop: after the duplicate-id check
 	// (a rejected colliding HELLO must not disturb the in-flight transfer's
-	// record) and before the map insert (the data loop reads st.tm and
-	// st.fr as soon as the transfer is routable).
-	st.tm = s.opts.Metrics.StartReceiver(hello.Transfer, st.rcv.NumPackets(), int64(hello.ObjectSize))
-	st.fr = s.opts.Record.StartReceiver(hello.Transfer, st.rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize))
+	// record) and before the map insert (the data loop reads the engine's
+	// instruments as soon as the transfer is routable).
+	st.eng = newReceiverEngine(rcv,
+		s.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize)),
+		s.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize)))
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
 	defer func() {
@@ -161,10 +176,10 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	}()
 
 	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
-		finishInstruments(st.tm, st.fr, err)
+		finishInstruments(st.eng.tm, st.eng.fr, err)
 		return
 	}
-	noteHandshake(st.tm, st.fr)
+	noteHandshake(st.eng.tm, st.eng.fr)
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so it is safe to watch for sender death while waiting.
 	abortCh := watchControl(ctl, hello.Transfer)
@@ -186,48 +201,37 @@ wait:
 			break wait
 		case <-ctx.Done():
 			writeAbort(ctl, hello.Transfer, wire.AbortCancelled)
-			abortInstruments(st.tm, st.fr, wire.AbortCancelled)
+			abortInstruments(st.eng.tm, st.eng.fr, wire.AbortCancelled)
 			return
 		case err := <-abortCh:
 			// Sender aborted or its control connection died; the data
 			// loop's packets for this id stop mattering once we deregister.
-			finishInstruments(st.tm, st.fr, err)
+			finishInstruments(st.eng.tm, st.eng.fr, err)
 			return
 		case <-idleC:
 			st.mu.Lock()
-			idle := !st.done && time.Since(st.lastData) > s.opts.IdleTimeout
+			idle := !st.eng.finished && time.Since(st.lastData) > s.opts.IdleTimeout
 			if idle {
-				st.rcv.NoteIdle()
+				st.eng.noteIdle()
 			}
 			st.mu.Unlock()
 			if idle {
-				st.tm.NoteIdle()
-				st.fr.Phase(flight.PhaseIdle, 0)
 				writeAbort(ctl, hello.Transfer, wire.AbortIdleTimeout)
-				abortInstruments(st.tm, st.fr, wire.AbortIdleTimeout)
+				abortInstruments(st.eng.tm, st.eng.fr, wire.AbortIdleTimeout)
 				return
 			}
 		}
 	}
 	// The object is fully received at this point, whatever becomes of the
 	// COMPLETE control write below.
-	finishInstruments(st.tm, st.fr, nil)
+	finishInstruments(st.eng.tm, st.eng.fr, nil)
 	st.mu.Lock()
-	digest := wire.ObjectDigest(st.rcv.Object())
+	obj := st.eng.rcv.Object()
+	rstats := st.eng.rcv.Stats()
 	st.mu.Unlock()
-	msg := wire.AppendComplete(nil, &wire.Complete{
-		Transfer: hello.Transfer,
-		Received: hello.ObjectSize,
-		Digest:   digest,
-	})
-	ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	if _, err := ctl.Write(msg); err != nil {
+	if err := writeComplete(ctl, hello.Transfer, hello.ObjectSize, obj); err != nil {
 		return
 	}
-	st.mu.Lock()
-	obj := st.rcv.Object()
-	rstats := st.rcv.Stats()
-	st.mu.Unlock()
 	handle(hello.Transfer, obj, rstats)
 }
 
@@ -273,31 +277,13 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 	}
 	st.mu.Lock()
 	st.lastData = time.Now() // even a duplicate proves the sender lives
-	before := st.rcv.Stats()
-	ackDue, err := st.rcv.HandleData(d)
-	noteReceiverDelta(st.tm, st.fr, d.Seq, before, st.rcv.Stats(), len(d.Payload))
-	if err != nil {
-		st.mu.Unlock()
-		return
-	}
-	var ack []byte
-	var ackSeq uint32
-	var ackRecv int
-	if ackDue {
-		a := st.rcv.BuildAck()
-		st.ackBuf = wire.AppendAck(st.ackBuf[:0], &a)
-		ack = st.ackBuf
-		ackSeq, ackRecv = a.AckSeq, int(a.Received)
-	}
-	finished := st.rcv.Complete() && !st.done
-	if finished {
-		st.done = true
-	}
+	ack, ackSeq, ackRecv, finished := st.eng.ingest(d)
 	st.mu.Unlock()
 	if ack != nil {
+		// The ack frame aliases the engine's buffer; only this data-loop
+		// goroutine ingests, so it stays valid until the next datagram.
 		s.udp.WriteToUDPAddrPort(ack, from)
-		st.tm.NoteAckSent(len(ack))
-		st.fr.AckSent(ackSeq, ackRecv, len(ack))
+		st.eng.noteAckSent(ack, ackSeq, ackRecv)
 	}
 	if finished {
 		close(st.complete)

@@ -7,93 +7,100 @@ import (
 	"net"
 	"time"
 
-	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
-	"github.com/hpcnet/fobs/internal/flight"
-	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
-// Session sends a sequence of objects to one receiver over a single pair
-// of sockets: the control connection carries one HELLO/HELLO-ACK/COMPLETE
-// exchange per object, and transfer tags auto-increment so stragglers from
-// a previous object cannot corrupt the next. This is the shape of the
-// paper's remote-visualization workload — many frames, one peer.
+// ErrSessionBroken reports a Session.Send on a session whose earlier Send
+// failed. After a failure the control stream's framing state is ambiguous
+// (a completion-reader goroutine may still own the next inbound frame),
+// so the session refuses further transfers instead of risking corrupt
+// framing. Close it and open a fresh one.
+var ErrSessionBroken = errors.New("udprt: session broken by earlier failed send")
+
+// Session sends a sequence of objects to one receiver over a single
+// control connection and a fixed set of data sockets: the control
+// connection carries one HELLO/HELLO-ACK/COMPLETE exchange per object,
+// and transfer tags auto-increment so stragglers from a previous object
+// cannot corrupt the next. This is the shape of the paper's
+// remote-visualization workload — many frames, one peer. With
+// Options.Streams > 1 every object is striped across that many UDP flows.
 //
-// A session is not usable after a Send returns an error: the control
-// stream's framing state is ambiguous at that point. Close it and open a
-// fresh one.
+// A session is not usable after a Send returns an error: further Sends
+// fail fast with ErrSessionBroken. Close it and open a fresh one.
 type Session struct {
-	ctl  *net.TCPConn
-	conn *net.UDPConn
-	opts Options
-	next uint32
+	ctl    *net.TCPConn
+	conns  []*net.UDPConn
+	opts   Options
+	next   uint32
+	broken bool
 }
 
 // OpenSession dials a session towards a SessionListener at addr.
 func OpenSession(ctx context.Context, addr string, opts Options) (*Session, error) {
 	opts = opts.withDefaults()
+	if opts.Streams > wire.MaxStreams {
+		return nil, fmt.Errorf("udprt: %d streams exceeds the wire limit of %d", opts.Streams, wire.MaxStreams)
+	}
 	var d net.Dialer
 	ctlRaw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udprt: dial session control: %w", err)
 	}
 	ctl := ctlRaw.(*net.TCPConn)
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	conns, err := dialDataFlows(addr, opts.Streams, opts)
 	if err != nil {
 		ctl.Close()
-		return nil, fmt.Errorf("udprt: resolve data addr: %w", err)
+		return nil, err
 	}
-	conn, err := net.DialUDP("udp", nil, udpAddr)
-	if err != nil {
-		ctl.Close()
-		return nil, fmt.Errorf("udprt: dial data: %w", err)
-	}
-	_ = conn.SetReadBuffer(opts.ReadBuffer)
-	_ = conn.SetWriteBuffer(opts.WriteBuffer)
-	return &Session{ctl: ctl, conn: conn, opts: opts}, nil
+	return &Session{ctl: ctl, conns: conns, opts: opts}, nil
 }
 
 // Close releases the session's sockets.
 func (s *Session) Close() error {
-	s.conn.Close()
+	closeAll(s.conns)
 	return s.ctl.Close()
 }
 
 // Send transfers one object within the session. cfg.Transfer is
-// overridden by the session's own numbering. There is no handshake retry
-// inside a session — on any error the control stream is suspect and the
-// session must be closed.
+// overridden by the session's own numbering (striped objects consume one
+// tag per stripe). There is no handshake retry inside a session — on any
+// error the control stream is suspect, the session is marked broken, and
+// every later Send fails with ErrSessionBroken.
 func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.SenderStats, error) {
+	if s.broken {
+		return core.SenderStats{}, ErrSessionBroken
+	}
 	if len(obj) == 0 {
 		return core.SenderStats{}, errors.New("udprt: empty object")
 	}
-	s.next++
-	cfg.Transfer = s.next
-	snd := core.NewSender(obj, cfg)
-	cfg = snd.Config()
-	tm, fr := instrumentSender(snd, cfg, int64(len(obj)), s.opts.Metrics, s.opts.Record)
+	cfg.Transfer = s.next + 1
+	plan, err := newSenderPlan(obj, cfg, s.opts)
+	if err != nil {
+		return core.SenderStats{}, err
+	}
+	s.next += uint32(len(plan.snds))
 
-	hello := wire.AppendHello(nil, &wire.Hello{
-		Transfer:   cfg.Transfer,
-		ObjectSize: uint64(len(obj)),
-		PacketSize: uint32(cfg.PacketSize),
-	})
+	hello := plan.helloFrame()
 	s.ctl.SetWriteDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	if _, err := s.ctl.Write(hello); err != nil {
 		s.ctl.SetWriteDeadline(time.Time{})
+		s.broken = true
 		err = fmt.Errorf("udprt: hello write: %w", err)
-		finishInstruments(tm, fr, err)
-		return snd.Stats(), err
+		plan.fail(err)
+		return plan.stats(), err
 	}
 	s.ctl.SetWriteDeadline(time.Time{})
-	if err := awaitHelloAck(ctx, s.ctl, cfg.Transfer, s.opts.HandshakeTimeout); err != nil {
-		finishInstruments(tm, fr, err)
-		return snd.Stats(), err
+	if err := awaitHelloAck(ctx, s.ctl, plan.base, s.opts.HandshakeTimeout); err != nil {
+		s.broken = true
+		plan.fail(err)
+		return plan.stats(), err
 	}
-	noteHandshake(tm, fr)
-	st, err := runSenderLoop(ctx, snd, cfg, s.conn, s.ctl, s.opts, tm, fr)
-	finishInstruments(tm, fr, err)
+	plan.noteHandshake()
+	st, err := runSenderPlan(ctx, plan, s.conns[:len(plan.snds)], s.ctl, s.opts)
+	if err != nil {
+		s.broken = true
+	}
 	return st, err
 }
 
@@ -136,361 +143,19 @@ func (sl *SessionListener) AcceptSession(ctx context.Context) (*IncomingSession,
 // Close ends the session from the receive side.
 func (is *IncomingSession) Close() error { return is.ctl.Close() }
 
-// Next receives the session's next object. It returns io-style errors when
-// the sender closes the session or ctx expires. The control connection
+// Next receives the session's next object — single-flow or striped,
+// whatever the announcement declares. It returns io-style errors when the
+// sender closes the session or ctx expires. The control connection
 // carries further HELLOs after this object, so the receive loop cannot
-// watch it for aborts; the idle watchdog covers a vanished sender instead.
+// watch it for aborts; the idle watchdog covers a vanished sender
+// instead.
 func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats, error) {
-	hello, err := readHello(ctx, is.ctl)
+	plan, err := readTransferPlan(ctx, is.ctl)
 	if err != nil {
+		if errors.Is(err, wire.ErrHelloXVersion) {
+			writeAbort(is.ctl, 0, wire.AbortUnsupported)
+		}
 		return nil, core.ReceiverStats{}, err
 	}
-	rcv := core.NewReceiver(int64(hello.ObjectSize), core.Config{
-		PacketSize:   int(hello.PacketSize),
-		Transfer:     hello.Transfer,
-		AckFrequency: core.DefaultAckFrequency,
-	})
-	tm := is.sl.l.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize))
-	fr := is.sl.l.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize))
-	if err := writeHelloAck(is.ctl, hello.Transfer); err != nil {
-		finishInstruments(tm, fr, err)
-		return nil, rcv.Stats(), err
-	}
-	noteHandshake(tm, fr)
-	if err := runReceiveLoop(ctx, rcv, is.sl.l.udp, is.ctl, is.sl.l.opts, false, tm, fr); err != nil {
-		finishInstruments(tm, fr, err)
-		return nil, rcv.Stats(), err
-	}
-	err = writeComplete(is.ctl, hello.Transfer, hello.ObjectSize, rcv)
-	finishInstruments(tm, fr, err)
-	if err != nil {
-		return nil, rcv.Stats(), err
-	}
-	return rcv.Object(), rcv.Stats(), nil
-}
-
-// runReceiveLoop drains the UDP socket into rcv until the object
-// completes, emitting acknowledgements. Packets from other transfers
-// (stragglers of a previous object in the session) are ignored by the
-// receiver's transfer tag.
-//
-// One wakeup processes a whole queue: the batched receiver pulls up to
-// Options.IOBatch datagrams per recvmmsg syscall (one per read on the
-// scalar path) and every datagram runs through the usual decode → place →
-// ack-frequency check pipeline before the loop looks at the socket again.
-// The hot path is allocation-free: datagrams land in the receiver's
-// buffer ring, acks are serialized into one reusable buffer, and replies
-// go out through the net package's value-typed address API.
-//
-// Liveness: if no datagram for this transfer arrives for
-// Options.IdleTimeout, the loop aborts the transfer (ABORT idle-timeout on
-// the control channel) and returns an error wrapping ErrIdle. When
-// watchCtl is true the loop additionally watches the control connection in
-// the background, so a sender's ABORT or death ends the receive promptly;
-// that is only safe on a connection dedicated to one transfer — on a
-// session connection it would steal the next HELLO.
-func runReceiveLoop(ctx context.Context, rcv *core.Receiver, udp *net.UDPConn,
-	ctl net.Conn, opts Options, watchCtl bool, tm *metrics.Transfer, fr *flight.Recorder) error {
-
-	transfer := rcv.Config().Transfer
-	var abortCh <-chan error
-	if watchCtl && ctl != nil {
-		abortCh = watchControl(ctl, transfer)
-	}
-	rx, err := batchio.NewReceiver(udp, opts.IOBatch, maxDatagram, !opts.NoFastPath)
-	if err != nil {
-		return fmt.Errorf("udprt: batched receiver: %w", err)
-	}
-	ackBuf := make([]byte, 0, rcv.Config().AckPacketSize+wire.AckHeaderLen)
-	ackCalls := 0
-	defer func() {
-		c := rx.Counters()
-		c.SendCalls, c.SentDatagrams = ackCalls, ackCalls
-		if ackCalls > 0 {
-			c.MaxSendBatch = 1 // acks go out one WriteToUDPAddrPort each
-		}
-		if opts.IOCounters != nil {
-			*opts.IOCounters = c
-		}
-		tm.NoteIO(c)
-	}()
-	lastData := time.Now()
-	for !rcv.Complete() {
-		if err := ctx.Err(); err != nil {
-			writeAbort(ctl, transfer, wire.AbortCancelled)
-			return err
-		}
-		select {
-		case err := <-abortCh:
-			return err
-		default:
-		}
-		if opts.IdleTimeout > 0 && time.Since(lastData) > opts.IdleTimeout {
-			rcv.NoteIdle()
-			tm.NoteIdle()
-			fr.Phase(flight.PhaseIdle, 0)
-			writeAbort(ctl, transfer, wire.AbortIdleTimeout)
-			return fmt.Errorf("udprt: no data for %v: %w", opts.IdleTimeout, ErrIdle)
-		}
-		udp.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, err := rx.Recv()
-		if err != nil {
-			if isTimeout(err) {
-				continue
-			}
-			return fmt.Errorf("udprt: data read: %w", err)
-		}
-		for i := 0; i < n; i++ {
-			d, err := wire.DecodeData(rx.Datagram(i))
-			if err != nil {
-				continue
-			}
-			if d.Transfer == transfer {
-				// Any datagram for this transfer — even a duplicate —
-				// proves the sender is alive.
-				lastData = time.Now()
-			}
-			// The state machine classifies the packet (fresh, duplicate,
-			// rejected, other-transfer straggler); diffing its value-typed
-			// stats before and after mirrors that verdict into the metrics
-			// without a second classification — and without allocating.
-			before := rcv.Stats()
-			ackDue, err := rcv.HandleData(d)
-			noteReceiverDelta(tm, fr, d.Seq, before, rcv.Stats(), len(d.Payload))
-			if err != nil {
-				continue
-			}
-			if ackDue {
-				a := rcv.BuildAck()
-				ackBuf = wire.AppendAck(ackBuf[:0], &a)
-				if _, err := udp.WriteToUDPAddrPort(ackBuf, rx.Addr(i)); err != nil {
-					return fmt.Errorf("udprt: ack write: %w", err)
-				}
-				ackCalls++
-				tm.NoteAckSent(len(ackBuf))
-				fr.AckSent(a.AckSeq, int(a.Received), len(ackBuf))
-			}
-		}
-	}
-	return nil
-}
-
-// noteReceiverDelta translates one HandleData call's effect on the
-// receiver's counters into the instrumentation classification. A packet
-// that moved no counter belonged to another transfer and is not this
-// transfer's traffic.
-func noteReceiverDelta(tm *metrics.Transfer, fr *flight.Recorder, seq uint32,
-	before, after core.ReceiverStats, payload int) {
-	switch {
-	case after.Received > before.Received:
-		tm.NoteDataFresh(payload)
-		fr.DataReceived(seq, payload, flight.ClassFresh)
-	case after.Duplicates > before.Duplicates:
-		tm.NoteDataDuplicate()
-		fr.DataReceived(seq, payload, flight.ClassDuplicate)
-	case after.Rejected > before.Rejected:
-		tm.NoteDataRejected()
-		fr.DataReceived(seq, payload, flight.ClassRejected)
-	}
-}
-
-// ackPollSlots bounds the sender's acknowledgement-drain vector: acks are
-// outnumbered ~AckFrequency:1 by data packets, so a short vector already
-// catches every queued ack per poll.
-const ackPollSlots = 8
-
-// encodeBatch pulls up to max packets from the sender's schedule and
-// serializes each into its slot of the reusable ring, returning how many
-// slots were filled. The ring's buffers are pre-sized to the packet
-// framing, so steady-state encoding allocates nothing — including the
-// metrics note, which is a handful of atomic adds plus a bitmap
-// test-and-set to classify retransmissions.
-func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer, fr *flight.Recorder, base int) int {
-	k := 0
-	for k < len(ring) && k < max {
-		pkt, ok := snd.NextPacket()
-		if !ok {
-			break
-		}
-		ring[k] = wire.AppendData(ring[k][:0], &pkt)
-		tm.NoteDataSent(pkt.Seq, len(pkt.Payload))
-		fr.DataSent(pkt.Seq, len(pkt.Payload), base+k)
-		k++
-	}
-	return k
-}
-
-// newSendRing builds the reusable encode ring: slots buffers each sized
-// for one framed data packet.
-func newSendRing(slots, packetSize int) [][]byte {
-	ring := make([][]byte, slots)
-	for i := range ring {
-		ring[i] = make([]byte, 0, packetSize+wire.DataHeaderLen)
-	}
-	return ring
-}
-
-// runSenderLoop drives snd over the given sockets until the completion
-// signal arrives. It is the shared engine behind Send and Session.Send,
-// and it is deliberately single-threaded like the paper's sender: each
-// iteration performs one non-blocking poll of the acknowledgement socket
-// (the paper's select()-guarded "look for, but do not block for, an
-// acknowledgement packet") followed by one batch-send. Only the TCP
-// completion signal has its own goroutine — a hot sender loop must never
-// be able to starve the poll that feeds it.
-//
-// The batch-send phase is where the fast path earns its keep: the B
-// packets the batch policy chose are encoded into a reusable ring of
-// pre-sized buffers and flushed as one sendmmsg vector (chunked at
-// Options.IOBatch when B is larger; one write syscall per packet on the
-// scalar path). The ack poll likewise drains every queued acknowledgement
-// in one recvmmsg. Steady state allocates nothing per packet.
-//
-// Liveness: if the transfer is incomplete and no acknowledgement arrives
-// for Options.StallTimeout, the loop aborts (ABORT stalled on the control
-// channel) and returns an error wrapping ErrStalled. Persistent UDP write
-// errors (e.g. ECONNREFUSED once the peer's socket is gone) surface after
-// writeErrLimit failing batch rounds with no intervening acknowledgement;
-// transient buffer pressure (ENOBUFS et al.) is absorbed by the pacing
-// loop.
-func runSenderLoop(ctx context.Context, snd *core.Sender, cfg core.Config,
-	conn *net.UDPConn, ctl net.Conn, opts Options, tm *metrics.Transfer, fr *flight.Recorder) (core.SenderStats, error) {
-
-	done := make(chan error, 1)
-	go func() { done <- readCompletion(ctl, snd) }()
-
-	tx, err := batchio.NewSender(conn, opts.IOBatch, !opts.NoFastPath)
-	if err != nil {
-		return snd.Stats(), fmt.Errorf("udprt: batched sender: %w", err)
-	}
-	tx.FlushHook = opts.testFlushHook
-	rx, err := batchio.NewReceiver(conn, ackPollSlots, maxDatagram, !opts.NoFastPath)
-	if err != nil {
-		return snd.Stats(), fmt.Errorf("udprt: ack receiver: %w", err)
-	}
-	defer func() {
-		c := tx.Counters()
-		c.Add(rx.Counters())
-		if opts.IOCounters != nil {
-			*opts.IOCounters = c
-		}
-		tm.NoteIO(c)
-	}()
-	ring := newSendRing(opts.IOBatch, cfg.PacketSize)
-	ackWords := make([]uint64, 0, wire.MaxFragWords(cfg.AckPacketSize))
-	var paceDebt time.Duration
-	pollAck := func() error {
-		n, rerr := rx.TryRecv()
-		for i := 0; i < n; i++ {
-			a, err := wire.DecodeAckInto(rx.Datagram(i), ackWords)
-			if err != nil {
-				continue
-			}
-			ackWords = a.Frag.Words[:0] // HandleAck consumed the fragment
-			// Per-ack instrumentation (metrics counter, flight record,
-			// latency histograms) fires inside HandleAck via the sender's
-			// ack observer, which also sees exactly which packets the
-			// fragment newly acknowledged.
-			if snd.HandleAck(a) == nil && opts.Progress != nil {
-				opts.Progress(snd.Stats().KnownReceived, snd.NumPackets())
-			}
-		}
-		return rerr
-	}
-	acksSeen := 0
-	lastAck := time.Now()
-	writeErrs := 0
-	var lastWriteErr error
-	// noteWriteErr folds one persistent socket failure into the abort
-	// accounting, reporting whether the limit is reached. Transient
-	// buffer pressure does not count.
-	noteWriteErr := func(err error) bool {
-		if isTransientWriteErr(err) || isTimeout(err) {
-			return false
-		}
-		writeErrs++
-		lastWriteErr = err
-		return writeErrs >= writeErrLimit
-	}
-	for {
-		select {
-		case err := <-done:
-			snd.SetComplete()
-			return snd.Stats(), err
-		case <-ctx.Done():
-			writeAbort(ctl, cfg.Transfer, wire.AbortCancelled)
-			return snd.Stats(), ctx.Err()
-		default:
-		}
-		// Phase 2: look for — never block for — acknowledgements. A
-		// latched socket error consumed by the poll (the asynchronous
-		// ECONNREFUSED of an earlier batch — which a partial sendmmsg
-		// reports as a short count, not an errno) counts toward the
-		// write-error limit, or the fast path could spin forever on a
-		// dead peer that scalar writes would have exposed.
-		if rerr := pollAck(); rerr != nil && noteWriteErr(rerr) {
-			writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-			return snd.Stats(), fmt.Errorf("udprt: data socket: %w", lastWriteErr)
-		}
-		// Liveness: any processed ack — fresh or stale — proves the
-		// receiver is alive and resets both watchdog counters.
-		if st := snd.Stats(); st.AcksProcessed > acksSeen {
-			acksSeen = st.AcksProcessed
-			lastAck = time.Now()
-			writeErrs = 0
-		} else if opts.StallTimeout > 0 && time.Since(lastAck) > opts.StallTimeout {
-			snd.NoteStall()
-			tm.NoteStall()
-			fr.Phase(flight.PhaseStall, 0)
-			writeAbort(ctl, cfg.Transfer, wire.AbortStalled)
-			return snd.Stats(), fmt.Errorf("udprt: no acknowledgement for %v: %w",
-				opts.StallTimeout, ErrStalled)
-		}
-		// Phases 1+3: batch-send with the schedule choosing each packet,
-		// flushed in vectors of up to IOBatch datagrams.
-		batch := snd.BatchSize()
-		fr.BatchSize(batch)
-		sent := 0
-		for sent < batch {
-			k := encodeBatch(snd, ring, batch-sent, tm, fr, sent)
-			if k == 0 {
-				break
-			}
-			m, err := tx.Send(ring[:k])
-			sent += m
-			if err != nil {
-				if noteWriteErr(err) {
-					writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-					return snd.Stats(), fmt.Errorf("udprt: data write: %w", lastWriteErr)
-				}
-				break
-			}
-			if m < k {
-				break // kernel backpressure: pace, poll, come back
-			}
-		}
-		if sent == 0 {
-			// Everything known-received, or this round's write failed:
-			// logically blocked on an ack, the completion signal, or the
-			// kernel buffer draining.
-			select {
-			case err := <-done:
-				snd.SetComplete()
-				return snd.Stats(), err
-			case <-ctx.Done():
-				writeAbort(ctl, cfg.Transfer, wire.AbortCancelled)
-				return snd.Stats(), ctx.Err()
-			case <-time.After(opts.IdlePoll):
-			}
-			continue
-		}
-		tm.NoteRound()
-		if gap := cfg.Rate.Gap()*time.Duration(sent) + opts.Pace*time.Duration(sent); gap > 0 {
-			paceDebt += gap
-			if paceDebt >= time.Millisecond {
-				time.Sleep(paceDebt)
-				paceDebt = 0
-			}
-		}
-	}
+	return acceptTransfer(ctx, plan, is.sl.l.udp, is.ctl, is.sl.l.opts, false)
 }

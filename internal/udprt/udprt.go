@@ -47,6 +47,15 @@ type Options struct {
 	// gaps are accumulated and paid in batches, since operating systems
 	// cannot sleep that briefly.
 	Pace time.Duration
+	// Streams splits each outbound object into this many contiguous
+	// stripes, each an independent FOBS flow (own transfer tag, sequence
+	// space and UDP socket) sharing one control connection — the
+	// real-network counterpart of the parallel-sockets baseline (default
+	// 1; wire limit wire.MaxStreams). The stripe count is clamped to the
+	// object's packet count, and a transfer with one stripe is
+	// bit-compatible with earlier receivers. Receive sides reassemble
+	// any announced striping regardless of this setting.
+	Streams int
 	// Progress, when non-nil, is called from the sender loop as
 	// acknowledgements arrive, with the count of packets known received
 	// and the total. Calls are made at most once per processed ack.
@@ -139,6 +148,9 @@ func (o Options) withDefaults() Options {
 	if o.IOBatch < 1 {
 		o.IOBatch = 1
 	}
+	if o.Streams < 1 {
+		o.Streams = 1
+	}
 	return o
 }
 
@@ -220,10 +232,10 @@ func acceptControl(ctx context.Context, tl *net.TCPListener) (*net.TCPConn, erro
 	return ctl, nil
 }
 
-// Accept waits for a sender's control connection and its HELLO,
-// acknowledges the handshake, then runs the receive loop until the object
-// completes, the idle watchdog fires, the sender aborts, or ctx ends,
-// returning the assembled object.
+// Accept waits for a sender's control connection and its announcement
+// (HELLO, or a striped HELLOX), acknowledges the handshake, then runs the
+// receive loop until the object completes, the idle watchdog fires, the
+// sender aborts, or ctx ends, returning the assembled object.
 func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, error) {
 	ctl, err := acceptControl(ctx, l.tcp)
 	if err != nil {
@@ -231,38 +243,18 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 	}
 	defer ctl.Close()
 
-	hello, err := readHello(ctx, ctl)
+	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
+		if errors.Is(err, wire.ErrHelloXVersion) {
+			// A future protocol revision we cannot place: refuse cleanly
+			// so the peer fails its handshake instead of blasting data.
+			writeAbort(ctl, 0, wire.AbortUnsupported)
+		}
 		return nil, core.ReceiverStats{}, err
 	}
-	cfg := core.Config{
-		PacketSize: int(hello.PacketSize),
-		Transfer:   hello.Transfer,
-		// The receiver's ack frequency is its own policy; the sender
-		// adapts to whatever cadence arrives.
-		AckFrequency: core.DefaultAckFrequency,
-	}
-	rcv := core.NewReceiver(int64(hello.ObjectSize), cfg)
-	tm := l.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize))
-	fr := l.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), cfg.PacketSize)
-	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
-		finishInstruments(tm, fr, err)
-		return nil, rcv.Stats(), err
-	}
-	noteHandshake(tm, fr)
-
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so the receive loop may watch it for sender death.
-	if err := runReceiveLoop(ctx, rcv, l.udp, ctl, l.opts, true, tm, fr); err != nil {
-		finishInstruments(tm, fr, err)
-		return nil, rcv.Stats(), err
-	}
-	err = writeComplete(ctl, hello.Transfer, hello.ObjectSize, rcv)
-	finishInstruments(tm, fr, err)
-	if err != nil {
-		return nil, rcv.Stats(), err
-	}
-	return rcv.Object(), rcv.Stats(), nil
+	return acceptTransfer(ctx, plan, l.udp, ctl, l.opts, true)
 }
 
 // finishMetrics stamps the transfer's terminal state: completed on nil
@@ -362,13 +354,14 @@ func abortReasonFor(err error) wire.AbortReason {
 	}
 }
 
-// writeComplete sends the terminal control signal, carrying the object
-// digest for an end-to-end integrity check.
-func writeComplete(ctl net.Conn, transfer uint32, size uint64, rcv *core.Receiver) error {
+// writeComplete sends the terminal control signal, carrying the
+// whole-object digest for an end-to-end integrity check — one COMPLETE
+// per object, however many stripes carried it.
+func writeComplete(ctl net.Conn, transfer uint32, size uint64, obj []byte) error {
 	msg := wire.AppendComplete(nil, &wire.Complete{
 		Transfer: transfer,
 		Received: size,
-		Digest:   wire.ObjectDigest(rcv.Object()),
+		Digest:   wire.ObjectDigest(obj),
 	})
 	ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
 	defer ctl.SetWriteDeadline(time.Time{})
@@ -378,10 +371,13 @@ func writeComplete(ctl net.Conn, transfer uint32, size uint64, rcv *core.Receive
 	return nil
 }
 
-// readHello consumes the transfer announcement, bounded by 30s or ctx's
-// deadline, whichever is sooner. The deadline is cleared afterwards so it
-// never lingers on the control connection.
-func readHello(ctx context.Context, ctl net.Conn) (wire.Hello, error) {
+// readTransferPlan consumes the transfer announcement — a classic HELLO
+// or a striped HELLOX — bounded by 30s or ctx's deadline, whichever is
+// sooner. The deadline is cleared afterwards so it never lingers on the
+// control connection. A HELLOX from a future protocol revision surfaces
+// as an error wrapping wire.ErrHelloXVersion; callers answer it with
+// ABORT (unsupported).
+func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 	dl := time.Now().Add(30 * time.Second)
 	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
 		dl = d
@@ -390,62 +386,60 @@ func readHello(ctx context.Context, ctl net.Conn) (wire.Hello, error) {
 	defer ctl.SetReadDeadline(time.Time{})
 	f, err := readControlFrame(ctl)
 	if err != nil {
-		return wire.Hello{}, fmt.Errorf("udprt: hello read: %w", err)
+		return recvPlan{}, fmt.Errorf("udprt: hello read: %w", err)
 	}
-	if f.typ != wire.TypeHello {
-		return wire.Hello{}, fmt.Errorf("udprt: expected HELLO, got control frame type %d", f.typ)
+	switch f.typ {
+	case wire.TypeHello:
+		return recvPlan{
+			base:       f.hello.Transfer,
+			objectSize: f.hello.ObjectSize,
+			packetSize: int(f.hello.PacketSize),
+		}, nil
+	case wire.TypeHelloX:
+		return recvPlan{
+			base:       f.hellox.Transfer,
+			objectSize: f.hellox.ObjectSize,
+			packetSize: int(f.hellox.PacketSize),
+			stripes:    f.hellox.Stripes,
+		}, nil
+	default:
+		return recvPlan{}, fmt.Errorf("udprt: expected HELLO, got control frame type %d", f.typ)
 	}
-	return f.hello, nil
 }
 
 // Send transfers obj to the FOBS listener at addr and returns the sender's
 // statistics. cfg follows core.Config defaults; the Transfer tag is chosen
-// by the caller (zero is fine for a single transfer).
+// by the caller (zero is fine for a single transfer). With Options.Streams
+// > 1 the object is split into contiguous stripes, each with its own tag
+// (base+i), flow and engine; the returned statistics sum over stripes.
 func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Options) (core.SenderStats, error) {
 	opts = opts.withDefaults()
 	if len(obj) == 0 {
 		return core.SenderStats{}, errors.New("udprt: empty object")
 	}
-	snd := core.NewSender(obj, cfg)
-	cfg = snd.Config() // defaults applied
-	tm, fr := instrumentSender(snd, cfg, int64(len(obj)), opts.Metrics, opts.Record)
-
-	hello := wire.AppendHello(nil, &wire.Hello{
-		Transfer:   cfg.Transfer,
-		ObjectSize: uint64(len(obj)),
-		PacketSize: uint32(cfg.PacketSize),
-	})
-	ctl, err := dialHandshake(ctx, addr, hello, cfg.Transfer, opts)
+	plan, err := newSenderPlan(obj, cfg, opts)
 	if err != nil {
-		finishInstruments(tm, fr, err)
-		return snd.Stats(), err
+		return core.SenderStats{}, err
+	}
+	ctl, err := dialHandshake(ctx, addr, plan.helloFrame(), plan.base, opts)
+	if err != nil {
+		plan.fail(err)
+		return plan.stats(), err
 	}
 	defer ctl.Close()
-	noteHandshake(tm, fr)
+	plan.noteHandshake()
 
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	conns, err := dialDataFlows(addr, len(plan.snds), opts)
 	if err != nil {
-		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-		err = fmt.Errorf("udprt: resolve data addr: %w", err)
-		finishInstruments(tm, fr, err)
-		return snd.Stats(), err
+		writeAbort(ctl, plan.base, wire.AbortUnspecified)
+		plan.fail(err)
+		return plan.stats(), err
 	}
-	conn, err := net.DialUDP("udp", nil, udpAddr)
-	if err != nil {
-		writeAbort(ctl, cfg.Transfer, wire.AbortUnspecified)
-		err = fmt.Errorf("udprt: dial data: %w", err)
-		finishInstruments(tm, fr, err)
-		return snd.Stats(), err
-	}
-	defer conn.Close()
-	_ = conn.SetReadBuffer(opts.ReadBuffer)
-	_ = conn.SetWriteBuffer(opts.WriteBuffer)
+	defer closeAll(conns)
 
-	// The shared sender engine drives the transfer until the completion
+	// The shared sender engine drives each stripe until the completion
 	// signal arrives on the control channel.
-	st, err := runSenderLoop(ctx, snd, cfg, conn, ctl, opts, tm, fr)
-	finishInstruments(tm, fr, err)
-	return st, err
+	return runSenderPlan(ctx, plan, conns, ctl, opts)
 }
 
 // dialHandshake establishes the control connection and completes the
@@ -502,8 +496,8 @@ func attemptHandshake(ctx context.Context, addr string, hello []byte, transfer u
 
 // readCompletion blocks until the receiver's terminal control frame
 // arrives: COMPLETE (whose digest is verified against the sender's own
-// object) or ABORT.
-func readCompletion(ctl net.Conn, snd *core.Sender) error {
+// whole object — one verdict covers every stripe) or ABORT.
+func readCompletion(ctl net.Conn, obj []byte) error {
 	f, err := readControlFrame(ctl)
 	if err != nil {
 		return fmt.Errorf("udprt: control read: %w", err)
@@ -516,10 +510,10 @@ func readCompletion(ctl net.Conn, snd *core.Sender) error {
 		return fmt.Errorf("udprt: unexpected control frame type %d awaiting completion", f.typ)
 	}
 	c := f.complete
-	if c.Received != uint64(snd.ObjectSize()) {
-		return fmt.Errorf("udprt: receiver reports %d bytes, sent %d", c.Received, snd.ObjectSize())
+	if c.Received != uint64(len(obj)) {
+		return fmt.Errorf("udprt: receiver reports %d bytes, sent %d", c.Received, len(obj))
 	}
-	if want := snd.ObjectDigest(); c.Digest != want {
+	if want := wire.ObjectDigest(obj); c.Digest != want {
 		return fmt.Errorf("udprt: object digest mismatch: receiver %08x, sender %08x", c.Digest, want)
 	}
 	return nil

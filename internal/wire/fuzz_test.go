@@ -132,6 +132,18 @@ func FuzzDecodeControl(f *testing.F) {
 	for _, frame := range control {
 		f.Add(frame)
 	}
+	f.Add(wire.AppendHelloX(nil, &wire.HelloX{
+		Transfer: 2, ObjectSize: 4096, PacketSize: 1024,
+		Stripes: []wire.StripeDesc{{Transfer: 2, Offset: 0, Length: 4096}},
+	}))
+	f.Add(wire.AppendHelloX(nil, &wire.HelloX{
+		Transfer: 5, ObjectSize: 5000, PacketSize: 1024,
+		Stripes: []wire.StripeDesc{
+			{Transfer: 5, Offset: 0, Length: 2048},
+			{Transfer: 6, Offset: 2048, Length: 2048},
+			{Transfer: 7, Offset: 4096, Length: 904},
+		},
+	}))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if h, err := wire.DecodeHello(b); err == nil {
 			if _, err := wire.DecodeHello(wire.AppendHello(nil, &h)); err != nil {
@@ -146,6 +158,15 @@ func FuzzDecodeControl(f *testing.F) {
 		if h, err := wire.DecodeHelloAck(b); err == nil {
 			if _, err := wire.DecodeHelloAck(wire.AppendHelloAck(nil, &h)); err != nil {
 				t.Fatalf("hello-ack re-decode failed: %v", err)
+			}
+		}
+		if h, err := wire.DecodeHelloX(b); err == nil {
+			re, err := wire.DecodeHelloX(wire.AppendHelloX(nil, &h))
+			if err != nil {
+				t.Fatalf("hellox re-decode failed: %v", err)
+			}
+			if re.Transfer != h.Transfer || len(re.Stripes) != len(h.Stripes) {
+				t.Fatalf("re-encode changed the hellox: %+v vs %+v", re, h)
 			}
 		}
 		if a, err := wire.DecodeAbort(b); err == nil {

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func validHelloX() *HelloX {
+	return &HelloX{
+		Transfer:   11,
+		ObjectSize: 10000,
+		PacketSize: 1024,
+		Stripes: []StripeDesc{
+			{Transfer: 11, Offset: 0, Length: 4096},
+			{Transfer: 12, Offset: 4096, Length: 4096},
+			{Transfer: 13, Offset: 8192, Length: 1808},
+		},
+	}
+}
+
+func TestHelloXRoundTrip(t *testing.T) {
+	h := validHelloX()
+	buf := AppendHelloX(nil, h)
+	if len(buf) != HelloXLen(len(h.Stripes)) {
+		t.Fatalf("encoded length %d, want %d", len(buf), HelloXLen(len(h.Stripes)))
+	}
+	got, err := DecodeHelloX(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version 0 on encode means "current".
+	if got.Version != HelloXVersion {
+		t.Fatalf("decoded version %d, want %d", got.Version, HelloXVersion)
+	}
+	if got.Transfer != h.Transfer || got.ObjectSize != h.ObjectSize || got.PacketSize != h.PacketSize {
+		t.Fatalf("header fields changed: %+v vs %+v", got, h)
+	}
+	if len(got.Stripes) != len(h.Stripes) {
+		t.Fatalf("stripe count %d, want %d", len(got.Stripes), len(h.Stripes))
+	}
+	for i, s := range got.Stripes {
+		if s != h.Stripes[i] {
+			t.Fatalf("stripe %d = %+v, want %+v", i, s, h.Stripes[i])
+		}
+	}
+}
+
+func TestHelloXStripeCountFromPrefix(t *testing.T) {
+	buf := AppendHelloX(nil, validHelloX())
+	// The stream framer reads the count from the first 6 bytes alone.
+	n, err := HelloXStripeCount(buf[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("stripe count from prefix = %d, want 3", n)
+	}
+	if _, err := HelloXStripeCount(buf[:5]); err == nil {
+		t.Fatal("5-byte prefix accepted")
+	}
+	fixed, err := ControlLen(TypeHelloX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != HelloXFixedLen {
+		t.Fatalf("ControlLen(TypeHelloX) = %d, want fixed prefix %d", fixed, HelloXFixedLen)
+	}
+	if fixed+n*StripeDescLen != len(buf) {
+		t.Fatalf("framer arithmetic: %d + %d*%d != frame length %d", fixed, n, StripeDescLen, len(buf))
+	}
+}
+
+// TestHelloXVersionGate: a future version is refused with the sentinel —
+// before any layout validation, so a revision that reshapes the trailer
+// can never be misparsed as bad tiling.
+func TestHelloXVersionGate(t *testing.T) {
+	h := validHelloX()
+	h.Version = HelloXVersion + 1
+	// Deliberately nonsensical tiling: the version gate must fire first.
+	h.Stripes[1].Offset = 9999
+	buf := AppendHelloX(nil, h)
+	_, err := DecodeHelloX(buf)
+	if !errors.Is(err, ErrHelloXVersion) {
+		t.Fatalf("future version decode = %v, want ErrHelloXVersion", err)
+	}
+}
+
+func TestHelloXDecodeRejections(t *testing.T) {
+	good := AppendHelloX(nil, validHelloX())
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"short", good[:HelloXFixedLen-1]},
+		{"truncated-trailer", good[:len(good)-1]},
+		{"bad-magic", corrupt(func(b []byte) { b[0] = 0 })},
+		{"bad-type", corrupt(func(b []byte) { b[2] = TypeData })},
+		{"zero-stripes", corrupt(func(b []byte) { b[4], b[5] = 0, 0 })},
+		{"over-max-stripes", corrupt(func(b []byte) { b[4], b[5] = 0xFF, 0xFF })},
+		{"zero-packet-size", corrupt(func(b []byte) { b[18], b[19], b[20], b[21] = 0, 0, 0, 0 })},
+		// Stripe 1's offset nudged: a gap after stripe 0.
+		{"gap", corrupt(func(b []byte) { b[HelloXFixedLen+StripeDescLen+11]++ })},
+		// Stripe 0's length zeroed: empty stripes are meaningless.
+		{"empty-stripe", corrupt(func(b []byte) {
+			for i := 0; i < 8; i++ {
+				b[HelloXFixedLen+12+i] = 0
+			}
+		})},
+		// Last stripe's length shrunk: the tiling no longer covers the object.
+		{"short-cover", corrupt(func(b []byte) { b[len(b)-1]-- })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeHelloX(tc.buf); err == nil {
+				t.Fatal("corrupt HELLOX accepted")
+			}
+		})
+	}
+}
+
+func TestAppendHelloXPanicsOnBadStripeCount(t *testing.T) {
+	for _, stripes := range [][]StripeDesc{nil, make([]StripeDesc, MaxStreams+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%d stripes did not panic", len(stripes))
+				}
+			}()
+			AppendHelloX(nil, &HelloX{Stripes: stripes})
+		}()
+	}
+}
+
+// TestHelloXSingleStripeEquivalence: a one-stripe HELLOX is legal and
+// describes the same transfer a classic HELLO would.
+func TestHelloXSingleStripeEquivalence(t *testing.T) {
+	h := HelloX{
+		Transfer:   5,
+		ObjectSize: 2048,
+		PacketSize: 1024,
+		Stripes:    []StripeDesc{{Transfer: 5, Offset: 0, Length: 2048}},
+	}
+	got, err := DecodeHelloX(AppendHelloX(nil, &h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Transfer != 5 || got.ObjectSize != 2048 || len(got.Stripes) != 1 {
+		t.Fatalf("single-stripe decode: %+v", got)
+	}
+}

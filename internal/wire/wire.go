@@ -33,6 +33,7 @@ const (
 	TypeComplete uint8 = 4 // control channel, "all data received"
 	TypeHelloAck uint8 = 5 // control channel, receiver accepts the transfer
 	TypeAbort    uint8 = 6 // control channel, either side terminates the transfer
+	TypeHelloX   uint8 = 7 // control channel, versioned extended announcement (striping)
 )
 
 // Header sizes in bytes.
@@ -43,6 +44,11 @@ const (
 	CompleteLen   = 2 + 1 + 1 + 4 + 8 + 4
 	HelloAckLen   = 2 + 1 + 1 + 4
 	AbortLen      = 2 + 1 + 1 + 4 + 1
+	// HelloXFixedLen is the fixed prefix of a HELLOX frame:
+	// magic,type,version,streams,xfer,objsize,psize = 22; StripeDescLen
+	// bytes per stripe follow.
+	HelloXFixedLen = 2 + 1 + 1 + 2 + 4 + 8 + 4
+	StripeDescLen  = 4 + 8 + 8
 )
 
 // Flag bits in the data header.
@@ -62,6 +68,11 @@ var (
 	ErrBadMagic = errors.New("wire: bad magic")
 	ErrBadType  = errors.New("wire: unexpected message type")
 	ErrChecksum = errors.New("wire: payload checksum mismatch")
+	// ErrHelloXVersion rejects a HELLOX from a future protocol revision.
+	// The layout after the version byte is only defined for versions this
+	// build knows, so an unknown version must be refused outright (the
+	// runtime answers with an ABORT) rather than half-parsed.
+	ErrHelloXVersion = errors.New("wire: unsupported HELLOX version")
 )
 
 // Data is one object packet. Seq numbers the packet within the object;
@@ -330,6 +341,124 @@ func DecodeHelloAck(b []byte) (HelloAck, error) {
 	return h, nil
 }
 
+// HelloXVersion is the HELLOX revision this build speaks. Decoders reject
+// anything newer with ErrHelloXVersion; the runtimes turn that into an
+// ABORT (unsupported) so a future sender fails fast instead of corrupting
+// data against a receiver that cannot place its stripes.
+const HelloXVersion uint8 = 1
+
+// MaxStreams bounds the stripe count a HELLOX may announce. It caps the
+// frame size a hostile control peer can demand and keeps per-transfer
+// receiver state small; GridFTP-style deployments rarely profit beyond a
+// few tens of parallel streams.
+const MaxStreams = 64
+
+// StripeDesc places one stripe of a striped transfer: the stripe's own
+// transfer tag (its UDP flows carry this id), and the contiguous
+// [Offset, Offset+Length) byte range of the object it covers.
+type StripeDesc struct {
+	Transfer uint32
+	Offset   uint64
+	Length   uint64
+}
+
+// HelloX is the versioned extended announcement: one control frame
+// describing a whole striped transfer. Transfer tags the transfer as a
+// unit (the HELLO-ACK and COMPLETE echo it); ObjectSize and PacketSize
+// are object-wide, exactly as in HELLO; Stripes lists every stripe in
+// offset order. A single-stripe HelloX is legal and equivalent to HELLO.
+type HelloX struct {
+	Version    uint8
+	Transfer   uint32
+	ObjectSize uint64
+	PacketSize uint32
+	Stripes    []StripeDesc
+}
+
+// HelloXLen returns the framed length of a HELLOX announcing n stripes.
+func HelloXLen(n int) int { return HelloXFixedLen + n*StripeDescLen }
+
+// AppendHelloX serializes h onto buf. The stripe count rides directly
+// after the 4-byte frame header so a stream reader can size the remainder
+// from one extra 2-byte read.
+func AppendHelloX(buf []byte, h *HelloX) []byte {
+	if len(h.Stripes) < 1 || len(h.Stripes) > MaxStreams {
+		panic(fmt.Sprintf("wire: %d stripes outside 1..%d", len(h.Stripes), MaxStreams))
+	}
+	v := h.Version
+	if v == 0 {
+		v = HelloXVersion
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeHelloX, v)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Stripes)))
+	buf = binary.BigEndian.AppendUint32(buf, h.Transfer)
+	buf = binary.BigEndian.AppendUint64(buf, h.ObjectSize)
+	buf = binary.BigEndian.AppendUint32(buf, h.PacketSize)
+	for _, s := range h.Stripes {
+		buf = binary.BigEndian.AppendUint32(buf, s.Transfer)
+		buf = binary.BigEndian.AppendUint64(buf, s.Offset)
+		buf = binary.BigEndian.AppendUint64(buf, s.Length)
+	}
+	return buf
+}
+
+// DecodeHelloX parses a HELLOX control message. Unknown future versions
+// are refused with ErrHelloXVersion before any layout assumptions are
+// made; the caller maps that onto AbortUnsupported.
+func DecodeHelloX(b []byte) (HelloX, error) {
+	var h HelloX
+	if len(b) < HelloXFixedLen {
+		return h, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[2] != TypeHelloX {
+		return h, ErrBadType
+	}
+	h.Version = b[3]
+	if h.Version != HelloXVersion {
+		return h, fmt.Errorf("%w: got %d, speak %d", ErrHelloXVersion, h.Version, HelloXVersion)
+	}
+	n := int(binary.BigEndian.Uint16(b[4:]))
+	if n < 1 || n > MaxStreams {
+		return h, fmt.Errorf("wire: hellox stripe count %d outside 1..%d", n, MaxStreams)
+	}
+	if len(b) < HelloXLen(n) {
+		return h, ErrShort
+	}
+	h.Transfer = binary.BigEndian.Uint32(b[6:])
+	h.ObjectSize = binary.BigEndian.Uint64(b[10:])
+	h.PacketSize = binary.BigEndian.Uint32(b[18:])
+	if h.PacketSize == 0 {
+		return h, errors.New("wire: hellox with zero packet size")
+	}
+	h.Stripes = make([]StripeDesc, n)
+	for i := 0; i < n; i++ {
+		o := HelloXFixedLen + i*StripeDescLen
+		h.Stripes[i] = StripeDesc{
+			Transfer: binary.BigEndian.Uint32(b[o:]),
+			Offset:   binary.BigEndian.Uint64(b[o+4:]),
+			Length:   binary.BigEndian.Uint64(b[o+12:]),
+		}
+	}
+	// The stripes must tile the object exactly: contiguous, in order,
+	// nothing missing, nothing overlapping. Rejecting here means no
+	// runtime ever sees a plan it could mis-place.
+	var at uint64
+	for i, s := range h.Stripes {
+		if s.Offset != at || s.Length == 0 {
+			return h, fmt.Errorf("wire: hellox stripe %d at offset %d, want contiguous %d", i, s.Offset, at)
+		}
+		at += s.Length
+	}
+	if at != h.ObjectSize {
+		return h, fmt.Errorf("wire: hellox stripes cover %d bytes of a %d-byte object", at, h.ObjectSize)
+	}
+	return h, nil
+}
+
 // AbortReason explains why a transfer was terminated.
 type AbortReason uint8
 
@@ -350,6 +479,10 @@ const (
 	AbortCancelled
 	// AbortBadHello rejects a malformed or unacceptable handshake.
 	AbortBadHello
+	// AbortUnsupported rejects a well-formed handshake this endpoint
+	// cannot serve: a HELLOX from a future protocol version, or striping
+	// toward an endpoint without stripe reassembly.
+	AbortUnsupported
 )
 
 func (r AbortReason) String() string {
@@ -366,6 +499,8 @@ func (r AbortReason) String() string {
 		return "cancelled"
 	case AbortBadHello:
 		return "handshake rejected"
+	case AbortUnsupported:
+		return "unsupported by peer"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
@@ -404,9 +539,11 @@ func DecodeAbort(b []byte) (Abort, error) {
 	return a, nil
 }
 
-// ControlLen returns the full frame length of a fixed-size control message
-// type, letting a stream reader consume exactly one frame after peeking the
-// 4-byte header.
+// ControlLen returns the frame length of a control message type, letting a
+// stream reader consume exactly one frame after peeking the 4-byte header.
+// For the variable-length TypeHelloX it returns the fixed prefix length;
+// the full frame is that prefix plus StripeDescLen bytes per announced
+// stripe (the count sits at bytes 4–5, inside the prefix).
 func ControlLen(typ uint8) (int, error) {
 	switch typ {
 	case TypeHello:
@@ -417,9 +554,25 @@ func ControlLen(typ uint8) (int, error) {
 		return CompleteLen, nil
 	case TypeAbort:
 		return AbortLen, nil
+	case TypeHelloX:
+		return HelloXFixedLen, nil
 	default:
 		return 0, ErrBadType
 	}
+}
+
+// HelloXStripeCount reads the stripe count out of a HELLOX frame prefix
+// (at least 6 bytes), bounds-checked against MaxStreams, so a stream
+// reader can size the variable trailer before parsing the whole frame.
+func HelloXStripeCount(b []byte) (int, error) {
+	if len(b) < 6 {
+		return 0, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(b[4:]))
+	if n < 1 || n > MaxStreams {
+		return 0, fmt.Errorf("wire: hellox stripe count %d outside 1..%d", n, MaxStreams)
+	}
+	return n, nil
 }
 
 // PeekType returns the message type of a datagram without fully decoding
@@ -432,7 +585,7 @@ func PeekType(b []byte) (uint8, error) {
 		return 0, ErrBadMagic
 	}
 	t := b[2]
-	if t < TypeData || t > TypeAbort {
+	if t < TypeData || t > TypeHelloX {
 		return 0, ErrBadType
 	}
 	return t, nil
