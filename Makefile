@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short test bench bench-smoke bench-json cover fuzz-smoke verify
+.PHONY: all tier1 vet race short test bench bench-smoke bench-json cover fuzz-smoke shuffle faultnet-soak verify
 
 all: verify
 
@@ -61,6 +61,19 @@ cover:
 	@echo "per-package:"
 	@$(GO) test -count=1 -cover ./... 2>/dev/null | awk '/coverage:/ {printf "  %-40s %s\n", $$2, $$5}'
 
+# Order-independence gate: the whole suite with test order shuffled. Tests
+# that secretly depend on a predecessor (a leaked socket, a package-level
+# registry, a leftover checkpoint file) fail here before they flake in CI.
+shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
+
+# Extended fault-injection soak: the sever/flap/resume suites and the proxy
+# itself, raced and repeated, to surface the low-probability interleavings a
+# single run misses. Scheduled CI runs this non-gating; it is too slow for
+# the per-push gate.
+faultnet-soak:
+	$(GO) test -race -count=10 ./internal/udprt ./internal/faultnet
+
 # Short fuzz pass over every decoder fuzz target: the committed seed corpus
 # plus 10 seconds of exploration each. A format regression that survives the
 # unit tests rarely survives this.
@@ -70,4 +83,4 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeControl -fuzztime 10s
 	$(GO) test ./internal/xfer -run '^$$' -fuzz FuzzDecodeManifest -fuzztime 10s
 
-verify: tier1 vet race fuzz-smoke
+verify: tier1 vet race shuffle fuzz-smoke

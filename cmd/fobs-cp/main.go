@@ -33,6 +33,28 @@ func main() {
 	}
 }
 
+// reportPartials summarizes every transfer the aborted copy left
+// incomplete: how many packets each held, what fraction of its object that
+// is, and the abort reason when the peer sent one.
+func reportPartials(reg *fobs.Metrics) {
+	for _, tr := range reg.Snapshot().Transfers {
+		if tr.Outcome == fobs.OutcomeCompleted || tr.PacketsNeeded == 0 {
+			continue
+		}
+		held := tr.Fresh + tr.PacketsRestored
+		if tr.Role == fobs.RoleSender {
+			held = tr.KnownReceived
+		}
+		pct := 100 * float64(held) / float64(tr.PacketsNeeded)
+		line := fmt.Sprintf("fobs-cp: partial transfer %08x (%s): %d/%d packets (%.1f%% complete)",
+			tr.Transfer, tr.Role, held, tr.PacketsNeeded, pct)
+		if tr.Outcome == fobs.OutcomeAborted && tr.AbortReason != 0 {
+			line += fmt.Sprintf(", abort reason %d", tr.AbortReason)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
 // run carries the whole copy so its defers — sealing the flight recording,
 // stopping the reporter with a final line — execute on every exit path,
 // including a SIGINT/SIGTERM abort.
@@ -49,6 +71,11 @@ func run() error {
 			fmt.Sprintf("parallel stripes per file, each its own UDP flow (1..%d; with -send)", fobs.MaxStreams))
 		timeout = flag.Duration("timeout", time.Hour, "give up after this long")
 
+		resumeWindow = flag.Duration("resume-window", 0,
+			"retain interrupted transfers this long so a reconnecting sender can RESUME them (0: default 60s, negative: disabled; with -recv)")
+		checkpointDir = flag.String("checkpoint", "",
+			"directory for resume checkpoints; interrupted transfers survive a restart of this process (with -recv)")
+
 		debugAddr = flag.String("debug-addr", "",
 			"serve live metrics + pprof over HTTP on this address (e.g. localhost:6060)")
 		statsInterval = flag.Duration("stats-interval", 0,
@@ -64,21 +91,26 @@ func run() error {
 	defer stop()
 
 	cfg := fobs.Config{PacketSize: *packetSize, Checksum: *checksum}
-	opts := fobs.Options{Pace: *pace, Streams: *streams}
-	if *debugAddr != "" || *statsInterval > 0 || *record != "" {
-		reg := fobs.NewMetrics()
-		opts.Metrics = reg
-		if *debugAddr != "" {
-			dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
-			if err != nil {
-				return fmt.Errorf("debug server: %w", err)
-			}
-			defer dbg.Close()
-			fmt.Printf("fobs-cp: metrics at http://%s/debug/fobs\n", dbg.Addr())
+	opts := fobs.Options{
+		Pace:         *pace,
+		Streams:      *streams,
+		ResumeWindow: *resumeWindow,
+		Checkpoint:   *checkpointDir,
+	}
+	// The registry is always on: an aborted copy reports how far each
+	// in-flight file got from its per-transfer counters.
+	reg := fobs.NewMetrics()
+	opts.Metrics = reg
+	if *debugAddr != "" {
+		dbg, err := fobs.ServeMetricsDebug(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
 		}
-		if *statsInterval > 0 {
-			defer reg.StartReporter(os.Stderr, *statsInterval)()
-		}
+		defer dbg.Close()
+		fmt.Printf("fobs-cp: metrics at http://%s/debug/fobs\n", dbg.Addr())
+	}
+	if *statsInterval > 0 {
+		defer reg.StartReporter(os.Stderr, *statsInterval)()
 	}
 	if *record != "" {
 		rec, err := fobs.CreateFlightLog(*record)
@@ -101,6 +133,7 @@ func run() error {
 	case *send != "":
 		sum, err := fobs.SendTree(ctx, *addr, *send, cfg, opts)
 		if err != nil {
+			reportPartials(reg)
 			return err
 		}
 		fmt.Printf("fobs-cp: sent %d files, %d bytes in %v (%.1f Mb/s)\n",
@@ -114,6 +147,7 @@ func run() error {
 		fmt.Printf("fobs-cp: listening on %s\n", sl.Addr())
 		sum, err := fobs.ReceiveTree(ctx, sl, *recv)
 		if err != nil {
+			reportPartials(reg)
 			return err
 		}
 		fmt.Printf("fobs-cp: received %d files, %d bytes in %v (%.1f Mb/s)\n",

@@ -29,6 +29,19 @@ func main() {
 	}
 }
 
+// reportPartial summarizes an interrupted transfer: how much of the object
+// is held, what fraction that is, and why the transfer ended (the error
+// carries the abort reason when the peer sent one).
+func reportPartial(st fobs.ReceiverStats, err error) {
+	if st.PacketsNeeded == 0 {
+		fmt.Fprintf(os.Stderr, "fobs-recv: transfer failed before any data: %v\n", err)
+		return
+	}
+	pct := 100 * float64(st.Received) / float64(st.PacketsNeeded)
+	fmt.Fprintf(os.Stderr, "fobs-recv: partial transfer: %d/%d packets held (%.1f%% complete): %v\n",
+		st.Received, st.PacketsNeeded, pct, err)
+}
+
 // run carries the whole session so its defers — sealing the flight
 // recording, stopping the reporter with a final line — execute on every
 // exit path, including a SIGINT/SIGTERM abort.
@@ -40,6 +53,11 @@ func run() error {
 
 		idleTimeout = flag.Duration("idle-timeout", 0,
 			"abort when no data arrives mid-transfer for this long (0: default 30s, negative: disabled)")
+
+		resumeWindow = flag.Duration("resume-window", 0,
+			"retain interrupted transfers this long so a reconnecting sender can RESUME them (0: default 60s, negative: disabled)")
+		checkpointDir = flag.String("checkpoint", "",
+			"directory for resume checkpoints; interrupted transfers survive a restart of this process")
 
 		ioBatch = flag.Int("io-batch", 0,
 			fmt.Sprintf("datagrams per recvmmsg vector (0: default %d)", fobs.DefaultIOBatch))
@@ -57,9 +75,11 @@ func run() error {
 	flag.Parse()
 
 	opts := fobs.Options{
-		IdleTimeout: *idleTimeout,
-		IOBatch:     *ioBatch,
-		NoFastPath:  *noFastPath,
+		IdleTimeout:  *idleTimeout,
+		ResumeWindow: *resumeWindow,
+		Checkpoint:   *checkpointDir,
+		IOBatch:      *ioBatch,
+		NoFastPath:   *noFastPath,
 	}
 	var ioc fobs.IOCounters
 	if *ioStats {
@@ -106,10 +126,25 @@ func run() error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Accept until one transfer completes: an interrupted attempt parks its
+	// partial state in the resume window (and checkpoint directory, when
+	// configured), and the sender's supervisor reconnects with a RESUME
+	// that picks it up — so a failed Accept here means "listen again", not
+	// "give up", until the deadline or an interrupt ends the wait.
 	start := time.Now()
-	obj, st, err := l.Accept(ctx)
-	if err != nil {
-		return err
+	var obj []byte
+	var st fobs.ReceiverStats
+	for {
+		var err error
+		obj, st, err = l.Accept(ctx)
+		if err == nil {
+			break
+		}
+		reportPartial(st, err)
+		if ctx.Err() != nil {
+			return err
+		}
+		fmt.Printf("fobs-recv: listening again on %s\n", l.Addr())
 	}
 	elapsed := time.Since(start)
 	mbps := float64(len(obj)*8) / elapsed.Seconds() / 1e6

@@ -71,6 +71,13 @@ func run() error {
 		progress = flag.Bool("progress", false, "print transfer progress")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
 
+		retries = flag.Int("retries", 0,
+			"re-dial a failed transfer up to this many times with exponential backoff (0: no retries)")
+		retryBackoff = flag.Duration("retry-backoff", 0,
+			"delay before the first retry, doubling each attempt (0: default 500ms; needs -retries)")
+		resume = flag.Bool("resume", true,
+			"open retries with a RESUME handshake so only missing packets are resent (needs -retries)")
+
 		stallTimeout = flag.Duration("stall-timeout", 0,
 			"abort when no acknowledgement arrives for this long (0: default 15s, negative: disabled)")
 		handshakeTimeout = flag.Duration("handshake-timeout", 0,
@@ -128,6 +135,13 @@ func run() error {
 		IOBatch:          *ioBatch,
 		NoFastPath:       *noFastPath,
 	}
+	if *retries > 0 {
+		opts.Retry = &fobs.RetryPolicy{
+			MaxRetries: *retries,
+			Backoff:    *retryBackoff,
+			NoResume:   !*resume,
+		}
+	}
 	var ioc fobs.IOCounters
 	if *ioStats {
 		opts.IOCounters = &ioc
@@ -179,6 +193,10 @@ func run() error {
 	fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed in %v\n",
 		st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed,
 		elapsed.Round(time.Millisecond))
+	if st.Restored > 0 {
+		fmt.Printf("fobs-send: resumed: %d of %d packets excused by the receiver's HAVE bitmap\n",
+			st.Restored, st.PacketsNeeded)
+	}
 	if *ioStats {
 		fmt.Printf("fobs-send: io %s\n", ioc.String())
 	}

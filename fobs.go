@@ -100,6 +100,11 @@ type (
 	// reasoned ABORT control frame (duplicate transfer id, idle timeout,
 	// stall, cancellation).
 	AbortError = udprt.AbortError
+	// RetryPolicy configures the sender-side retry/backoff supervisor.
+	// Hang one on Options.Retry and Send re-dials failed transfers with
+	// jittered exponential backoff, resuming from the receiver's HAVE
+	// bitmap when the peer retained the partial transfer.
+	RetryPolicy = udprt.RetryPolicy
 	// IOCounters tallies the batched-IO layer's syscalls and batch fill
 	// (sendmmsg/recvmmsg vector lengths, fast-path engagement). Point
 	// Options.IOCounters at one to collect a transfer's tallies.
@@ -135,6 +140,16 @@ type (
 	// MetricsRole distinguishes a transfer's two endpoints in a snapshot
 	// (MetricsSnapshot.Find takes one).
 	MetricsRole = metrics.Role
+	// TransferOutcome is a transfer's terminal state in a snapshot:
+	// running, completed or aborted.
+	TransferOutcome = metrics.Outcome
+)
+
+// Transfer outcomes for TransferMetrics.Outcome.
+const (
+	OutcomeRunning   = metrics.OutcomeRunning
+	OutcomeCompleted = metrics.OutcomeCompleted
+	OutcomeAborted   = metrics.OutcomeAborted
 )
 
 // Endpoint roles for MetricsSnapshot.Find.
@@ -201,7 +216,18 @@ var (
 	// ErrSessionBroken reports a Session.Send after an earlier Send on
 	// the same session failed; the session must be closed and reopened.
 	ErrSessionBroken = udprt.ErrSessionBroken
+	// ErrDigestMismatch reports that sender and receiver disagree on the
+	// whole-object CRC — terminal for that transfer; a retry cannot fix it.
+	ErrDigestMismatch = udprt.ErrDigestMismatch
 )
+
+// IsRetryable classifies a Send error the way the retry supervisor does:
+// true for transient failures another attempt could clear (stall or idle
+// watchdog firings, severed or refused connections, timeouts), false for
+// terminal verdicts (cancellation, version rejection, digest mismatch, and
+// deliberate peer rejections). Callers running their own retry loops get
+// the same taxonomy the built-in Options.Retry supervisor uses.
+func IsRetryable(err error) bool { return udprt.IsRetryable(err) }
 
 // Listen binds addr (e.g. "0.0.0.0:7700") for incoming transfers: TCP for
 // control, UDP on the same port for data.

@@ -252,6 +252,16 @@ func (b *Bitmap) MergeFunc(f Fragment, fn func(i int)) (newlySet int, err error)
 	return newlySet, nil
 }
 
+// AppendWords appends a snapshot of the bitmap's raw status words to dst
+// and returns the extended slice. Word 0 covers packets 0–63, bit i of
+// word w is packet w*64+i — the layout HAVE frames and checkpoints carry.
+func (b *Bitmap) AppendWords(dst []uint64) []uint64 {
+	return append(dst, b.words...)
+}
+
+// WordCount returns how many status words the bitmap holds.
+func (b *Bitmap) WordCount() int { return len(b.words) }
+
 // Clone returns an independent copy of b.
 func (b *Bitmap) Clone() *Bitmap {
 	words := make([]uint64, len(b.words))

@@ -1,0 +1,177 @@
+// Package checkpoint persists the receive side of an interrupted transfer
+// — the partially assembled object and its got-bitmap — so a restarted
+// process can answer a RESUME instead of forcing a full retransmission.
+// GridFTP's restart markers serve the same purpose; here the unit is the
+// whole receiver state, written atomically once per abort rather than
+// streamed, because FOBS transfers are single objects, not byte streams.
+//
+// Format (all big-endian): an 8-byte magic, a version byte, the transfer
+// header, the bitmap words, the object bytes, and a trailing CRC-32C over
+// everything after the magic. A file that fails any structural or checksum
+// check loads as an error and the caller treats the transfer as
+// unresumable — a torn write must degrade to a fresh transfer, never to a
+// corrupt resume.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// fileMagic opens every checkpoint file.
+var fileMagic = [8]byte{'F', 'O', 'B', 'S', 'C', 'K', 'P', 'T'}
+
+// Version is the checkpoint format revision this build writes.
+const Version uint8 = 1
+
+// ErrCorrupt reports a checkpoint file that failed a structural or
+// checksum validation.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated file")
+
+// castagnoli matches the CRC-32C polynomial used on the wire.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// State is one retained transfer: everything a receiver needs to rebuild
+// its state machines and answer a RESUME after a restart.
+type State struct {
+	Transfer   uint32
+	ObjectSize uint64
+	PacketSize uint32
+	// Digest is the whole-object CRC-32C from the original announcement's
+	// sender, when known (HasDigest); it guards against resuming a
+	// same-id transfer of a different object.
+	Digest    uint32
+	HasDigest bool
+	// Received counts distinct packets held; Words is the got-bitmap.
+	Received uint32
+	Words    []uint64
+	// Object is the partially filled object buffer, ObjectSize bytes.
+	Object []byte
+}
+
+// File returns the checkpoint path for a transfer id under dir.
+func File(dir string, transfer uint32) string {
+	return filepath.Join(dir, fmt.Sprintf("fobs-ckpt-%08x", transfer))
+}
+
+// headerLen is the fixed payload prefix after the magic:
+// version, flags, transfer, objsize, psize, digest, received, words.
+const headerLen = 1 + 1 + 4 + 8 + 4 + 4 + 4 + 4
+
+// Save atomically writes st to the checkpoint file for its transfer id:
+// the bytes land in a temporary file first and rename into place, so a
+// crash mid-write leaves either the old checkpoint or none — never a torn
+// one that Load would have to reject.
+func Save(dir string, st *State) error {
+	if uint64(len(st.Object)) != st.ObjectSize {
+		return fmt.Errorf("checkpoint: object is %d bytes, header says %d", len(st.Object), st.ObjectSize)
+	}
+	buf := make([]byte, 0, 8+headerLen+8*len(st.Words)+len(st.Object)+4)
+	buf = append(buf, fileMagic[:]...)
+	var flags uint8
+	if st.HasDigest {
+		flags |= 1
+	}
+	buf = append(buf, Version, flags)
+	buf = binary.BigEndian.AppendUint32(buf, st.Transfer)
+	buf = binary.BigEndian.AppendUint64(buf, st.ObjectSize)
+	buf = binary.BigEndian.AppendUint32(buf, st.PacketSize)
+	buf = binary.BigEndian.AppendUint32(buf, st.Digest)
+	buf = binary.BigEndian.AppendUint32(buf, st.Received)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Words)))
+	for _, w := range st.Words {
+		buf = binary.BigEndian.AppendUint64(buf, w)
+	}
+	buf = append(buf, st.Object...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[8:], castagnoli))
+
+	path := File(dir, st.Transfer)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates one checkpoint file.
+func Load(path string) (*State, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(b) < 8+headerLen+4 || [8]byte(b[:8]) != fileMagic {
+		return nil, ErrCorrupt
+	}
+	body, sum := b[8:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, ErrCorrupt
+	}
+	if body[0] != Version {
+		return nil, fmt.Errorf("checkpoint: version %d, speak %d", body[0], Version)
+	}
+	st := &State{
+		HasDigest:  body[1]&1 != 0,
+		Transfer:   binary.BigEndian.Uint32(body[2:]),
+		ObjectSize: binary.BigEndian.Uint64(body[6:]),
+		PacketSize: binary.BigEndian.Uint32(body[14:]),
+		Digest:     binary.BigEndian.Uint32(body[18:]),
+		Received:   binary.BigEndian.Uint32(body[22:]),
+	}
+	nw := int(binary.BigEndian.Uint32(body[26:]))
+	rest := body[headerLen:]
+	if st.PacketSize == 0 || st.ObjectSize == 0 ||
+		nw < 0 || uint64(len(rest)) != uint64(8*nw)+st.ObjectSize {
+		return nil, ErrCorrupt
+	}
+	st.Words = make([]uint64, nw)
+	for i := range st.Words {
+		st.Words[i] = binary.BigEndian.Uint64(rest[8*i:])
+	}
+	st.Object = rest[8*nw:]
+	return st, nil
+}
+
+// LoadDir loads every valid checkpoint under dir, keyed by transfer id.
+// Corrupt or foreign files are skipped, not errors: a retained directory
+// shared with other artifacts must not poison startup.
+func LoadDir(dir string) (map[uint32]*State, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out map[uint32]*State
+	for _, e := range ents {
+		var xfer uint32
+		if e.IsDir() {
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "fobs-ckpt-%08x", &xfer); err != nil {
+			continue
+		}
+		st, err := Load(filepath.Join(dir, e.Name()))
+		if err != nil || st.Transfer != xfer {
+			continue
+		}
+		if out == nil {
+			out = make(map[uint32]*State)
+		}
+		out[xfer] = st
+	}
+	return out, nil
+}
+
+// Remove deletes the checkpoint for a transfer id, if present.
+func Remove(dir string, transfer uint32) {
+	os.Remove(File(dir, transfer))
+}

@@ -1,0 +1,156 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleState() *State {
+	obj := make([]byte, 3000)
+	for i := range obj {
+		obj[i] = byte(i * 17)
+	}
+	return &State{
+		Transfer:   42,
+		ObjectSize: uint64(len(obj)),
+		PacketSize: 1024,
+		Digest:     0xCAFEF00D,
+		HasDigest:  true,
+		Received:   2,
+		Words:      []uint64{0b101},
+		Object:     obj,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(File(dir, st.Transfer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Transfer != st.Transfer || got.ObjectSize != st.ObjectSize ||
+		got.PacketSize != st.PacketSize || got.Digest != st.Digest ||
+		got.HasDigest != st.HasDigest || got.Received != st.Received {
+		t.Fatalf("header changed: %+v vs %+v", got, st)
+	}
+	if len(got.Words) != len(st.Words) || got.Words[0] != st.Words[0] {
+		t.Fatalf("bitmap changed: %v vs %v", got.Words, st.Words)
+	}
+	if !bytes.Equal(got.Object, st.Object) {
+		t.Fatal("object bytes changed")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	path := File(dir, st.Transfer)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flipped bit anywhere in the body must fail the checksum; a
+	// truncation must fail structurally. Either way: error, no resume.
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { b[9]++; return b },         // version byte
+		func(b []byte) []byte { b[100] ^= 0x40; return b }, // object byte
+		func(b []byte) []byte { b[len(b)-1]++; return b },  // checksum itself
+		func(b []byte) []byte { return b[:len(b)/2] },      // torn write
+		func(b []byte) []byte { b[0] = 'X'; return b },     // wrong magic
+		func(b []byte) []byte { return b[:8] },             // header gone
+	} {
+		bad := mutate(append([]byte(nil), good...))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Fatalf("corrupted checkpoint (len %d) loaded without error", len(bad))
+		}
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(File(dir, st.Transfer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[8] = Version + 1
+	// Re-stamp the checksum so only the version check can reject.
+	if err := os.WriteFile(File(dir, st.Transfer), restamp(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(File(dir, st.Transfer))
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: err=%v, want a version error", err)
+	}
+}
+
+// restamp recomputes the trailing CRC after a deliberate header edit.
+func restamp(b []byte) []byte {
+	sum := crc32.Checksum(b[8:len(b)-4], castagnoli)
+	binary.BigEndian.PutUint32(b[len(b)-4:], sum)
+	return b
+}
+
+func TestLoadDirSkipsJunk(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	st2 := sampleState()
+	st2.Transfer = 7
+	if err := Save(dir, st2); err != nil {
+		t.Fatal(err)
+	}
+	// Junk neighbors: a foreign file, a corrupt checkpoint, a directory.
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644)
+	os.WriteFile(File(dir, 9), []byte("FOBSCKPTgarbage"), 0o644)
+	os.Mkdir(filepath.Join(dir, "sub"), 0o755)
+
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[42] == nil || got[7] == nil {
+		t.Fatalf("LoadDir found %d states, want transfers 42 and 7", len(got))
+	}
+
+	Remove(dir, 42)
+	got, err = LoadDir(dir)
+	if err != nil || len(got) != 1 || got[7] == nil {
+		t.Fatalf("after Remove: %v states, err=%v", got, err)
+	}
+}
+
+func TestLoadDirMissingDirIsEmpty(t *testing.T) {
+	got, err := LoadDir(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || got != nil {
+		t.Fatalf("missing dir: got %v, err=%v", got, err)
+	}
+}
+
+func TestSaveRejectsSizeMismatch(t *testing.T) {
+	st := sampleState()
+	st.ObjectSize++
+	if err := Save(t.TempDir(), st); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -9,8 +9,16 @@ import (
 
 // ReceiverStats counts receive-side events.
 type ReceiverStats struct {
-	// Received is the number of distinct packets received.
+	// Received is the number of distinct packets held, including any
+	// restored from a previous run via Restore.
 	Received int
+	// Restored is the number of packets carried over from an interrupted
+	// transfer via Restore; they are counted in Received but never passed
+	// through the data path, so fresh arrivals = Received - Restored.
+	Restored int
+	// PacketsNeeded is the object's packet count, fixed at construction —
+	// the denominator for partial-transfer progress reports.
+	PacketsNeeded int
 	// Duplicates counts retransmissions of packets already held — the
 	// receive-side view of the sender's greediness.
 	Duplicates int
@@ -75,7 +83,9 @@ func NewReceiverInto(buf []byte, cfg Config) *Receiver {
 // newReceiver builds the bufferless common state; cfg already defaulted.
 func newReceiver(size int64, cfg Config) *Receiver {
 	n := NumPackets(size, cfg.PacketSize)
-	return &Receiver{cfg: cfg, n: n, got: bitmap.New(n), highest: -1}
+	r := &Receiver{cfg: cfg, n: n, got: bitmap.New(n), highest: -1}
+	r.stats.PacketsNeeded = n
+	return r
 }
 
 // NumPackets returns the object's packet count.
@@ -97,6 +107,40 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 // NoteIdle records one firing of the driver's idle watchdog (the state
 // machines never read a clock, so liveness deadlines live in the driver).
 func (r *Receiver) NoteIdle() { r.stats.IdleTimeouts++ }
+
+// HaveWords appends a snapshot of the got-bitmap's raw words to dst and
+// returns the extended slice — the payload of a HAVE frame or a
+// checkpoint. Word 0 covers packets 0–63, bit i of word w is packet
+// w*64+i.
+func (r *Receiver) HaveWords(dst []uint64) []uint64 { return r.got.AppendWords(dst) }
+
+// Restore seeds a fresh receiver with the got-bitmap of an interrupted
+// transfer, before any data is processed. The corresponding object bytes
+// must already sit in the receiver's buffer (NewReceiverInto with the
+// retained buffer). It returns the number of packets restored. Restoring
+// into a receiver that has already seen data is a programming error.
+func (r *Receiver) Restore(words []uint64) (int, error) {
+	if r.stats.Received != 0 || r.stats.Restored != 0 {
+		return 0, fmt.Errorf("core: Restore on a receiver that already holds %d packets", r.stats.Received)
+	}
+	n, err := r.got.Merge(bitmap.Fragment{Start: 0, Words: words})
+	if err != nil {
+		return 0, fmt.Errorf("core: restore bitmap: %w", err)
+	}
+	r.stats.Restored = n
+	r.stats.Received = n
+	// The restored packets predate this run's ack stream: the first ack's
+	// delta must count only fresh arrivals, and the rotation should start
+	// at the first gap so the sender learns the missing region early.
+	r.lastReported = n
+	if first := r.got.FirstUnset(0); first > 0 {
+		r.highest = first - 1
+		r.rot = first
+	} else if first < 0 {
+		r.highest = r.n - 1
+	}
+	return n, nil
+}
 
 // HandleData incorporates one data packet. It reports whether an
 // acknowledgement packet is now due (AckFrequency new packets arrived since

@@ -26,6 +26,11 @@ type SenderStats struct {
 	// window (the paper's greedy sender has no such exit; production
 	// movers need one).
 	Stalls int
+	// Restored is the number of packets marked already-received before the
+	// first send, from a resume handshake's HAVE bitmap. They count toward
+	// KnownReceived but were never sent this run, so a resumed run's
+	// PacketsSent covers only the gaps (plus retransmissions).
+	Restored int
 }
 
 // Waste is the paper's wasted-network-resources metric: packets sent beyond
@@ -126,6 +131,25 @@ func (s *Sender) SetComplete() { s.complete = true }
 // machines never read a clock, so liveness deadlines live in the driver;
 // this keeps the count in the transfer's statistics.
 func (s *Sender) NoteStall() { s.stats.Stalls++ }
+
+// Restore marks the packets of a HAVE bitmap as already received, before
+// the first send, so a resumed transfer transmits only the gaps. It
+// returns the number of packets restored. Restoring after packets have
+// been sent is a programming error — the schedule would already have
+// covered them.
+func (s *Sender) Restore(words []uint64) (int, error) {
+	if s.stats.PacketsSent != 0 || s.stats.Restored != 0 {
+		return 0, fmt.Errorf("core: Restore on a sender that already sent %d packets", s.stats.PacketsSent)
+	}
+	// No observer callback: these packets were never sent this run, so
+	// per-packet latency instrumentation must not see them.
+	n, err := s.acked.Merge(bitmap.Fragment{Start: 0, Words: words})
+	if err != nil {
+		return 0, fmt.Errorf("core: restore bitmap: %w", err)
+	}
+	s.stats.Restored = n
+	return n, nil
+}
 
 // Stats returns a snapshot of the sender counters.
 func (s *Sender) Stats() SenderStats {

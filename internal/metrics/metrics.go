@@ -133,6 +133,12 @@ type Registry struct {
 	start time.Time
 	ring  eventRing
 
+	// retries and resumes count supervisor-level recovery actions, which
+	// span transfers (a retried Send registers a fresh Transfer handle per
+	// attempt) and so live on the registry.
+	retries atomic.Int64
+	resumes atomic.Int64
+
 	mu       sync.Mutex
 	active   map[transferKey]*Transfer
 	finished []TransferSnapshot
@@ -226,6 +232,27 @@ func (r *Registry) finish(t *Transfer) {
 	r.retireLocked(t)
 }
 
+// NoteRetry records one retry attempt by the sender-side supervisor;
+// attempt is 1 for the first retry. Safe on a nil registry.
+func (r *Registry) NoteRetry(transfer uint32, attempt int) {
+	if r == nil {
+		return
+	}
+	r.retries.Add(1)
+	r.ring.record(r.now(), transfer, RoleSender, EventRetry, uint32(attempt))
+}
+
+// NoteResume records one RESUME handshake the peer accepted; restored is
+// the packet count the HAVE bitmap carried over. role distinguishes the
+// two ends (both record the event). Safe on a nil registry.
+func (r *Registry) NoteResume(transfer uint32, role Role, restored int) {
+	if r == nil {
+		return
+	}
+	r.resumes.Add(1)
+	r.ring.record(r.now(), transfer, role, EventResume, uint32(restored))
+}
+
 // Events returns the lifecycle events still held in the ring, oldest
 // first. The ring is fixed-size; a busy registry only retains the most
 // recent events.
@@ -255,6 +282,8 @@ func (r *Registry) Snapshot() Snapshot {
 		At:        r.now(),
 		Transfers: transfers,
 		Events:    r.Events(),
+		Retries:   r.retries.Load(),
+		Resumes:   r.resumes.Load(),
 	}
 	for i := range transfers {
 		snap.Totals.add(&transfers[i])
@@ -279,6 +308,11 @@ type Snapshot struct {
 	Transfers []TransferSnapshot `json:"transfers"`
 	// Events is the retained lifecycle event ring, oldest first.
 	Events []Event `json:"events"`
+	// Retries counts sender-supervisor retry attempts; Resumes counts
+	// accepted RESUME handshakes (either role). Registry-wide: one logical
+	// transfer spans several Transfer handles when retried.
+	Retries int64 `json:"retries,omitempty"`
+	Resumes int64 `json:"resumes,omitempty"`
 }
 
 // Find returns the snapshot of the given transfer endpoint and whether it
@@ -295,26 +329,28 @@ func (s Snapshot) Find(id uint32, role Role) (TransferSnapshot, bool) {
 // Totals aggregates counters across transfers. Fields mirror
 // TransferSnapshot; see there for meanings.
 type Totals struct {
-	PacketsSent   int64 `json:"packets_sent"`
-	Retransmits   int64 `json:"retransmits"`
-	BytesSent     int64 `json:"bytes_sent"`
-	AcksReceived  int64 `json:"acks_received"`
-	Rounds        int64 `json:"rounds"`
-	Stalls        int64 `json:"stalls"`
-	DataDemuxed   int64 `json:"data_demuxed"`
-	Fresh         int64 `json:"packets_fresh"`
-	Duplicates    int64 `json:"duplicates"`
-	Rejected      int64 `json:"rejected"`
-	BytesReceived int64 `json:"bytes_received"`
-	AcksSent      int64 `json:"acks_sent"`
-	IdleTimeouts  int64 `json:"idle_timeouts"`
-	Completed     int64 `json:"completed"`
-	Aborted       int64 `json:"aborted"`
+	PacketsSent     int64 `json:"packets_sent"`
+	Retransmits     int64 `json:"retransmits"`
+	PacketsRestored int64 `json:"packets_restored"`
+	BytesSent       int64 `json:"bytes_sent"`
+	AcksReceived    int64 `json:"acks_received"`
+	Rounds          int64 `json:"rounds"`
+	Stalls          int64 `json:"stalls"`
+	DataDemuxed     int64 `json:"data_demuxed"`
+	Fresh           int64 `json:"packets_fresh"`
+	Duplicates      int64 `json:"duplicates"`
+	Rejected        int64 `json:"rejected"`
+	BytesReceived   int64 `json:"bytes_received"`
+	AcksSent        int64 `json:"acks_sent"`
+	IdleTimeouts    int64 `json:"idle_timeouts"`
+	Completed       int64 `json:"completed"`
+	Aborted         int64 `json:"aborted"`
 }
 
 func (a *Totals) add(t *TransferSnapshot) {
 	a.PacketsSent += t.PacketsSent
 	a.Retransmits += t.Retransmits
+	a.PacketsRestored += t.PacketsRestored
 	a.BytesSent += t.BytesSent
 	a.AcksReceived += t.AcksReceived
 	a.Rounds += t.Rounds
@@ -348,14 +384,20 @@ type TransferSnapshot struct {
 
 	// Sender side. PacketsSent counts every data packet placed on the
 	// wire; Retransmits counts the subset whose sequence number had been
-	// sent before, so at completion PacketsSent == PacketsNeeded +
-	// Retransmits. KnownReceived is the receiver's cumulative count as of
-	// the last acknowledgement.
+	// sent before, so at completion PacketsSent == PacketsNeeded -
+	// PacketsRestored + Retransmits (PacketsRestored is zero except on
+	// resumed transfers, where the HAVE bitmap excused that many packets
+	// from transmission). KnownReceived is the receiver's cumulative count
+	// as of the last acknowledgement.
 	PacketsSent   int64 `json:"packets_sent"`
 	Retransmits   int64 `json:"retransmits"`
 	BytesSent     int64 `json:"bytes_sent"`
 	AcksReceived  int64 `json:"acks_received"`
 	KnownReceived int64 `json:"known_received"`
+	// PacketsRestored counts packets a resume handshake marked already
+	// delivered before this run's first send (sender role) or carried
+	// over from retained state (receiver role).
+	PacketsRestored int64 `json:"packets_restored,omitempty"`
 	// Rounds counts batch-send phases that placed at least one packet.
 	Rounds int64 `json:"rounds"`
 	Stalls int64 `json:"stalls"`
@@ -408,6 +450,7 @@ type Transfer struct {
 
 	packetsSent   atomic.Int64
 	firstSends    atomic.Int64
+	restored      atomic.Int64
 	bytesSent     atomic.Int64
 	acksReceived  atomic.Int64
 	knownReceived atomic.Int64
@@ -512,6 +555,17 @@ func (t *Transfer) NoteSeqAcked(seq uint32) {
 	now := int64(t.reg.now())
 	t.ackDelay.Observe(now - first)
 	t.rtt.Observe(now - t.lastSendNs[seq])
+}
+
+// NoteRestored records that a resume handshake carried over n packets from
+// a prior attempt: the peer's HAVE bitmap on the sender side, retained or
+// checkpointed state on the receiver side.
+func (t *Transfer) NoteRestored(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.restored.Add(int64(n))
+	t.reg.NoteResume(t.id, t.role, n)
 }
 
 // NoteRound records one batch-send phase that placed at least one packet.
@@ -666,12 +720,13 @@ func (t *Transfer) snapshot() TransferSnapshot {
 		PacketsNeeded: t.needed,
 		ObjectBytes:   t.objectBytes,
 
-		PacketsSent:   t.packetsSent.Load(),
-		BytesSent:     t.bytesSent.Load(),
-		AcksReceived:  t.acksReceived.Load(),
-		KnownReceived: t.knownReceived.Load(),
-		Rounds:        t.rounds.Load(),
-		Stalls:        t.stalls.Load(),
+		PacketsSent:     t.packetsSent.Load(),
+		PacketsRestored: t.restored.Load(),
+		BytesSent:       t.bytesSent.Load(),
+		AcksReceived:    t.acksReceived.Load(),
+		KnownReceived:   t.knownReceived.Load(),
+		Rounds:          t.rounds.Load(),
+		Stalls:          t.stalls.Load(),
 
 		DataDemuxed:   t.demuxed.Load(),
 		Fresh:         t.fresh.Load(),

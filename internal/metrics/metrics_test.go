@@ -30,7 +30,10 @@ func TestNilRegistryIsInert(t *testing.T) {
 	tm.NoteDataRejected()
 	tm.NoteAckSent(32)
 	tm.NoteIdle()
+	tm.NoteRestored(5)
 	tm.NoteIO(stats.IOCounters{})
+	r.NoteRetry(1, 1)
+	r.NoteResume(1, RoleSender, 5)
 	tm.Complete()
 	tm.Abort(0)
 	if got := tm.Snapshot(); got != (TransferSnapshot{}) {
@@ -74,6 +77,54 @@ func TestRetransmitClassification(t *testing.T) {
 		// An out-of-range seq cannot be proven fresh, so it counts as a
 		// retransmit (sent - firstSends).
 		t.Fatalf("out-of-range retx=%d, want 3", got.Retransmits)
+	}
+}
+
+func TestResumeAndRetryCounters(t *testing.T) {
+	r := New()
+	tm := r.StartSender(9, 10, 10000)
+	// A resumed sender: 6 packets carried over, 4 sent fresh, 1 retransmit.
+	tm.NoteRestored(6)
+	for seq := uint32(6); seq < 10; seq++ {
+		tm.NoteDataSent(seq, 1000)
+	}
+	tm.NoteDataSent(7, 1000)
+	s := tm.Snapshot()
+	if s.PacketsRestored != 6 {
+		t.Fatalf("restored=%d, want 6", s.PacketsRestored)
+	}
+	if s.PacketsSent != s.PacketsNeeded-s.PacketsRestored+s.Retransmits {
+		t.Fatalf("resumed conservation violated: sent=%d needed=%d restored=%d retx=%d",
+			s.PacketsSent, s.PacketsNeeded, s.PacketsRestored, s.Retransmits)
+	}
+
+	r.NoteRetry(9, 1)
+	r.NoteRetry(9, 2)
+	snap := r.Snapshot()
+	if snap.Retries != 2 || snap.Resumes != 1 {
+		t.Fatalf("retries=%d resumes=%d, want 2/1", snap.Retries, snap.Resumes)
+	}
+	if snap.Totals.PacketsRestored != 6 {
+		t.Fatalf("totals restored=%d, want 6", snap.Totals.PacketsRestored)
+	}
+	// The ring must carry both event kinds with their args.
+	var sawRetry, sawResume bool
+	for _, ev := range snap.Events {
+		switch ev.Kind {
+		case EventRetry:
+			sawRetry = true
+			if ev.Arg != 1 && ev.Arg != 2 {
+				t.Fatalf("retry arg=%d, want attempt number", ev.Arg)
+			}
+		case EventResume:
+			sawResume = true
+			if ev.Arg != 6 {
+				t.Fatalf("resume arg=%d, want 6 restored", ev.Arg)
+			}
+		}
+	}
+	if !sawRetry || !sawResume {
+		t.Fatalf("ring missing events: retry=%v resume=%v", sawRetry, sawResume)
 	}
 }
 

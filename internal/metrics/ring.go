@@ -23,6 +23,12 @@ const (
 	// EventAbort marks a transfer that ended on an error or ABORT frame;
 	// the event's Arg carries the wire abort-reason code.
 	EventAbort
+	// EventRetry marks one retry attempt by the sender-side supervisor;
+	// the event's Arg carries the attempt number (1 = first retry).
+	EventRetry
+	// EventResume marks a RESUME handshake the peer accepted; the event's
+	// Arg carries the number of packets the HAVE bitmap restored.
+	EventResume
 )
 
 func (k EventKind) String() string {
@@ -39,6 +45,10 @@ func (k EventKind) String() string {
 		return "complete"
 	case EventAbort:
 		return "abort"
+	case EventRetry:
+		return "retry"
+	case EventResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

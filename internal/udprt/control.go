@@ -42,6 +42,8 @@ type controlFrame struct {
 	helloAck wire.HelloAck
 	complete wire.Complete
 	abort    wire.Abort
+	resume   wire.Resume
+	have     wire.Have
 }
 
 // readControlFrame consumes exactly one control message from the stream:
@@ -70,12 +72,26 @@ func readControlFrame(ctl net.Conn) (controlFrame, error) {
 	if _, err := io.ReadFull(ctl, buf[len(hdr):]); err != nil {
 		return f, err
 	}
-	if typ == wire.TypeHelloX {
+	// The variable-length frames — HELLOX and HAVE — carry their trailer
+	// length inside the fixed prefix (a position every revision keeps), so
+	// the reader sizes the trailer before decoding.
+	switch typ {
+	case wire.TypeHelloX:
 		n, err := wire.HelloXStripeCount(buf)
 		if err != nil {
 			return f, fmt.Errorf("udprt: bad control frame: %w", err)
 		}
 		trailer := make([]byte, n*wire.StripeDescLen)
+		if _, err := io.ReadFull(ctl, trailer); err != nil {
+			return f, err
+		}
+		buf = append(buf, trailer...)
+	case wire.TypeHave:
+		n, err := wire.HaveWordCount(buf)
+		if err != nil {
+			return f, fmt.Errorf("udprt: bad control frame: %w", err)
+		}
+		trailer := make([]byte, n*8)
 		if _, err := io.ReadFull(ctl, trailer); err != nil {
 			return f, err
 		}
@@ -93,6 +109,10 @@ func readControlFrame(ctl net.Conn) (controlFrame, error) {
 		f.complete, err = wire.DecodeComplete(buf)
 	case wire.TypeAbort:
 		f.abort, err = wire.DecodeAbort(buf)
+	case wire.TypeResume:
+		f.resume, err = wire.DecodeResume(buf)
+	case wire.TypeHave:
+		f.have, err = wire.DecodeHave(buf)
 	}
 	return f, err
 }
@@ -108,6 +128,22 @@ func writeAbort(ctl net.Conn, transfer uint32, reason wire.AbortReason) {
 	ctl.SetWriteDeadline(time.Now().Add(2 * time.Second))
 	ctl.Write(msg)
 	ctl.SetWriteDeadline(time.Time{})
+}
+
+// writeHave accepts a RESUME on the control channel: the receiver's
+// got-bitmap tells the sender exactly which packets to skip.
+func writeHave(ctl net.Conn, transfer uint32, received int, words []uint64) error {
+	msg := wire.AppendHave(nil, &wire.Have{
+		Transfer: transfer,
+		Received: uint32(received),
+		Words:    words,
+	})
+	ctl.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	defer ctl.SetWriteDeadline(time.Time{})
+	if _, err := ctl.Write(msg); err != nil {
+		return fmt.Errorf("udprt: have write: %w", err)
+	}
+	return nil
 }
 
 // writeHelloAck accepts a handshake on the control channel.

@@ -22,9 +22,10 @@ import (
 // rejected with an ABORT (duplicate transfer id) rather than silently
 // dropped, so the colliding sender fails fast instead of timing out.
 type Server struct {
-	tcp  *net.TCPListener
-	udp  *net.UDPConn
-	opts Options
+	tcp   *net.TCPListener
+	udp   *net.UDPConn
+	opts  Options
+	store *resumeStore
 
 	mu        sync.Mutex
 	transfers map[uint32]*serverTransfer
@@ -53,6 +54,7 @@ func NewServer(addr string, opts Options) (*Server, error) {
 		tcp:       l.tcp,
 		udp:       l.udp,
 		opts:      l.opts,
+		store:     l.store,
 		transfers: make(map[uint32]*serverTransfer),
 	}, nil
 }
@@ -124,14 +126,14 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	defer ctl.Close()
 	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
-		if errors.Is(err, wire.ErrHelloXVersion) {
+		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) {
 			writeAbort(ctl, 0, wire.AbortUnsupported)
 		} else {
 			writeAbort(ctl, 0, wire.AbortBadHello)
 		}
 		return
 	}
-	if plan.striped() {
+	if plan.striped() || (plan.resume && plan.resumeStreams > 1) {
 		// Receive-side striping for the concurrent server is not built
 		// yet (see ROADMAP.md); refuse cleanly so the striped sender
 		// fails its handshake instead of stalling out.
@@ -144,11 +146,35 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 		PacketSize: uint32(plan.packetSize),
 	}
 	st := &serverTransfer{complete: make(chan struct{}), lastData: time.Now()}
-	rcv := core.NewReceiver(int64(hello.ObjectSize), core.Config{
+	cfg := core.Config{
 		PacketSize:   int(hello.PacketSize),
 		Transfer:     hello.Transfer,
 		AckFrequency: core.DefaultAckFrequency,
-	})
+	}
+	var rcv *core.Receiver
+	restored := 0
+	var haveWords []uint64
+	haveReceived, finished := 0, false
+	if plan.resume {
+		ret, reason := s.store.claim(plan.resumeFrame())
+		if ret == nil {
+			writeAbort(ctl, plan.base, reason)
+			return
+		}
+		rcv = core.NewReceiverInto(ret.obj, cfg)
+		if restored, err = rcv.Restore(ret.words); err != nil {
+			writeAbort(ctl, plan.base, wire.AbortResumeUnknown)
+			return
+		}
+		// Snapshot the HAVE payload before the transfer is published to the
+		// data loop: stragglers from the interrupted run may start mutating
+		// the bitmap the moment the map insert lands.
+		haveWords = rcv.HaveWords(nil)
+		haveReceived = rcv.Stats().Received
+		finished = rcv.Complete()
+	} else {
+		rcv = core.NewReceiver(int64(hello.ObjectSize), cfg)
+	}
 
 	s.mu.Lock()
 	if _, dup := s.transfers[hello.Transfer]; dup {
@@ -167,6 +193,7 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	st.eng = newReceiverEngine(rcv,
 		s.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize)),
 		s.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize)))
+	st.eng.finished = finished
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
 	defer func() {
@@ -175,11 +202,32 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 		s.mu.Unlock()
 	}()
 
-	if err := writeHelloAck(ctl, hello.Transfer); err != nil {
+	// retain parks the transfer's partial state (under the engine lock —
+	// the data loop may still be ingesting) so a later RESUME can claim it.
+	retain := func() {
+		st.mu.Lock()
+		s.store.retainReceiver(plan.base, plan.objectSize, plan.packetSize,
+			rcv, plan.resumeDigest, plan.resume)
+		st.mu.Unlock()
+	}
+	if plan.resume {
+		st.eng.tm.NoteRestored(restored)
+		err = writeHave(ctl, hello.Transfer, haveReceived, haveWords)
+	} else {
+		err = writeHelloAck(ctl, hello.Transfer)
+	}
+	if err != nil {
+		if plan.resume {
+			retain() // the sender never saw our acceptance; stay claimable
+		}
 		finishInstruments(st.eng.tm, st.eng.fr, err)
 		return
 	}
 	noteHandshake(st.eng.tm, st.eng.fr)
+	if finished {
+		// Fully restored: nothing left on the wire, complete immediately.
+		close(st.complete)
+	}
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so it is safe to watch for sender death while waiting.
 	abortCh := watchControl(ctl, hello.Transfer)
@@ -201,11 +249,13 @@ wait:
 			break wait
 		case <-ctx.Done():
 			writeAbort(ctl, hello.Transfer, wire.AbortCancelled)
+			retain()
 			abortInstruments(st.eng.tm, st.eng.fr, wire.AbortCancelled)
 			return
 		case err := <-abortCh:
 			// Sender aborted or its control connection died; the data
 			// loop's packets for this id stop mattering once we deregister.
+			retain()
 			finishInstruments(st.eng.tm, st.eng.fr, err)
 			return
 		case <-idleC:
@@ -217,6 +267,7 @@ wait:
 			st.mu.Unlock()
 			if idle {
 				writeAbort(ctl, hello.Transfer, wire.AbortIdleTimeout)
+				retain()
 				abortInstruments(st.eng.tm, st.eng.fr, wire.AbortIdleTimeout)
 				return
 			}
@@ -224,11 +275,18 @@ wait:
 	}
 	// The object is fully received at this point, whatever becomes of the
 	// COMPLETE control write below.
-	finishInstruments(st.eng.tm, st.eng.fr, nil)
 	st.mu.Lock()
 	obj := st.eng.rcv.Object()
 	rstats := st.eng.rcv.Stats()
 	st.mu.Unlock()
+	if plan.resume && wire.ObjectDigest(obj) != plan.resumeDigest {
+		// The retained bytes plus the resumed run assembled a different
+		// object than the sender announced — unrecoverable for this id.
+		writeAbort(ctl, hello.Transfer, wire.AbortDigestMismatch)
+		abortInstruments(st.eng.tm, st.eng.fr, wire.AbortDigestMismatch)
+		return
+	}
+	finishInstruments(st.eng.tm, st.eng.fr, nil)
 	if err := writeComplete(ctl, hello.Transfer, hello.ObjectSize, obj); err != nil {
 		return
 	}

@@ -152,10 +152,10 @@ func (is *IncomingSession) Close() error { return is.ctl.Close() }
 func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats, error) {
 	plan, err := readTransferPlan(ctx, is.ctl)
 	if err != nil {
-		if errors.Is(err, wire.ErrHelloXVersion) {
+		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) {
 			writeAbort(is.ctl, 0, wire.AbortUnsupported)
 		}
 		return nil, core.ReceiverStats{}, err
 	}
-	return acceptTransfer(ctx, plan, is.sl.l.udp, is.ctl, is.sl.l.opts, false)
+	return acceptTransfer(ctx, plan, is.sl.l.udp, is.ctl, is.sl.l.opts, false, is.sl.l.store)
 }

@@ -149,6 +149,7 @@ func (p *senderPlan) stats() core.SenderStats {
 		t.StaleAcks += s.StaleAcks
 		t.KnownReceived += s.KnownReceived
 		t.Stalls += s.Stalls
+		t.Restored += s.Restored
 	}
 	return t
 }
@@ -304,6 +305,12 @@ type recvPlan struct {
 	objectSize uint64
 	packetSize int
 	stripes    []wire.StripeDesc // nil for a classic HELLO
+	// RESUME announcements re-propose an aborted transfer: resumeDigest is
+	// the sender's whole-object CRC and resumeStreams its stream count
+	// (resume is defined for single-flow transfers only).
+	resume        bool
+	resumeDigest  uint32
+	resumeStreams int
 }
 
 func (p recvPlan) striped() bool { return p.stripes != nil }
@@ -347,6 +354,8 @@ func sumRecvStats(engines []*receiverEngine) core.ReceiverStats {
 	for _, e := range engines {
 		s := e.rcv.Stats()
 		t.Received += s.Received
+		t.Restored += s.Restored
+		t.PacketsNeeded += s.PacketsNeeded
 		t.Duplicates += s.Duplicates
 		t.AcksBuilt += s.AcksBuilt
 		t.Rejected += s.Rejected
@@ -356,10 +365,16 @@ func sumRecvStats(engines []*receiverEngine) core.ReceiverStats {
 }
 
 // acceptTransfer runs one announced inbound transfer to completion over
-// the listener's UDP socket: HELLO-ACK, the shared receive loop demuxing
-// every stripe, then the single COMPLETE carrying the whole-object
-// digest. Listener.Accept and IncomingSession.Next are thin wrappers.
-func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl net.Conn, opts Options, watchCtl bool) ([]byte, core.ReceiverStats, error) {
+// the listener's UDP socket: HELLO-ACK (or, for a RESUME announcement, the
+// HAVE bitmap of retained state), the shared receive loop demuxing every
+// stripe, then the single COMPLETE carrying the whole-object digest.
+// Listener.Accept and IncomingSession.Next are thin wrappers. A failed
+// single-flow transfer leaves its partial state in the resume store so a
+// RESUME within the window can finish it.
+func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl net.Conn, opts Options, watchCtl bool, store *resumeStore) ([]byte, core.ReceiverStats, error) {
+	if plan.resume {
+		return acceptResumedTransfer(ctx, plan, udp, ctl, opts, watchCtl, store)
+	}
 	obj, engines := newRecvEngines(plan, opts)
 	finishAll := func(err error) {
 		for _, e := range engines {
@@ -376,6 +391,9 @@ func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl ne
 		byTag[e.rcv.Config().Transfer] = e
 	}
 	if err := runReceiveLoop(ctx, byTag, plan.base, udp, ctl, opts, watchCtl); err != nil {
+		if !plan.striped() {
+			store.retainReceiver(plan.base, plan.objectSize, plan.packetSize, engines[0].rcv, 0, false)
+		}
 		finishAll(err)
 		return nil, sumRecvStats(engines), err
 	}

@@ -102,6 +102,24 @@ type Options struct {
 	// instrumentation is allocation-free on the hot paths; leaving the
 	// field nil costs one predictable nil check per event.
 	Metrics *metrics.Registry
+	// Retry, when non-nil, wraps Send in a retry supervisor: failed
+	// attempts are classified (see IsRetryable), re-dialed with jittered
+	// exponential backoff under the policy's budget, and — when the
+	// previous attempt already placed data and the transfer is
+	// single-stream — reopened with a RESUME handshake so the receiver's
+	// HAVE bitmap excuses every packet it already holds. Peers without
+	// RESUME support degrade each retry to a fresh transfer.
+	Retry *RetryPolicy
+	// ResumeWindow is how long a listener or server retains the partial
+	// state (buffer + got-bitmap) of an aborted inbound transfer so a
+	// RESUME under the same transfer id can complete it (default 60s;
+	// negative disables retention and refuses every RESUME).
+	ResumeWindow time.Duration
+	// Checkpoint, when non-empty, is a directory where retained transfer
+	// state is also persisted as checkpoint files, so a restarted receiver
+	// process can still answer RESUME for transfers aborted before the
+	// restart. Files are removed when claimed or when the window lapses.
+	Checkpoint string
 	// Record, when non-nil, captures a packet-level flight recording of
 	// every transfer this endpoint runs: each data send with its attempt
 	// number, each acknowledgement with the packets it newly covered,
@@ -151,6 +169,9 @@ func (o Options) withDefaults() Options {
 	if o.Streams < 1 {
 		o.Streams = 1
 	}
+	if o.ResumeWindow == 0 {
+		o.ResumeWindow = 60 * time.Second
+	}
 	return o
 }
 
@@ -176,9 +197,10 @@ const writeErrLimit = 8
 // Listener accepts incoming FOBS transfers on a TCP control port and a UDP
 // data socket bound to the same port number.
 type Listener struct {
-	tcp  *net.TCPListener
-	udp  *net.UDPConn
-	opts Options
+	tcp   *net.TCPListener
+	udp   *net.UDPConn
+	opts  Options
+	store *resumeStore
 }
 
 // Listen binds addr (e.g. "127.0.0.1:7700") for control (TCP) and data
@@ -203,7 +225,7 @@ func Listen(addr string, opts Options) (*Listener, error) {
 	// prescribe.
 	_ = ul.SetReadBuffer(opts.ReadBuffer)
 	_ = ul.SetWriteBuffer(opts.WriteBuffer)
-	return &Listener{tcp: tl, udp: ul, opts: opts}, nil
+	return &Listener{tcp: tl, udp: ul, opts: opts, store: newResumeStore(opts)}, nil
 }
 
 // Addr returns the control address the listener is bound to.
@@ -245,7 +267,7 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 
 	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
-		if errors.Is(err, wire.ErrHelloXVersion) {
+		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) {
 			// A future protocol revision we cannot place: refuse cleanly
 			// so the peer fails its handshake instead of blasting data.
 			writeAbort(ctl, 0, wire.AbortUnsupported)
@@ -254,7 +276,7 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 	}
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so the receive loop may watch it for sender death.
-	return acceptTransfer(ctx, plan, l.udp, ctl, l.opts, true)
+	return acceptTransfer(ctx, plan, l.udp, ctl, l.opts, true, l.store)
 }
 
 // finishMetrics stamps the transfer's terminal state: completed on nil
@@ -402,6 +424,15 @@ func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 			packetSize: int(f.hellox.PacketSize),
 			stripes:    f.hellox.Stripes,
 		}, nil
+	case wire.TypeResume:
+		return recvPlan{
+			base:          f.resume.Transfer,
+			objectSize:    f.resume.ObjectSize,
+			packetSize:    int(f.resume.PacketSize),
+			resume:        true,
+			resumeDigest:  f.resume.Digest,
+			resumeStreams: int(f.resume.Streams),
+		}, nil
 	default:
 		return recvPlan{}, fmt.Errorf("udprt: expected HELLO, got control frame type %d", f.typ)
 	}
@@ -412,11 +443,23 @@ func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 // by the caller (zero is fine for a single transfer). With Options.Streams
 // > 1 the object is split into contiguous stripes, each with its own tag
 // (base+i), flow and engine; the returned statistics sum over stripes.
+// With Options.Retry set, failed transfers are retried (resuming from the
+// receiver's retained state when possible) and the returned statistics are
+// the final attempt's.
 func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Options) (core.SenderStats, error) {
 	opts = opts.withDefaults()
 	if len(obj) == 0 {
 		return core.SenderStats{}, errors.New("udprt: empty object")
 	}
+	if opts.Retry != nil {
+		return sendSupervised(ctx, addr, obj, cfg, opts)
+	}
+	return sendOnce(ctx, addr, obj, cfg, opts)
+}
+
+// sendOnce is one un-supervised transfer attempt: the whole classic Send
+// path, handshake to verdict.
+func sendOnce(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Options) (core.SenderStats, error) {
 	plan, err := newSenderPlan(obj, cfg, opts)
 	if err != nil {
 		return core.SenderStats{}, err
@@ -514,7 +557,7 @@ func readCompletion(ctl net.Conn, obj []byte) error {
 		return fmt.Errorf("udprt: receiver reports %d bytes, sent %d", c.Received, len(obj))
 	}
 	if want := wire.ObjectDigest(obj); c.Digest != want {
-		return fmt.Errorf("udprt: object digest mismatch: receiver %08x, sender %08x", c.Digest, want)
+		return fmt.Errorf("udprt: receiver %08x, sender %08x: %w", c.Digest, want, ErrDigestMismatch)
 	}
 	return nil
 }

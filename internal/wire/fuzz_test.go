@@ -73,6 +73,14 @@ func captureFrames(tb testing.TB) (datas, acks, control [][]byte) {
 			Transfer: cfg.Transfer, Received: uint64(len(obj)), Digest: wire.ObjectDigest(rcv.Object()),
 		}),
 		wire.AppendAbort(nil, &wire.Abort{Transfer: cfg.Transfer, Reason: wire.AbortStalled}),
+		wire.AppendResume(nil, &wire.Resume{
+			Transfer: cfg.Transfer, ObjectSize: uint64(len(obj)),
+			PacketSize: uint32(cfg.PacketSize), Digest: wire.ObjectDigest(obj),
+		}),
+		wire.AppendHave(nil, &wire.Have{
+			Transfer: cfg.Transfer, Received: uint32(len(datas)),
+			Words: rcv.HaveWords(nil),
+		}),
 	}
 	return datas, acks, control
 }
@@ -144,6 +152,18 @@ func FuzzDecodeControl(f *testing.F) {
 			{Transfer: 7, Offset: 4096, Length: 904},
 		},
 	}))
+	f.Add(wire.AppendResume(nil, &wire.Resume{
+		Transfer: 3, ObjectSize: 9000, PacketSize: 512, Digest: 0x01020304,
+	}))
+	have := wire.AppendHave(nil, &wire.Have{Transfer: 3, Received: 64, Words: []uint64{^uint64(0), 1}})
+	f.Add(have)
+	// Truncated bitmap: the fixed prefix promises two words but only one
+	// follows. Must come back ErrShort, never a partial decode.
+	f.Add(have[:len(have)-8])
+	// Future-version RESUME: decoder must refuse before layout parsing.
+	futureResume := wire.AppendResume(nil, &wire.Resume{Transfer: 4, ObjectSize: 100, PacketSize: 64})
+	futureResume[3] = wire.ResumeVersion + 1
+	f.Add(futureResume)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if h, err := wire.DecodeHello(b); err == nil {
 			if _, err := wire.DecodeHello(wire.AppendHello(nil, &h)); err != nil {
@@ -172,6 +192,20 @@ func FuzzDecodeControl(f *testing.F) {
 		if a, err := wire.DecodeAbort(b); err == nil {
 			if re, err := wire.DecodeAbort(wire.AppendAbort(nil, &a)); err != nil || re != a {
 				t.Fatalf("abort re-decode failed: %v (%+v vs %+v)", err, re, a)
+			}
+		}
+		if r, err := wire.DecodeResume(b); err == nil {
+			if re, err := wire.DecodeResume(wire.AppendResume(nil, &r)); err != nil || re != r {
+				t.Fatalf("resume re-decode failed: %v (%+v vs %+v)", err, re, r)
+			}
+		}
+		if h, err := wire.DecodeHave(b); err == nil {
+			re, err := wire.DecodeHave(wire.AppendHave(nil, &h))
+			if err != nil {
+				t.Fatalf("have re-decode failed: %v", err)
+			}
+			if re.Transfer != h.Transfer || re.Received != h.Received || len(re.Words) != len(h.Words) {
+				t.Fatalf("re-encode changed the have: %+v vs %+v", re, h)
 			}
 		}
 		// Any frame the stream framer would read must have a stable length.

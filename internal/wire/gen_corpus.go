@@ -66,6 +66,13 @@ func main() {
 			Transfer: cfg.Transfer, Received: uint64(len(obj)), Digest: wire.ObjectDigest(rcv.Object()),
 		}),
 		wire.AppendAbort(nil, &wire.Abort{Transfer: cfg.Transfer, Reason: wire.AbortStalled}),
+		wire.AppendResume(nil, &wire.Resume{
+			Transfer: cfg.Transfer, ObjectSize: uint64(len(obj)),
+			PacketSize: uint32(cfg.PacketSize), Digest: wire.ObjectDigest(obj),
+		}),
+		wire.AppendHave(nil, &wire.Have{
+			Transfer: cfg.Transfer, Received: 3, Words: []uint64{^uint64(0), 0, 0b101},
+		}),
 	}
 
 	// A handful of representative frames per target keeps the committed

@@ -34,6 +34,8 @@ const (
 	TypeHelloAck uint8 = 5 // control channel, receiver accepts the transfer
 	TypeAbort    uint8 = 6 // control channel, either side terminates the transfer
 	TypeHelloX   uint8 = 7 // control channel, versioned extended announcement (striping)
+	TypeResume   uint8 = 8 // control channel, versioned request to resume an interrupted transfer
+	TypeHave     uint8 = 9 // control channel, receiver's got-bitmap summary answering a RESUME
 )
 
 // Header sizes in bytes.
@@ -49,6 +51,13 @@ const (
 	// bytes per stripe follow.
 	HelloXFixedLen = 2 + 1 + 1 + 2 + 4 + 8 + 4
 	StripeDescLen  = 4 + 8 + 8
+	// ResumeLen is a RESUME frame:
+	// magic,type,version,streams(2),xfer,objsize,psize,digest = 26.
+	ResumeLen = 2 + 1 + 1 + 2 + 4 + 8 + 4 + 4
+	// HaveFixedLen is the fixed prefix of a HAVE frame:
+	// magic,type,flags,xfer,received,words = 16; 8 bytes per bitmap word
+	// follow.
+	HaveFixedLen = 2 + 1 + 1 + 4 + 4 + 4
 )
 
 // Flag bits in the data header.
@@ -73,6 +82,10 @@ var (
 	// build knows, so an unknown version must be refused outright (the
 	// runtime answers with an ABORT) rather than half-parsed.
 	ErrHelloXVersion = errors.New("wire: unsupported HELLOX version")
+	// ErrResumeVersion rejects a RESUME from a future protocol revision,
+	// for the same reason: the runtime answers with an ABORT (unsupported)
+	// and the sender degrades to a fresh classic-HELLO transfer.
+	ErrResumeVersion = errors.New("wire: unsupported RESUME version")
 )
 
 // Data is one object packet. Seq numbers the packet within the object;
@@ -459,6 +472,140 @@ func DecodeHelloX(b []byte) (HelloX, error) {
 	return h, nil
 }
 
+// ResumeVersion is the RESUME revision this build speaks. Decoders reject
+// anything newer with ErrResumeVersion; the runtimes turn that into an
+// ABORT (unsupported) and the sender falls back to a fresh transfer.
+const ResumeVersion uint8 = 1
+
+// MaxHaveWords bounds the bitmap a HAVE frame may carry. At 64 packets per
+// word it covers objects of up to 2^28 packets while capping the trailer a
+// hostile control peer can make a sender buffer at 32 MiB.
+const MaxHaveWords = 1 << 22
+
+// Resume asks the receiver to continue an interrupted transfer instead of
+// starting over. Transfer, ObjectSize and PacketSize must match the
+// original announcement exactly; Digest is the whole-object CRC-32C so a
+// receiver never grafts retained bytes onto a different object. Streams is
+// the stream count of the resumed transfer (v1 only defines 1).
+type Resume struct {
+	Version    uint8
+	Streams    uint16
+	Transfer   uint32
+	ObjectSize uint64
+	PacketSize uint32
+	Digest     uint32
+}
+
+// AppendResume serializes r onto buf.
+func AppendResume(buf []byte, r *Resume) []byte {
+	v := r.Version
+	if v == 0 {
+		v = ResumeVersion
+	}
+	s := r.Streams
+	if s == 0 {
+		s = 1
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeResume, v)
+	buf = binary.BigEndian.AppendUint16(buf, s)
+	buf = binary.BigEndian.AppendUint32(buf, r.Transfer)
+	buf = binary.BigEndian.AppendUint64(buf, r.ObjectSize)
+	buf = binary.BigEndian.AppendUint32(buf, r.PacketSize)
+	return binary.BigEndian.AppendUint32(buf, r.Digest)
+}
+
+// DecodeResume parses a RESUME control message. Unknown future versions are
+// refused with ErrResumeVersion before any layout assumptions are made; the
+// caller maps that onto AbortUnsupported.
+func DecodeResume(b []byte) (Resume, error) {
+	var r Resume
+	if len(b) < ResumeLen {
+		return r, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return r, ErrBadMagic
+	}
+	if b[2] != TypeResume {
+		return r, ErrBadType
+	}
+	r.Version = b[3]
+	if r.Version != ResumeVersion {
+		return r, fmt.Errorf("%w: got %d, speak %d", ErrResumeVersion, r.Version, ResumeVersion)
+	}
+	r.Streams = binary.BigEndian.Uint16(b[4:])
+	if r.Streams < 1 || r.Streams > MaxStreams {
+		return r, fmt.Errorf("wire: resume stream count %d outside 1..%d", r.Streams, MaxStreams)
+	}
+	r.Transfer = binary.BigEndian.Uint32(b[6:])
+	r.ObjectSize = binary.BigEndian.Uint64(b[10:])
+	r.PacketSize = binary.BigEndian.Uint32(b[18:])
+	r.Digest = binary.BigEndian.Uint32(b[22:])
+	if r.PacketSize == 0 {
+		return r, errors.New("wire: resume with zero packet size")
+	}
+	return r, nil
+}
+
+// Have is the receiver's answer to an accepted RESUME: a summary of what it
+// already holds. Received counts distinct packets held; Words is the full
+// got-bitmap (word 0 covers packets 0–63, bit i of word w is packet
+// w*64+i), so the sender can mark them acknowledged and transmit only the
+// gaps. Accepting a RESUME with a HAVE replaces the HELLO-ACK.
+type Have struct {
+	Transfer uint32
+	Received uint32
+	Words    []uint64
+}
+
+// HaveLen returns the framed length of a HAVE carrying n bitmap words.
+func HaveLen(n int) int { return HaveFixedLen + n*8 }
+
+// AppendHave serializes h onto buf. The word count rides inside the fixed
+// prefix so a stream reader can size the trailer, like HELLOX.
+func AppendHave(buf []byte, h *Have) []byte {
+	if len(h.Words) < 1 || len(h.Words) > MaxHaveWords {
+		panic(fmt.Sprintf("wire: %d have words outside 1..%d", len(h.Words), MaxHaveWords))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeHave, 0)
+	buf = binary.BigEndian.AppendUint32(buf, h.Transfer)
+	buf = binary.BigEndian.AppendUint32(buf, h.Received)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(h.Words)))
+	for _, w := range h.Words {
+		buf = binary.BigEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeHave parses a HAVE control message, allocating a fresh word slice.
+func DecodeHave(b []byte) (Have, error) {
+	var h Have
+	if len(b) < HaveFixedLen {
+		return h, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[2] != TypeHave {
+		return h, ErrBadType
+	}
+	h.Transfer = binary.BigEndian.Uint32(b[4:])
+	h.Received = binary.BigEndian.Uint32(b[8:])
+	n, err := HaveWordCount(b)
+	if err != nil {
+		return h, err
+	}
+	if len(b) < HaveLen(n) {
+		return h, ErrShort
+	}
+	h.Words = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		h.Words[i] = binary.BigEndian.Uint64(b[HaveFixedLen+8*i:])
+	}
+	return h, nil
+}
+
 // AbortReason explains why a transfer was terminated.
 type AbortReason uint8
 
@@ -483,6 +630,15 @@ const (
 	// cannot serve: a HELLOX from a future protocol version, or striping
 	// toward an endpoint without stripe reassembly.
 	AbortUnsupported
+	// AbortDigestMismatch rejects a RESUME whose object digest disagrees
+	// with the retained partial transfer, or reports an assembled object
+	// whose digest check failed. The sender must not retry: the two sides
+	// hold different objects.
+	AbortDigestMismatch
+	// AbortResumeUnknown rejects a RESUME for a transfer this endpoint
+	// holds no retained state for (expired, evicted, or never seen). The
+	// sender degrades to a fresh transfer.
+	AbortResumeUnknown
 )
 
 func (r AbortReason) String() string {
@@ -501,6 +657,10 @@ func (r AbortReason) String() string {
 		return "handshake rejected"
 	case AbortUnsupported:
 		return "unsupported by peer"
+	case AbortDigestMismatch:
+		return "object digest mismatch"
+	case AbortResumeUnknown:
+		return "no resumable state for transfer"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
@@ -541,9 +701,9 @@ func DecodeAbort(b []byte) (Abort, error) {
 
 // ControlLen returns the frame length of a control message type, letting a
 // stream reader consume exactly one frame after peeking the 4-byte header.
-// For the variable-length TypeHelloX it returns the fixed prefix length;
-// the full frame is that prefix plus StripeDescLen bytes per announced
-// stripe (the count sits at bytes 4–5, inside the prefix).
+// For the variable-length TypeHelloX and TypeHave it returns the fixed
+// prefix length; the full frame is that prefix plus a trailer sized by a
+// count inside the prefix (HelloXStripeCount / HaveWordCount).
 func ControlLen(typ uint8) (int, error) {
 	switch typ {
 	case TypeHello:
@@ -556,6 +716,10 @@ func ControlLen(typ uint8) (int, error) {
 		return AbortLen, nil
 	case TypeHelloX:
 		return HelloXFixedLen, nil
+	case TypeResume:
+		return ResumeLen, nil
+	case TypeHave:
+		return HaveFixedLen, nil
 	default:
 		return 0, ErrBadType
 	}
@@ -575,6 +739,21 @@ func HelloXStripeCount(b []byte) (int, error) {
 	return n, nil
 }
 
+// HaveWordCount reads the bitmap word count out of a HAVE frame prefix
+// (at least HaveFixedLen bytes), bounds-checked against MaxHaveWords, so a
+// stream reader can size the variable trailer before parsing the whole
+// frame.
+func HaveWordCount(b []byte) (int, error) {
+	if len(b) < HaveFixedLen {
+		return 0, ErrShort
+	}
+	n := int(binary.BigEndian.Uint32(b[12:]))
+	if n < 1 || n > MaxHaveWords {
+		return 0, fmt.Errorf("wire: have word count %d outside 1..%d", n, MaxHaveWords)
+	}
+	return n, nil
+}
+
 // PeekType returns the message type of a datagram without fully decoding
 // it, or an error if it cannot possibly be a FOBS message.
 func PeekType(b []byte) (uint8, error) {
@@ -585,7 +764,7 @@ func PeekType(b []byte) (uint8, error) {
 		return 0, ErrBadMagic
 	}
 	t := b[2]
-	if t < TypeData || t > TypeHelloX {
+	if t < TypeData || t > TypeHave {
 		return 0, ErrBadType
 	}
 	return t, nil
