@@ -51,6 +51,7 @@ bench-json:
 		| $(GO) run ./cmd/fobs-benchjson > BENCH_udprt.json
 	@grep -A4 '"ratios"' BENCH_udprt.json | head -8 || true
 	@grep -A4 '"overheads"' BENCH_udprt.json | head -8 || true
+	@grep -A4 '"policies"' BENCH_udprt.json | head -8 || true
 
 # Statement coverage with a per-package summary. The full profile lands in
 # cover.out for `go tool cover -html=cover.out`; the summary totals are

@@ -10,7 +10,9 @@
 // .../scalar are additionally paired into speedup ratios, since the whole
 // point of the fast path is the multiple between those two rows; .../bare
 // and .../recorded pairs likewise become overhead ratios, pinning the cost
-// of the flight recorder against the uninstrumented hot path.
+// of the flight recorder against the uninstrumented hot path. Rows named
+// .../cc=<policy> are grouped into a per-policy section that normalizes
+// each congestion policy's throughput against the fixed (greedy) baseline.
 package main
 
 import (
@@ -50,12 +52,25 @@ type Overhead struct {
 	Overhead float64 `json:"overhead"`
 }
 
+// Policy is one congestion policy's row of a .../cc=<name> benchmark
+// group. Relative is this policy's value over the fixed policy's value for
+// the same metric, so on throughput-like metrics relative < 1 is the share
+// of the greedy ceiling the adaptive policy keeps on an uncontended path.
+type Policy struct {
+	Name     string  `json:"name"`
+	Policy   string  `json:"policy"`
+	Metric   string  `json:"metric"`
+	Value    float64 `json:"value"`
+	Relative float64 `json:"relative"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Env        map[string]string `json:"env"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Ratios     []Ratio           `json:"ratios"`
 	Overheads  []Overhead        `json:"overheads"`
+	Policies   []Policy          `json:"policies"`
 }
 
 // parseLine parses one `BenchmarkX-8  1234  56.7 ns/op  8.9 MB/s ...` row.
@@ -171,6 +186,37 @@ func main() {
 		}
 	}
 
+	for _, b := range rep.Benchmarks {
+		i := strings.LastIndex(b.Name, "/cc=")
+		if i < 0 {
+			continue
+		}
+		base, policy := b.Name[:i], b.Name[i+len("/cc="):]
+		fixed, ok := byName[base+"/cc=fixed"]
+		if !ok {
+			continue
+		}
+		for metric, v := range b.Metrics {
+			fv, ok := fixed.Metrics[metric]
+			if !ok || fv == 0 {
+				continue
+			}
+			rep.Policies = append(rep.Policies, Policy{
+				Name: base, Policy: policy, Metric: metric,
+				Value: v, Relative: v / fv,
+			})
+		}
+	}
+
+	sort.Slice(rep.Policies, func(i, j int) bool {
+		if rep.Policies[i].Name != rep.Policies[j].Name {
+			return rep.Policies[i].Name < rep.Policies[j].Name
+		}
+		if rep.Policies[i].Policy != rep.Policies[j].Policy {
+			return rep.Policies[i].Policy < rep.Policies[j].Policy
+		}
+		return rep.Policies[i].Metric < rep.Policies[j].Metric
+	})
 	sort.Slice(rep.Overheads, func(i, j int) bool {
 		if rep.Overheads[i].Name != rep.Overheads[j].Name {
 			return rep.Overheads[i].Name < rep.Overheads[j].Name

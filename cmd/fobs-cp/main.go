@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,7 +68,9 @@ func run() error {
 		packetSize = flag.Int("packet-size", fobs.PacketSize, "data packet payload bytes")
 		checksum   = flag.Bool("checksum", true, "CRC-32C every data packet in addition to per-file checksums")
 		pace       = flag.Duration("pace", 0, "per-packet pacing delay (loopback/LAN tuning)")
-		streams    = flag.Int("streams", 1,
+		cc         = flag.String("cc", fobs.CCFixed,
+			fmt.Sprintf("congestion control policy (%s; with -send)", strings.Join(fobs.CongestionPolicies(), ", ")))
+		streams = flag.Int("streams", 1,
 			fmt.Sprintf("parallel stripes per file, each its own UDP flow (1..%d; with -send)", fobs.MaxStreams))
 		timeout = flag.Duration("timeout", time.Hour, "give up after this long")
 
@@ -93,6 +96,7 @@ func run() error {
 	cfg := fobs.Config{PacketSize: *packetSize, Checksum: *checksum}
 	opts := fobs.Options{
 		Pace:         *pace,
+		Congestion:   *cc,
 		Streams:      *streams,
 		ResumeWindow: *resumeWindow,
 		Checkpoint:   *checkpointDir,

@@ -13,6 +13,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/hpcnet/fobs"
@@ -59,7 +60,7 @@ func tcpBaseline(obj []byte) (time.Duration, error) {
 // endpoints share reg and rec (either may be nil) so the bench's
 // transfers show up on the debug endpoint, in the periodic summaries, and
 // in the flight recording.
-func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, streams int, scalar bool, reg *fobs.Metrics, rec *fobs.FlightLog) (time.Duration, float64, error) {
+func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, streams int, cc string, scalar bool, reg *fobs.Metrics, rec *fobs.FlightLog) (time.Duration, float64, error) {
 	l, err := fobs.Listen("127.0.0.1:0", fobs.Options{NoFastPath: scalar, Metrics: reg, Record: rec})
 	if err != nil {
 		return 0, 0, err
@@ -74,7 +75,7 @@ func fobsRun(obj []byte, cfg fobs.Config, pace time.Duration, streams int, scala
 	}()
 	start := time.Now()
 	st, err := fobs.Send(ctx, l.Addr(), obj, cfg,
-		fobs.Options{Pace: pace, Streams: streams, NoFastPath: scalar, Metrics: reg, Record: rec})
+		fobs.Options{Pace: pace, Streams: streams, Congestion: cc, NoFastPath: scalar, Metrics: reg, Record: rec})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -92,8 +93,10 @@ func main() {
 
 func run() error {
 	var (
-		size    = flag.Int64("size", 32<<20, "object size in bytes")
-		pace    = flag.Duration("pace", 5*time.Microsecond, "per-packet pacing (loopback needs a little)")
+		size = flag.Int64("size", 32<<20, "object size in bytes")
+		pace = flag.Duration("pace", 5*time.Microsecond, "per-packet pacing (loopback needs a little)")
+		cc   = flag.String("cc", fobs.CCFixed,
+			fmt.Sprintf("congestion control policy for the sweeps (%s)", strings.Join(fobs.CongestionPolicies(), ", ")))
 		streams = flag.Int("streams", 1,
 			fmt.Sprintf("stripes for the packet-size sweep (1..%d)", fobs.MaxStreams))
 
@@ -150,7 +153,7 @@ func run() error {
 	}
 
 	for _, ps := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, *streams, false, reg, rec)
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: ps}, *pace, *streams, *cc, false, reg, rec)
 		if err != nil {
 			return fmt.Errorf("fobs ps=%d: %w", ps, err)
 		}
@@ -165,12 +168,27 @@ func run() error {
 	// simulated curve from fobs-bench's striping sweep.
 	fmt.Println()
 	for _, n := range []int{1, 2, 4} {
-		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: 8192}, *pace, n, false, reg, rec)
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: 8192}, *pace, n, *cc, false, reg, rec)
 		if err != nil {
 			return fmt.Errorf("fobs streams=%d: %w", n, err)
 		}
 		fmt.Printf("fobs streams=%-2d packet=8192 %8.1f Mb/s   waste %.1f%%\n",
 			n, float64(*size*8)/elapsed.Seconds()/1e6, 100*waste)
+	}
+
+	// Congestion policies side by side on the same path. Loopback is
+	// uncontended, so fixed (the paper's greedy sender) is the ceiling and
+	// the gap below it is what each adaptive policy trades for
+	// TCP-friendliness — run the policies over a lossy path (see
+	// TestCongestionWasteSweep) for the other half of the story.
+	fmt.Println()
+	for _, policy := range fobs.CongestionPolicies() {
+		elapsed, waste, err := fobsRun(obj, fobs.Config{PacketSize: 8192}, *pace, 1, policy, false, reg, rec)
+		if err != nil {
+			return fmt.Errorf("fobs cc=%s: %w", policy, err)
+		}
+		fmt.Printf("fobs cc=%-6s packet=8192 %8.1f Mb/s   waste %.1f%%\n",
+			policy, float64(*size*8)/elapsed.Seconds()/1e6, 100*waste)
 	}
 
 	// Fast path versus scalar with a batch worth vectoring: the paper's
@@ -179,11 +197,11 @@ func run() error {
 	// size, where per-datagram syscall cost dominates.
 	if fobs.FastPathAvailable() {
 		cfg := fobs.Config{PacketSize: 1024, Batch: fobs.FixedBatch(64)}
-		fast, _, err := fobsRun(obj, cfg, *pace, 1, false, reg, rec)
+		fast, _, err := fobsRun(obj, cfg, *pace, 1, *cc, false, reg, rec)
 		if err != nil {
 			return fmt.Errorf("fast path: %w", err)
 		}
-		scalar, _, err := fobsRun(obj, cfg, *pace, 1, true, reg, rec)
+		scalar, _, err := fobsRun(obj, cfg, *pace, 1, *cc, true, reg, rec)
 		if err != nil {
 			return fmt.Errorf("scalar path: %w", err)
 		}

@@ -66,7 +66,9 @@ func run() error {
 		ackFreq    = flag.Int("ack-freq", fobs.DefaultAckFrequency, "receiver ack frequency hint (informational)")
 		batch      = flag.Int("batch", fobs.DefaultBatch, "packets per batch-send operation")
 		pace       = flag.Duration("pace", 0, "extra delay per batch (helps tiny kernel buffers)")
-		streams    = flag.Int("streams", 1,
+		cc         = flag.String("cc", fobs.CCFixed,
+			fmt.Sprintf("congestion control policy (%s)", strings.Join(fobs.CongestionPolicies(), ", ")))
+		streams = flag.Int("streams", 1,
 			fmt.Sprintf("parallel stripes, each its own UDP flow (1..%d)", fobs.MaxStreams))
 		progress = flag.Bool("progress", false, "print transfer progress")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
@@ -128,6 +130,7 @@ func run() error {
 
 	opts := fobs.Options{
 		Pace:             *pace,
+		Congestion:       *cc,
 		Streams:          *streams,
 		StallTimeout:     *stallTimeout,
 		HandshakeTimeout: *handshakeTimeout,

@@ -119,6 +119,26 @@ const DefaultIOBatch = udprt.DefaultIOBatch
 // parallel stripes one striped transfer may announce.
 const MaxStreams = wire.MaxStreams
 
+// Congestion control policies for Options.Congestion. The zero value (and
+// CCFixed) is the paper's greedy sender at its configured rate; the
+// adaptive policies are the related work the paper positions FOBS against,
+// reacting to retransmit-classified loss instead of holding a fixed rate.
+const (
+	// CCFixed sends full batches at the configured rate — bit-identical
+	// to the pre-policy engine and the library default.
+	CCFixed = udprt.CCFixed
+	// CCAIMD is a TCP-friendly window: additive increase per acked
+	// window, halved on each loss epoch.
+	CCAIMD = udprt.CCAIMD
+	// CCSABUL is SABUL-style rate probing: multiplicative backoff on
+	// lossy ack intervals, gentle rate increase on clean ones.
+	CCSABUL = udprt.CCSABUL
+)
+
+// CongestionPolicies lists the selectable congestion policy names, CCFixed
+// first.
+func CongestionPolicies() []string { return udprt.CongestionPolicies() }
+
 // Live observability (see internal/metrics). Point Options.Metrics at a
 // Metrics registry and every transfer the runtime runs — sender or
 // receiver, single, session or server — records its packets, bytes, acks,

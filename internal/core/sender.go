@@ -31,6 +31,12 @@ type SenderStats struct {
 	// KnownReceived but were never sent this run, so a resumed run's
 	// PacketsSent covers only the gaps (plus retransmissions).
 	Restored int
+	// Retransmits counts the packets of PacketsSent whose sequence number
+	// had been sent before this run — the same classification the metrics
+	// layer performs, kept here so rate policy (the udprt congestion
+	// controllers key loss off it) works with instrumentation disabled.
+	// Conservation: PacketsSent = first sends + Retransmits.
+	Retransmits int
 }
 
 // Waste is the paper's wasted-network-resources metric: packets sent beyond
@@ -67,7 +73,11 @@ type Sender struct {
 	obj   []byte
 	n     int
 	acked *bitmap.Bitmap
-	obs   AckObserver
+	// sent marks every sequence number transmitted at least once, so a
+	// repeat selection is classified as a retransmission (test-and-set per
+	// packet, mirroring the metrics layer's sentOnce classifier).
+	sent *bitmap.Bitmap
+	obs  AckObserver
 	// onAcked adapts obs.OnPacketAcked to the bitmap's merge callback; it
 	// is built once in SetObserver so the ack path allocates nothing.
 	onAcked func(i int)
@@ -93,6 +103,7 @@ func NewSender(obj []byte, cfg Config) *Sender {
 		obj:   obj,
 		n:     n,
 		acked: bitmap.New(n),
+		sent:  bitmap.New(n),
 		stats: SenderStats{PacketsNeeded: n},
 	}
 }
@@ -178,6 +189,9 @@ func (s *Sender) NextPacket() (pkt wire.Data, ok bool) {
 	}
 	s.stats.PacketsSent++
 	s.sentSince++
+	if !s.sent.Set(seq) {
+		s.stats.Retransmits++
+	}
 	lo := seq * s.cfg.PacketSize
 	hi := lo + s.cfg.PacketSize
 	if hi > len(s.obj) {
@@ -249,6 +263,16 @@ func (s *Sender) HandleAck(a wire.Ack) error {
 	// The cumulative count can outrun the fragments we have seen; it is
 	// informational only (the bitmap is authoritative for scheduling).
 	return nil
+}
+
+// Acked reports whether the sender's bitmap shows packet seq received.
+// Drivers use it to resolve round-trip probes: the instant a probed
+// sequence number flips acknowledged bounds its network round trip.
+func (s *Sender) Acked(seq int) bool {
+	if seq < 0 || seq >= s.n {
+		return false
+	}
+	return s.acked.Test(seq)
 }
 
 // KnownComplete reports whether the sender's own bitmap already shows every

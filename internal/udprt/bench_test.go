@@ -72,7 +72,7 @@ func BenchmarkBatchFlush(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			k := encodeBatch(snd, ring, benchBatch, nil, nil, 0)
+			k, _ := encodeBatch(snd, ring, benchBatch, nil, nil, 0)
 			if _, err := tx.Send(ring[:k]); err != nil {
 				b.Fatal(err)
 			}
@@ -101,7 +101,7 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			k := encodeBatch(snd, ring, benchBatch, nil, fr, 0)
+			k, _ := encodeBatch(snd, ring, benchBatch, nil, fr, 0)
 			if _, err := tx.Send(ring[:k]); err != nil {
 				b.Fatal(err)
 			}
@@ -210,6 +210,54 @@ func BenchmarkStripedLoopback(b *testing.B) {
 					b.Fatal("object corrupted")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkCCPolicies moves the same object end to end once per congestion
+// policy, so bench-json can put a per-policy throughput number next to the
+// waste curves in EXPERIMENTS.md. On an uncontended loopback path the
+// fixed (greedy) policy is the ceiling; what the adaptive policies give up
+// here is the price of their friendliness, not a regression — the numbers
+// are reported, not gated.
+func BenchmarkCCPolicies(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-socket benchmark skipped in -short mode")
+	}
+	for _, policy := range CongestionPolicies() {
+		b.Run("cc="+policy, func(b *testing.B) {
+			obj := makeObj(8 << 20)
+			opts := Options{IOBatch: benchBatch, Congestion: policy}
+			// The large packet size keeps sabul's bits-per-second probing
+			// from turning a loopback benchmark into a rate-limit test.
+			cfg := core.Config{PacketSize: 8192, Batch: core.FixedBatch(benchBatch)}
+			b.SetBytes(int64(len(obj)))
+			b.ResetTimer()
+			packets := 0
+			for i := 0; i < b.N; i++ {
+				l, err := Listen("127.0.0.1:0", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				var got []byte
+				var rerr error
+				done := make(chan struct{})
+				go func() { defer close(done); got, _, rerr = l.Accept(ctx) }()
+				sst, serr := Send(ctx, l.Addr(), obj, cfg, opts)
+				<-done
+				cancel()
+				l.Close()
+				if serr != nil || rerr != nil {
+					b.Fatalf("send: %v, receive: %v", serr, rerr)
+				}
+				if !bytes.Equal(got, obj) {
+					b.Fatal("object corrupted")
+				}
+				packets += sst.PacketsNeeded
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/s")
 		})
 	}
 }

@@ -1,0 +1,180 @@
+package udprt
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/wire"
+)
+
+// legacyPlanRound is a frozen transcription of the sender engine's
+// pre-Controller round logic (engine.go as of PR 6): the batch policy's
+// ask passes straight through, and the pacing arithmetic was the inline
+//
+//	gap := cfg.Rate.Gap()*time.Duration(sent) + opts.Pace*time.Duration(sent)
+//
+// evaluated after the round's sends. It exists only as the golden test's
+// reference — if the refit ever changes the default schedule, this is the
+// arithmetic the diff shows.
+func legacyPlanRound(snd *core.Sender) int { return snd.BatchSize() }
+
+func legacyGap(cfg core.Config, opts Options, sent int) time.Duration {
+	return cfg.Rate.Gap()*time.Duration(sent) + opts.Pace*time.Duration(sent)
+}
+
+// runFixedSchedule drives one deterministic socketless transfer — real
+// core.Sender and core.Receiver state machines joined by a seeded drop
+// process, acknowledgements delivered with one round of latency exactly
+// as the engine's poll-at-loop-top does — and transcribes the complete
+// packet schedule: per round, the batch ask, every sequence number sent,
+// and the pacing gap charged. With useController it plans rounds through
+// planRound + the fixed Controller (the refit engine's path); otherwise
+// through the frozen legacy arithmetic. The two transcripts must be
+// byte-identical: that equality is the proof the refactor preserves the
+// default sender's behavior bit for bit.
+func runFixedSchedule(t *testing.T, useController bool) string {
+	t.Helper()
+	const (
+		objSize = 8 << 10
+		pace    = 3 * time.Microsecond
+	)
+	cfg := core.Config{
+		PacketSize:   64,
+		AckFrequency: 8,
+		Transfer:     77,
+		Rate:         &core.Backoff{}, // a live, state-carrying gap source
+	}
+	obj := make([]byte, objSize)
+	for i := range obj {
+		obj[i] = byte(i * 131)
+	}
+	snd := core.NewSender(obj, cfg)
+	ecfg := snd.Config()
+	rcv := core.NewReceiver(int64(objSize), ecfg)
+	opts := Options{Pace: pace}
+	var cc Controller
+	if useController {
+		cc = newController(CCFixed, ecfg, opts)
+	}
+	// A seeded drop pattern, so the golden run exercises retransmission
+	// rounds and a moving Backoff gap.
+	drops := rand.New(rand.NewSource(1234))
+
+	var sb strings.Builder
+	var pending []wire.Ack
+	for round := 1; ; round++ {
+		if round > 10000 {
+			t.Fatal("schedule did not complete in 10000 rounds")
+		}
+		// Poll-ack phase: the previous round's acknowledgements arrive.
+		for _, a := range pending {
+			if err := snd.HandleAck(a); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		pending = pending[:0]
+		if snd.KnownComplete() {
+			break
+		}
+		// Plan + send phase.
+		var batch int
+		var gapPer time.Duration
+		if useController {
+			batch, gapPer = planRound(snd.BatchSize(), cc)
+		} else {
+			batch = legacyPlanRound(snd)
+		}
+		fmt.Fprintf(&sb, "round %d: batch=%d seqs=", round, batch)
+		sent := 0
+		for sent < batch {
+			pkt, ok := snd.NextPacket()
+			if !ok {
+				break
+			}
+			if sent > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", pkt.Seq)
+			sent++
+			if drops.Float64() < 0.15 {
+				continue
+			}
+			if ackDue, err := rcv.HandleData(pkt); err != nil {
+				t.Fatalf("round %d: receiver: %v", round, err)
+			} else if ackDue {
+				pending = append(pending, rcv.BuildAck())
+			}
+		}
+		// Pacing phase: transcribe the exact gap the engine would charge.
+		var gap time.Duration
+		if useController {
+			gap = gapPer * time.Duration(sent)
+		} else {
+			gap = legacyGap(ecfg, opts, sent)
+		}
+		fmt.Fprintf(&sb, " sent=%d gap=%d\n", sent, gap)
+		if sent == 0 && len(pending) == 0 {
+			t.Fatalf("round %d: schedule stalled with %d packets missing", round, rcv.Missing())
+		}
+	}
+	st := snd.Stats()
+	fmt.Fprintf(&sb, "done: sent=%d needed=%d retransmits=%d waste=%.4f\n",
+		st.PacketsSent, st.PacketsNeeded, st.Retransmits, st.Waste())
+	return sb.String()
+}
+
+// TestFixedPolicyGoldenSchedule is the refactor's behavior-preservation
+// proof, in two layers: (1) the refit engine path (planRound + the fixed
+// Controller) produces a packet schedule byte-identical to the frozen
+// pre-refactor arithmetic over the same deterministic transfer; (2) both
+// match the committed golden transcript, pinning the default schedule
+// against any future drift. Regenerate the golden with
+// UPDATE_CC_GOLDEN=1 — and be certain the change is intentional, because
+// it means the default sender no longer behaves as it did.
+func TestFixedPolicyGoldenSchedule(t *testing.T) {
+	legacy := runFixedSchedule(t, false)
+	refit := runFixedSchedule(t, true)
+	if legacy != refit {
+		t.Fatalf("fixed policy diverged from the legacy engine arithmetic:\n%s",
+			firstScheduleDiff(legacy, refit))
+	}
+	golden := filepath.Join("testdata", "fixed_schedule.golden")
+	if os.Getenv("UPDATE_CC_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(refit), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_CC_GOLDEN=1 to create): %v", err)
+	}
+	if string(want) != refit {
+		t.Fatalf("schedule drifted from the committed golden:\n%s",
+			firstScheduleDiff(string(want), refit))
+	}
+}
+
+// firstScheduleDiff renders the first differing line of two schedule
+// transcripts, with a little context.
+func firstScheduleDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var av, bv string
+		if i < len(al) {
+			av = al[i]
+		}
+		if i < len(bl) {
+			bv = bl[i]
+		}
+		if av != bv {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, av, bv)
+		}
+	}
+	return "transcripts equal?!"
+}

@@ -62,35 +62,54 @@ type senderEngine struct {
 	opts Options
 	tm   *metrics.Transfer
 	fr   *flight.Recorder
+	// cc is the engine's congestion controller (one per stripe, driven
+	// only from the loop goroutine). Selected by Options.Congestion;
+	// fixed — the paper's greedy sender — by default.
+	cc Controller
 	// io receives the engine's socket-level counters when run returns;
 	// adapters aggregate it into Options.IOCounters.
 	io stats.IOCounters
 }
 
-// newSenderEngine binds one prepared core.Sender to its endpoint.
+// newSenderEngine binds one prepared core.Sender to its endpoint. The
+// opts.Congestion name must already be validated (newSenderPlan does).
 func newSenderEngine(snd *core.Sender, ep senderEndpoint, opts Options, tm *metrics.Transfer, fr *flight.Recorder) *senderEngine {
-	return &senderEngine{senderEndpoint: ep, snd: snd, cfg: snd.Config(), opts: opts, tm: tm, fr: fr}
+	cfg := snd.Config()
+	return &senderEngine{
+		senderEndpoint: ep, snd: snd, cfg: cfg, opts: opts, tm: tm, fr: fr,
+		cc: newController(opts.Congestion, cfg, opts),
+	}
 }
+
+// rttProbeStale bounds how long one round-trip probe stays armed: if the
+// probed packet's acknowledgement has not appeared in a second (lost
+// packet, or a stalled flow), the probe is abandoned so a fresh round can
+// arm a new one.
+const rttProbeStale = time.Second
 
 // encodeBatch pulls up to max packets from the sender's schedule and
 // serializes each into its slot of the reusable ring, returning how many
-// slots were filled. The ring's buffers are pre-sized to the packet
-// framing, so steady-state encoding allocates nothing — including the
-// metrics note, which is a handful of atomic adds plus a bitmap
-// test-and-set to classify retransmissions.
-func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer, fr *flight.Recorder, base int) int {
-	k := 0
+// slots were filled and the sequence number of the first (firstSeq = -1
+// when none; the engine's round-trip probe arms on it). The ring's buffers
+// are pre-sized to the packet framing, so steady-state encoding allocates
+// nothing — including the metrics note, which is a handful of atomic adds
+// plus a bitmap test-and-set to classify retransmissions.
+func encodeBatch(snd *core.Sender, ring [][]byte, max int, tm *metrics.Transfer, fr *flight.Recorder, base int) (k, firstSeq int) {
+	firstSeq = -1
 	for k < len(ring) && k < max {
 		pkt, ok := snd.NextPacket()
 		if !ok {
 			break
+		}
+		if k == 0 {
+			firstSeq = int(pkt.Seq)
 		}
 		ring[k] = wire.AppendData(ring[k][:0], &pkt)
 		tm.NoteDataSent(pkt.Seq, len(pkt.Payload))
 		fr.DataSent(pkt.Seq, len(pkt.Payload), base+k)
 		k++
 	}
-	return k
+	return k, firstSeq
 }
 
 // newSendRing builds the reusable encode ring: slots buffers each sized
@@ -140,6 +159,21 @@ func (e *senderEngine) run(ctx context.Context) error {
 	ring := newSendRing(opts.IOBatch, cfg.PacketSize)
 	ackWords := make([]uint64, 0, wire.MaxFragWords(cfg.AckPacketSize))
 	var paceDebt time.Duration
+	// Congestion-controller observation state: ccLastSeq mirrors the core
+	// sender's freshness rule (only an advancing ack serial is a rate
+	// signal), ccSentSince counts the packets put on the wire since the
+	// last fresh ack (the AckEvent's Sent), ccRetx is the watermark that
+	// turns the sender's cumulative retransmit count into per-round
+	// LossEvents, and probeSeq/probeAt are the single in-flight round-trip
+	// probe (first sequence of a batch round, resolved when the sender's
+	// bitmap shows it acknowledged).
+	var (
+		ccLastSeq   uint32
+		ccSentSince int
+		ccRetx      int
+		probeSeq    = -1
+		probeAt     time.Time
+	)
 	pollAck := func() error {
 		n, rerr := rx.TryRecv()
 		for i := 0; i < n; i++ {
@@ -148,12 +182,27 @@ func (e *senderEngine) run(ctx context.Context) error {
 				continue
 			}
 			ackWords = a.Frag.Words[:0] // HandleAck consumed the fragment
+			fresh := a.Transfer == cfg.Transfer && a.AckSeq > ccLastSeq
+			if fresh {
+				ccLastSeq = a.AckSeq
+			}
 			// Per-ack instrumentation (metrics counter, flight record,
 			// latency histograms) fires inside HandleAck via the sender's
 			// ack observer, which also sees exactly which packets the
 			// fragment newly acknowledged.
-			if snd.HandleAck(a) == nil && e.progress != nil {
-				e.progress(snd.Stats().KnownReceived, snd.NumPackets())
+			if snd.HandleAck(a) == nil {
+				if e.progress != nil {
+					e.progress(snd.Stats().KnownReceived, snd.NumPackets())
+				}
+				if fresh {
+					e.cc.OnAck(AckEvent{
+						Sent:  ccSentSince,
+						Acked: int(a.Delta),
+						Known: snd.Stats().KnownReceived,
+						Total: snd.NumPackets(),
+					})
+					ccSentSince = 0
+				}
 			}
 		}
 		return rerr
@@ -207,15 +256,32 @@ func (e *senderEngine) run(ctx context.Context) error {
 			return fmt.Errorf("udprt: no acknowledgement for %v: %w",
 				opts.StallTimeout, ErrStalled)
 		}
+		// Resolve or expire the round-trip probe: the moment the probed
+		// sequence number shows acknowledged, send-to-ack bounds one
+		// network round trip (an overestimate by up to the receiver's
+		// ack-batching delay, which is part of the control loop anyway).
+		if probeSeq >= 0 {
+			if snd.Acked(probeSeq) {
+				e.cc.OnRTT(time.Since(probeAt))
+				probeSeq = -1
+			} else if time.Since(probeAt) > rttProbeStale {
+				probeSeq = -1 // probe lost; re-arm on the next round
+			}
+		}
 		// Phases 1+3: batch-send with the schedule choosing each packet,
-		// flushed in vectors of up to IOBatch datagrams.
-		batch := snd.BatchSize()
+		// flushed in vectors of up to IOBatch datagrams. The batch policy
+		// asks, the congestion controller may cap the ask and dictates the
+		// per-packet pacing gap for the round.
+		batch, gapPer := planRound(snd.BatchSize(), e.cc)
 		e.fr.BatchSize(batch)
 		sent := 0
 		for sent < batch {
-			k := encodeBatch(snd, ring, batch-sent, e.tm, e.fr, sent)
+			k, firstSeq := encodeBatch(snd, ring, batch-sent, e.tm, e.fr, sent)
 			if k == 0 {
 				break
+			}
+			if probeSeq < 0 && firstSeq >= 0 {
+				probeSeq, probeAt = firstSeq, time.Now()
 			}
 			m, err := tx.Send(ring[:k])
 			sent += m
@@ -246,7 +312,22 @@ func (e *senderEngine) run(ctx context.Context) error {
 			continue
 		}
 		e.tm.NoteRound()
-		if gap := cfg.Rate.Gap()*time.Duration(sent) + opts.Pace*time.Duration(sent); gap > 0 {
+		ccSentSince += sent
+		// Retransmit-classified losses of the round just sent: under the
+		// circular schedule a re-send means the first copy (or its ack) is
+		// missing — the only congestion signal an unacknowledged UDP flow
+		// carries.
+		if st := snd.Stats(); st.Retransmits > ccRetx {
+			e.cc.OnLoss(LossEvent{Retransmits: st.Retransmits - ccRetx})
+			ccRetx = st.Retransmits
+		}
+		// Pacing: the controller's per-packet gap accumulates into a debt
+		// that sleeps only once it is coarse enough for the OS timer. For
+		// the fixed policy gapPer is exactly Config.Rate.Gap()+Options.Pace
+		// as of this round's ack poll — the historical inline arithmetic —
+		// so the default schedule is bit-identical to the pre-policy
+		// engine (pinned by the golden test).
+		if gap := gapPer * time.Duration(sent); gap > 0 {
 			paceDebt += gap
 			if paceDebt >= time.Millisecond {
 				time.Sleep(paceDebt)

@@ -41,71 +41,92 @@ func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t
 }
 
 // TestSenderHotPathZeroAllocs measures the sender's steady-state per-batch
-// work — pull packets from the schedule, note them in the metrics, encode
-// into the ring, flush — exactly as runSenderLoop performs it, and requires
-// zero allocations on both socket paths, with and without metrics.
+// work — consult the congestion controller for the round plan, pull packets
+// from the schedule, note them in the metrics, encode into the ring, flush,
+// feed the controller the round's loss classification — exactly as the
+// sender engine performs it, and requires zero allocations on both socket
+// paths, with and without metrics, under every congestion policy.
 func TestSenderHotPathZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
-		eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder) {
-			rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer rcv.Close()
-			conn, err := net.DialUDP("udp", nil, rcv.LocalAddr().(*net.UDPAddr))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer conn.Close()
-			conn.SetWriteBuffer(4 << 20)
-			stop := make(chan struct{})
-			drained := make(chan struct{})
-			go func() { // keep the socket writable; its allocs are not measured
-				defer close(drained)
-				buf := make([]byte, 2048)
-				for {
-					select {
-					case <-stop:
-						return
-					default:
+		for _, policy := range CongestionPolicies() {
+			t.Run("cc="+policy, func(t *testing.T) {
+				eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder) {
+					rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+					if err != nil {
+						t.Fatal(err)
 					}
-					rcv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
-					rcv.Read(buf)
-				}
-			}()
-			defer func() { close(stop); <-drained }()
+					defer rcv.Close()
+					conn, err := net.DialUDP("udp", nil, rcv.LocalAddr().(*net.UDPAddr))
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer conn.Close()
+					conn.SetWriteBuffer(4 << 20)
+					stop := make(chan struct{})
+					drained := make(chan struct{})
+					go func() { // keep the socket writable; its allocs are not measured
+						defer close(drained)
+						buf := make([]byte, 2048)
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							rcv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+							rcv.Read(buf)
+						}
+					}()
+					defer func() { close(stop); <-drained }()
 
-			snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: 1024})
-			cfg := snd.Config()
-			tx, err := batchio.NewSender(conn, 16, !noFastPath)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ring := newSendRing(16, cfg.PacketSize)
-			// With no acks the circular schedule supplies retransmissions
-			// forever, so every run encodes and flushes a full ring.
-			if allocs := testing.AllocsPerRun(300, func() {
-				k := encodeBatch(snd, ring, len(ring), tm, fr, 0)
-				if k != len(ring) {
-					t.Fatalf("encodeBatch = %d, want %d", k, len(ring))
-				}
-				if _, err := tx.Send(ring[:k]); err != nil {
-					t.Fatalf("Send: %v", err)
-				}
-			}); allocs > 0 {
-				t.Errorf("sender encode+flush allocates %.1f times per batch, want 0", allocs)
-			}
-			if tm != nil {
-				s := tm.Snapshot()
-				if s.PacketsSent == 0 || s.PacketsSent != s.PacketsNeeded+s.Retransmits {
-					t.Errorf("metrics conservation: sent=%d needed=%d retx=%d",
-						s.PacketsSent, s.PacketsNeeded, s.Retransmits)
-				}
-			}
-		})
+					snd := core.NewSender(makeObj(1<<20), core.Config{PacketSize: 1024})
+					cfg := snd.Config()
+					cc := newController(policy, cfg, Options{})
+					tx, err := batchio.NewSender(conn, 16, !noFastPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ring := newSendRing(16, cfg.PacketSize)
+					// With no acks the circular schedule supplies
+					// retransmissions forever, so every run encodes and
+					// flushes a controller-planned batch. The loss feedback
+					// runs live (a no-ack run is all retransmissions), so
+					// window policies are measured at their smallest batch
+					// too.
+					ccRetx := 0
+					if allocs := testing.AllocsPerRun(300, func() {
+						batch, gapPer := planRound(len(ring), cc)
+						if gapPer < 0 {
+							t.Fatal("negative pacing gap")
+						}
+						k, firstSeq := encodeBatch(snd, ring, batch, tm, fr, 0)
+						if k != batch {
+							t.Fatalf("encodeBatch = %d, want %d", k, batch)
+						}
+						snd.Acked(firstSeq) // the engine's probe resolution check
+						if _, err := tx.Send(ring[:k]); err != nil {
+							t.Fatalf("Send: %v", err)
+						}
+						if st := snd.Stats(); st.Retransmits > ccRetx {
+							cc.OnLoss(LossEvent{Retransmits: st.Retransmits - ccRetx})
+							ccRetx = st.Retransmits
+						}
+					}); allocs > 0 {
+						t.Errorf("sender plan+encode+flush allocates %.1f times per batch, want 0", allocs)
+					}
+					if tm != nil {
+						s := tm.Snapshot()
+						if s.PacketsSent == 0 || s.PacketsSent != s.PacketsNeeded+s.Retransmits {
+							t.Errorf("metrics conservation: sent=%d needed=%d retx=%d",
+								s.PacketsSent, s.PacketsNeeded, s.Retransmits)
+						}
+					}
+				})
+			})
+		}
 	})
 }
 
@@ -153,7 +174,7 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 			// The feeding sends run in this goroutine too, but the sender side
 			// is proven allocation-free by TestSenderHotPathZeroAllocs.
 			if allocs := testing.AllocsPerRun(300, func() {
-				k := encodeBatch(snd, feed, len(feed), nil, nil, 0)
+				k, _ := encodeBatch(snd, feed, len(feed), nil, nil, 0)
 				if _, err := ftx.Send(feed[:k]); err != nil {
 					t.Fatalf("feed: %v", err)
 				}

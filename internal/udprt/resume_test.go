@@ -44,118 +44,132 @@ func acceptUntilSuccess(ctx context.Context, l *Listener) ([]byte, core.Receiver
 // TestResumeKillPointSweep is the acceptance sweep: a transfer severed at
 // 10%, 50% and 90% delivered must complete after the supervisor reconnects,
 // bit-identical, with the resumed attempt sending only the missing packets
-// (plus its own retransmissions) — on both socket paths.
+// (plus its own retransmissions) — on both socket paths. At the 50% kill
+// point the sweep additionally runs every congestion policy: a resumed
+// attempt restarts its controller from scratch (rate state is path state,
+// and the path may have changed across the outage), and the missing-only
+// budget below proves that cold restart still retransmits essentially just
+// the gaps — the resume economy must not depend on which policy paces the
+// packets.
 func TestResumeKillPointSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault-injection test skipped in -short mode")
 	}
 	for _, frac := range []int{10, 50, 90} {
 		frac := frac
-		t.Run(fmt.Sprintf("kill-%d%%", frac), func(t *testing.T) {
-			eachIOPath(t, func(t *testing.T, noFastPath bool) {
-				sreg, rreg := metrics.New(), metrics.New()
-				l, err := Listen("127.0.0.1:0", Options{
-					NoFastPath:  noFastPath,
-					IdleTimeout: 2 * time.Second,
-					Metrics:     rreg,
+		policies := []string{CCFixed}
+		if frac == 50 {
+			policies = CongestionPolicies()
+		}
+		for _, policy := range policies {
+			policy := policy
+			t.Run(fmt.Sprintf("kill-%d%%/cc=%s", frac, policy), func(t *testing.T) {
+				eachIOPath(t, func(t *testing.T, noFastPath bool) {
+					sreg, rreg := metrics.New(), metrics.New()
+					l, err := Listen("127.0.0.1:0", Options{
+						NoFastPath:  noFastPath,
+						IdleTimeout: 2 * time.Second,
+						Metrics:     rreg,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer l.Close()
+					proxy, err := faultnet.NewProxy(l.Addr(), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer proxy.Close()
+
+					ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+					defer cancel()
+					obj := makeObj(1<<20 + 31)
+					type recvResult struct {
+						obj []byte
+						st  core.ReceiverStats
+						err error
+					}
+					recvCh := make(chan recvResult, 1)
+					go func() {
+						got, st, err := acceptUntilSuccess(ctx, l)
+						recvCh <- recvResult{got, st, err}
+					}()
+
+					// Sever both channels once the acked fraction crosses the
+					// kill point: the sender sees its control die (retryable),
+					// the receiver parks its partial state.
+					var cut atomic.Bool
+					opts := Options{
+						NoFastPath: noFastPath,
+						Congestion: policy,
+						// Pace the sender so acknowledgements keep up: the waste
+						// bound below measures resume economy, not the greedy
+						// sweep's ack-lag retransmissions.
+						StallTimeout: 2 * time.Second,
+						Pace:         25 * time.Microsecond,
+						Metrics:      sreg,
+						Retry:        &RetryPolicy{MaxRetries: 4, Backoff: 250 * time.Millisecond, Seed: 7},
+						Progress: func(done, total int) {
+							if done > total*frac/100 && cut.CompareAndSwap(false, true) {
+								proxy.SetBlackhole(true)
+								proxy.SeverControl()
+								time.AfterFunc(100*time.Millisecond, func() { proxy.SetBlackhole(false) })
+							}
+						},
+					}
+					sst, serr := Send(ctx, proxy.Addr(), obj, core.Config{AckFrequency: 8}, opts)
+					if !cut.Load() {
+						t.Fatal("transfer finished before the kill point; enlarge the object")
+					}
+					if serr != nil {
+						t.Fatalf("supervised send: %v", serr)
+					}
+					r := <-recvCh
+					if r.err != nil {
+						t.Fatalf("receive: %v", r.err)
+					}
+					if !bytes.Equal(r.obj, obj) {
+						t.Fatal("resumed object differs from the original")
+					}
+
+					// Both sides must have genuinely resumed, not restarted.
+					if r.st.Restored == 0 {
+						t.Fatal("receiver restored nothing: the retry restarted from scratch")
+					}
+					if sst.Restored == 0 {
+						t.Fatal("sender restored nothing: the retry restarted from scratch")
+					}
+					// Receiver conservation: fresh arrivals fill exactly the holes.
+					if fresh := r.st.Received - r.st.Restored; fresh != r.st.PacketsNeeded-r.st.Restored {
+						t.Fatalf("fresh arrivals %d != missing %d", fresh, r.st.PacketsNeeded-r.st.Restored)
+					}
+					// Sender economy: the final attempt covers only the missing
+					// packets, give or take its own retransmission waste.
+					missing := sst.PacketsNeeded - sst.Restored
+					if sst.PacketsSent < missing {
+						t.Fatalf("sent %d < %d missing packets, yet the object completed?", sst.PacketsSent, missing)
+					}
+					budget := missing/4 + 64
+					if sst.PacketsSent > missing+budget {
+						t.Fatalf("resumed attempt sent %d packets for %d missing (budget %d): not resuming, restarting",
+							sst.PacketsSent, missing, budget)
+					}
+					// Supervisor counters crossed the resume boundary intact.
+					ssnap, rsnap := sreg.Snapshot(), rreg.Snapshot()
+					if ssnap.Retries == 0 || ssnap.Resumes == 0 {
+						t.Fatalf("sender registry: retries %d resumes %d, want both > 0", ssnap.Retries, ssnap.Resumes)
+					}
+					if rsnap.Resumes == 0 {
+						t.Fatalf("receiver registry: resumes %d, want > 0", rsnap.Resumes)
+					}
+					if ssnap.Totals.PacketsRestored != int64(sst.Restored) {
+						t.Fatalf("registry restored %d, stats restored %d", ssnap.Totals.PacketsRestored, sst.Restored)
+					}
+					t.Logf("kill at %d%% under %s: restored %d/%d, resumed attempt sent %d (missing %d)",
+						frac, policy, sst.Restored, sst.PacketsNeeded, sst.PacketsSent, missing)
 				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer l.Close()
-				proxy, err := faultnet.NewProxy(l.Addr(), nil)
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer proxy.Close()
-
-				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-				defer cancel()
-				obj := makeObj(1<<20 + 31)
-				type recvResult struct {
-					obj []byte
-					st  core.ReceiverStats
-					err error
-				}
-				recvCh := make(chan recvResult, 1)
-				go func() {
-					got, st, err := acceptUntilSuccess(ctx, l)
-					recvCh <- recvResult{got, st, err}
-				}()
-
-				// Sever both channels once the acked fraction crosses the
-				// kill point: the sender sees its control die (retryable),
-				// the receiver parks its partial state.
-				var cut atomic.Bool
-				opts := Options{
-					NoFastPath: noFastPath,
-					// Pace the sender so acknowledgements keep up: the waste
-					// bound below measures resume economy, not the greedy
-					// sweep's ack-lag retransmissions.
-					StallTimeout: 2 * time.Second,
-					Pace:         25 * time.Microsecond,
-					Metrics:      sreg,
-					Retry:        &RetryPolicy{MaxRetries: 4, Backoff: 250 * time.Millisecond, Seed: 7},
-					Progress: func(done, total int) {
-						if done > total*frac/100 && cut.CompareAndSwap(false, true) {
-							proxy.SetBlackhole(true)
-							proxy.SeverControl()
-							time.AfterFunc(100*time.Millisecond, func() { proxy.SetBlackhole(false) })
-						}
-					},
-				}
-				sst, serr := Send(ctx, proxy.Addr(), obj, core.Config{AckFrequency: 8}, opts)
-				if !cut.Load() {
-					t.Fatal("transfer finished before the kill point; enlarge the object")
-				}
-				if serr != nil {
-					t.Fatalf("supervised send: %v", serr)
-				}
-				r := <-recvCh
-				if r.err != nil {
-					t.Fatalf("receive: %v", r.err)
-				}
-				if !bytes.Equal(r.obj, obj) {
-					t.Fatal("resumed object differs from the original")
-				}
-
-				// Both sides must have genuinely resumed, not restarted.
-				if r.st.Restored == 0 {
-					t.Fatal("receiver restored nothing: the retry restarted from scratch")
-				}
-				if sst.Restored == 0 {
-					t.Fatal("sender restored nothing: the retry restarted from scratch")
-				}
-				// Receiver conservation: fresh arrivals fill exactly the holes.
-				if fresh := r.st.Received - r.st.Restored; fresh != r.st.PacketsNeeded-r.st.Restored {
-					t.Fatalf("fresh arrivals %d != missing %d", fresh, r.st.PacketsNeeded-r.st.Restored)
-				}
-				// Sender economy: the final attempt covers only the missing
-				// packets, give or take its own retransmission waste.
-				missing := sst.PacketsNeeded - sst.Restored
-				if sst.PacketsSent < missing {
-					t.Fatalf("sent %d < %d missing packets, yet the object completed?", sst.PacketsSent, missing)
-				}
-				budget := missing/4 + 64
-				if sst.PacketsSent > missing+budget {
-					t.Fatalf("resumed attempt sent %d packets for %d missing (budget %d): not resuming, restarting",
-						sst.PacketsSent, missing, budget)
-				}
-				// Supervisor counters crossed the resume boundary intact.
-				ssnap, rsnap := sreg.Snapshot(), rreg.Snapshot()
-				if ssnap.Retries == 0 || ssnap.Resumes == 0 {
-					t.Fatalf("sender registry: retries %d resumes %d, want both > 0", ssnap.Retries, ssnap.Resumes)
-				}
-				if rsnap.Resumes == 0 {
-					t.Fatalf("receiver registry: resumes %d, want > 0", rsnap.Resumes)
-				}
-				if ssnap.Totals.PacketsRestored != int64(sst.Restored) {
-					t.Fatalf("registry restored %d, stats restored %d", ssnap.Totals.PacketsRestored, sst.Restored)
-				}
-				t.Logf("kill at %d%%: restored %d/%d, resumed attempt sent %d (missing %d)",
-					frac, sst.Restored, sst.PacketsNeeded, sst.PacketsSent, missing)
 			})
-		})
+		}
 	}
 }
 

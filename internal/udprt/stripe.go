@@ -78,6 +78,9 @@ func newSenderPlan(obj []byte, cfg core.Config, opts Options) (*senderPlan, erro
 	if opts.Streams > wire.MaxStreams {
 		return nil, fmt.Errorf("udprt: %d streams exceeds the wire limit of %d", opts.Streams, wire.MaxStreams)
 	}
+	if err := validateCongestion(opts.Congestion); err != nil {
+		return nil, err
+	}
 	ps := cfg.PacketSize
 	if ps <= 0 {
 		ps = core.DefaultPacketSize
@@ -150,6 +153,7 @@ func (p *senderPlan) stats() core.SenderStats {
 		t.KnownReceived += s.KnownReceived
 		t.Stalls += s.Stalls
 		t.Restored += s.Restored
+		t.Retransmits += s.Retransmits
 	}
 	return t
 }

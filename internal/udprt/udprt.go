@@ -47,6 +47,16 @@ type Options struct {
 	// gaps are accumulated and paid in batches, since operating systems
 	// cannot sleep that briefly.
 	Pace time.Duration
+	// Congestion selects the sender's congestion-control policy: CCFixed
+	// (the paper's greedy sender; the default, also selected by ""),
+	// CCAIMD (TCP-friendly additive-increase/multiplicative-decrease) or
+	// CCSABUL (SABUL-style rate probing). The controller observes
+	// acknowledgement, retransmit-classified-loss and round-trip signals
+	// and dictates the batch cap and per-packet pacing gap per round; a
+	// striped transfer runs one independent controller per stripe. Unknown
+	// names fail Send before any network activity. Options.Pace stacks on
+	// top of whatever gap the policy dictates.
+	Congestion string
 	// Streams splits each outbound object into this many contiguous
 	// stripes, each an independent FOBS flow (own transfer tag, sequence
 	// space and UDP socket) sharing one control connection — the
