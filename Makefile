@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race short test bench bench-smoke bench-json cover fuzz-smoke shuffle faultnet-soak verify
+.PHONY: all tier1 vet race short test bench bench-smoke bench-json cover fuzz-smoke shuffle faultnet-soak fobsd-smoke verify
 
 all: verify
 
@@ -74,6 +74,13 @@ shuffle:
 # the per-push gate.
 faultnet-soak:
 	$(GO) test -race -count=10 ./internal/udprt ./internal/faultnet
+
+# End-to-end daemon crash drill against the real binary: build fobsd,
+# submit three tasks over loopback, SIGKILL it mid-flight, restart it over
+# the same state directory, and require every task to complete with
+# bit-identical objects and restored (not resent) packets.
+fobsd-smoke:
+	$(GO) test ./cmd/fobsd -run TestFobsdSmokeSIGKILL -count=1 -v
 
 # Short fuzz pass over every decoder fuzz target: the committed seed corpus
 # plus 10 seconds of exploration each. A format regression that survives the

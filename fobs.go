@@ -43,6 +43,7 @@ import (
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
 	"github.com/hpcnet/fobs/internal/stats"
+	"github.com/hpcnet/fobs/internal/tasks"
 	"github.com/hpcnet/fobs/internal/udprt"
 	"github.com/hpcnet/fobs/internal/wire"
 	"github.com/hpcnet/fobs/internal/xfer"
@@ -249,6 +250,23 @@ var (
 // the same taxonomy the built-in Options.Retry supervisor uses.
 func IsRetryable(err error) bool { return udprt.IsRetryable(err) }
 
+// IsStripingUnsupported reports the one peer rejection with a
+// deterministic recovery: the receiver refused a striped HELLOX because it
+// cannot reassemble stripes (a concurrent Server, for instance). Retry the
+// same transfer with Options.Streams = 1.
+func IsStripingUnsupported(err error) bool { return udprt.IsStripingUnsupported(err) }
+
+// RateCap is a shared aggregate send-rate ceiling, measured in on-the-wire
+// bits per second (payload plus UDP/IP overhead). Hand the same *RateCap
+// to several Sends via Options.RateCap and their combined rate stays under
+// the ceiling, composed beneath whatever congestion policy each runs.
+type RateCap = udprt.RateCap
+
+// NewRateCap builds a RateCap; bitsPerSecond must be positive.
+func NewRateCap(bitsPerSecond float64) (*RateCap, error) {
+	return udprt.NewRateCap(bitsPerSecond)
+}
+
 // Listen binds addr (e.g. "0.0.0.0:7700") for incoming transfers: TCP for
 // control, UDP on the same port for data.
 func Listen(addr string, opts Options) (*Listener, error) {
@@ -271,6 +289,43 @@ type Handler = udprt.Handler
 // Server.Serve.
 func NewServer(addr string, opts Options) (*Server, error) {
 	return udprt.NewServer(addr, opts)
+}
+
+// Orchestration types wrap the tasks package: a daemon that queues
+// submitted transfer tasks durably, dispatches them through a bounded
+// mover pool with per-tenant fairness and rate caps, and — because every
+// state transition persists before it is observable — resumes queued and
+// in-flight tasks after a crash or restart. cmd/fobsd is the operational
+// wrapper; see DESIGN.md §5h for the lifecycle and store format.
+type (
+	// TaskDaemon is the orchestrator; construct with NewTaskDaemon, drive
+	// with Run, control with Submit/Cancel/Get/List or the HTTP Handler.
+	TaskDaemon = tasks.Daemon
+	// TaskDaemonConfig configures a TaskDaemon.
+	TaskDaemonConfig = tasks.Config
+	// TaskSpec is one submitted transfer request.
+	TaskSpec = tasks.Spec
+	// Task is a task snapshot: spec plus lifecycle bookkeeping.
+	Task = tasks.Task
+	// TaskState is a task's lifecycle position.
+	TaskState = tasks.State
+	// TaskStats is the completed attempt's transfer accounting.
+	TaskStats = tasks.Stats
+)
+
+// Task lifecycle states. Done, failed and cancelled are terminal.
+const (
+	TaskQueued    = tasks.StateQueued
+	TaskRunning   = tasks.StateRunning
+	TaskDone      = tasks.StateDone
+	TaskFailed    = tasks.StateFailed
+	TaskCancelled = tasks.StateCancelled
+)
+
+// NewTaskDaemon opens (or creates) the configured state directory, loads
+// every persisted task, and requeues the non-terminal ones.
+func NewTaskDaemon(cfg TaskDaemonConfig) (*TaskDaemon, error) {
+	return tasks.New(cfg)
 }
 
 // Session types stream a sequence of objects to one receiver over a single

@@ -70,48 +70,32 @@ func Save(dir string, st *State) error {
 	if uint64(len(st.Object)) != st.ObjectSize {
 		return fmt.Errorf("checkpoint: object is %d bytes, header says %d", len(st.Object), st.ObjectSize)
 	}
-	buf := make([]byte, 0, 8+headerLen+8*len(st.Words)+len(st.Object)+4)
-	buf = append(buf, fileMagic[:]...)
+	body := make([]byte, 0, headerLen+8*len(st.Words)+len(st.Object))
 	var flags uint8
 	if st.HasDigest {
 		flags |= 1
 	}
-	buf = append(buf, Version, flags)
-	buf = binary.BigEndian.AppendUint32(buf, st.Transfer)
-	buf = binary.BigEndian.AppendUint64(buf, st.ObjectSize)
-	buf = binary.BigEndian.AppendUint32(buf, st.PacketSize)
-	buf = binary.BigEndian.AppendUint32(buf, st.Digest)
-	buf = binary.BigEndian.AppendUint32(buf, st.Received)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Words)))
+	body = append(body, Version, flags)
+	body = binary.BigEndian.AppendUint32(body, st.Transfer)
+	body = binary.BigEndian.AppendUint64(body, st.ObjectSize)
+	body = binary.BigEndian.AppendUint32(body, st.PacketSize)
+	body = binary.BigEndian.AppendUint32(body, st.Digest)
+	body = binary.BigEndian.AppendUint32(body, st.Received)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(st.Words)))
 	for _, w := range st.Words {
-		buf = binary.BigEndian.AppendUint64(buf, w)
+		body = binary.BigEndian.AppendUint64(body, w)
 	}
-	buf = append(buf, st.Object...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[8:], castagnoli))
-
-	path := File(dir, st.Transfer)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	return nil
+	body = append(body, st.Object...)
+	return WriteFramed(File(dir, st.Transfer), fileMagic, body)
 }
 
 // Load reads and validates one checkpoint file.
 func Load(path string) (*State, error) {
-	b, err := os.ReadFile(path)
+	body, err := ReadFramed(path, fileMagic)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+		return nil, err
 	}
-	if len(b) < 8+headerLen+4 || [8]byte(b[:8]) != fileMagic {
-		return nil, ErrCorrupt
-	}
-	body, sum := b[8:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
-	if crc32.Checksum(body, castagnoli) != sum {
+	if len(body) < headerLen {
 		return nil, ErrCorrupt
 	}
 	if body[0] != Version {

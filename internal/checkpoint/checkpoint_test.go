@@ -62,22 +62,136 @@ func TestLoadRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A flipped bit anywhere in the body must fail the checksum; a
-	// truncation must fail structurally. Either way: error, no resume.
-	for _, mutate := range []func([]byte) []byte{
-		func(b []byte) []byte { b[9]++; return b },         // version byte
-		func(b []byte) []byte { b[100] ^= 0x40; return b }, // object byte
-		func(b []byte) []byte { b[len(b)-1]++; return b },  // checksum itself
-		func(b []byte) []byte { return b[:len(b)/2] },      // torn write
-		func(b []byte) []byte { b[0] = 'X'; return b },     // wrong magic
-		func(b []byte) []byte { return b[:8] },             // header gone
+	// truncation must fail structurally. Either way the verdict is the
+	// typed ErrCorrupt — the value resume stores key their "skip, never
+	// resume" decision on — and no panic, whatever the mangling.
+	for _, mutate := range []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"version byte flipped", func(b []byte) []byte { b[9]++; return b }},
+		{"object byte flipped", func(b []byte) []byte { b[100] ^= 0x40; return b }},
+		{"checksum flipped", func(b []byte) []byte { b[len(b)-1]++; return b }},
+		{"torn write", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"wrong magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"header gone", func(b []byte) []byte { return b[:8] }},
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"magic only then junk", func(b []byte) []byte { return append(b[:8:8], 'j', 'u', 'n', 'k') }},
+		{"body swapped for noise", func(b []byte) []byte {
+			for i := 8; i < len(b)-4; i++ {
+				b[i] = byte(i * 31)
+			}
+			return b
+		}},
 	} {
-		bad := mutate(append([]byte(nil), good...))
+		bad := mutate.fn(append([]byte(nil), good...))
 		if err := os.WriteFile(path, bad, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Load(path); err == nil {
-			t.Fatalf("corrupted checkpoint (len %d) loaded without error", len(bad))
+		if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s (len %d): err=%v, want ErrCorrupt", mutate.name, len(bad), err)
 		}
+	}
+}
+
+// TestLoadRejectsLyingHeader restamps the checksum after header edits the
+// container cannot catch, so only Load's structural validation stands
+// between a self-consistent-but-lying file and a bogus resume.
+func TestLoadRejectsLyingHeader(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	for _, lie := range []struct {
+		name string
+		fn   func(b []byte)
+	}{
+		{"object size inflated", func(b []byte) { binary.BigEndian.PutUint32(b[8+6+4:], 1<<30) }},
+		{"packet size zeroed", func(b []byte) { binary.BigEndian.PutUint32(b[8+14:], 0) }},
+		{"word count inflated", func(b []byte) { binary.BigEndian.PutUint32(b[8+26:], 1<<20) }},
+	} {
+		if err := Save(dir, st); err != nil {
+			t.Fatal(err)
+		}
+		path := File(dir, st.Transfer)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lie.fn(b)
+		if err := os.WriteFile(path, restamp(b), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err=%v, want ErrCorrupt", lie.name, err)
+		}
+	}
+}
+
+// TestSaveGoldenBytes pins the on-disk layout to the byte: the framed-
+// container split must never change what Save writes, or checkpoints
+// would stop round-tripping across versions.
+func TestSaveGoldenBytes(t *testing.T) {
+	dir := t.TempDir()
+	st := &State{
+		Transfer:   0x01020304,
+		ObjectSize: 4,
+		PacketSize: 2,
+		Digest:     0xAABBCCDD,
+		HasDigest:  true,
+		Received:   2,
+		Words:      []uint64{0x5},
+		Object:     []byte{0xDE, 0xAD, 0xBE, 0xEF},
+	}
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(File(dir, st.Transfer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'F', 'O', 'B', 'S', 'C', 'K', 'P', 'T', // magic
+		0x01, 0x01, // version, flags (has-digest)
+		0x01, 0x02, 0x03, 0x04, // transfer
+		0, 0, 0, 0, 0, 0, 0, 0x04, // object size
+		0, 0, 0, 0x02, // packet size
+		0xAA, 0xBB, 0xCC, 0xDD, // digest
+		0, 0, 0, 0x02, // received
+		0, 0, 0, 0x01, // word count
+		0, 0, 0, 0, 0, 0, 0, 0x05, // bitmap word
+		0xDE, 0xAD, 0xBE, 0xEF, // object
+	}
+	want = append(want, 0, 0, 0, 0)
+	restamp(want)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("layout drifted:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestFramedRoundTrip covers the shared container directly with a foreign
+// magic — the contract the task store builds on.
+func TestFramedRoundTrip(t *testing.T) {
+	magic := [8]byte{'F', 'O', 'B', 'S', 'T', 'E', 'S', 'T'}
+	path := filepath.Join(t.TempDir(), "framed")
+	body := []byte("opaque payload \x00\xff bytes")
+	if err := WriteFramed(path, magic, body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFramed(path, magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body changed: %q vs %q", got, body)
+	}
+	if _, err := ReadFramed(path, fileMagic); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign magic accepted: err=%v", err)
+	}
+	if _, err := ReadFramed(filepath.Join(t.TempDir(), "absent"), magic); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing file: err=%v, want a plain read error, not ErrCorrupt", err)
+	}
+	// No stray temporary may survive a successful write.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temporary file left behind: %v", err)
 	}
 }
 

@@ -1,0 +1,58 @@
+// The framed-file container the checkpoint format lives in, split out so
+// other crash-safe stores (the transfer daemon's task files) can share the
+// exact conventions instead of inventing parallel ones: an 8-byte magic, an
+// opaque body, a trailing CRC-32C (Castagnoli — the wire's polynomial) over
+// the body, written atomically via a temporary file renamed into place. A
+// crash mid-write leaves either the old file or none; a torn or tampered
+// file fails validation as ErrCorrupt rather than parsing into garbage.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// framedOverhead is the container's fixed cost around the body: the magic
+// in front, the checksum behind.
+const framedOverhead = 8 + 4
+
+// WriteFramed atomically persists body to path inside the framed
+// container. The temporary sibling (path + ".tmp") is renamed over path on
+// success and removed on failure.
+func WriteFramed(path string, magic [8]byte, body []byte) error {
+	buf := make([]byte, 0, framedOverhead+len(body))
+	buf = append(buf, magic[:]...)
+	buf = append(buf, body...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadFramed reads path and validates the container — length, magic,
+// checksum — returning the body. Structural failures surface as
+// ErrCorrupt; only the read itself can fail differently (e.g. a missing
+// file keeps its os error for callers that distinguish absent from
+// broken).
+func ReadFramed(path string, magic [8]byte) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(b) < framedOverhead || [8]byte(b[:8]) != magic {
+		return nil, ErrCorrupt
+	}
+	body, sum := b[8:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, ErrCorrupt
+	}
+	return body, nil
+}

@@ -143,6 +143,12 @@ type Registry struct {
 	active   map[transferKey]*Transfer
 	finished []TransferSnapshot
 
+	// gmu guards the named-gauge map (see gauge.go); a separate lock so
+	// orchestration-layer gauge updates never contend with transfer
+	// bookkeeping.
+	gmu    sync.Mutex
+	gauges map[string]float64
+
 	sampler samplerState
 }
 
@@ -284,6 +290,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Events:    r.Events(),
 		Retries:   r.retries.Load(),
 		Resumes:   r.resumes.Load(),
+		Gauges:    r.gaugesSnapshot(),
 	}
 	for i := range transfers {
 		snap.Totals.add(&transfers[i])
@@ -313,6 +320,10 @@ type Snapshot struct {
 	// transfer spans several Transfer handles when retried.
 	Retries int64 `json:"retries,omitempty"`
 	Resumes int64 `json:"resumes,omitempty"`
+	// Gauges holds the registry's named instantaneous values (queue
+	// depths, worker occupancy, rate caps — see Registry.SetGauge), absent
+	// when none were ever set.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 // Find returns the snapshot of the given transfer endpoint and whether it

@@ -1,10 +1,12 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -382,5 +384,96 @@ func TestStringers(t *testing.T) {
 		if c.got != c.want {
 			t.Fatalf("got %q, want %q", c.got, c.want)
 		}
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := New()
+	if _, ok := r.Gauge("tasks_queued"); ok {
+		t.Fatal("unset gauge reported present")
+	}
+	r.SetGauge("tasks_queued", 3)
+	r.AddGauge("tasks_queued", 2)
+	r.AddGauge("tasks_running", 1) // AddGauge creates on first use
+	r.SetGauge("tenant_a_rate_cap_bps", 5e6)
+	if v, ok := r.Gauge("tasks_queued"); !ok || v != 5 {
+		t.Fatalf("tasks_queued = %v, %v; want 5, true", v, ok)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 3 {
+		t.Fatalf("snapshot carries %d gauges, want 3: %v", len(snap.Gauges), snap.Gauges)
+	}
+	if snap.Gauges["tasks_running"] != 1 || snap.Gauges["tenant_a_rate_cap_bps"] != 5e6 {
+		t.Fatalf("gauge values wrong: %v", snap.Gauges)
+	}
+	names := snap.GaugeNames()
+	if !sort.StringsAreSorted(names) || len(names) != 3 {
+		t.Fatalf("GaugeNames() = %v, want 3 sorted names", names)
+	}
+	// The snapshot is a copy: later registry writes must not leak in.
+	r.SetGauge("tasks_queued", 99)
+	if snap.Gauges["tasks_queued"] != 5 {
+		t.Fatal("snapshot aliases the live gauge map")
+	}
+
+	// Round-trips through JSON like the rest of the snapshot.
+	var back Snapshot
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Gauges["tenant_a_rate_cap_bps"] != 5e6 {
+		t.Fatalf("gauges lost in JSON: %v", back.Gauges)
+	}
+
+	r.DeleteGauge("tasks_running")
+	if _, ok := r.Gauge("tasks_running"); ok {
+		t.Fatal("deleted gauge still present")
+	}
+
+	// A registry with no gauges omits the field entirely.
+	empty, err := json.Marshal(New().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(empty, []byte("gauges")) {
+		t.Fatalf("empty registry still serializes gauges: %s", empty)
+	}
+
+	// Nil-safety, like every other registry method.
+	var nilReg *Registry
+	nilReg.SetGauge("x", 1)
+	nilReg.AddGauge("x", 1)
+	nilReg.DeleteGauge("x")
+	if _, ok := nilReg.Gauge("x"); ok {
+		t.Fatal("nil registry holds a gauge")
+	}
+}
+
+func TestWritePrometheusGauges(t *testing.T) {
+	r := New()
+	r.SetGauge("tasks_queued", 4)
+	r.SetGauge(`odd"name`, 1) // label values are quoted, whatever the name
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE fobs_gauge gauge") {
+		t.Fatalf("missing fobs_gauge type line:\n%s", out)
+	}
+	if !strings.Contains(out, `fobs_gauge{name="tasks_queued"} 4`) {
+		t.Fatalf("missing tasks_queued sample:\n%s", out)
+	}
+	if !strings.Contains(out, `fobs_gauge{name="odd\"name"} 1`) {
+		t.Fatalf("quote-bearing gauge name not escaped:\n%s", out)
+	}
+	// No gauges → no fobs_gauge family at all.
+	var none bytes.Buffer
+	New().WritePrometheus(&none)
+	if strings.Contains(none.String(), "fobs_gauge") {
+		t.Fatal("gauge family emitted with no gauges set")
 	}
 }

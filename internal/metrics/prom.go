@@ -62,6 +62,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	counter("fobs_idle_timeouts_total", "Receiver idle-watchdog firings.", t.IdleTimeouts)
 	counter("fobs_transfers_completed_total", "Transfers that delivered their whole object.", t.Completed)
 	counter("fobs_transfers_aborted_total", "Transfers that terminated early.", t.Aborted)
+	if names := snap.GaugeNames(); len(names) > 0 {
+		fmt.Fprintf(w, "# HELP fobs_gauge Named registry gauges (queue depths, worker occupancy, rate caps).\n# TYPE fobs_gauge gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "fobs_gauge{name=%q} %g\n", name, snap.Gauges[name])
+		}
+	}
 	writePromHistogram(w, "fobs_ack_delay_seconds",
 		"Per-packet first-send to acknowledgement latency.", snap.MergedAckDelay())
 	writePromHistogram(w, "fobs_rtt_seconds",

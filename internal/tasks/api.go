@@ -1,0 +1,102 @@
+// The daemon's local HTTP control surface: submit, inspect, list and
+// cancel tasks as JSON over a loopback listener, with the metrics
+// registry's debug endpoints mounted alongside. The API is deliberately
+// plain net/http — the daemon is operated by scripts and curl, and the
+// single writer for all task state remains the Daemon's own lock.
+//
+//	POST   /tasks       {spec JSON}  → 201 + task JSON
+//	GET    /tasks                    → task list JSON
+//	GET    /tasks/{id}               → task JSON
+//	DELETE /tasks/{id}               → task JSON after cancel
+//	GET    /healthz                  → "ok" (readiness probe)
+//	GET    /debug/fobs…              → metrics registry endpoints
+package tasks
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tasks", d.handleSubmit)
+	mux.HandleFunc("GET /tasks", d.handleList)
+	mux.HandleFunc("GET /tasks/{id}", d.handleGet)
+	mux.HandleFunc("DELETE /tasks/{id}", d.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	if d.reg != nil {
+		mux.Handle("/debug/", d.reg.Handler())
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// taskID parses the {id} path segment; writes the error response itself
+// on failure.
+func taskID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad task id"})
+		return 0, false
+	}
+	return id, true
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := d.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.List())
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := taskID(w, r)
+	if !ok {
+		return
+	}
+	t, ok := d.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such task"})
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := taskID(w, r)
+	if !ok {
+		return
+	}
+	if err := d.Cancel(id); err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	t, _ := d.Get(id)
+	writeJSON(w, http.StatusOK, t)
+}

@@ -1,0 +1,205 @@
+package tasks
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/udprt"
+)
+
+// startAPI wires a daemon (with metrics) behind an httptest server.
+func startAPI(t *testing.T) (*Daemon, *receiver, *httptest.Server) {
+	t.Helper()
+	rcv := startReceiver(t, udprt.Options{})
+	d, err := New(Config{Dir: t.TempDir(), Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	return d, rcv, ts
+}
+
+func decodeTask(t *testing.T, resp *http.Response, wantStatus int) Task {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var task Task
+	if err := json.NewDecoder(resp.Body).Decode(&task); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestAPILifecycle(t *testing.T) {
+	_, rcv, ts := startAPI(t)
+	path, obj := writeObj(t, 32<<10)
+
+	// Submit.
+	body, _ := json.Marshal(Spec{Tenant: "web", Addr: rcv.addr, Path: path})
+	resp, err := http.Post(ts.URL+"/tasks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := decodeTask(t, resp, http.StatusCreated)
+	if task.ID == 0 || task.State != StateQueued && task.State != StateRunning {
+		t.Fatalf("submitted task %+v", task)
+	}
+
+	// Poll GET /tasks/{id} until done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/tasks/%d", ts.URL, task.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decodeTask(t, resp, http.StatusOK)
+		if got.State == StateDone {
+			if got.Stats == nil || got.Stats.PacketsSent == 0 {
+				t.Fatalf("done task carries no stats: %+v", got)
+			}
+			break
+		}
+		if got.State.Terminal() {
+			t.Fatalf("task ended %q: %+v", got.State, got)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task stuck in %q", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if delivered, _ := rcv.object(task.Transfer); !bytes.Equal(delivered, obj) {
+		t.Fatal("object delivered over the API path is corrupted")
+	}
+
+	// List includes it.
+	resp, err = http.Get(ts.URL + "/tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []Task
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != task.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestAPICancelAndErrors(t *testing.T) {
+	d, rcv, ts := startAPI(t)
+	client := ts.Client()
+
+	// Bad JSON and bad spec are 400s.
+	resp, err := http.Post(ts.URL+"/tasks", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(Spec{Addr: rcv.addr}) // no path
+	resp, err = http.Post(ts.URL+"/tasks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty path: status %d", resp.StatusCode)
+	}
+
+	// Unknown and malformed ids are 404/400.
+	for path, want := range map[string]int{
+		"/tasks/999": http.StatusNotFound,
+		"/tasks/abc": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// DELETE cancels a queued task. Submit directly with the daemon killed
+	// worker-side? Simpler: submit to an unreachable address so it lingers,
+	// then cancel via the API.
+	objPath, _ := writeObj(t, 4<<10)
+	task, err := d.Submit(Spec{Addr: "127.0.0.1:1", Path: objPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/tasks/%d", ts.URL, task.ID), nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeTask(t, resp, http.StatusOK)
+	if got.State != StateCancelled && got.State != StateRunning {
+		t.Fatalf("task state %q right after cancel", got.State)
+	}
+	// A running mover observes the cancel asynchronously; converge on the
+	// durable verdict.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		after, _ := d.Get(task.ID)
+		if after.State == StateCancelled {
+			break
+		}
+		if after.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("task ended %q, want cancelled", after.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/tasks/999", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown: status %d", resp.StatusCode)
+	}
+
+	// Health and debug endpoints answer.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/debug/fobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Gauges["tasks_cancelled"]; !ok {
+		t.Fatalf("debug snapshot gauges missing task counts: %+v", snap.Gauges)
+	}
+}

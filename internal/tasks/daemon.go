@@ -1,0 +1,418 @@
+// The daemon: submission, the dispatch loop with its bounded mover pool,
+// per-tenant rate-cap wiring, cancellation, and the restart path that
+// reloads the store and requeues every non-terminal task. All state
+// transitions funnel through one mutex and persist before they become
+// observable, which is the whole crash-safety argument: whatever instant
+// the process dies, the directory holds each task at a durable state the
+// next daemon knows how to continue from.
+package tasks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/udprt"
+)
+
+// Config configures a Daemon.
+type Config struct {
+	// Dir is the state directory: task files live at its top level,
+	// receiver-side checkpoints (if this process also receives) elsewhere.
+	// Created if missing.
+	Dir string
+	// Workers bounds the mover pool — how many tasks run concurrently
+	// (default 2).
+	Workers int
+	// TenantRate caps each named tenant's aggregate send rate in
+	// on-the-wire bits per second (payload + UDP/IP overhead). Tenants
+	// absent from the map are uncapped. The cap spans all of a tenant's
+	// concurrent movers and every stripe within them.
+	TenantRate map[string]float64
+	// Retry overrides the movers' supervision policy (default: 4 retries,
+	// 250 ms initial backoff).
+	Retry *udprt.RetryPolicy
+	// Send is the base socket configuration every mover starts from; the
+	// daemon fills Retry, ResumeFirst, RateCap, Streams, Congestion and
+	// Metrics per task on top of it.
+	Send udprt.Options
+	// Metrics, when non-nil, receives per-transfer records from every
+	// mover plus the daemon's task gauges (tasks_queued, tasks_running,
+	// …), all served on the registry's /debug/fobs handler.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Retry == nil {
+		c.Retry = &udprt.RetryPolicy{MaxRetries: 4, Backoff: 250 * time.Millisecond}
+	}
+	return c
+}
+
+// running tracks one in-flight mover.
+type running struct {
+	cancel    context.CancelFunc
+	userAbort bool // Cancel() was called; the mover records cancelled, not failed
+}
+
+// Daemon owns a task queue and its mover pool. Construct with New, drive
+// with Run, submit with Submit (directly or through the HTTP API).
+type Daemon struct {
+	cfg   Config
+	store *store
+	reg   *metrics.Registry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   map[uint64]*Task
+	queue   *fairQueue
+	active  map[uint64]*running
+	caps    map[string]*udprt.RateCap
+	nextID  uint64
+	stopped bool // Run's context ended; workers drain and exit
+	crashed bool // simulated SIGKILL (tests): freeze disk and memory
+
+	// Test seams, called outside the lock with a snapshot of the task at
+	// a crash-critical instant. Nil in production.
+	hookDispatched func(Task) // marked running+persisted, mover not yet started
+	hookDelivered  func(Task) // wire verdict in hand, done not yet persisted
+}
+
+// New opens (or creates) the state directory, loads every persisted
+// task, and requeues the non-terminal ones: queued tasks keep their
+// place, tasks that were running when the previous process died go back
+// to queued — their stable transfer ids let the rerun resume whatever
+// the receiver still holds.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("tasks: Config.Dir is required")
+	}
+	st, err := newStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:    cfg,
+		store:  st,
+		reg:    cfg.Metrics,
+		tasks:  make(map[uint64]*Task),
+		queue:  newFairQueue(),
+		active: make(map[uint64]*running),
+		caps:   make(map[string]*udprt.RateCap),
+		nextID: 1,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	loaded, err := st.load()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range loaded {
+		if t.ID >= d.nextID {
+			d.nextID = t.ID + 1
+		}
+		if t.State == StateRunning || t.State == StateQueued {
+			t.State = StateQueued
+			t.Updated = time.Now()
+			// Persist the demotion: a second crash before dispatch must
+			// not resurrect a phantom "running" task.
+			if err := st.save(t); err != nil {
+				return nil, err
+			}
+			d.queue.push(t)
+		}
+		d.tasks[t.ID] = t
+	}
+	for tenant, bps := range cfg.TenantRate {
+		rc, err := udprt.NewRateCap(bps)
+		if err != nil {
+			return nil, fmt.Errorf("tasks: tenant %q: %w", tenant, err)
+		}
+		d.caps[tenant] = rc
+		d.reg.SetGauge("tenant_"+tenant+"_rate_cap_bps", bps)
+	}
+	d.updateGauges()
+	return d, nil
+}
+
+// Run drives the mover pool until ctx ends, then waits for in-flight
+// movers to wind down (their sends are cancelled). In-flight tasks stay
+// "running" on disk and requeue on the next New — Run never marks a task
+// failed just because the daemon is shutting down.
+func (d *Daemon) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := 0; i < d.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.worker(ctx)
+		}()
+	}
+	<-ctx.Done()
+	d.mu.Lock()
+	d.stopped = true
+	for _, r := range d.active {
+		r.cancel()
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+	wg.Wait()
+	return nil
+}
+
+// worker pulls tasks in fair order and runs each through a mover.
+func (d *Daemon) worker(ctx context.Context) {
+	for {
+		d.mu.Lock()
+		for d.queue.len() == 0 && !d.stopped {
+			d.cond.Wait()
+		}
+		if d.stopped {
+			d.mu.Unlock()
+			return
+		}
+		t := d.queue.pop()
+		t.State = StateRunning
+		t.Attempts++
+		t.Updated = time.Now()
+		if err := d.store.save(t); err != nil {
+			// Disk refused the transition: park the task back and stall
+			// briefly rather than running work the store cannot record.
+			t.State = StateQueued
+			t.Attempts--
+			d.queue.push(t)
+			d.mu.Unlock()
+			time.Sleep(time.Second)
+			continue
+		}
+		mctx, cancel := context.WithCancel(ctx)
+		d.active[t.ID] = &running{cancel: cancel}
+		d.updateGauges()
+		snap := t.clone()
+		hook := d.hookDispatched
+		d.mu.Unlock()
+
+		if hook != nil {
+			hook(snap)
+		}
+		d.runTask(mctx, t)
+		cancel()
+	}
+}
+
+// capFor returns the tenant's shared rate cap, nil when uncapped.
+func (d *Daemon) capFor(tenant string) *udprt.RateCap { return d.caps[tenant] }
+
+// moverOptions assembles the supervised send options for one task.
+func (d *Daemon) moverOptions(t *Task) udprt.Options {
+	opts := d.cfg.Send
+	opts.Metrics = d.reg
+	pol := *d.cfg.Retry
+	opts.Retry = &pol
+	// Rerun attempts (a crash, a requeue) always lead with RESUME: the
+	// receiver may hold most of the object, and the handshake degrades to
+	// a fresh transfer when it holds nothing. First attempts skip the
+	// extra round trip.
+	opts.ResumeFirst = t.Attempts > 1
+	opts.RateCap = d.capFor(t.Spec.tenant())
+	if t.Spec.Streams > 1 {
+		opts.Streams = t.Spec.Streams
+	}
+	if t.Spec.Congestion != "" {
+		opts.Congestion = t.Spec.Congestion
+	}
+	return opts
+}
+
+// runTask executes one dispatched task end to end and records its
+// verdict. The task pointer is shared; all mutations happen under d.mu.
+func (d *Daemon) runTask(ctx context.Context, t *Task) {
+	obj, err := os.ReadFile(t.Spec.Path)
+	var st core.SenderStats
+	if err == nil {
+		cfg := core.Config{Transfer: t.Transfer, PacketSize: t.Spec.PacketSize}
+		opts := d.moverOptions(t)
+		st, err = udprt.Send(ctx, t.Spec.Addr, obj, cfg, opts)
+		if udprt.IsStripingUnsupported(err) && opts.Streams > 1 {
+			// The receiver cannot reassemble stripes — the one rejection
+			// with a deterministic recovery. Same task, same transfer id,
+			// one flow.
+			opts.Streams = 1
+			st, err = udprt.Send(ctx, t.Spec.Addr, obj, cfg, opts)
+		}
+	}
+	if err == nil {
+		d.mu.Lock()
+		hook := d.hookDelivered
+		snap := t.clone()
+		d.mu.Unlock()
+		if hook != nil {
+			hook(snap) // crash window: delivered but not yet durable
+		}
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := d.active[t.ID]
+	delete(d.active, t.ID)
+	if d.crashed {
+		return // simulated SIGKILL: no transition after death
+	}
+	t.Updated = time.Now()
+	switch {
+	case err == nil:
+		t.State = StateDone
+		t.Error = ""
+		t.Stats = statsOf(st)
+	case r != nil && r.userAbort:
+		t.State = StateCancelled
+		t.Error = err.Error()
+	case ctx.Err() != nil && d.stopped:
+		// Shutdown, not verdict: leave the durable state at "running" so
+		// the next daemon requeues and resumes this task.
+		t.State = StateRunning
+		d.updateGauges()
+		return
+	default:
+		t.State = StateFailed
+		t.Error = err.Error()
+		if st.PacketsNeeded > 0 {
+			t.Stats = statsOf(st)
+		}
+	}
+	d.store.save(t)
+	d.updateGauges()
+}
+
+// Submit validates and enqueues a new task, durably, before returning
+// its snapshot: once Submit returns, a crash cannot lose the task.
+func (d *Daemon) Submit(spec Spec) (Task, error) {
+	if err := spec.validate(); err != nil {
+		return Task{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped || d.crashed {
+		return Task{}, errors.New("tasks: daemon is shutting down")
+	}
+	now := time.Now()
+	t := &Task{
+		ID:      d.nextID,
+		Spec:    spec,
+		State:   StateQueued,
+		Created: now,
+		Updated: now,
+	}
+	// The transfer id must be stable across reruns (it keys the
+	// receiver's retained state) and unique among this daemon's tasks;
+	// the monotonic task id provides both.
+	t.Transfer = uint32(t.ID)
+	if err := d.store.save(t); err != nil {
+		return Task{}, err
+	}
+	d.nextID++
+	d.tasks[t.ID] = t
+	d.queue.push(t)
+	d.updateGauges()
+	d.cond.Signal()
+	return t.clone(), nil
+}
+
+// Cancel stops a task: a queued task transitions to cancelled
+// immediately; a running task's mover is cancelled and records the
+// cancellation when it winds down. Terminal tasks are left alone (no
+// error — cancellation is idempotent).
+func (d *Daemon) Cancel(id uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tasks[id]
+	if !ok {
+		return fmt.Errorf("tasks: no task %d", id)
+	}
+	switch t.State {
+	case StateQueued:
+		d.queue.drop(id)
+		t.State = StateCancelled
+		t.Updated = time.Now()
+		if err := d.store.save(t); err != nil {
+			return err
+		}
+		d.updateGauges()
+	case StateRunning:
+		if r := d.active[id]; r != nil {
+			r.userAbort = true
+			r.cancel()
+		}
+	}
+	return nil
+}
+
+// Get returns a task snapshot by id.
+func (d *Daemon) Get(id uint64) (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tasks[id]
+	if !ok {
+		return Task{}, false
+	}
+	return t.clone(), true
+}
+
+// List returns snapshots of every known task, ordered by id.
+func (d *Daemon) List() []Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Task, 0, len(d.tasks))
+	for id := uint64(1); id < d.nextID && len(out) < len(d.tasks); id++ {
+		if t, ok := d.tasks[id]; ok {
+			out = append(out, t.clone())
+		}
+	}
+	return out
+}
+
+// kill simulates a SIGKILL for crash tests: every mover's context is
+// cancelled and, crucially, nothing further is persisted or transitioned
+// — memory and disk freeze exactly as they were. Only tests call this.
+func (d *Daemon) kill() {
+	d.mu.Lock()
+	d.crashed = true
+	d.stopped = true
+	d.store.disabled = true
+	for _, r := range d.active {
+		r.cancel()
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// updateGauges refreshes the task-level gauges. Caller holds d.mu.
+func (d *Daemon) updateGauges() {
+	if d.reg == nil {
+		return
+	}
+	var done, failed, cancelled int
+	for _, t := range d.tasks {
+		switch t.State {
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		case StateCancelled:
+			cancelled++
+		}
+	}
+	d.reg.SetGauge("tasks_queued", float64(d.queue.len()))
+	d.reg.SetGauge("tasks_running", float64(len(d.active)))
+	d.reg.SetGauge("tasks_done", float64(done))
+	d.reg.SetGauge("tasks_failed", float64(failed))
+	d.reg.SetGauge("tasks_cancelled", float64(cancelled))
+}

@@ -1,0 +1,643 @@
+// End-to-end daemon tests over real loopback sockets: ordinary operation,
+// the crash kill-point sweep (submit / dispatch / mid-transfer / pre-ack),
+// per-tenant rate-cap isolation, fairness of dispatch, the deterministic
+// unstriped fallback, and cancellation. The crash points use the daemon's
+// simulated SIGKILL (kill: contexts cancelled, nothing persisted after)
+// so every window lands deterministically; the subprocess smoke test in
+// cmd/fobsd covers the genuine signal.
+package tasks
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/checkpoint"
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/udprt"
+)
+
+// receiver hosts a concurrent udprt Server and collects every completed
+// object, counting completions per transfer id (the at-least-once tests
+// expect reruns to land twice).
+type receiver struct {
+	srv  *udprt.Server
+	addr string
+
+	mu          sync.Mutex
+	objs        map[uint32][]byte
+	completions map[uint32]int
+}
+
+func startReceiver(t *testing.T, opts udprt.Options) *receiver {
+	t.Helper()
+	if opts.ResumeWindow == 0 {
+		opts.ResumeWindow = time.Minute
+	}
+	srv, err := udprt.NewServer("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &receiver{
+		srv:         srv,
+		addr:        srv.Addr(),
+		objs:        make(map[uint32][]byte),
+		completions: make(map[uint32]int),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, func(id uint32, obj []byte, _ core.ReceiverStats) {
+			r.mu.Lock()
+			r.objs[id] = obj
+			r.completions[id]++
+			r.mu.Unlock()
+		})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-done
+	})
+	return r
+}
+
+func (r *receiver) object(id uint32) ([]byte, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.objs[id], r.completions[id]
+}
+
+// writeObj creates an object file of n random bytes and returns its path
+// and content.
+func writeObj(t *testing.T, n int) (string, []byte) {
+	t.Helper()
+	obj := make([]byte, n)
+	if _, err := rand.Read(obj); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), fmt.Sprintf("obj-%d", n))
+	if err := os.WriteFile(path, obj, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, obj
+}
+
+// runDaemon starts d.Run and returns a stop function that shuts it down
+// and waits for it to exit.
+func runDaemon(t *testing.T, d *Daemon) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.Run(ctx)
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// waitTasks polls until every task satisfies pred or the deadline lapses.
+func waitTasks(t *testing.T, d *Daemon, timeout time.Duration, pred func(Task) bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		all := d.List()
+		ok := len(all) > 0
+		for _, task := range all {
+			if !pred(task) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tasks never converged: %+v", all)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func isDone(task Task) bool { return task.State == StateDone }
+
+func TestDaemonRunsSubmittedTasks(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	reg := metrics.New()
+	d, err := New(Config{Dir: t.TempDir(), Workers: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+
+	objs := make(map[uint64][]byte)
+	for i, tenant := range []string{"alpha", "beta", "alpha", "", "beta"} {
+		path, obj := writeObj(t, 64<<10+i*257)
+		task, err := d.Submit(Spec{Tenant: tenant, Addr: rcv.addr, Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[task.ID] = obj
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+
+	for id, want := range objs {
+		task, ok := d.Get(id)
+		if !ok {
+			t.Fatalf("task %d vanished", id)
+		}
+		got, n := rcv.object(task.Transfer)
+		if n != 1 {
+			t.Fatalf("transfer %d completed %d times, want once", task.Transfer, n)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("task %d delivered different bytes", id)
+		}
+		if task.Stats == nil || task.Stats.PacketsSent == 0 {
+			t.Fatalf("task %d finished without stats: %+v", id, task)
+		}
+	}
+	if v, _ := reg.Gauge("tasks_done"); v != 5 {
+		t.Fatalf("tasks_done gauge = %v, want 5", v)
+	}
+	if v, _ := reg.Gauge("tasks_queued"); v != 0 {
+		t.Fatalf("tasks_queued gauge = %v, want 0", v)
+	}
+	if v, _ := reg.Gauge("tasks_running"); v != 0 {
+		t.Fatalf("tasks_running gauge = %v, want 0", v)
+	}
+}
+
+// TestDaemonKillPointSweep kills the daemon at each crash-critical
+// window and requires a restarted daemon over the same state directory to
+// run every task to completion with bit-identical objects.
+func TestDaemonKillPointSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery sweep skipped in -short mode")
+	}
+
+	// restart builds a fresh daemon over dir and drives every surviving
+	// task to done, checking delivered bytes against want.
+	restart := func(t *testing.T, dir string, rcv *receiver, want map[uint32][]byte, reg *metrics.Registry) *Daemon {
+		t.Helper()
+		// The pace keeps the greedy loopback sender from re-blasting the
+		// circular schedule faster than acks return, so the resume-economy
+		// assertions measure the protocol, not ack lag.
+		d, err := New(Config{Dir: dir, Workers: 2, Metrics: reg,
+			Send: udprt.Options{Pace: 25 * time.Microsecond}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runDaemon(t, d)
+		waitTasks(t, d, 60*time.Second, isDone)
+		for id, obj := range want {
+			got, _ := rcv.object(id)
+			if !bytes.Equal(got, obj) {
+				t.Fatalf("transfer %d delivered different bytes after restart", id)
+			}
+		}
+		return d
+	}
+
+	t.Run("at-submit", func(t *testing.T) {
+		// Killed before the dispatcher ever ran: the durable queue alone
+		// carries the tasks into the next life.
+		rcv := startReceiver(t, udprt.Options{})
+		dir := t.TempDir()
+		d, err := New(Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[uint32][]byte)
+		for i := 0; i < 3; i++ {
+			path, obj := writeObj(t, 48<<10+i)
+			task, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[task.Transfer] = obj
+		}
+		d.kill()
+		if _, err := d.Submit(Spec{Addr: rcv.addr, Path: "x"}); err == nil {
+			t.Fatal("submit accepted after kill")
+		}
+		restart(t, dir, rcv, want, nil)
+	})
+
+	t.Run("at-dispatch", func(t *testing.T) {
+		// Killed the instant a task turned "running", before its mover
+		// moved a byte: the restart demotes it to queued and runs it.
+		rcv := startReceiver(t, udprt.Options{})
+		dir := t.TempDir()
+		d, err := New(Config{Dir: dir, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		killed := make(chan struct{})
+		var once sync.Once
+		d.hookDispatched = func(Task) {
+			once.Do(func() {
+				d.kill()
+				close(killed)
+			})
+		}
+		path, obj := writeObj(t, 48<<10)
+		task, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path2, obj2 := writeObj(t, 32<<10)
+		task2, err := d.Submit(Spec{Addr: rcv.addr, Path: path2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := runDaemon(t, d)
+		<-killed
+		stop()
+		if got, _ := rcv.object(task.Transfer); got != nil {
+			t.Fatal("killed-at-dispatch task still delivered in its first life")
+		}
+		restart(t, dir, rcv, map[uint32][]byte{task.Transfer: obj, task2.Transfer: obj2}, nil)
+	})
+
+	t.Run("mid-transfer", func(t *testing.T) {
+		// Killed with data on the wire: the restarted mover must RESUME
+		// against the receiver's retained state and send essentially only
+		// the missing packets. The receiver checkpoints retained state so
+		// the test can wait for retention to land before restarting —
+		// otherwise the rerun's RESUME can race the first life's teardown.
+		ckptDir := t.TempDir()
+		rcv := startReceiver(t, udprt.Options{IdleTimeout: 2 * time.Second, Checkpoint: ckptDir})
+		dir := t.TempDir()
+		killed := make(chan struct{})
+		var once sync.Once
+		var d *Daemon
+		d, err := New(Config{
+			Dir: dir,
+			// Slow the first life so the kill lands mid-flight: ~4 Mb/s
+			// against a ~4.2 Mb object.
+			TenantRate: map[string]float64{"capped": 4e6},
+			Send: udprt.Options{
+				StallTimeout: 2 * time.Second,
+				Progress: func(done, total int) {
+					if done > total/3 {
+						once.Do(func() {
+							d.kill()
+							close(killed)
+						})
+					}
+				},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, obj := writeObj(t, 512<<10)
+		task, err := d.Submit(Spec{Tenant: "capped", Addr: rcv.addr, Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := runDaemon(t, d)
+		select {
+		case <-killed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("kill point never reached")
+		}
+		stop()
+		// Wait for the receiver to park the partial transfer (signalled by
+		// its checkpoint file) so the rerun's RESUME finds it.
+		ckpt := checkpoint.File(ckptDir, task.Transfer)
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			if _, err := os.Stat(ckpt); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("receiver never retained the interrupted transfer")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		reg := metrics.New()
+		d2 := restart(t, dir, rcv, map[uint32][]byte{task.Transfer: obj}, reg)
+		after, ok := d2.Get(task.ID)
+		if !ok || after.Stats == nil {
+			t.Fatalf("task lost its stats across restart: %+v", after)
+		}
+		// The resumed attempt's economy: restored packets crossed the
+		// crash, and the rerun resent less than the whole object.
+		if after.Stats.Restored == 0 {
+			t.Fatal("restart restored nothing: the rerun resent from scratch")
+		}
+		if after.Stats.PacketsSent >= after.Stats.PacketsNeeded {
+			t.Fatalf("rerun sent %d of %d packets: no resume economy",
+				after.Stats.PacketsSent, after.Stats.PacketsNeeded)
+		}
+		if snap := reg.Snapshot(); snap.Totals.PacketsRestored == 0 || snap.Resumes == 0 {
+			t.Fatalf("metrics saw no resume: restored=%d resumes=%d",
+				snap.Totals.PacketsRestored, snap.Resumes)
+		}
+	})
+
+	t.Run("pre-ack", func(t *testing.T) {
+		// Killed after the receiver's COMPLETE but before "done" became
+		// durable: at-least-once semantics rerun the task, and the rerun
+		// delivers the same bytes (the receiver completes the id twice).
+		rcv := startReceiver(t, udprt.Options{})
+		dir := t.TempDir()
+		killed := make(chan struct{})
+		var once sync.Once
+		d, err := New(Config{Dir: dir, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.hookDelivered = func(Task) {
+			once.Do(func() {
+				d.kill()
+				close(killed)
+			})
+		}
+		path, obj := writeObj(t, 48<<10)
+		task, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := runDaemon(t, d)
+		<-killed
+		stop()
+		if _, n := rcv.object(task.Transfer); n != 1 {
+			t.Fatalf("first life completed %d times, want exactly 1", n)
+		}
+		restart(t, dir, rcv, map[uint32][]byte{task.Transfer: obj}, nil)
+		if got, n := rcv.object(task.Transfer); n != 2 || !bytes.Equal(got, obj) {
+			t.Fatalf("rerun delivered %d completions (want 2), identical=%v", n, bytes.Equal(got, obj))
+		}
+	})
+}
+
+// TestDaemonTenantRateCapIsolation is the two-tenant acceptance test: the
+// capped tenant's two concurrent tasks share one ceiling and take at
+// least the wire time the cap dictates, while the uncapped tenant's
+// larger transfer runs at loopback speed, unaffected.
+func TestDaemonTenantRateCapIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive rate measurement skipped in -short mode")
+	}
+	rcv := startReceiver(t, udprt.Options{})
+	const capBits = 6e6
+	d, err := New(Config{
+		Dir:        t.TempDir(),
+		Workers:    3,
+		TenantRate: map[string]float64{"capped": capBits},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+
+	// Two capped tasks of 128 KiB each ≈ 2.2 Mb of wire bits combined;
+	// at 6 Mb/s their aggregate needs ≥ ~360 ms. The free task is 4× the
+	// bytes and must still finish far sooner.
+	var cappedIDs []uint64
+	for i := 0; i < 2; i++ {
+		path, _ := writeObj(t, 128<<10)
+		task, err := d.Submit(Spec{Tenant: "capped", Addr: rcv.addr, Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cappedIDs = append(cappedIDs, task.ID)
+	}
+	freePath, freeObj := writeObj(t, 512<<10)
+	free, err := d.Submit(Spec{Tenant: "free", Addr: rcv.addr, Path: freePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	var freeDur, cappedDur time.Duration
+	deadline := time.Now().Add(60 * time.Second)
+	for freeDur == 0 || cappedDur == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("transfers never finished: %+v", d.List())
+		}
+		if task, _ := d.Get(free.ID); task.State == StateDone && freeDur == 0 {
+			freeDur = time.Since(start)
+		}
+		capped := 0
+		for _, id := range cappedIDs {
+			if task, _ := d.Get(id); task.State == StateDone {
+				capped++
+			} else if task.State == StateFailed {
+				t.Fatalf("capped task failed: %+v", task)
+			}
+		}
+		if capped == len(cappedIDs) && cappedDur == 0 {
+			cappedDur = time.Since(start)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if got, _ := rcv.object(uint32(free.ID)); !bytes.Equal(got, freeObj) {
+		t.Fatal("free tenant's object corrupted")
+	}
+	// The cap bound the capped pair: combined wire bits / cap is the
+	// floor; assert half of it so scheduling slop cannot flake, only an
+	// unenforced cap.
+	const wireBits = 2 * (128 << 10) * 8 * 1.02 // ≈ payload + header overhead
+	minDur := time.Duration(wireBits / capBits * float64(time.Second))
+	if cappedDur < minDur/2 {
+		t.Fatalf("capped tenant finished in %v, cap floor is %v: cap not enforced", cappedDur, minDur)
+	}
+	// And the free tenant was isolated from it: 4× the bytes, far less
+	// wall clock than the capped pair.
+	if freeDur > cappedDur {
+		t.Fatalf("free tenant (%v) was slower than the capped tenant (%v): not isolated", freeDur, cappedDur)
+	}
+}
+
+// TestDaemonStripedFallback submits a striped task toward the concurrent
+// server — which refuses striping with the dedicated abort reason — and
+// expects the mover to degrade to an unstriped retry and deliver.
+func TestDaemonStripedFallback(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	d, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	path, obj := writeObj(t, 96<<10)
+	task, err := d.Submit(Spec{Addr: rcv.addr, Path: path, Streams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+	got, _ := rcv.object(task.Transfer)
+	if !bytes.Equal(got, obj) {
+		t.Fatal("striped-fallback object corrupted")
+	}
+}
+
+func TestDaemonCancel(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	dir := t.TempDir()
+
+	// Cancel while queued: the daemon is not running, so the task cannot
+	// have started; after Run starts it must never dispatch.
+	d, err := New(Config{Dir: dir, TenantRate: map[string]float64{"slow": 2e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := writeObj(t, 16<<10)
+	queuedTask, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cancel(queuedTask.ID); err != nil {
+		t.Fatal(err)
+	}
+	if task, _ := d.Get(queuedTask.ID); task.State != StateCancelled {
+		t.Fatalf("queued task state %q after cancel", task.State)
+	}
+	if err := d.Cancel(queuedTask.ID); err != nil {
+		t.Fatalf("cancel is not idempotent: %v", err)
+	}
+	if err := d.Cancel(999); err == nil {
+		t.Fatal("cancel of an unknown task succeeded")
+	}
+	runDaemon(t, d)
+
+	// Cancel while running: a slow capped transfer is interrupted and
+	// records cancelled, durably.
+	slowPath, _ := writeObj(t, 512<<10)
+	runningTask, err := d.Submit(Spec{Tenant: "slow", Addr: rcv.addr, Path: slowPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		task, _ := d.Get(runningTask.ID)
+		if task.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task never started: %+v", task)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.Cancel(runningTask.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		task, _ := d.Get(runningTask.ID)
+		if task.State == StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running task never cancelled: %+v", task)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The cancellations are durable: a restart must not resurrect either.
+	loaded, err := (&store{dir: dir}).load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range loaded {
+		if task.ID == queuedTask.ID || task.ID == runningTask.ID {
+			if task.State != StateCancelled {
+				t.Fatalf("task %d persisted as %q, want cancelled", task.ID, task.State)
+			}
+		}
+	}
+}
+
+// TestDaemonFairDispatch floods tenant a and then adds one task for
+// tenant b: with a single worker, b's task must dispatch second, not
+// after a's whole backlog.
+func TestDaemonFairDispatch(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	d, err := New(Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	d.hookDispatched = func(task Task) {
+		mu.Lock()
+		order = append(order, task.Spec.tenant())
+		mu.Unlock()
+	}
+	path, _ := writeObj(t, 8<<10)
+	for i := 0; i < 4; i++ {
+		if _, err := d.Submit(Spec{Tenant: "a", Addr: rcv.addr, Path: path}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Submit(Spec{Tenant: "b", Addr: rcv.addr, Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	waitTasks(t, d, 30*time.Second, isDone)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 || order[1] != "b" {
+		t.Fatalf("dispatch order %v: tenant b should be served second", order)
+	}
+}
+
+// TestDaemonFailsUnreachableTask points a task at a dead address with a
+// tight retry budget and expects a durable failed verdict, not a wedged
+// queue.
+func TestDaemonFailsUnreachableTask(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(Config{
+		Dir:   dir,
+		Retry: &udprt.RetryPolicy{MaxRetries: -1, Budget: 5 * time.Second},
+		Send:  udprt.Options{HandshakeRetries: 1, HandshakeTimeout: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	path, _ := writeObj(t, 4<<10)
+	task, err := d.Submit(Spec{Addr: "127.0.0.1:1", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, func(task Task) bool { return task.State == StateFailed })
+	after, _ := d.Get(task.ID)
+	if after.Error == "" {
+		t.Fatalf("failed task carries no error: %+v", after)
+	}
+	// Durably failed: a restart must not rerun it.
+	loaded, err := (&store{dir: dir}).load()
+	if err != nil || len(loaded) != 1 || loaded[0].State != StateFailed {
+		t.Fatalf("persisted state wrong: %+v err=%v", loaded, err)
+	}
+	// A missing source file also fails cleanly.
+	task2, err := d.Submit(Spec{Addr: "127.0.0.1:1", Path: filepath.Join(dir, "absent")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, func(task Task) bool { return task.State == StateFailed })
+	if after, _ := d.Get(task2.ID); after.Error == "" {
+		t.Fatal("missing-file task carries no error")
+	}
+}

@@ -1,0 +1,94 @@
+// The dispatcher's ready queue: FIFO within a tenant, round-robin across
+// tenants. A tenant with a thousand queued tasks delays a newcomer's
+// first task by at most one dispatch per active tenant, not a thousand —
+// the fairness half of multi-tenancy, complementing the rate cap's
+// bandwidth half. The queue holds only queued tasks; the daemon's map
+// remains the single source of task state.
+package tasks
+
+// fairQueue is not concurrency-safe; the daemon serializes access under
+// its own lock.
+type fairQueue struct {
+	// ring is the round-robin order of tenants that currently have queued
+	// tasks; next indexes the tenant to serve next.
+	ring []string
+	next int
+	// fifos holds each listed tenant's queued tasks in submit order.
+	fifos map[string][]*Task
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{fifos: make(map[string][]*Task)}
+}
+
+// push appends a task to its tenant's FIFO, adding the tenant to the
+// round-robin ring on its first queued task.
+func (q *fairQueue) push(t *Task) {
+	ten := t.Spec.tenant()
+	if _, ok := q.fifos[ten]; !ok {
+		q.ring = append(q.ring, ten)
+	}
+	q.fifos[ten] = append(q.fifos[ten], t)
+}
+
+// pop removes and returns the next task in fair order, or nil when the
+// queue is empty. A tenant whose FIFO drains leaves the ring; the ring
+// cursor advances one tenant per pop, so service alternates among
+// whoever has work.
+func (q *fairQueue) pop() *Task {
+	if len(q.ring) == 0 {
+		return nil
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	ten := q.ring[q.next]
+	fifo := q.fifos[ten]
+	t := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.fifos, ten)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// next now already points at the following tenant.
+	} else {
+		q.fifos[ten] = fifo[1:]
+		q.next++
+	}
+	return t
+}
+
+// drop removes a task (matched by ID) from its tenant's FIFO, returning
+// whether it was queued. Used by cancellation.
+func (q *fairQueue) drop(id uint64) bool {
+	for ten, fifo := range q.fifos {
+		for i, t := range fifo {
+			if t.ID != id {
+				continue
+			}
+			if len(fifo) == 1 {
+				delete(q.fifos, ten)
+				for j, name := range q.ring {
+					if name == ten {
+						q.ring = append(q.ring[:j], q.ring[j+1:]...)
+						if q.next > j {
+							q.next--
+						}
+						break
+					}
+				}
+			} else {
+				q.fifos[ten] = append(fifo[:i:i], fifo[i+1:]...)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// len reports the number of queued tasks across all tenants.
+func (q *fairQueue) len() int {
+	n := 0
+	for _, fifo := range q.fifos {
+		n += len(fifo)
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package tasks
+
+import "testing"
+
+func queued(id uint64, tenant string) *Task {
+	return &Task{ID: id, Spec: Spec{Tenant: tenant}, State: StateQueued}
+}
+
+func popIDs(q *fairQueue, n int) []uint64 {
+	var out []uint64
+	for i := 0; i < n; i++ {
+		t := q.pop()
+		if t == nil {
+			break
+		}
+		out = append(out, t.ID)
+	}
+	return out
+}
+
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue()
+	// Tenant a floods; b and c each submit one late task.
+	for i := uint64(1); i <= 5; i++ {
+		q.push(queued(i, "a"))
+	}
+	q.push(queued(10, "b"))
+	q.push(queued(11, "c"))
+
+	got := popIDs(q, 7)
+	// Fair order: a, b, c, then a's backlog drains.
+	want := []uint64{1, 10, 11, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+	if q.pop() != nil || q.len() != 0 {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestFairQueueFIFOWithinTenant(t *testing.T) {
+	q := newFairQueue()
+	for i := uint64(1); i <= 4; i++ {
+		q.push(queued(i, "solo"))
+	}
+	got := popIDs(q, 4)
+	for i, id := range []uint64{1, 2, 3, 4} {
+		if got[i] != id {
+			t.Fatalf("popped %v, want strict FIFO", got)
+		}
+	}
+}
+
+func TestFairQueueInterleavedPushPop(t *testing.T) {
+	q := newFairQueue()
+	q.push(queued(1, "a"))
+	q.push(queued(2, "b"))
+	if q.pop().ID != 1 {
+		t.Fatal("first pop should serve tenant a")
+	}
+	// A re-push after draining must re-enter the ring cleanly.
+	q.push(queued(3, "a"))
+	first, second := q.pop(), q.pop()
+	ids := map[uint64]bool{first.ID: true, second.ID: true}
+	if !ids[2] || !ids[3] {
+		t.Fatalf("popped %d,%d want 2 and 3", first.ID, second.ID)
+	}
+}
+
+func TestFairQueueDrop(t *testing.T) {
+	q := newFairQueue()
+	q.push(queued(1, "a"))
+	q.push(queued(2, "a"))
+	q.push(queued(3, "b"))
+	if !q.drop(2) {
+		t.Fatal("drop of a queued task failed")
+	}
+	if q.drop(2) || q.drop(99) {
+		t.Fatal("drop of a missing task succeeded")
+	}
+	if !q.drop(3) {
+		t.Fatal("drop of tenant b's only task failed")
+	}
+	got := popIDs(q, 3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("popped %v after drops, want just [1]", got)
+	}
+	if q.len() != 0 {
+		t.Fatal("queue length wrong after drops")
+	}
+}

@@ -1,0 +1,158 @@
+package tasks
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/checkpoint"
+)
+
+func sampleTask(id uint64) *Task {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return &Task{
+		ID:       id,
+		Spec:     Spec{Tenant: "acme", Addr: "127.0.0.1:7700", Path: "/tmp/obj", PacketSize: 1024},
+		State:    StateQueued,
+		Transfer: uint32(id),
+		Attempts: 1,
+		Created:  now,
+		Updated:  now,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleTask(7)
+	want.Stats = &Stats{PacketsNeeded: 10, PacketsSent: 12, Retransmits: 2, Restored: 3}
+	if err := st.save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadTask(taskFile(st.dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Spec != want.Spec || got.State != want.State ||
+		got.Transfer != want.Transfer || got.Attempts != want.Attempts {
+		t.Fatalf("task changed: %+v vs %+v", got, want)
+	}
+	if *got.Stats != *want.Stats {
+		t.Fatalf("stats changed: %+v vs %+v", got.Stats, want.Stats)
+	}
+	if !got.Created.Equal(want.Created) {
+		t.Fatalf("created stamp changed: %v vs %v", got.Created, want.Created)
+	}
+}
+
+func TestStoreLoadSkipsCorruptionAndJunk(t *testing.T) {
+	st, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if err := st.save(sampleTask(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, err := os.ReadFile(taskFile(st.dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt neighbors under legitimate names, plus junk.
+	torn := append([]byte(nil), good...)
+	os.WriteFile(taskFile(st.dir, 4), torn[:len(torn)/2], 0o644)
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1]++
+	os.WriteFile(taskFile(st.dir, 5), flipped, 0o644)
+	os.WriteFile(taskFile(st.dir, 6), []byte("FOBSCKPTwrong family"), 0o644)
+	os.WriteFile(filepath.Join(st.dir, "notes.txt"), []byte("hi"), 0o644)
+	os.WriteFile(taskFile(st.dir, 7)+".tmp", good, 0o644) // crash leftover
+	os.Mkdir(filepath.Join(st.dir, "sub"), 0o755)
+	// A self-consistent file whose JSON names an impossible state.
+	lying := sampleTask(8)
+	lying.State = State("exploded")
+	if err := st.save(lying); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := st.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("loaded %d tasks, want the 3 valid ones: %+v", len(loaded), loaded)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if loaded[i].ID != want {
+			t.Fatalf("load order: got id %d at %d, want %d", loaded[i].ID, i, want)
+		}
+	}
+}
+
+func TestStoreLoadTaskTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadTask(filepath.Join(dir, "absent")); err == nil || errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("missing file: err=%v, want a plain read error", err)
+	}
+	path := filepath.Join(dir, "bad")
+	os.WriteFile(path, []byte("FOBSTASK"), 0o644)
+	if _, err := loadTask(path); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("truncated container: err=%v, want ErrCorrupt", err)
+	}
+	// Future store version: framed container valid, body rejected.
+	st, err := newStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.save(sampleTask(1)); err != nil {
+		t.Fatal(err)
+	}
+	body, err := checkpoint.ReadFramed(taskFile(dir, 1), taskMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := append([]byte{storeVersion + 1}, body[1:]...)
+	if err := checkpoint.WriteFramed(taskFile(dir, 1), taskMagic, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTask(taskFile(dir, 1)); err == nil || errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("future version: err=%v, want a version error", err)
+	}
+}
+
+func TestStoreDisabledFreezesDisk(t *testing.T) {
+	st, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.save(sampleTask(1)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(taskFile(st.dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.disabled = true
+	mutated := sampleTask(1)
+	mutated.State = StateDone
+	if err := st.save(mutated); err != nil {
+		t.Fatal(err)
+	}
+	st.save(sampleTask(2))
+	st.remove(1)
+	after, err := os.ReadFile(taskFile(st.dir, 1))
+	if err != nil {
+		t.Fatalf("task file vanished after simulated kill: %v", err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("disk changed after the store was disabled")
+	}
+	if _, err := os.Stat(taskFile(st.dir, 2)); !os.IsNotExist(err) {
+		t.Fatal("new file appeared after the store was disabled")
+	}
+}

@@ -139,14 +139,27 @@ func validateCongestion(name string) error {
 // The name must have passed validateCongestion; cfg is the stripe's
 // effective core configuration.
 func newController(name string, cfg core.Config, opts Options) Controller {
+	var cc Controller
 	switch name {
 	case CCAIMD:
-		return newAIMDController(opts.Pace)
+		cc = newAIMDController(opts.Pace)
 	case CCSABUL:
-		return newSABULController(cfg.PacketSize, opts.Pace)
+		cc = newSABULController(cfg.PacketSize, opts.Pace)
 	default:
-		return &fixedController{rate: cfg.Rate, pace: opts.Pace}
+		cc = &fixedController{rate: cfg.Rate, pace: opts.Pace}
 	}
+	if opts.RateCap != nil {
+		pkt := cfg.PacketSize
+		if pkt <= 0 {
+			pkt = core.DefaultPacketSize
+		}
+		cc = &capController{
+			inner:      cc,
+			cap:        opts.RateCap,
+			bitsPerPkt: float64(8 * (pkt + sabulWireOverhead)),
+		}
+	}
+	return cc
 }
 
 // fixedController reproduces the pre-policy engine bit for bit: the batch

@@ -717,3 +717,109 @@ func TestResumeStoreEvictionAndExpiry(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestListenSurvivesCorruptCheckpoints seeds a checkpoint directory with
+// every flavour of broken file — torn, checksum-flipped, wrong magic,
+// empty, junk-named — plus one valid checkpoint, and requires Listen to
+// come up without panicking, resume the one valid transfer, and treat the
+// rest as unresumable. Startup over a dirty state directory is exactly the
+// daemon-restart path, so corruption must degrade, never crash.
+func TestListenSurvivesCorruptCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+
+	// One genuine checkpoint for transfer 5: an empty bitmap is fine (a
+	// RESUME against it just resends everything).
+	obj := makeObj(4 << 10)
+	rcv := core.NewReceiver(int64(len(obj)), core.Config{Transfer: 5, PacketSize: 512})
+	if err := checkpoint.Save(dir, &checkpoint.State{
+		Transfer:   5,
+		ObjectSize: uint64(len(obj)),
+		PacketSize: 512,
+		Digest:     wire.ObjectDigest(obj),
+		HasDigest:  true,
+		Words:      rcv.HaveWords(nil),
+		Object:     make([]byte, len(obj)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(checkpoint.File(dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broken neighbors under legitimate checkpoint names.
+	writeCkpt := func(transfer uint32, b []byte) {
+		if err := os.WriteFile(checkpoint.File(dir, transfer), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	torn := append([]byte(nil), good...)
+	writeCkpt(6, torn[:len(torn)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1]++
+	writeCkpt(7, flipped)
+	writeCkpt(8, []byte("XXXXXXXXnot a checkpoint at all"))
+	writeCkpt(9, nil)
+	if err := os.WriteFile(checkpoint.File(dir, 10)+".tmp", good, 0o644); err != nil {
+		t.Fatal(err) // a crash's leftover temporary
+	}
+
+	l, err := Listen("127.0.0.1:0", Options{Checkpoint: dir})
+	if err != nil {
+		t.Fatalf("Listen over a dirty checkpoint dir: %v", err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	recvCh := make(chan error, 1)
+	var got []byte
+	go func() {
+		g, _, err := acceptUntilSuccess(ctx, l)
+		got = g
+		recvCh <- err
+	}()
+	// The valid checkpoint answers a RESUME for transfer 5; the supervisor
+	// completes the object against its empty bitmap.
+	sst, err := Send(ctx, l.Addr(), obj, core.Config{Transfer: 5, PacketSize: 512},
+		Options{Retry: &RetryPolicy{Seed: 2}, ResumeFirst: true})
+	if err != nil {
+		t.Fatalf("resume against restored checkpoint: %v", err)
+	}
+	if err := <-recvCh; err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("object corrupted after checkpoint restore")
+	}
+	// The handshake genuinely took the resume path (zero restored packets —
+	// the bitmap was empty — but the RESUME was accepted, not refused).
+	if sst.PacketsNeeded != sst.PacketsSent-sst.Retransmits {
+		t.Logf("resumed send: needed %d, sent %d", sst.PacketsNeeded, sst.PacketsSent)
+	}
+
+	// And a RESUME for a transfer whose checkpoint was corrupt is refused
+	// in the degradable way: the supervised sender falls back to a fresh
+	// transfer and still succeeds.
+	recvCh2 := make(chan error, 1)
+	var got2 []byte
+	go func() {
+		g, _, err := acceptUntilSuccess(ctx, l)
+		got2 = g
+		recvCh2 <- err
+	}()
+	obj2 := makeObj(2 << 10)
+	sst2, err := Send(ctx, l.Addr(), obj2, core.Config{Transfer: 7, PacketSize: 512},
+		Options{Retry: &RetryPolicy{Seed: 4}, ResumeFirst: true})
+	if err != nil {
+		t.Fatalf("send for corrupt-checkpoint id: %v", err)
+	}
+	if sst2.Restored != 0 {
+		t.Fatalf("restored %d packets from a corrupt checkpoint", sst2.Restored)
+	}
+	if err := <-recvCh2; err != nil {
+		t.Fatalf("receive 2: %v", err)
+	}
+	if !bytes.Equal(got2, obj2) {
+		t.Fatal("fallback object corrupted")
+	}
+}

@@ -133,6 +133,16 @@ func IsRetryable(err error) bool {
 	return errors.As(err, &op)
 }
 
+// IsStripingUnsupported reports whether err is a peer's ABORT saying it
+// cannot reassemble striped transfers (wire.AbortStripingUnsupported — the
+// concurrent Server today). It is deliberately not retryable as-is: the
+// deterministic recovery is to retry the transfer with Options.Streams = 1,
+// which orchestrators like the fobsd mover do.
+func IsStripingUnsupported(err error) bool {
+	var abort *AbortError
+	return errors.As(err, &abort) && abort.Reason == wire.AbortStripingUnsupported
+}
+
 // sendSupervised is Send with Options.Retry set: attempts run under the
 // policy's budget, failures are classified, and retries resume where the
 // previous attempt left off when the peer cooperates. The returned stats
@@ -151,8 +161,26 @@ func sendSupervised(ctx context.Context, addr string, obj []byte, cfg core.Confi
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	st, err := sendOnce(ctx, addr, obj, cfg, opts)
-	sentAny := st.PacketsSent > 0
+	var st core.SenderStats
+	var err error
+	sentAny := false
+	if opts.ResumeFirst && !pol.NoResume && opts.Streams <= 1 {
+		// A restarted orchestrator resuming a task it had in flight: lead
+		// with RESUME so a receiver still retaining state excuses every
+		// packet it holds. resumed=true marks the transfer as "data may
+		// already be placed" even when this attempt sent nothing (a fully
+		// restored object completes without a single datagram).
+		var resumed bool
+		st, resumed, err = sendResume(ctx, addr, obj, cfg, opts)
+		sentAny = resumed
+		if !resumed && err == nil {
+			// No retained state on the far side: plain fresh transfer.
+			st, err = sendOnce(ctx, addr, obj, cfg, opts)
+		}
+	} else {
+		st, err = sendOnce(ctx, addr, obj, cfg, opts)
+	}
+	sentAny = sentAny || st.PacketsSent > 0
 	for attempt := 1; attempt <= pol.MaxRetries && IsRetryable(err); attempt++ {
 		opts.Metrics.NoteRetry(cfg.Transfer, attempt)
 		select {

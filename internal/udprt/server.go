@@ -135,9 +135,10 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	}
 	if plan.striped() || (plan.resume && plan.resumeStreams > 1) {
 		// Receive-side striping for the concurrent server is not built
-		// yet (see ROADMAP.md); refuse cleanly so the striped sender
-		// fails its handshake instead of stalling out.
-		writeAbort(ctl, plan.base, wire.AbortUnsupported)
+		// yet (see ROADMAP.md); refuse cleanly — with the dedicated
+		// reason, so an orchestrating sender can deterministically retry
+		// unstriped — instead of letting the striped sender stall out.
+		writeAbort(ctl, plan.base, wire.AbortStripingUnsupported)
 		return
 	}
 	hello := wire.Hello{

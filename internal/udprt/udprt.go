@@ -130,6 +130,23 @@ type Options struct {
 	// process can still answer RESUME for transfers aborted before the
 	// restart. Files are removed when claimed or when the window lapses.
 	Checkpoint string
+	// RateCap, when non-nil, bounds the aggregate on-the-wire send rate of
+	// every transfer sharing the same *RateCap value (payload plus UDP/IP
+	// overhead, like CCSABUL's accounting). The cap composes with the
+	// selected Congestion policy — each stripe's controller is wrapped so
+	// the stricter of the policy's pacing and the cap's applies — and is
+	// how an orchestrator imposes a per-tenant ceiling across that
+	// tenant's concurrent transfers. A cap below one packet per
+	// MaxControllerGap per flow cannot be fully honoured: the engine
+	// contract's starvation floor wins.
+	RateCap *RateCap
+	// ResumeFirst makes a supervised Send (Options.Retry non-nil,
+	// single-stream) open its very first attempt with a RESUME handshake
+	// instead of a fresh HELLO, so a restarted orchestrator can continue a
+	// transfer whose receiver still retains partial state without paying
+	// for a full resend. A peer without matching state degrades the
+	// attempt to a fresh transfer; without Retry the flag is ignored.
+	ResumeFirst bool
 	// Record, when non-nil, captures a packet-level flight recording of
 	// every transfer this endpoint runs: each data send with its attempt
 	// number, each acknowledgement with the packets it newly covered,

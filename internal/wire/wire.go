@@ -639,6 +639,12 @@ const (
 	// holds no retained state for (expired, evicted, or never seen). The
 	// sender degrades to a fresh transfer.
 	AbortResumeUnknown
+	// AbortStripingUnsupported rejects a well-formed striped HELLOX toward
+	// an endpoint that cannot reassemble stripes (today: the concurrent
+	// Server). Distinct from AbortUnsupported — which also covers
+	// future-version handshakes — so an orchestrating sender can
+	// deterministically degrade to an unstriped retry instead of failing.
+	AbortStripingUnsupported
 )
 
 func (r AbortReason) String() string {
@@ -661,6 +667,8 @@ func (r AbortReason) String() string {
 		return "object digest mismatch"
 	case AbortResumeUnknown:
 		return "no resumable state for transfer"
+	case AbortStripingUnsupported:
+		return "striped transfers unsupported by peer"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
