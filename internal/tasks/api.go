@@ -14,6 +14,7 @@ package tasks
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 )
@@ -94,7 +95,11 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := d.Cancel(id); err != nil {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
 		return
 	}
 	t, _ := d.Get(id)

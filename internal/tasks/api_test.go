@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -176,6 +177,32 @@ func TestAPICancelAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("cancel unknown: status %d", resp.StatusCode)
+	}
+
+	// A store failure while persisting the cancel of a queued task is a
+	// server error, not "not found". Use a dispatcher-less daemon so the
+	// task stays queued, then break its store directory.
+	d2, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(d2.Handler())
+	t.Cleanup(ts2.Close)
+	queued, err := d2.Submit(Spec{Addr: "127.0.0.1:1", Path: objPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.mu.Lock()
+	d2.store.dir = filepath.Join(d2.store.dir, "gone")
+	d2.mu.Unlock()
+	req, _ = http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/tasks/%d", ts2.URL, queued.ID), nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("cancel with broken store: status %d, want 500", resp.StatusCode)
 	}
 
 	// Health and debug endpoints answer.

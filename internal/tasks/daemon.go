@@ -20,6 +20,10 @@ import (
 	"github.com/hpcnet/fobs/internal/udprt"
 )
 
+// ErrNotFound reports an id that names no known task; API handlers map
+// it to 404 while every other (store/persistence) error stays a 500.
+var ErrNotFound = errors.New("tasks: no such task")
+
 // Config configures a Daemon.
 type Config struct {
 	// Dir is the state directory: task files live at its top level,
@@ -275,9 +279,13 @@ func (d *Daemon) runTask(ctx context.Context, t *Task) {
 	case r != nil && r.userAbort:
 		t.State = StateCancelled
 		t.Error = err.Error()
-	case ctx.Err() != nil && d.stopped:
-		// Shutdown, not verdict: leave the durable state at "running" so
-		// the next daemon requeues and resumes this task.
+	case ctx.Err() != nil:
+		// The mover's context has only two cancellation sources: Cancel()
+		// (handled above via userAbort) and daemon shutdown. Movers can
+		// observe cancellation before Run's goroutine gets the lock to set
+		// d.stopped, so classify by the context alone — shutdown, not
+		// verdict: leave the durable state at "running" so the next daemon
+		// requeues and resumes this task.
 		t.State = StateRunning
 		d.updateGauges()
 		return
@@ -335,7 +343,7 @@ func (d *Daemon) Cancel(id uint64) error {
 	defer d.mu.Unlock()
 	t, ok := d.tasks[id]
 	if !ok {
-		return fmt.Errorf("tasks: no task %d", id)
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	switch t.State {
 	case StateQueued:

@@ -602,6 +602,61 @@ func TestDaemonFairDispatch(t *testing.T) {
 	}
 }
 
+// TestDaemonShutdownVerdictBeforeStoppedFlag covers the shutdown race:
+// worker contexts are children of Run's context, so a mover can observe
+// cancellation and reach runTask's verdict section before Run's goroutine
+// acquires the lock and sets d.stopped. The task must still classify as
+// interrupted-by-shutdown — durably "running", requeued by the next New —
+// never failed.
+func TestDaemonShutdownVerdictBeforeStoppedFlag(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	dir := t.TempDir()
+	d, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := writeObj(t, 64<<10)
+	task, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatch by hand exactly as worker does, then run the mover on an
+	// already-cancelled context while d.stopped is still false — the
+	// window a flag-based guard loses.
+	d.mu.Lock()
+	tk := d.queue.pop()
+	tk.State = StateRunning
+	tk.Attempts++
+	if err := d.store.save(tk); err != nil {
+		d.mu.Unlock()
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d.active[tk.ID] = &running{cancel: cancel}
+	d.mu.Unlock()
+	cancel()
+	d.runTask(ctx, tk)
+
+	got, _ := d.Get(task.ID)
+	if got.State != StateRunning {
+		t.Fatalf("state %q after shutdown-window cancellation, want running", got.State)
+	}
+	onDisk, err := loadTask(taskFile(dir, task.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != StateRunning {
+		t.Fatalf("durable state %q, want running so restart requeues it", onDisk.State)
+	}
+	d2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2, ok := d2.Get(task.ID); !ok || got2.State != StateQueued {
+		t.Fatalf("restarted daemon sees %+v, want the task requeued", got2)
+	}
+}
+
 // TestDaemonFailsUnreachableTask points a task at a dead address with a
 // tight retry budget and expects a durable failed verdict, not a wedged
 // queue.

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/hpcnet/fobs/internal/checkpoint"
 )
@@ -113,7 +114,20 @@ func (s *store) load() ([]*Task, error) {
 		if e.IsDir() {
 			continue
 		}
+		if strings.HasPrefix(e.Name(), "fobs-task-") && strings.HasSuffix(e.Name(), ".tmp") {
+			// A SIGKILL between WriteFramed's WriteFile and Rename leaves a
+			// tmp sibling whose body may be a perfectly valid frame. The
+			// rename never happened, so the durable truth is the un-renamed
+			// file (or the task's absence) — the stray must not load as a
+			// second record for the same id.
+			os.Remove(filepath.Join(s.dir, e.Name()))
+			continue
+		}
 		if _, err := fmt.Sscanf(e.Name(), "fobs-task-%016x", &id); err != nil {
+			continue
+		}
+		// Sscanf matches prefixes; only the exact canonical name counts.
+		if e.Name() != fmt.Sprintf("fobs-task-%016x", id) {
 			continue
 		}
 		t, err := loadTask(filepath.Join(s.dir, e.Name()))

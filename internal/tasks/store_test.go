@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -90,6 +91,64 @@ func TestStoreLoadSkipsCorruptionAndJunk(t *testing.T) {
 	for i, want := range []uint64{1, 2, 3} {
 		if loaded[i].ID != want {
 			t.Fatalf("load order: got id %d at %d, want %d", loaded[i].ID, i, want)
+		}
+	}
+}
+
+// frameFor serializes a task into the store's framed bytes without
+// renaming it into place, for staging crash leftovers by hand.
+func frameFor(t *testing.T, task *Task) []byte {
+	t.Helper()
+	js, err := json.Marshal(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := filepath.Join(t.TempDir(), "scratch")
+	if err := checkpoint.WriteFramed(scratch, taskMagic, append([]byte{storeVersion}, js...)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStoreLoadSweepsTmpLeftoversAndExactNames(t *testing.T) {
+	st, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.save(sampleTask(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A SIGKILL between WriteFramed's WriteFile and Rename leaves a fully
+	// valid frame under the tmp name whose inner id matches the name —
+	// here a later save of task 1 that never became durable, and a first
+	// save of task 9 with no durable sibling at all. Neither rename
+	// happened, so neither may surface as a record.
+	undurable := sampleTask(1)
+	undurable.State = StateRunning
+	undurable.Attempts = 2
+	os.WriteFile(taskFile(st.dir, 1)+".tmp", frameFor(t, undurable), 0o644)
+	os.WriteFile(taskFile(st.dir, 9)+".tmp", frameFor(t, sampleTask(9)), 0o644)
+	// A valid frame under a near-miss name: Sscanf parses the id prefix,
+	// but only the exact canonical name may load.
+	os.WriteFile(taskFile(st.dir, 1)+".bak", frameFor(t, sampleTask(1)), 0o644)
+
+	loaded, err := st.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("loaded %d records, want exactly the durable task 1: %+v", len(loaded), loaded)
+	}
+	if loaded[0].ID != 1 || loaded[0].State != StateQueued || loaded[0].Attempts != 1 {
+		t.Fatalf("loaded an un-renamed copy instead of the durable one: %+v", loaded[0])
+	}
+	for _, stray := range []string{taskFile(st.dir, 1) + ".tmp", taskFile(st.dir, 9) + ".tmp"} {
+		if _, err := os.Stat(stray); !os.IsNotExist(err) {
+			t.Fatalf("stray %s survived store startup", stray)
 		}
 	}
 }
