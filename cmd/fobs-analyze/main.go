@@ -5,11 +5,17 @@
 // cross-checks the record stream against the final metrics snapshot
 // embedded in the file trailer.
 //
+// With -events it additionally joins one or more JSONL span logs (from
+// udprt tracing or fobsd's -span-log) against the recording by transfer
+// id and prints a per-trace, per-endpoint phase waterfall — where the
+// handshake, rounds, drain and verify time went on each side.
+//
 // Usage:
 //
 //	fobs-analyze transfer.fobrec
 //	fobs-analyze -csv - transfer.fobrec          # time series as CSV on stdout
 //	fobs-analyze -buckets 120 -width 80 file.fobrec
+//	fobs-analyze -events send.events -events recv.events transfer.fobrec
 //
 // Exit status: 0 when every stream is consistent and every checked
 // invariant holds; 1 when the file is unreadable or corrupt; 2 when a
@@ -21,20 +27,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/trace"
 )
 
+// spanPaths collects repeated -events span-log flags.
+type spanPaths []string
+
+func (sp *spanPaths) String() string { return strings.Join(*sp, ",") }
+
+func (sp *spanPaths) Set(s string) error {
+	*sp = append(*sp, s)
+	return nil
+}
+
 func main() {
+	var events spanPaths
 	var (
 		csvPath = flag.String("csv", "", "write reconstructed time series as CSV to this path ('-': stdout) instead of charts")
 		buckets = flag.Int("buckets", 60, "time bins for the reconstructed series")
 		width   = flag.Int("width", 60, "ASCII chart width in glyphs")
 	)
+	flag.Var(&events, "events", "JSONL span log to join with the recording by transfer id (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fobs-analyze [flags] <file.fobrec>")
@@ -84,7 +104,101 @@ func main() {
 			fmt.Print(trace.Dashboard(*width, series...))
 		}
 	}
+	if len(events) > 0 {
+		if err := reportWaterfalls(events, eps, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "fobs-analyze: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	os.Exit(exit)
+}
+
+// reportWaterfalls joins the span logs by trace id and prints a phase
+// waterfall for every timeline whose transfer id appears in the
+// recording. Trace ids propagate over the wire, so the sender- and
+// receiver-side halves of one transfer land under the same heading.
+func reportWaterfalls(paths spanPaths, eps []*flight.EndpointLog, width int) error {
+	logs := make([][]obs.Event, 0, len(paths))
+	for _, p := range paths {
+		evs, err := obs.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		logs = append(logs, evs)
+	}
+	recorded := make(map[uint32]bool, len(eps))
+	for _, ep := range eps {
+		recorded[ep.Meta.Transfer] = true
+	}
+	joined := obs.Join(logs...)
+	traces := make([]string, 0, len(joined))
+	for tr := range joined {
+		traces = append(traces, tr)
+	}
+	sort.Strings(traces)
+
+	matched := 0
+	for _, tr := range traces {
+		var keep []obs.Timeline
+		for _, tl := range joined[tr] {
+			if recorded[tl.Transfer] {
+				keep = append(keep, tl)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		matched++
+		label := tr
+		if label == "" {
+			label = "(untraced events)"
+		}
+		fmt.Printf("\n== trace %s\n", label)
+		for _, tl := range keep {
+			printWaterfall(tl, width)
+		}
+	}
+	if matched == 0 {
+		fmt.Println("\nno span-log trace matches the recording's transfer ids")
+	}
+	return nil
+}
+
+// printWaterfall renders one endpoint timeline as offset phase bars on a
+// shared time axis, so the eye can line the two endpoints up.
+func printWaterfall(tl obs.Timeline, width int) {
+	spans := obs.Waterfall(tl)
+	if len(spans) == 0 {
+		return
+	}
+	total := spans[len(spans)-1].End
+	fmt.Printf("   %v transfer %d: %d events over %v\n",
+		tl.Role, tl.Transfer, len(tl.Events), total.Round(time.Microsecond))
+	for _, sp := range spans {
+		fmt.Printf("     %-10v %10v +%-10v %s\n",
+			sp.Kind, sp.Start.Round(time.Microsecond), sp.Duration().Round(time.Microsecond),
+			gantt(sp.Start, sp.End, total, width))
+	}
+}
+
+// gantt draws one waterfall row: dots up to the span's start, then hash
+// marks for its extent, on a width-glyph axis ending at total.
+func gantt(start, end, total time.Duration, width int) string {
+	if total <= 0 || width <= 0 {
+		return ""
+	}
+	s := int(int64(start) * int64(width) / int64(total))
+	e := int(int64(end) * int64(width) / int64(total))
+	if e <= s {
+		e = s + 1
+	}
+	if e > width {
+		e = width
+		if s >= e {
+			s = e - 1
+		}
+	}
+	return strings.Repeat(".", s) + strings.Repeat("#", e-s)
 }
 
 // report prints one endpoint's analysis: totals, invariant verdicts,

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/flight"
+	"github.com/hpcnet/fobs/internal/obs"
+	"github.com/hpcnet/fobs/internal/udprt"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns the output.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	fnErr := fn()
+	os.Stdout = old
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	return sb.String()
+}
+
+// TestWaterfallJoin runs a traced, flight-recorded loopback transfer and
+// checks that -events joins the two span logs with the recording into a
+// per-phase waterfall for both endpoints under one trace heading.
+func TestWaterfallJoin(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "run.fobrec")
+	sendEvents := filepath.Join(dir, "send.events")
+	recvEvents := filepath.Join(dir, "recv.events")
+
+	rec, err := flight.Create(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog, err := obs.Create(sendEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlog, err := obs.Create(recvEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tid := obs.NewTraceID()
+	sopts := udprt.Options{Record: rec, Trace: slog, TraceID: tid}
+	ropts := udprt.Options{Record: rec, Trace: rlog}
+	l, err := udprt.Listen("127.0.0.1:0", ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	obj := make([]byte, 128<<10)
+	rand.New(rand.NewSource(1)).Read(obj)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		got, _, err := l.Accept(ctx)
+		if err == nil && !bytes.Equal(got, obj) {
+			t.Error("object corrupted")
+		}
+		done <- err
+	}()
+	if _, err := udprt.Send(ctx, l.Addr(), obj, core.Config{Transfer: 11}, sopts); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	for _, c := range []interface{ Close() error }{rec, slog, rlog} {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eps, err := flight.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 {
+		t.Fatalf("recording holds %d endpoints, want 2", len(eps))
+	}
+
+	out := captureStdout(t, func() error {
+		return reportWaterfalls(spanPaths{sendEvents, recvEvents}, eps, 40)
+	})
+	if !strings.Contains(out, "== trace "+tid.String()) {
+		t.Fatalf("no trace heading in output:\n%s", out)
+	}
+	if !strings.Contains(out, "sender transfer 11") || !strings.Contains(out, "receiver transfer 11") {
+		t.Fatalf("missing endpoint rows:\n%s", out)
+	}
+	// Both endpoints show the ordered phase rows of the lifecycle.
+	for _, phase := range []string{"dial", "handshake", "rounds", "drain", "verify", "complete"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("phase %q missing from waterfall:\n%s", phase, out)
+		}
+	}
+	sender := strings.Index(out, "sender transfer")
+	receiver := strings.Index(out, "receiver transfer")
+	if sender > receiver {
+		t.Fatalf("sender timeline should print before receiver:\n%s", out)
+	}
+
+	// A span log for some other transfer does not match the recording.
+	otherLog := filepath.Join(dir, "other.events")
+	olog, err := obs.Create(otherLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := olog.Start(obs.NewTraceID(), 99, obs.RoleSender)
+	or.Event(obs.KindDial, 0)
+	or.Event(obs.KindComplete, 0)
+	or.Finish()
+	if err := olog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() error {
+		return reportWaterfalls(spanPaths{otherLog}, eps, 40)
+	})
+	if !strings.Contains(out, "no span-log trace matches") {
+		t.Fatalf("unmatched span log should say so:\n%s", out)
+	}
+
+	// Unreadable span logs are an error, not silence.
+	if err := reportWaterfalls(spanPaths{filepath.Join(dir, "absent")}, eps, 40); err == nil {
+		t.Fatal("missing span log should error")
+	}
+}

@@ -9,8 +9,9 @@
 // ...) is carried through verbatim. Sub-benchmarks named .../fast and
 // .../scalar are additionally paired into speedup ratios, since the whole
 // point of the fast path is the multiple between those two rows; .../bare
-// and .../recorded pairs likewise become overhead ratios, pinning the cost
-// of the flight recorder against the uninstrumented hot path. Rows named
+// paired with .../recorded (flight recorder) or .../traced (lifecycle span
+// recorder) likewise becomes an overhead ratio, pinning each instrument's
+// cost against the uninstrumented hot path. Rows named
 // .../cc=<policy> are grouped into a per-policy section that normalizes
 // each congestion policy's throughput against the fixed (greedy) baseline.
 package main
@@ -41,15 +42,18 @@ type Ratio struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// Overhead compares the recorded and bare variants of one benchmark:
-// Overhead > 1 means recording made that metric worse by the given factor
-// (so 1.03 on pkts/s is a 3% throughput cost).
+// Overhead compares an instrumented variant (recorded: flight recorder
+// on; traced: lifecycle span recorder on) against the bare variant of
+// the same benchmark: Overhead > 1 means instrumentation made that
+// metric worse by the given factor (so 1.03 on pkts/s is a 3%
+// throughput cost).
 type Overhead struct {
-	Name     string  `json:"name"`
-	Metric   string  `json:"metric"`
-	Bare     float64 `json:"bare"`
-	Recorded float64 `json:"recorded"`
-	Overhead float64 `json:"overhead"`
+	Name         string  `json:"name"`
+	Variant      string  `json:"variant"`
+	Metric       string  `json:"metric"`
+	Bare         float64 `json:"bare"`
+	Instrumented float64 `json:"instrumented"`
+	Overhead     float64 `json:"overhead"`
 }
 
 // Policy is one congestion policy's row of a .../cc=<name> benchmark
@@ -162,8 +166,15 @@ func main() {
 	}
 
 	for _, b := range rep.Benchmarks {
-		base, ok := strings.CutSuffix(b.Name, "/recorded")
-		if !ok {
+		var variant string
+		var base string
+		for _, v := range []string{"recorded", "traced"} {
+			if cut, ok := strings.CutSuffix(b.Name, "/"+v); ok {
+				variant, base = v, cut
+				break
+			}
+		}
+		if variant == "" {
 			continue
 		}
 		bare, ok := byName[base+"/bare"]
@@ -180,8 +191,8 @@ func main() {
 				overhead = rv / bv // cost-like: added cost
 			}
 			rep.Overheads = append(rep.Overheads, Overhead{
-				Name: base, Metric: metric,
-				Bare: bv, Recorded: rv, Overhead: overhead,
+				Name: base, Variant: variant, Metric: metric,
+				Bare: bv, Instrumented: rv, Overhead: overhead,
 			})
 		}
 	}
@@ -220,6 +231,9 @@ func main() {
 	sort.Slice(rep.Overheads, func(i, j int) bool {
 		if rep.Overheads[i].Name != rep.Overheads[j].Name {
 			return rep.Overheads[i].Name < rep.Overheads[j].Name
+		}
+		if rep.Overheads[i].Variant != rep.Overheads[j].Variant {
+			return rep.Overheads[i].Variant < rep.Overheads[j].Variant
 		}
 		return rep.Overheads[i].Metric < rep.Overheads[j].Metric
 	})

@@ -71,6 +71,8 @@ func run() error {
 			"print a one-line metrics summary this often (0: off)")
 		record = flag.String("record", "",
 			"write a packet-level flight recording to this .fobrec file (analyze with fobs-analyze)")
+		events = flag.String("events", "",
+			"append lifecycle span events (JSONL) to this file; join with the sender's via fobs-analyze -events")
 	)
 	flag.Parse()
 
@@ -113,6 +115,14 @@ func run() error {
 			}
 			fmt.Printf("fobs-recv: flight recording sealed in %s\n", *record)
 		}()
+	}
+	if *events != "" {
+		tlog, err := fobs.CreateTraceLog(*events)
+		if err != nil {
+			return err
+		}
+		opts.Trace = tlog
+		defer tlog.Close()
 	}
 	l, err := fobs.Listen(*listen, opts)
 	if err != nil {

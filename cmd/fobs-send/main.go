@@ -99,6 +99,8 @@ func run() error {
 			"print a one-line metrics summary this often (0: off)")
 		record = flag.String("record", "",
 			"write a packet-level flight recording to this .fobrec file (analyze with fobs-analyze)")
+		events = flag.String("events", "",
+			"append lifecycle span events (JSONL) to this file; join with the receiver's via fobs-analyze -events")
 	)
 	flag.Parse()
 
@@ -177,6 +179,14 @@ func run() error {
 			}
 			fmt.Printf("fobs-send: flight recording sealed in %s\n", *record)
 		}()
+	}
+	if *events != "" {
+		tlog, err := fobs.CreateTraceLog(*events)
+		if err != nil {
+			return err
+		}
+		opts.Trace = tlog
+		defer tlog.Close()
 	}
 	if *progress {
 		lastPct := -1

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcnet/fobs"
+)
+
+// startDaemon serves a real task daemon (no dispatch workers — Run is
+// never called, so submitted tasks stay queued) behind httptest.
+func startDaemon(t *testing.T) (*fobs.TaskDaemon, *client) {
+	t.Helper()
+	d, err := fobs.NewTaskDaemon(fobs.TaskDaemonConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	return d, &client{base: ts.URL}
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	fnErr := fn()
+	os.Stdout = old
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return sb.String(), fnErr
+}
+
+func writeObj(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "obj")
+	if err := os.WriteFile(path, make([]byte, n), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCtlLifecycle(t *testing.T) {
+	d, c := startDaemon(t)
+	path := writeObj(t, 4<<10)
+
+	// Missing required flags is a usage error, not an API call.
+	if code, err := c.submit(nil); code != 1 || err == nil {
+		t.Fatalf("submit with no flags: code %d err %v", code, err)
+	}
+
+	out, err := capture(t, func() error {
+		code, err := c.submit([]string{"-addr", "127.0.0.1:1", "-path", path, "-tenant", "web", "-cc", "aimd"})
+		if code != 0 {
+			t.Errorf("submit code %d", code)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "queued") || !strings.Contains(out, "web") {
+		t.Fatalf("submit output %q", out)
+	}
+	list := d.List()
+	if len(list) != 1 || list[0].Spec.Congestion != "aimd" {
+		t.Fatalf("daemon sees %+v", list)
+	}
+	id := strconv.FormatUint(list[0].ID, 10)
+
+	out, err = capture(t, func() error { return c.list() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "STATE") || !strings.Contains(out, path) {
+		t.Fatalf("list output %q", out)
+	}
+
+	out, err = capture(t, func() error { return c.taskByID([]string{id}, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "queued") {
+		t.Fatalf("get output %q", out)
+	}
+
+	// The timeline renders the trace id and the queued event.
+	out, err = capture(t, func() error { return c.taskByID([]string{id}, "/events") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace "+list[0].Trace) || !strings.Contains(out, "queued") {
+		t.Fatalf("events output %q", out)
+	}
+
+	out, err = capture(t, func() error { return c.cancel([]string{id}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cancelled") {
+		t.Fatalf("cancel output %q", out)
+	}
+
+	// Errors surface the daemon's message, and bad ids never hit the wire.
+	if err := c.taskByID([]string{"999"}, ""); err == nil || !strings.Contains(err.Error(), "no such task") {
+		t.Fatalf("get unknown: %v", err)
+	}
+	if err := c.cancel([]string{"zap"}); err == nil || !strings.Contains(err.Error(), "bad task id") {
+		t.Fatalf("cancel bad id: %v", err)
+	}
+	if err := c.list(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlJSONAndWait(t *testing.T) {
+	d, c := startDaemon(t)
+	c.raw = true
+	path := writeObj(t, 4<<10)
+
+	// -json list is machine-readable.
+	if _, err := d.Submit(fobs.TaskSpec{Addr: "127.0.0.1:1", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return c.list() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks []fobs.Task
+	if err := json.Unmarshal([]byte(out), &tasks); err != nil {
+		t.Fatalf("list -json is not JSON: %v\n%s", err, out)
+	}
+	if len(tasks) != 1 || tasks[0].State != fobs.TaskQueued {
+		t.Fatalf("tasks = %+v", tasks)
+	}
+
+	// -wait exits 2 when the task ends in a non-done terminal state. The
+	// daemon has no workers, so cancel it from here while submit polls.
+	c.raw = false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, task := range d.List() {
+				if task.ID != tasks[0].ID {
+					d.Cancel(task.ID)
+					return
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	_, err = capture(t, func() error {
+		code, err := c.submit([]string{"-addr", "127.0.0.1:1", "-path", path, "-wait"})
+		if err == nil && code != 2 {
+			t.Errorf("waited submit code %d, want 2", code)
+		}
+		return err
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+}

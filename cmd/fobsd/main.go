@@ -23,6 +23,11 @@
 // their tasks stay "running" in the state directory, so the next start
 // requeues and resumes them. A SIGKILL gets the same recovery — that is
 // the point of the store.
+//
+// Observability: the daemon logs structured records (text by default,
+// -log-format json for collectors) keyed by task, transfer and trace
+// ids, and -span-log appends every mover's phase events to a JSONL span
+// log that fobs-analyze can join with receiver-side logs by trace id.
 package main
 
 import (
@@ -30,7 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -69,7 +74,25 @@ func (tr tenantRates) Set(s string) error {
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatalf("fobsd: %v", err)
+		fmt.Fprintf(os.Stderr, "fobsd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's slog.Logger from the CLI flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 	}
 }
 
@@ -89,12 +112,28 @@ func run() error {
 			"delay before a task's first retry, doubling each attempt")
 		stallTimeout = flag.Duration("stall-timeout", 0,
 			"abort an attempt when no acknowledgement arrives for this long (0: default 15s)")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		spanLog   = flag.String("span-log", "", "append mover phase events to this JSONL span log")
 	)
 	flag.Var(rates, "tenant-rate",
 		"cap a tenant's aggregate send rate, as tenant=bits-per-second (repeatable)")
 	flag.Parse()
 	if *dir == "" {
 		return errors.New("-dir is required")
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+
+	var trace *fobs.TraceLog
+	if *spanLog != "" {
+		trace, err = fobs.CreateTraceLog(*spanLog)
+		if err != nil {
+			return err
+		}
+		defer trace.Close()
 	}
 
 	reg := fobs.NewMetrics()
@@ -109,6 +148,8 @@ func run() error {
 			StallTimeout: *stallTimeout,
 		},
 		Metrics: reg,
+		Trace:   trace,
+		Logger:  logger,
 	})
 	if err != nil {
 		return err
@@ -121,10 +162,11 @@ func run() error {
 	srv := &http.Server{Handler: d.Handler()}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("fobsd: http: %v", err)
+			logger.Error("http server failed", "error", err)
 		}
 	}()
-	fmt.Printf("fobsd: state in %s, API at http://%s/tasks\n", *dir, ln.Addr())
+	logger.Info("daemon up", "dir", *dir, "api", "http://"+ln.Addr().String()+"/tasks",
+		"workers", *workers, "span_log", *spanLog)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,6 +177,6 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	srv.Shutdown(shutdownCtx)
-	fmt.Println("fobsd: drained; unfinished tasks will resume on next start")
+	logger.Info("daemon drained; unfinished tasks resume on next start")
 	return err
 }

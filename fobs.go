@@ -37,11 +37,13 @@ package fobs
 
 import (
 	"context"
+	"io"
 
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/experiments"
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/tasks"
 	"github.com/hpcnet/fobs/internal/udprt"
@@ -321,6 +323,51 @@ const (
 	TaskFailed    = tasks.StateFailed
 	TaskCancelled = tasks.StateCancelled
 )
+
+// Lifecycle tracing wraps the obs package: a versioned JSONL span log of
+// phase-level transfer events (dial, handshake, rounds, drain, verify,
+// verdict), correlated across hosts by a 16-byte trace id that rides the
+// control channel. Hand a *TraceLog to Options.Trace (any endpoint) or
+// TaskDaemonConfig.Trace; join the two endpoints' logs offline with
+// JoinTraces or fobs-analyze -events.
+type (
+	// TraceLog is an append-only span log; construct with NewTraceLog or
+	// CreateTraceLog and Close it to flush.
+	TraceLog = obs.Log
+	// TraceID is the 16-byte cross-host correlation id.
+	TraceID = obs.TraceID
+	// TraceEvent is one decoded span-log line.
+	TraceEvent = obs.Event
+	// TraceTimeline is one endpoint's ordered events for one trace.
+	TraceTimeline = obs.Timeline
+	// TaskEvent is one entry in a task's durable timeline (see
+	// TaskDaemon and GET /tasks/{id}/events).
+	TaskEvent = tasks.TaskEvent
+)
+
+// NewTraceLog starts a span log writing JSONL to w.
+func NewTraceLog(w io.Writer) *TraceLog { return obs.NewLog(w) }
+
+// CreateTraceLog starts a span log writing to a new file at path.
+func CreateTraceLog(path string) (*TraceLog, error) { return obs.Create(path) }
+
+// NewTraceID mints a random trace id; pin it via Options.TraceID to
+// correlate a transfer across hosts.
+func NewTraceID() TraceID { return obs.NewTraceID() }
+
+// ParseTraceID parses the 32-hex-digit form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) { return obs.ParseTraceID(s) }
+
+// ReadTraceEvents decodes a span log, tolerating torn tails and foreign
+// lines (crash-safe logs are read best-effort).
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// ReadTraceFile decodes the span log at path.
+func ReadTraceFile(path string) ([]TraceEvent, error) { return obs.ReadFile(path) }
+
+// JoinTraces correlates events from any number of span logs (typically a
+// sender's and a receiver's) into per-trace timelines, senders first.
+func JoinTraces(logs ...[]TraceEvent) map[string][]TraceTimeline { return obs.Join(logs...) }
 
 // NewTaskDaemon opens (or creates) the configured state directory, loads
 // every persisted task, and requeues the non-terminal ones.

@@ -149,6 +149,11 @@ type Registry struct {
 	gmu    sync.Mutex
 	gauges map[string]float64
 
+	// hmu guards the named-histogram map (see namedhist.go); observations
+	// only hold it for the name lookup.
+	hmu   sync.Mutex
+	hists map[string]*Histogram
+
 	sampler samplerState
 }
 
@@ -285,12 +290,13 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 
 	snap := Snapshot{
-		At:        r.now(),
-		Transfers: transfers,
-		Events:    r.Events(),
-		Retries:   r.retries.Load(),
-		Resumes:   r.resumes.Load(),
-		Gauges:    r.gaugesSnapshot(),
+		At:         r.now(),
+		Transfers:  transfers,
+		Events:     r.Events(),
+		Retries:    r.retries.Load(),
+		Resumes:    r.resumes.Load(),
+		Gauges:     r.gaugesSnapshot(),
+		Histograms: r.histsSnapshot(),
 	}
 	for i := range transfers {
 		snap.Totals.add(&transfers[i])
@@ -324,6 +330,10 @@ type Snapshot struct {
 	// depths, worker occupancy, rate caps — see Registry.SetGauge), absent
 	// when none were ever set.
 	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms holds the registry's named distributions (task queue
+	// wait, time-to-done, attempts — see Registry.ObserveHistogram),
+	// absent when none were ever observed.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Find returns the snapshot of the given transfer endpoint and whether it

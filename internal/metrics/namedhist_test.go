@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNamedHistograms(t *testing.T) {
+	r := New()
+	if _, ok := r.NamedHistogram("task_queue_wait_ns"); ok {
+		t.Fatal("unobserved histogram reported present")
+	}
+	for i := int64(1); i <= 100; i++ {
+		r.ObserveHistogram("task_queue_wait_ns", i*1e6)
+	}
+	r.ObserveHistogram("task_attempts", 1)
+	r.ObserveHistogram("task_attempts", 3)
+
+	h, ok := r.NamedHistogram("task_queue_wait_ns")
+	if !ok || h.Count != 100 {
+		t.Fatalf("task_queue_wait_ns = count %d, %v; want 100, true", h.Count, ok)
+	}
+	if h.P50 < 40e6 || h.P50 > 60e6 {
+		t.Fatalf("p50 = %d, want ~50ms in ns", h.P50)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 2 {
+		t.Fatalf("snapshot carries %d histograms, want 2: %v", len(snap.Histograms), snap.HistogramNames())
+	}
+	names := snap.HistogramNames()
+	if !sort.StringsAreSorted(names) || len(names) != 2 {
+		t.Fatalf("HistogramNames() = %v, want 2 sorted names", names)
+	}
+	if snap.Histograms["task_attempts"].Count != 2 || snap.Histograms["task_attempts"].Max != 3 {
+		t.Fatalf("task_attempts snapshot wrong: %+v", snap.Histograms["task_attempts"])
+	}
+
+	// Round-trips through JSON like the rest of the snapshot.
+	var back Snapshot
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms["task_queue_wait_ns"].Count != 100 {
+		t.Fatalf("histograms lost in JSON: %v", back.HistogramNames())
+	}
+
+	// A registry with no named histograms omits the field entirely.
+	empty, err := json.Marshal(New().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(empty, []byte("histograms")) {
+		t.Fatalf("empty registry still serializes histograms: %s", empty)
+	}
+
+	// Nil-safety, like every other registry method.
+	var nilReg *Registry
+	nilReg.ObserveHistogram("x", 1)
+	if _, ok := nilReg.NamedHistogram("x"); ok {
+		t.Fatal("nil registry holds a histogram")
+	}
+}
+
+func TestWritePrometheusNamedHistograms(t *testing.T) {
+	r := New()
+	r.ObserveHistogram("task_queue_wait_ns", 2e9) // 2 seconds
+	r.ObserveHistogram("task_attempts", 3)
+	r.ObserveHistogram("weird name-µ", 1) // sanitized into the metric-name alphabet
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	// The "_ns" convention converts to seconds, name and values both.
+	if !strings.Contains(out, "# TYPE fobs_task_queue_wait_seconds histogram") {
+		t.Fatalf("nanosecond histogram not renamed to seconds:\n%s", out)
+	}
+	if strings.Contains(out, "fobs_task_queue_wait_ns") {
+		t.Fatalf("raw _ns name leaked into exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "fobs_task_queue_wait_seconds_sum 2\n") {
+		t.Fatalf("sum not converted to seconds:\n%s", out)
+	}
+	// Dimensionless histograms keep their native unit.
+	if !strings.Contains(out, "fobs_task_attempts_sum 3\n") ||
+		!strings.Contains(out, "fobs_task_attempts_count 1\n") {
+		t.Fatalf("dimensionless histogram missing or scaled:\n%s", out)
+	}
+	// Name sanitization: every emitted metric name stays in the legal
+	// alphabet even when the registry name does not.
+	if !strings.Contains(out, "fobs_weird_name___count 1") {
+		t.Fatalf("illegal runes not sanitized:\n%s", out)
+	}
+}
+
+// TestWritePrometheusGaugeEscaping pins the label-value escaping rules of
+// the exposition format for hostile gauge names: quotes, backslashes and
+// newlines must all be escaped, or one odd tenant name corrupts the whole
+// scrape.
+func TestWritePrometheusGaugeEscaping(t *testing.T) {
+	r := New()
+	r.SetGauge(`back\slash`, 1)
+	r.SetGauge("new\nline", 2)
+	r.SetGauge(`quo"te`, 3)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`fobs_gauge{name="back\\slash"} 1`,
+		`fobs_gauge{name="new\nline"} 2`,
+		`fobs_gauge{name="quo\"te"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing escaped sample %q in:\n%s", want, out)
+		}
+	}
+	// No raw newline may survive inside a sample line: every line must be
+	// a comment, a sample, or empty.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "fobs_gauge{") && !strings.HasSuffix(strings.TrimSpace(line), "1") &&
+			!strings.HasSuffix(strings.TrimSpace(line), "2") && !strings.HasSuffix(strings.TrimSpace(line), "3") {
+			t.Errorf("gauge sample split across lines: %q", line)
+		}
+	}
+}
+
+// TestGaugeConcurrency hammers SetGauge/AddGauge/DeleteGauge/Gauge and
+// ObserveHistogram from many goroutines; run under -race this is the
+// data-race gate for the named-instrument maps.
+func TestGaugeConcurrency(t *testing.T) {
+	r := New()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant_%d_depth", w%4) // collide across goroutines
+			for i := 0; i < iters; i++ {
+				r.AddGauge(name, 1)
+				r.SetGauge("shared", float64(i))
+				r.ObserveHistogram("task_queue_wait_ns", int64(i))
+				if i%50 == 0 {
+					r.Gauge(name)
+					r.Snapshot()
+					r.DeleteGauge("shared")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var depth float64
+	for name, v := range snap.Gauges {
+		if strings.HasSuffix(name, "_depth") {
+			depth += v
+		}
+	}
+	if depth != workers*iters {
+		t.Fatalf("gauge increments lost: sum %v, want %d", depth, workers*iters)
+	}
+	if h := snap.Histograms["task_queue_wait_ns"]; h.Count != workers*iters {
+		t.Fatalf("histogram observations lost: %d, want %d", h.Count, workers*iters)
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // MergedAckDelay folds the ack-delay histograms of every sender transfer in
@@ -72,6 +73,41 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		"Per-packet first-send to acknowledgement latency.", snap.MergedAckDelay())
 	writePromHistogram(w, "fobs_rtt_seconds",
 		"Per-packet last-send to acknowledgement latency.", snap.MergedRTT())
+	for _, name := range snap.HistogramNames() {
+		// Nanosecond-valued histograms (by the "_ns" naming convention)
+		// become *_seconds per the Prometheus unit rules; anything else is
+		// emitted in its native unit.
+		prom, scale := "fobs_"+promName(name), 1.0
+		if n, ok := cutSuffix(prom, "_ns"); ok {
+			prom, scale = n+"_seconds", 1e-9
+		}
+		writePromHistogramScaled(w, prom, "Named registry histogram "+name+".",
+			snap.Histograms[name], scale)
+	}
+}
+
+// promName maps an arbitrary histogram name onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_:], replacing every other rune with '_'. The
+// caller prefixes "fobs_", so a leading digit can never start the metric
+// name.
+func promName(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			return c
+		}
+		return '_'
+	}, name)
+}
+
+// cutSuffix is strings.CutSuffix for the suffixes we care about (kept
+// local so the file reads without the stdlib version in mind).
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) < len(suffix) || s[len(s)-len(suffix):] != suffix {
+		return s, false
+	}
+	return s[:len(s)-len(suffix)], true
 }
 
 // writePromHistogram converts one nanosecond-valued snapshot into a
@@ -80,14 +116,21 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 // upper bound is recovered from the bucketing function, and counts are
 // accumulated into the cumulative form the exposition format requires.
 func writePromHistogram(w io.Writer, name, help string, s HistogramSnapshot) {
+	writePromHistogramScaled(w, name, help, s, 1e-9)
+}
+
+// writePromHistogramScaled is writePromHistogram with an explicit unit
+// conversion factor (1e-9 for nanosecond-valued snapshots, 1 for
+// dimensionless ones like attempt counts).
+func writePromHistogramScaled(w io.Writer, name, help string, s HistogramSnapshot, scale float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum int64
 	for _, b := range s.Buckets {
 		cum += b.Count
 		upper := bucketLow(histBucket(b.Low) + 1)
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(upper)/1e9, cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(upper)*scale, cum)
 	}
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)*scale)
 	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 }

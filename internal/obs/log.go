@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// drainInterval is how often the background drainer sweeps every ring.
+const drainInterval = 5 * time.Millisecond
+
+// maxLineBytes bounds one encoded event line; drain buffers are
+// pre-sized to ring×maxLineBytes so the drainer never allocates.
+const maxLineBytes = 192
+
+// Log is one span log in progress: a shared JSONL destination, a common
+// timebase, and the set of per-endpoint recorders feeding it. All
+// methods are safe for concurrent use and safe on a nil receiver (Start
+// returns a nil recorder; Close no-ops).
+type Log struct {
+	// RingSize overrides the per-recorder ring capacity (in events) for
+	// recorders started after it is set; zero means defaultRingSize.
+	// Tests use tiny rings to exercise overload; production leaves it
+	// alone.
+	RingSize int
+
+	start  time.Time
+	wallNs int64 // wall clock at start; wall_ns = wallNs + t_ns
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	file   *os.File // nil when writing to a caller-supplied io.Writer
+	recs   []*Recorder
+	err    error
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Create opens path for writing and returns a running Log.
+func Create(path string) (*Log, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create %s: %w", path, err)
+	}
+	l := newLog(f)
+	l.file = f
+	return l, nil
+}
+
+// NewLog returns a running Log writing to w, for tests and in-memory
+// use.
+func NewLog(w io.Writer) *Log { return newLog(w) }
+
+func newLog(w io.Writer) *Log {
+	now := time.Now()
+	l := &Log{
+		start:  now,
+		wallNs: now.UnixNano(),
+		w:      bufio.NewWriterSize(w, 1<<14),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go l.drainLoop()
+	return l
+}
+
+// since returns the log-relative timestamp now. Hot path: no
+// allocation.
+func (l *Log) since() int64 { return int64(time.Since(l.start)) }
+
+// Start registers one endpoint of a traced transfer and returns its
+// recorder. Safe on a nil Log (returns a nil, inert recorder).
+func (l *Log) Start(trace TraceID, transfer uint32, role Role) *Recorder {
+	if l == nil {
+		return nil
+	}
+	size := l.RingSize
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	r := &Recorder{log: l, trace: trace, transfer: transfer, role: role, ring: newEventRing(size)}
+	// One sweep never yields more events than the ring holds, so sizing
+	// the scratch buffers to the ring keeps the drainer allocation-free
+	// for the recorder's whole life (the udprt hot-path gates measure
+	// process-wide allocations, so the background writer must be quiet
+	// too).
+	r.events = make([]drained, 0, len(r.ring.slots))
+	r.buf = make([]byte, 0, len(r.ring.slots)*maxLineBytes)
+	hex.Encode(r.traceHex[:], trace[:])
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.recs = append(l.recs, r)
+	return r
+}
+
+// drainLoop is the background writer: it sweeps every recorder's ring
+// on a short period so rings stay nearly empty and a crash loses
+// little.
+func (l *Log) drainLoop() {
+	defer close(l.done)
+	tick := time.NewTicker(drainInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-tick.C:
+			l.mu.Lock()
+			for _, r := range l.recs {
+				l.drainLocked(r)
+			}
+			// Push the lines through to the destination now: a span log
+			// is low-volume, and the value of a 5 ms drain period is
+			// that a crash loses at most 5 ms of events.
+			if l.err == nil && l.w.Buffered() > 0 {
+				if err := l.w.Flush(); err != nil {
+					l.err = err
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// drainLocked encodes and writes every published event of r. Caller
+// holds l.mu. The first write error latches and poisons Close.
+func (l *Log) drainLocked(r *Recorder) {
+	var dropped uint64
+	r.events, dropped = r.ring.drain(&r.cursor, r.events[:0])
+	r.dropped += dropped
+	if len(r.events) == 0 {
+		return
+	}
+	r.buf = r.buf[:0]
+	for _, ev := range r.events {
+		r.buf = l.appendEvent(r.buf, r, ev.atNs, ev.kind, ev.arg)
+	}
+	if l.err == nil {
+		if _, err := l.w.Write(r.buf); err != nil {
+			l.err = err
+		}
+	}
+}
+
+// appendEvent hand-rolls one JSONL line into b. Every value is a fixed
+// name, a hex id, or an integer — no escaping, no reflection, no
+// allocation beyond b's own growth (pre-sized by Start).
+func (l *Log) appendEvent(b []byte, r *Recorder, atNs int64, kind Kind, arg uint64) []byte {
+	b = append(b, `{"v":1,"trace":"`...)
+	b = append(b, r.traceHex[:]...)
+	b = append(b, `","transfer":`...)
+	b = strconv.AppendUint(b, uint64(r.transfer), 10)
+	b = append(b, `,"role":"`...)
+	b = append(b, r.role.String()...)
+	b = append(b, `","kind":"`...)
+	b = append(b, kind.String()...)
+	b = append(b, `","t_ns":`...)
+	b = strconv.AppendInt(b, atNs, 10)
+	b = append(b, `,"wall_ns":`...)
+	b = strconv.AppendInt(b, l.wallNs+atNs, 10)
+	if arg != 0 {
+		b = append(b, `,"arg":`...)
+		b = strconv.AppendUint(b, arg, 10)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// finish retires one recorder: a final drain, then a loss marker when
+// the ring overran.
+func (l *Log) finish(r *Recorder) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.drainLocked(r)
+	if r.dropped > 0 {
+		line := l.appendEvent(r.buf[:0], r, l.since(), KindLost, r.dropped)
+		if l.err == nil {
+			if _, err := l.w.Write(line); err != nil {
+				l.err = err
+			}
+		}
+	}
+	for i, rr := range l.recs {
+		if rr == r {
+			l.recs = append(l.recs[:i], l.recs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Close stops the drainer, performs a final sweep of any recorder still
+// open, flushes and — when the Log owns the file — closes it. The first
+// underlying write error, if any, is returned. Safe on nil and
+// idempotent.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	close(l.stop)
+	<-l.done
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range l.recs {
+		r.finished.Store(true)
+		l.drainLocked(r)
+	}
+	l.recs = nil
+	l.closed = true
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.file != nil {
+		if err := l.file.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	return l.err
+}
+
+// Recorder captures one endpoint's lifecycle events. The recording
+// methods are allocation-free, lock-free, and safe on a nil receiver
+// and from any goroutine.
+type Recorder struct {
+	log      *Log
+	trace    TraceID
+	traceHex [32]byte
+	transfer uint32
+	role     Role
+	ring     *eventRing
+
+	// once is the emit-once bitmask by kind, for phase latches callers
+	// can leave in per-round or per-packet paths (Once early-outs on one
+	// atomic load once latched).
+	once atomic.Uint64
+	// finished gates late events from stragglers.
+	finished atomic.Bool
+
+	// Drain state, owned by the Log (under its mutex).
+	cursor  uint64
+	events  []drained
+	buf     []byte
+	dropped uint64
+}
+
+// Trace returns the recorder's trace id (zero for a nil recorder).
+func (r *Recorder) Trace() TraceID {
+	if r == nil {
+		return TraceID{}
+	}
+	return r.trace
+}
+
+// Event records one lifecycle event.
+func (r *Recorder) Event(kind Kind, arg uint64) {
+	if r == nil || r.finished.Load() {
+		return
+	}
+	r.ring.push(r.log.since(), kind, arg)
+}
+
+// Once records the event only the first time it is called for kind —
+// the latch that lets a per-round (or per-packet) call site mark "first
+// data" without flooding the ring. Reports whether this call emitted.
+func (r *Recorder) Once(kind Kind, arg uint64) bool {
+	if r == nil || r.finished.Load() {
+		return false
+	}
+	bit := uint64(1) << uint(kind&63)
+	for {
+		cur := r.once.Load()
+		if cur&bit != 0 {
+			return false // already latched
+		}
+		if r.once.CompareAndSwap(cur, cur|bit) {
+			break
+		}
+	}
+	r.ring.push(r.log.since(), kind, arg)
+	return true
+}
+
+// Finish retires the recorder: a final drain, a loss marker when the
+// ring overran, and discard of any later events. Safe on nil; only the
+// first call writes.
+func (r *Recorder) Finish() {
+	if r == nil || r.finished.Swap(true) {
+		return
+	}
+	r.log.finish(r)
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadEvents decodes a span log. The reader is deliberately tolerant —
+// a span log may be cut off mid-line by a crash, interleaved with a
+// stray diagnostic, or written by a newer build:
+//
+//   - blank lines and lines that are not valid event JSON are skipped;
+//   - lines from a future format revision (v > Version) are skipped;
+//   - unknown kind or role names decode to their zero values.
+//
+// Only an underlying read error fails the call. The returned events are
+// in file order (which is per-recorder emission order).
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var out []Event
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // torn or foreign line
+		}
+		if ev.V <= 0 || ev.V > Version {
+			continue // unknown revision: skip, never misparse
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: read events: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile reads one span log from disk.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return ReadEvents(f)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import "sync/atomic"
+
+// defaultRingSize is the per-recorder ring capacity in events. Phase
+// events are a handful per transfer lifetime, so even a small ring is
+// generous headroom for the 5 ms drain period; power of two for the
+// index mask.
+const defaultRingSize = 64
+
+// eventRing is a fixed-size, lock-free, multi-producer event buffer —
+// the internal/metrics seqlock-ring pattern. Writers claim a slot with
+// one atomic add and publish with a per-slot sequence marker; the
+// drainer snapshots slot fields and re-checks the marker to discard
+// slots a concurrent writer was overwriting. Every slot field is
+// individually atomic, so the race detector sees a data-race-free
+// program rather than a "benign" seqlock race.
+type eventRing struct {
+	mask  uint64
+	next  atomic.Uint64 // claim counter; slot = claim & mask
+	slots []eventSlot
+}
+
+type eventSlot struct {
+	// seq is the publication marker: 0 means never written; an odd value
+	// means a writer owns the slot; seq == 2*claim+2 means generation
+	// `claim` of this slot is fully published.
+	seq  atomic.Uint64
+	atNs atomic.Int64
+	// meta packs kind (low 8 bits) above nothing else; kept separate
+	// from arg so both read/write as plain machine words.
+	kind atomic.Uint32
+	arg  atomic.Uint64
+}
+
+func newEventRing(size int) *eventRing {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	// Round up to a power of two for the mask.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &eventRing{mask: uint64(n - 1), slots: make([]eventSlot, n)}
+}
+
+// push publishes one event. It never blocks and never allocates:
+// concurrent writers claim distinct slots, and a writer lapped by
+// len(slots) newer events simply has its slot overwritten (the drainer
+// counts the loss).
+func (r *eventRing) push(atNs int64, kind Kind, arg uint64) {
+	claim := r.next.Add(1) - 1
+	s := &r.slots[claim&r.mask]
+	seq := 2*claim + 1
+	s.seq.Store(seq)
+	s.atNs.Store(atNs)
+	s.kind.Store(uint32(kind))
+	s.arg.Store(arg)
+	s.seq.Store(seq + 1)
+}
+
+// drained is one event pulled out of the ring by the drainer.
+type drained struct {
+	atNs int64
+	kind Kind
+	arg  uint64
+}
+
+// drain appends every event published since *cursor into out, advancing
+// the cursor, and reports how many events were overwritten before they
+// could be read. Single consumer (the Log's drainer, under its mutex).
+func (r *eventRing) drain(cursor *uint64, out []drained) ([]drained, uint64) {
+	head := r.next.Load()
+	lo := *cursor
+	var dropped uint64
+	if size := uint64(len(r.slots)); head > size && lo < head-size {
+		dropped = head - size - lo
+		lo = head - size
+	}
+	claim := lo
+	for ; claim < head; claim++ {
+		s := &r.slots[claim&r.mask]
+		want := 2*claim + 2
+		seq := s.seq.Load()
+		if seq < want {
+			break // writer still in flight; retry this slot next sweep
+		}
+		if seq > want {
+			dropped++ // lapped before the drainer got here
+			continue
+		}
+		at := s.atNs.Load()
+		kind := s.kind.Load()
+		arg := s.arg.Load()
+		if s.seq.Load() != want {
+			dropped++ // a writer moved in while we were reading
+			continue
+		}
+		out = append(out, drained{atNs: at, kind: Kind(kind), arg: arg})
+	}
+	*cursor = claim
+	return out, dropped
+}

@@ -4,12 +4,13 @@
 // plain net/http — the daemon is operated by scripts and curl, and the
 // single writer for all task state remains the Daemon's own lock.
 //
-//	POST   /tasks       {spec JSON}  → 201 + task JSON
-//	GET    /tasks                    → task list JSON
-//	GET    /tasks/{id}               → task JSON
-//	DELETE /tasks/{id}               → task JSON after cancel
-//	GET    /healthz                  → "ok" (readiness probe)
-//	GET    /debug/fobs…              → metrics registry endpoints
+//	POST   /tasks            {spec JSON}  → 201 + task JSON
+//	GET    /tasks                         → task list JSON
+//	GET    /tasks/{id}                    → task JSON
+//	GET    /tasks/{id}/events             → task timeline JSON
+//	DELETE /tasks/{id}                    → task JSON after cancel
+//	GET    /healthz                       → "ok" (readiness probe)
+//	GET    /debug/fobs…                   → metrics registry endpoints
 package tasks
 
 import (
@@ -25,12 +26,19 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /tasks", d.handleSubmit)
 	mux.HandleFunc("GET /tasks", d.handleList)
 	mux.HandleFunc("GET /tasks/{id}", d.handleGet)
+	mux.HandleFunc("GET /tasks/{id}/events", d.handleEvents)
 	mux.HandleFunc("DELETE /tasks/{id}", d.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	if d.reg != nil {
-		mux.Handle("/debug/", d.reg.Handler())
+		// Refresh the queue gauges on every scrape so oldest-queued ages
+		// reflect now, not the last transition.
+		inner := d.reg.Handler()
+		mux.Handle("/debug/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			d.refreshGauges()
+			inner.ServeHTTP(w, r)
+		}))
 	}
 	return mux
 }
@@ -87,6 +95,26 @@ func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, t)
+}
+
+// handleEvents serves a task's durable timeline: the trace id plus every
+// retained transition event, oldest first.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := taskID(w, r)
+	if !ok {
+		return
+	}
+	t, ok := d.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such task"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID     uint64      `json:"id"`
+		Trace  string      `json:"trace,omitempty"`
+		State  State       `json:"state"`
+		Events []TaskEvent `json:"events"`
+	}{t.ID, t.Trace, t.State, t.Events})
 }
 
 func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {

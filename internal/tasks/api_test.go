@@ -86,6 +86,46 @@ func TestAPILifecycle(t *testing.T) {
 		t.Fatal("object delivered over the API path is corrupted")
 	}
 
+	// The timeline endpoint serves the durable history with its trace id.
+	resp, err = http.Get(fmt.Sprintf("%s/tasks/%d/events", ts.URL, task.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeline struct {
+		ID     uint64      `json:"id"`
+		Trace  string      `json:"trace"`
+		State  State       `json:"state"`
+		Events []TaskEvent `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&timeline)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timeline.ID != task.ID || timeline.Trace == "" || timeline.State != StateDone {
+		t.Fatalf("timeline header wrong: %+v", timeline)
+	}
+	wantEvents := []string{"queued", "dispatched", "done"}
+	if len(timeline.Events) != len(wantEvents) {
+		t.Fatalf("timeline = %+v, want %v", timeline.Events, wantEvents)
+	}
+	for i, want := range wantEvents {
+		if timeline.Events[i].Event != want {
+			t.Fatalf("timeline[%d] = %q, want %q", i, timeline.Events[i].Event, want)
+		}
+	}
+	if timeline.Events[1].CC == "" || timeline.Events[1].Attempt != 1 {
+		t.Fatalf("dispatch event missing context: %+v", timeline.Events[1])
+	}
+	resp, err = http.Get(ts.URL + "/tasks/999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events for unknown task: status %d, want 404", resp.StatusCode)
+	}
+
 	// List includes it.
 	resp, err = http.Get(ts.URL + "/tasks")
 	if err != nil {

@@ -11,12 +11,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
 
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/udprt"
 )
 
@@ -49,6 +52,13 @@ type Config struct {
 	// mover plus the daemon's task gauges (tasks_queued, tasks_running,
 	// …), all served on the registry's /debug/fobs handler.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives lifecycle span events from every
+	// mover's transfers, keyed by the per-task trace id that also travels
+	// to the receiving endpoint in the TRACE prelude.
+	Trace *obs.Log
+	// Logger receives the daemon's structured transition log, keyed by
+	// task/transfer/trace ids. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +83,7 @@ type Daemon struct {
 	cfg   Config
 	store *store
 	reg   *metrics.Registry
+	log   *slog.Logger
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -83,6 +94,11 @@ type Daemon struct {
 	nextID  uint64
 	stopped bool // Run's context ended; workers drain and exit
 	crashed bool // simulated SIGKILL (tests): freeze disk and memory
+
+	// tenantGauged remembers which tenants currently have per-tenant
+	// queue gauges exported, so a drained tenant's gauges are deleted
+	// rather than frozen at their last value.
+	tenantGauged map[string]bool
 
 	// Test seams, called outside the lock with a snapshot of the task at
 	// a crash-critical instant. Nil in production.
@@ -104,10 +120,15 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	d := &Daemon{
 		cfg:    cfg,
 		store:  st,
 		reg:    cfg.Metrics,
+		log:    log,
 		tasks:  make(map[uint64]*Task),
 		queue:  newFairQueue(),
 		active: make(map[uint64]*running),
@@ -126,12 +147,15 @@ func New(cfg Config) (*Daemon, error) {
 		if t.State == StateRunning || t.State == StateQueued {
 			t.State = StateQueued
 			t.Updated = time.Now()
+			t.note("requeued", "", "")
 			// Persist the demotion: a second crash before dispatch must
 			// not resurrect a phantom "running" task.
 			if err := st.save(t); err != nil {
 				return nil, err
 			}
 			d.queue.push(t)
+			d.log.Info("task requeued after restart", "task", t.ID,
+				"transfer", t.Transfer, "trace", t.Trace, "attempts", t.Attempts)
 		}
 		d.tasks[t.ID] = t
 	}
@@ -184,14 +208,17 @@ func (d *Daemon) worker(ctx context.Context) {
 			return
 		}
 		t := d.queue.pop()
+		queueWait := time.Since(t.queuedAt())
 		t.State = StateRunning
 		t.Attempts++
 		t.Updated = time.Now()
+		t.note("dispatched", d.ccOf(t), "")
 		if err := d.store.save(t); err != nil {
 			// Disk refused the transition: park the task back and stall
 			// briefly rather than running work the store cannot record.
 			t.State = StateQueued
 			t.Attempts--
+			t.Events = t.Events[:len(t.Events)-1]
 			d.queue.push(t)
 			d.mu.Unlock()
 			time.Sleep(time.Second)
@@ -200,9 +227,15 @@ func (d *Daemon) worker(ctx context.Context) {
 		mctx, cancel := context.WithCancel(ctx)
 		d.active[t.ID] = &running{cancel: cancel}
 		d.updateGauges()
+		d.reg.ObserveHistogram("task_queue_wait_ns", queueWait.Nanoseconds())
 		snap := t.clone()
 		hook := d.hookDispatched
 		d.mu.Unlock()
+
+		d.log.Info("task dispatched", "task", snap.ID, "transfer", snap.Transfer,
+			"trace", snap.Trace, "tenant", snap.Spec.tenant(),
+			"attempt", snap.Attempts, "cc", d.ccOf(&snap),
+			"queue_wait", queueWait)
 
 		if hook != nil {
 			hook(snap)
@@ -214,6 +247,18 @@ func (d *Daemon) worker(ctx context.Context) {
 
 // capFor returns the tenant's shared rate cap, nil when uncapped.
 func (d *Daemon) capFor(tenant string) *udprt.RateCap { return d.caps[tenant] }
+
+// ccOf names the congestion policy a task's mover will run: the spec's
+// choice, else the daemon-wide default, else the runtime default.
+func (d *Daemon) ccOf(t *Task) string {
+	if t.Spec.Congestion != "" {
+		return t.Spec.Congestion
+	}
+	if d.cfg.Send.Congestion != "" {
+		return d.cfg.Send.Congestion
+	}
+	return udprt.CCFixed
+}
 
 // moverOptions assembles the supervised send options for one task.
 func (d *Daemon) moverOptions(t *Task) udprt.Options {
@@ -232,6 +277,13 @@ func (d *Daemon) moverOptions(t *Task) udprt.Options {
 	}
 	if t.Spec.Congestion != "" {
 		opts.Congestion = t.Spec.Congestion
+	}
+	// Every attempt runs under the task's trace id: the span log (when
+	// configured) and the receiving endpoint both see one trace per task,
+	// whatever the attempt count.
+	opts.Trace = d.cfg.Trace
+	if tid, err := obs.ParseTraceID(t.Trace); err == nil {
+		opts.TraceID = tid
 	}
 	return opts
 }
@@ -276,9 +328,12 @@ func (d *Daemon) runTask(ctx context.Context, t *Task) {
 		t.State = StateDone
 		t.Error = ""
 		t.Stats = statsOf(st)
+		t.note("done", "", "")
+		d.reg.ObserveHistogram("task_time_to_done_ns", t.Updated.Sub(t.Created).Nanoseconds())
 	case r != nil && r.userAbort:
 		t.State = StateCancelled
 		t.Error = err.Error()
+		t.note("cancelled", "", err.Error())
 	case ctx.Err() != nil:
 		// The mover's context has only two cancellation sources: Cancel()
 		// (handled above via userAbort) and daemon shutdown. Movers can
@@ -295,9 +350,14 @@ func (d *Daemon) runTask(ctx context.Context, t *Task) {
 		if st.PacketsNeeded > 0 {
 			t.Stats = statsOf(st)
 		}
+		t.note("failed", "", err.Error())
 	}
+	d.reg.ObserveHistogram("task_attempts", int64(t.Attempts))
 	d.store.save(t)
 	d.updateGauges()
+	d.log.Info("task finished", "task", t.ID, "transfer", t.Transfer,
+		"trace", t.Trace, "state", string(t.State), "attempt", t.Attempts,
+		"error", t.Error)
 }
 
 // Submit validates and enqueues a new task, durably, before returning
@@ -318,11 +378,13 @@ func (d *Daemon) Submit(spec Spec) (Task, error) {
 		State:   StateQueued,
 		Created: now,
 		Updated: now,
+		Trace:   obs.NewTraceID().String(),
 	}
 	// The transfer id must be stable across reruns (it keys the
 	// receiver's retained state) and unique among this daemon's tasks;
 	// the monotonic task id provides both.
 	t.Transfer = uint32(t.ID)
+	t.note("queued", "", "")
 	if err := d.store.save(t); err != nil {
 		return Task{}, err
 	}
@@ -331,6 +393,8 @@ func (d *Daemon) Submit(spec Spec) (Task, error) {
 	d.queue.push(t)
 	d.updateGauges()
 	d.cond.Signal()
+	d.log.Info("task queued", "task", t.ID, "transfer", t.Transfer,
+		"trace", t.Trace, "tenant", spec.tenant(), "addr", spec.Addr, "path", spec.Path)
 	return t.clone(), nil
 }
 
@@ -350,10 +414,13 @@ func (d *Daemon) Cancel(id uint64) error {
 		d.queue.drop(id)
 		t.State = StateCancelled
 		t.Updated = time.Now()
+		t.note("cancelled", "", "cancelled while queued")
 		if err := d.store.save(t); err != nil {
 			return err
 		}
+		d.reg.ObserveHistogram("task_attempts", int64(t.Attempts))
 		d.updateGauges()
+		d.log.Info("task cancelled", "task", t.ID, "transfer", t.Transfer, "trace", t.Trace)
 	case StateRunning:
 		if r := d.active[id]; r != nil {
 			r.userAbort = true
@@ -423,4 +490,39 @@ func (d *Daemon) updateGauges() {
 	d.reg.SetGauge("tasks_done", float64(done))
 	d.reg.SetGauge("tasks_failed", float64(failed))
 	d.reg.SetGauge("tasks_cancelled", float64(cancelled))
+
+	// Per-tenant queue health: depth and the age of the oldest queued
+	// task, the two numbers that tell a stuck tenant from a busy one.
+	if d.tenantGauged == nil {
+		d.tenantGauged = make(map[string]bool)
+	}
+	now := time.Now()
+	seen := make(map[string]bool, len(d.queue.fifos))
+	for tenant, fifo := range d.queue.fifos {
+		seen[tenant] = true
+		d.tenantGauged[tenant] = true
+		d.reg.SetGauge("tenant_"+tenant+"_queued", float64(len(fifo)))
+		oldest := fifo[0].queuedAt()
+		for _, t := range fifo[1:] {
+			if qa := t.queuedAt(); qa.Before(oldest) {
+				oldest = qa
+			}
+		}
+		d.reg.SetGauge("tenant_"+tenant+"_oldest_queued_age_seconds", now.Sub(oldest).Seconds())
+	}
+	for tenant := range d.tenantGauged {
+		if !seen[tenant] {
+			d.reg.DeleteGauge("tenant_" + tenant + "_queued")
+			d.reg.DeleteGauge("tenant_" + tenant + "_oldest_queued_age_seconds")
+			delete(d.tenantGauged, tenant)
+		}
+	}
+}
+
+// refreshGauges recomputes the queue gauges on demand — the scrape path
+// calls it so oldest-queued ages grow even while no transition happens.
+func (d *Daemon) refreshGauges() {
+	d.mu.Lock()
+	d.updateGauges()
+	d.mu.Unlock()
 }

@@ -21,8 +21,62 @@ import (
 	"github.com/hpcnet/fobs/internal/checkpoint"
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/udprt"
 )
+
+// assertTimeline checks the durable-timeline invariants every finished
+// task must satisfy — whatever crashes it lived through: a parseable
+// trace id, a history that starts at submission, timestamps that never
+// run backwards, and exactly one terminal event (a crash must never
+// leave a task with zero or two verdicts in its durable history).
+func assertTimeline(t *testing.T, task Task) {
+	t.Helper()
+	if task.Trace == "" {
+		t.Fatalf("task %d has no trace id", task.ID)
+	}
+	if _, err := obs.ParseTraceID(task.Trace); err != nil {
+		t.Fatalf("task %d trace id unparseable: %v", task.ID, err)
+	}
+	if len(task.Events) == 0 {
+		t.Fatalf("task %d has no event history", task.ID)
+	}
+	if task.Events[0].Event != "queued" {
+		t.Fatalf("task %d history starts with %q, want queued", task.ID, task.Events[0].Event)
+	}
+	terminal := 0
+	for i, e := range task.Events {
+		if i > 0 && e.At.Before(task.Events[i-1].At) {
+			t.Fatalf("task %d timeline runs backwards at %d: %v", task.ID, i, task.Events)
+		}
+		switch e.Event {
+		case "done", "failed", "cancelled":
+			terminal++
+		}
+	}
+	if task.State.Terminal() {
+		if terminal != 1 {
+			t.Fatalf("task %d (state %s) holds %d terminal events, want exactly 1: %v",
+				task.ID, task.State, terminal, task.Events)
+		}
+		if last := task.Events[len(task.Events)-1].Event; last != string(task.State) {
+			t.Fatalf("task %d last event %q does not match state %s", task.ID, last, task.State)
+		}
+	} else if terminal != 0 {
+		t.Fatalf("task %d (state %s) holds a terminal event: %v", task.ID, task.State, task.Events)
+	}
+}
+
+// countEvents tallies occurrences of one event name in a task's history.
+func countEvents(task Task, name string) int {
+	n := 0
+	for _, e := range task.Events {
+		if e.Event == name {
+			n++
+		}
+	}
+	return n
+}
 
 // receiver hosts a concurrent udprt Server and collects every completed
 // object, counting completions per transfer id (the at-least-once tests
@@ -137,6 +191,55 @@ func waitTasks(t *testing.T, d *Daemon, timeout time.Duration, pred func(Task) b
 
 func isDone(task Task) bool { return task.State == StateDone }
 
+// TestDaemonSpanLogJoinsTaskTrace runs a traced daemon against a traced
+// receiver and requires both endpoints' span logs to carry the task's
+// trace id end to end: the id minted at submission is the id under which
+// the sender-side mover AND the remote receiver recorded their phases.
+func TestDaemonSpanLogJoinsTaskTrace(t *testing.T) {
+	var dbuf, rbuf bytes.Buffer
+	dlog := obs.NewLog(&dbuf)
+	rlog := obs.NewLog(&rbuf)
+	rcv := startReceiver(t, udprt.Options{Trace: rlog})
+	d, err := New(Config{Dir: t.TempDir(), Trace: dlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	path, _ := writeObj(t, 64<<10)
+	task, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+	if err := dlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sev, err := obs.ReadEvents(&dbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := obs.ReadEvents(&rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tls := obs.Join(sev, rev)[task.Trace]
+	if len(tls) != 2 {
+		t.Fatalf("joined %d timelines under task trace %s, want sender + receiver", len(tls), task.Trace)
+	}
+	for _, tl := range tls {
+		if tl.Transfer != task.Transfer {
+			t.Fatalf("%s timeline tagged transfer %d, want %d", tl.Role, tl.Transfer, task.Transfer)
+		}
+		kinds := obs.PhaseOrder(tl)
+		if len(kinds) == 0 || kinds[len(kinds)-1] != obs.KindComplete {
+			t.Fatalf("%s timeline does not end complete: %v", tl.Role, kinds)
+		}
+	}
+}
+
 func TestDaemonRunsSubmittedTasks(t *testing.T) {
 	rcv := startReceiver(t, udprt.Options{})
 	reg := metrics.New()
@@ -182,6 +285,37 @@ func TestDaemonRunsSubmittedTasks(t *testing.T) {
 	if v, _ := reg.Gauge("tasks_running"); v != 0 {
 		t.Fatalf("tasks_running gauge = %v, want 0", v)
 	}
+
+	// SLO rollups: one queue-wait per dispatch, one time-to-done and one
+	// attempts observation per finished task.
+	if h, ok := reg.NamedHistogram("task_queue_wait_ns"); !ok || h.Count != 5 {
+		t.Fatalf("task_queue_wait_ns count = %d, want 5", h.Count)
+	}
+	if h, ok := reg.NamedHistogram("task_time_to_done_ns"); !ok || h.Count != 5 || h.Max <= 0 {
+		t.Fatalf("task_time_to_done_ns = %+v, want 5 positive observations", h)
+	}
+	if h, ok := reg.NamedHistogram("task_attempts"); !ok || h.Count != 5 || h.Max != 1 {
+		t.Fatalf("task_attempts = %+v, want 5 single-attempt observations", h)
+	}
+
+	// Every task finished, so no tenant may still export queue gauges.
+	for _, tenant := range []string{"alpha", "beta", "default"} {
+		if v, ok := reg.Gauge("tenant_" + tenant + "_queued"); ok {
+			t.Fatalf("tenant %s still exports a queue gauge (%v) after drain", tenant, v)
+		}
+		if _, ok := reg.Gauge("tenant_" + tenant + "_oldest_queued_age_seconds"); ok {
+			t.Fatalf("tenant %s still exports an age gauge after drain", tenant)
+		}
+	}
+
+	// Every finished task carries a well-formed durable timeline.
+	for _, task := range d.List() {
+		assertTimeline(t, task)
+		if countEvents(task, "dispatched") != 1 {
+			t.Fatalf("task %d dispatched %d times, want once: %v",
+				task.ID, countEvents(task, "dispatched"), task.Events)
+		}
+	}
 }
 
 // TestDaemonKillPointSweep kills the daemon at each crash-critical
@@ -211,6 +345,12 @@ func TestDaemonKillPointSweep(t *testing.T) {
 			if !bytes.Equal(got, obj) {
 				t.Fatalf("transfer %d delivered different bytes after restart", id)
 			}
+		}
+		// The durable timeline crossed the crash: every task's history must
+		// still start at submission, stay ordered, and hold exactly one
+		// terminal event — a rerun must not duplicate the verdict.
+		for _, task := range d.List() {
+			assertTimeline(t, task)
 		}
 		return d
 	}
@@ -273,7 +413,18 @@ func TestDaemonKillPointSweep(t *testing.T) {
 		if got, _ := rcv.object(task.Transfer); got != nil {
 			t.Fatal("killed-at-dispatch task still delivered in its first life")
 		}
-		restart(t, dir, rcv, map[uint32][]byte{task.Transfer: obj, task2.Transfer: obj2}, nil)
+		d2 := restart(t, dir, rcv, map[uint32][]byte{task.Transfer: obj, task2.Transfer: obj2}, nil)
+		// The first life persisted queued + dispatched before dying; the
+		// second life must append (not replace) its requeue and rerun, and
+		// the trace id must ride the whole history.
+		after, _ := d2.Get(task.ID)
+		if countEvents(after, "dispatched") != 2 || countEvents(after, "requeued") != 1 {
+			t.Fatalf("kill-at-dispatch history wrong: %v", after.Events)
+		}
+		before, _ := d.Get(task.ID)
+		if after.Trace != before.Trace {
+			t.Fatalf("trace id changed across restart: %s → %s", before.Trace, after.Trace)
+		}
 	})
 
 	t.Run("mid-transfer", func(t *testing.T) {

@@ -120,6 +120,31 @@ func statsOf(st core.SenderStats) *Stats {
 	}
 }
 
+// TaskEvent is one entry in a task's durable timeline: a lifecycle
+// transition with its wall-clock instant and enough context (attempt
+// number, congestion policy, verdict detail) to reconstruct what the
+// daemon did to the task and when — across restarts, since the history
+// persists with the task.
+type TaskEvent struct {
+	// At is the wall-clock instant of the transition.
+	At time.Time `json:"at"`
+	// Event names the transition: "queued", "requeued", "dispatched",
+	// "done", "failed", "cancelled".
+	Event string `json:"event"`
+	// Attempt is the mover execution the event belongs to (0 before the
+	// first dispatch).
+	Attempt int `json:"attempt,omitempty"`
+	// CC is the congestion policy in effect, recorded on dispatch.
+	CC string `json:"cc,omitempty"`
+	// Detail carries the verdict (error text) on terminal events.
+	Detail string `json:"detail,omitempty"`
+}
+
+// eventCap bounds a task's retained timeline; a task requeued in a crash
+// loop keeps its most recent history rather than growing its file
+// without bound. Oldest entries drop first.
+const eventCap = 64
+
 // Task is one unit of orchestrated work: a Spec plus the daemon's
 // bookkeeping. The struct is what the store persists and the API serves.
 type Task struct {
@@ -144,6 +169,43 @@ type Task struct {
 	// Created and Updated stamp submission and the latest transition.
 	Created time.Time `json:"created"`
 	Updated time.Time `json:"updated"`
+	// Trace is the task's trace id in hex, minted at submission and pinned
+	// on every mover attempt, so the daemon's logs, the task's timeline
+	// and both endpoints' span logs all join on one key.
+	Trace string `json:"trace,omitempty"`
+	// Events is the task's durable timeline, oldest first (capped at
+	// eventCap; oldest dropped). Persisted with every transition, so the
+	// history a restarted daemon serves is exactly the transitions that
+	// became durable before the crash.
+	Events []TaskEvent `json:"events,omitempty"`
+}
+
+// note appends a timeline entry; the caller persists the task afterwards
+// (an event becomes observable only with the transition it describes).
+// cc is the effective congestion policy, recorded on dispatch events.
+func (t *Task) note(event, cc, detail string) {
+	t.Events = append(t.Events, TaskEvent{
+		At:      time.Now(),
+		Event:   event,
+		Attempt: t.Attempts,
+		CC:      cc,
+		Detail:  detail,
+	})
+	if len(t.Events) > eventCap {
+		t.Events = t.Events[len(t.Events)-eventCap:]
+	}
+}
+
+// queuedAt returns the instant the task last entered the queue (its most
+// recent queued/requeued event), falling back to Updated for histories
+// that predate timelines.
+func (t *Task) queuedAt() time.Time {
+	for i := len(t.Events) - 1; i >= 0; i-- {
+		if e := t.Events[i]; e.Event == "queued" || e.Event == "requeued" {
+			return e.At
+		}
+	}
+	return t.Updated
 }
 
 // clone returns a copy safe to hand outside the daemon's lock.
@@ -152,6 +214,9 @@ func (t *Task) clone() Task {
 	if t.Stats != nil {
 		s := *t.Stats
 		c.Stats = &s
+	}
+	if t.Events != nil {
+		c.Events = append([]TaskEvent(nil), t.Events...)
 	}
 	return c
 }

@@ -44,6 +44,7 @@ type controlFrame struct {
 	abort    wire.Abort
 	resume   wire.Resume
 	have     wire.Have
+	trace    wire.Trace
 }
 
 // readControlFrame consumes exactly one control message from the stream:
@@ -113,6 +114,8 @@ func readControlFrame(ctl net.Conn) (controlFrame, error) {
 		f.resume, err = wire.DecodeResume(buf)
 	case wire.TypeHave:
 		f.have, err = wire.DecodeHave(buf)
+	case wire.TypeTrace:
+		f.trace, err = wire.DecodeTrace(buf)
 	}
 	return f, err
 }

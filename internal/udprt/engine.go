@@ -17,6 +17,7 @@ import (
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -457,7 +458,7 @@ func noteReceiverDelta(tm *metrics.Transfer, fr *flight.Recorder, seq uint32,
 // receive promptly; that is only safe on a connection dedicated to one
 // transfer — on a session connection it would steal the next HELLO.
 func runReceiveLoop(ctx context.Context, engines map[uint32]*receiverEngine, base uint32,
-	udp *net.UDPConn, ctl net.Conn, opts Options, watchCtl bool) error {
+	udp *net.UDPConn, ctl net.Conn, opts Options, watchCtl bool, or *obs.Recorder) error {
 
 	var abortCh <-chan error
 	if watchCtl && ctl != nil {
@@ -533,6 +534,10 @@ func runReceiveLoop(ctx context.Context, engines map[uint32]*receiverEngine, bas
 			// Any datagram for this transfer — even a duplicate —
 			// proves the sender is alive.
 			lastData = time.Now()
+			// First data of the transfer opens the rounds span. Once is a
+			// single atomic load once latched, so the hot path stays
+			// allocation-free (the gate below measures it).
+			or.Once(obs.KindRounds, 0)
 			ack, ackSeq, ackRecv, finishedNow := e.ingest(d)
 			if ack != nil {
 				if _, err := udp.WriteToUDPAddrPort(ack, rx.Addr(i)); err != nil {

@@ -10,15 +10,17 @@ import (
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
 // eachInstrumentation runs fn with instrumentation off (nil handles, the
-// zero-configuration default), with live metrics, and with metrics plus a
-// flight recording, so every hot-path allocation gate also proves both
-// instrumentation layers allocation-free.
-func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder)) {
-	t.Run("bare", func(t *testing.T) { fn(t, nil, nil) })
+// zero-configuration default), with live metrics, with metrics plus a
+// flight recording, and with every layer plus a span recorder, so every
+// hot-path allocation gate also proves all three instrumentation layers
+// allocation-free.
+func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder, or *obs.Recorder)) {
+	t.Run("bare", func(t *testing.T) { fn(t, nil, nil, nil) })
 	startTM := func() *metrics.Transfer {
 		reg := metrics.New()
 		if role == metrics.RoleSender {
@@ -26,17 +28,28 @@ func eachInstrumentation(t *testing.T, role metrics.Role, packets int, fn func(t
 		}
 		return reg.StartReceiver(0, packets, int64(packets)*1024)
 	}
-	t.Run("metrics", func(t *testing.T) { fn(t, startTM(), nil) })
+	startFR := func(log *flight.Log) *flight.Recorder {
+		if role == metrics.RoleSender {
+			return log.StartSender(0, packets, int64(packets)*1024, 1024, 0)
+		}
+		return log.StartReceiver(0, packets, int64(packets)*1024, 1024)
+	}
+	t.Run("metrics", func(t *testing.T) { fn(t, startTM(), nil, nil) })
 	t.Run("recorded", func(t *testing.T) {
 		log := flight.NewLog(io.Discard)
 		defer log.Close()
-		var fr *flight.Recorder
-		if role == metrics.RoleSender {
-			fr = log.StartSender(0, packets, int64(packets)*1024, 1024, 0)
-		} else {
-			fr = log.StartReceiver(0, packets, int64(packets)*1024, 1024)
+		fn(t, startTM(), startFR(log), nil)
+	})
+	t.Run("traced", func(t *testing.T) {
+		log := flight.NewLog(io.Discard)
+		defer log.Close()
+		span := obs.NewLog(io.Discard)
+		defer span.Close()
+		orole := obs.RoleSender
+		if role != metrics.RoleSender {
+			orole = obs.RoleReceiver
 		}
-		fn(t, startTM(), fr)
+		fn(t, startTM(), startFR(log), span.Start(obs.NewTraceID(), 0, orole))
 	})
 }
 
@@ -53,7 +66,7 @@ func TestSenderHotPathZeroAllocs(t *testing.T) {
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
 		for _, policy := range CongestionPolicies() {
 			t.Run("cc="+policy, func(t *testing.T) {
-				eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder) {
+				eachInstrumentation(t, metrics.RoleSender, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder, or *obs.Recorder) {
 					rcv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 					if err != nil {
 						t.Fatal(err)
@@ -98,6 +111,9 @@ func TestSenderHotPathZeroAllocs(t *testing.T) {
 					// too.
 					ccRetx := 0
 					if allocs := testing.AllocsPerRun(300, func() {
+						// The span recorder's steady-state cost: one latched
+						// Once per round, as the engine loop pays it.
+						or.Once(obs.KindRounds, 0)
 						batch, gapPer := planRound(len(ring), cc)
 						if gapPer < 0 {
 							t.Fatal("negative pacing gap")
@@ -140,7 +156,7 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	eachIOPath(t, func(t *testing.T, noFastPath bool) {
-		eachInstrumentation(t, metrics.RoleReceiver, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder) {
+		eachInstrumentation(t, metrics.RoleReceiver, 1<<20/1024, func(t *testing.T, tm *metrics.Transfer, fr *flight.Recorder, or *obs.Recorder) {
 			udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 			if err != nil {
 				t.Fatal(err)
@@ -190,6 +206,8 @@ func TestReceiverHotPathZeroAllocs(t *testing.T) {
 						if err != nil {
 							t.Fatalf("decode: %v", err)
 						}
+						// The receive loop's per-datagram span cost.
+						or.Once(obs.KindRounds, 0)
 						before := rcv.Stats()
 						ackDue, err := rcv.HandleData(d)
 						noteReceiverDelta(tm, fr, d.Seq, before, rcv.Stats(), len(d.Payload))

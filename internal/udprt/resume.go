@@ -18,6 +18,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/checkpoint"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -255,6 +256,7 @@ func acceptResumedTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn,
 	}
 	tm := opts.Metrics.StartReceiver(plan.base, rcv.NumPackets(), int64(plan.objectSize))
 	fr := opts.Record.StartReceiver(plan.base, rcv.NumPackets(), int64(plan.objectSize), plan.packetSize)
+	or := opts.startRecorder(plan.trace, plan.base, obs.RoleReceiver)
 	tm.NoteRestored(restored)
 	e := newReceiverEngine(rcv, tm, fr)
 	e.finished = rcv.Complete()
@@ -263,15 +265,20 @@ func acceptResumedTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn,
 		// The sender never saw our acceptance; keep the state claimable.
 		store.put(plan.base, ret)
 		finishInstruments(tm, fr, err)
+		finishTrace(or, err)
 		return nil, rcv.Stats(), err
 	}
 	noteHandshake(tm, fr)
+	or.Event(obs.KindHandshake, 0)
+	or.Event(obs.KindResume, uint64(restored))
 	byTag := map[uint32]*receiverEngine{plan.base: e}
-	if err := runReceiveLoop(ctx, byTag, plan.base, udp, ctl, opts, watchCtl); err != nil {
+	if err := runReceiveLoop(ctx, byTag, plan.base, udp, ctl, opts, watchCtl, or); err != nil {
 		store.retainReceiver(plan.base, plan.objectSize, plan.packetSize, rcv, ret.digest, true)
 		finishInstruments(tm, fr, err)
+		finishTrace(or, err)
 		return nil, rcv.Stats(), err
 	}
+	or.Event(obs.KindDrain, 0)
 	if got := wire.ObjectDigest(ret.obj); got != ret.digest {
 		// The retained bytes and the resumed run assembled a different
 		// object than the sender announced — unrecoverable for this id.
@@ -279,10 +286,12 @@ func acceptResumedTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn,
 		err := fmt.Errorf("udprt: resumed object digest %08x, sender announced %08x: %w",
 			got, ret.digest, ErrDigestMismatch)
 		finishInstruments(tm, fr, err)
+		finishTrace(or, err)
 		return nil, rcv.Stats(), err
 	}
 	err = writeComplete(ctl, plan.base, plan.objectSize, ret.obj)
 	finishInstruments(tm, fr, err)
+	finishTrace(or, err)
 	if err != nil {
 		return nil, rcv.Stats(), err
 	}

@@ -20,6 +20,7 @@ import (
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -103,6 +104,7 @@ func IsRetryable(err error) bool {
 	if errors.Is(err, ErrDigestMismatch) ||
 		errors.Is(err, wire.ErrHelloXVersion) ||
 		errors.Is(err, wire.ErrResumeVersion) ||
+		errors.Is(err, wire.ErrTraceVersion) ||
 		errors.Is(err, ErrSessionBroken) {
 		return false
 	}
@@ -160,6 +162,14 @@ func sendSupervised(ctx context.Context, addr string, obj []byte, cfg core.Confi
 		seed = time.Now().UnixNano()
 	}
 	rng := rand.New(rand.NewSource(seed))
+	if opts.Trace != nil && opts.TraceID.IsZero() {
+		// Pin one trace id across every attempt, so the whole retry chain —
+		// failed attempts, backoffs, the resumed finish — joins into a
+		// single cross-host timeline.
+		opts.TraceID = obs.NewTraceID()
+	}
+	sup := opts.startRecorder(opts.TraceID, cfg.Transfer, obs.RoleSender)
+	defer sup.Finish()
 
 	var st core.SenderStats
 	var err error
@@ -183,6 +193,7 @@ func sendSupervised(ctx context.Context, addr string, obj []byte, cfg core.Confi
 	sentAny = sentAny || st.PacketsSent > 0
 	for attempt := 1; attempt <= pol.MaxRetries && IsRetryable(err); attempt++ {
 		opts.Metrics.NoteRetry(cfg.Transfer, attempt)
+		sup.Event(obs.KindRetry, uint64(attempt))
 		select {
 		case <-ctx.Done():
 			// Budget exhausted mid-backoff: surface the last real failure,
@@ -214,7 +225,8 @@ func sendSupervised(ctx context.Context, addr string, obj []byte, cfg core.Confi
 func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Options) (core.SenderStats, bool, error) {
 	snd := core.NewSender(obj, cfg)
 	scfg := snd.Config()
-	frame := wire.AppendResume(nil, &wire.Resume{
+	tid := opts.senderTraceID()
+	frame := wire.AppendResume(tracePrelude(tid), &wire.Resume{
 		Transfer:   scfg.Transfer,
 		ObjectSize: uint64(len(obj)),
 		PacketSize: uint32(scfg.PacketSize),
@@ -239,6 +251,9 @@ func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, o
 		return core.SenderStats{}, false, err
 	}
 	if !ok {
+		// Refused in a degradable way — a TRACE- or RESUME-unaware peer
+		// lands here too; the caller's fresh fallback re-negotiates the
+		// prelude on its own.
 		ctl.Close()
 		return core.SenderStats{}, false, nil
 	}
@@ -249,6 +264,9 @@ func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, o
 		ctl.Close()
 		return core.SenderStats{}, false, nil
 	}
+	or := opts.startRecorder(tid, scfg.Transfer, obs.RoleSender)
+	or.Event(obs.KindHandshake, 0)
+	or.Event(obs.KindResume, uint64(restored))
 	tm, fr := instrumentSender(snd, scfg, int64(len(obj)), opts.Metrics, opts.Record)
 	tm.NoteRestored(restored)
 	p := &senderPlan{
@@ -266,11 +284,12 @@ func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, o
 		writeAbort(ctl, p.base, wire.AbortUnspecified)
 		ctl.Close()
 		p.fail(err)
+		finishTrace(or, err)
 		return p.stats(), true, err
 	}
 	defer ctl.Close()
 	defer closeAll(conns)
-	st, err := runSenderPlan(ctx, p, conns, ctl, opts)
+	st, err := runSenderPlan(ctx, p, conns, ctl, opts, or)
 	return st, true, err
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/hpcnet/fobs/internal/batchio"
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -40,6 +41,7 @@ type Server struct {
 type serverTransfer struct {
 	mu       sync.Mutex
 	eng      *receiverEngine
+	or       *obs.Recorder // span recorder (nil when untraced)
 	lastData time.Time     // last datagram for this transfer (idle watchdog)
 	complete chan struct{} // closed exactly once, on completion
 }
@@ -126,7 +128,8 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	defer ctl.Close()
 	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
-		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) {
+		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) ||
+			errors.Is(err, wire.ErrTraceVersion) {
 			writeAbort(ctl, 0, wire.AbortUnsupported)
 		} else {
 			writeAbort(ctl, 0, wire.AbortBadHello)
@@ -195,6 +198,7 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 		s.opts.Metrics.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize)),
 		s.opts.Record.StartReceiver(hello.Transfer, rcv.NumPackets(), int64(hello.ObjectSize), int(hello.PacketSize)))
 	st.eng.finished = finished
+	st.or = s.opts.startRecorder(plan.trace, hello.Transfer, obs.RoleReceiver)
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
 	defer func() {
@@ -222,9 +226,14 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 			retain() // the sender never saw our acceptance; stay claimable
 		}
 		finishInstruments(st.eng.tm, st.eng.fr, err)
+		finishTrace(st.or, err)
 		return
 	}
 	noteHandshake(st.eng.tm, st.eng.fr)
+	st.or.Event(obs.KindHandshake, 0)
+	if plan.resume {
+		st.or.Event(obs.KindResume, uint64(restored))
+	}
 	if finished {
 		// Fully restored: nothing left on the wire, complete immediately.
 		close(st.complete)
@@ -252,12 +261,14 @@ wait:
 			writeAbort(ctl, hello.Transfer, wire.AbortCancelled)
 			retain()
 			abortInstruments(st.eng.tm, st.eng.fr, wire.AbortCancelled)
+			abortTrace(st.or, wire.AbortCancelled)
 			return
 		case err := <-abortCh:
 			// Sender aborted or its control connection died; the data
 			// loop's packets for this id stop mattering once we deregister.
 			retain()
 			finishInstruments(st.eng.tm, st.eng.fr, err)
+			finishTrace(st.or, err)
 			return
 		case <-idleC:
 			st.mu.Lock()
@@ -270,6 +281,7 @@ wait:
 				writeAbort(ctl, hello.Transfer, wire.AbortIdleTimeout)
 				retain()
 				abortInstruments(st.eng.tm, st.eng.fr, wire.AbortIdleTimeout)
+				abortTrace(st.or, wire.AbortIdleTimeout)
 				return
 			}
 		}
@@ -280,14 +292,17 @@ wait:
 	obj := st.eng.rcv.Object()
 	rstats := st.eng.rcv.Stats()
 	st.mu.Unlock()
+	st.or.Event(obs.KindDrain, 0)
 	if plan.resume && wire.ObjectDigest(obj) != plan.resumeDigest {
 		// The retained bytes plus the resumed run assembled a different
 		// object than the sender announced — unrecoverable for this id.
 		writeAbort(ctl, hello.Transfer, wire.AbortDigestMismatch)
 		abortInstruments(st.eng.tm, st.eng.fr, wire.AbortDigestMismatch)
+		abortTrace(st.or, wire.AbortDigestMismatch)
 		return
 	}
 	finishInstruments(st.eng.tm, st.eng.fr, nil)
+	finishTrace(st.or, nil)
 	if err := writeComplete(ctl, hello.Transfer, hello.ObjectSize, obj); err != nil {
 		return
 	}
@@ -336,6 +351,7 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 	}
 	st.mu.Lock()
 	st.lastData = time.Now() // even a duplicate proves the sender lives
+	st.or.Once(obs.KindRounds, 0)
 	ack, ackSeq, ackRecv, finished := st.eng.ingest(d)
 	st.mu.Unlock()
 	if ack != nil {

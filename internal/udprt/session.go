@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/hpcnet/fobs/internal/core"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/wire"
 )
 
@@ -81,23 +82,31 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 	}
 	s.next += uint32(len(plan.snds))
 
-	hello := plan.helloFrame()
+	// Each object gets its own trace id (unless the session pins one).
+	// There is no prelude degradation inside a session — any handshake
+	// failure breaks it — so a traced session requires a traced peer.
+	tid := s.opts.senderTraceID()
+	or := s.opts.startRecorder(tid, plan.base, obs.RoleSender)
+	hello := append(tracePrelude(tid), plan.helloFrame()...)
 	s.ctl.SetWriteDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	if _, err := s.ctl.Write(hello); err != nil {
 		s.ctl.SetWriteDeadline(time.Time{})
 		s.broken = true
 		err = fmt.Errorf("udprt: hello write: %w", err)
 		plan.fail(err)
+		finishTrace(or, err)
 		return plan.stats(), err
 	}
 	s.ctl.SetWriteDeadline(time.Time{})
 	if err := awaitHelloAck(ctx, s.ctl, plan.base, s.opts.HandshakeTimeout); err != nil {
 		s.broken = true
 		plan.fail(err)
+		finishTrace(or, err)
 		return plan.stats(), err
 	}
 	plan.noteHandshake()
-	st, err := runSenderPlan(ctx, plan, s.conns[:len(plan.snds)], s.ctl, s.opts)
+	or.Event(obs.KindHandshake, 0)
+	st, err := runSenderPlan(ctx, plan, s.conns[:len(plan.snds)], s.ctl, s.opts, or)
 	if err != nil {
 		s.broken = true
 	}
@@ -152,7 +161,8 @@ func (is *IncomingSession) Close() error { return is.ctl.Close() }
 func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats, error) {
 	plan, err := readTransferPlan(ctx, is.ctl)
 	if err != nil {
-		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) {
+		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) ||
+			errors.Is(err, wire.ErrTraceVersion) {
 			writeAbort(is.ctl, 0, wire.AbortUnsupported)
 		}
 		return nil, core.ReceiverStats{}, err

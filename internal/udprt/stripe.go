@@ -20,6 +20,7 @@ import (
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -189,7 +190,7 @@ func (p *progressAgg) stripe(i int) func(known, total int) {
 // channel; the first engine to fail cancels its siblings. Per-stripe
 // instruments record each stripe's own outcome, while the summed stats
 // and socket counters form the caller's object-wide view.
-func runSenderPlan(ctx context.Context, p *senderPlan, conns []*net.UDPConn, ctl net.Conn, opts Options) (core.SenderStats, error) {
+func runSenderPlan(ctx context.Context, p *senderPlan, conns []*net.UDPConn, ctl net.Conn, opts Options, or *obs.Recorder) (core.SenderStats, error) {
 	n := len(p.snds)
 	completion := make(chan error, 1)
 	go func() { completion <- readCompletion(ctl, p.obj) }()
@@ -221,6 +222,7 @@ func runSenderPlan(ctx context.Context, p *senderPlan, conns []*net.UDPConn, ctl
 		}
 	}
 
+	or.Event(obs.KindRounds, 0)
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	engines := make([]*senderEngine, n)
@@ -244,6 +246,10 @@ func runSenderPlan(ctx context.Context, p *senderPlan, conns []*net.UDPConn, ctl
 	}
 	wg.Wait()
 
+	// Every engine has returned: the schedule is drained (or the transfer
+	// is dead) and the verdict is in hand.
+	or.Event(obs.KindDrain, 0)
+
 	var io stats.IOCounters
 	for i := range engines {
 		io.Add(engines[i].io)
@@ -252,7 +258,9 @@ func runSenderPlan(ctx context.Context, p *senderPlan, conns []*net.UDPConn, ctl
 	if opts.IOCounters != nil {
 		*opts.IOCounters = io
 	}
-	return p.stats(), pickStripeErr(errs)
+	err := pickStripeErr(errs)
+	finishTrace(or, err)
+	return p.stats(), err
 }
 
 // pickStripeErr chooses the error the caller sees: the first root cause,
@@ -309,6 +317,9 @@ type recvPlan struct {
 	objectSize uint64
 	packetSize int
 	stripes    []wire.StripeDesc // nil for a classic HELLO
+	// trace is the sender's trace id, propagated in a TRACE prelude before
+	// the announcement; zero when the handshake was untraced.
+	trace obs.TraceID
 	// RESUME announcements re-propose an aborted transfer: resumeDigest is
 	// the sender's whole-object CRC and resumeStreams its stream count
 	// (resume is defined for single-flow transfers only).
@@ -380,10 +391,12 @@ func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl ne
 		return acceptResumedTransfer(ctx, plan, udp, ctl, opts, watchCtl, store)
 	}
 	obj, engines := newRecvEngines(plan, opts)
+	or := opts.startRecorder(plan.trace, plan.base, obs.RoleReceiver)
 	finishAll := func(err error) {
 		for _, e := range engines {
 			finishInstruments(e.tm, e.fr, err)
 		}
+		finishTrace(or, err)
 	}
 	if err := writeHelloAck(ctl, plan.base); err != nil {
 		finishAll(err)
@@ -394,13 +407,17 @@ func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl ne
 		noteHandshake(e.tm, e.fr)
 		byTag[e.rcv.Config().Transfer] = e
 	}
-	if err := runReceiveLoop(ctx, byTag, plan.base, udp, ctl, opts, watchCtl); err != nil {
+	or.Event(obs.KindHandshake, 0)
+	if err := runReceiveLoop(ctx, byTag, plan.base, udp, ctl, opts, watchCtl, or); err != nil {
 		if !plan.striped() {
 			store.retainReceiver(plan.base, plan.objectSize, plan.packetSize, engines[0].rcv, 0, false)
 		}
 		finishAll(err)
 		return nil, sumRecvStats(engines), err
 	}
+	// Every packet is placed; what remains is the digest check and the
+	// COMPLETE write (writeComplete computes the former).
+	or.Event(obs.KindDrain, 0)
 	err := writeComplete(ctl, plan.base, plan.objectSize, obj)
 	finishAll(err)
 	if err != nil {

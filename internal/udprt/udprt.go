@@ -29,6 +29,7 @@ import (
 	"github.com/hpcnet/fobs/internal/core"
 	"github.com/hpcnet/fobs/internal/flight"
 	"github.com/hpcnet/fobs/internal/metrics"
+	"github.com/hpcnet/fobs/internal/obs"
 	"github.com/hpcnet/fobs/internal/stats"
 	"github.com/hpcnet/fobs/internal/wire"
 )
@@ -147,6 +148,21 @@ type Options struct {
 	// for a full resend. A peer without matching state degrades the
 	// attempt to a fresh transfer; without Retry the flag is ignored.
 	ResumeFirst bool
+	// Trace, when non-nil, receives a lifecycle span log of every transfer
+	// this endpoint runs: one event per phase transition (dial, handshake,
+	// resume, data rounds, drain, digest verify, terminal verdict), each
+	// tagged with a 16-byte trace id, written as versioned JSONL in the
+	// background. Where the flight recorder captures every packet, the
+	// span log captures only phase boundaries — a handful of events per
+	// transfer — so sender and receiver logs from both hosts can be joined
+	// on the trace id into one cross-host waterfall (fobs-analyze -events).
+	Trace *obs.Log
+	// TraceID pins the trace id transfers from this endpoint carry. Zero
+	// (the default) generates a fresh id per transfer when Trace is set.
+	// The id is propagated to the receiver in a TRACE control-frame
+	// prelude before the announcement; peers that do not speak TRACE
+	// degrade the handshake to an untraced one (see DESIGN.md §5i).
+	TraceID obs.TraceID
 	// Record, when non-nil, captures a packet-level flight recording of
 	// every transfer this endpoint runs: each data send with its attempt
 	// number, each acknowledgement with the packets it newly covered,
@@ -200,6 +216,76 @@ func (o Options) withDefaults() Options {
 		o.ResumeWindow = 60 * time.Second
 	}
 	return o
+}
+
+// senderTraceID resolves the trace id one outbound transfer carries: the
+// pinned Options.TraceID when set, a fresh id when only the span log is
+// configured, the zero id (no tracing, no prelude — bit-compatible with
+// every earlier receiver) otherwise.
+func (o Options) senderTraceID() obs.TraceID {
+	if !o.TraceID.IsZero() {
+		return o.TraceID
+	}
+	if o.Trace != nil {
+		return obs.NewTraceID()
+	}
+	return obs.TraceID{}
+}
+
+// tracePrelude frames the TRACE control prelude for tid, nil for the zero
+// id.
+func tracePrelude(tid obs.TraceID) []byte {
+	if tid.IsZero() {
+		return nil
+	}
+	return wire.AppendTrace(nil, &wire.Trace{ID: tid})
+}
+
+// startRecorder opens one endpoint-side span recorder. Nil-safe all the
+// way down: with no span log configured it returns a nil recorder, whose
+// every method is a cheap no-op.
+func (o Options) startRecorder(tid obs.TraceID, transfer uint32, role obs.Role) *obs.Recorder {
+	if o.Trace == nil {
+		return nil
+	}
+	if tid.IsZero() {
+		// An untraced peer (no TRACE prelude arrived) still gets a local
+		// timeline under a locally minted id.
+		tid = obs.NewTraceID()
+	}
+	return o.Trace.Start(tid, transfer, role)
+}
+
+// finishTrace stamps the terminal span event and seals the recorder:
+// verify+complete on success, a reasoned abort otherwise (with the failed
+// verify spelled out when the object digest is what sank the transfer).
+func finishTrace(or *obs.Recorder, err error) {
+	if or == nil {
+		return
+	}
+	if err == nil {
+		or.Event(obs.KindVerify, 1)
+		or.Event(obs.KindComplete, 0)
+	} else {
+		if errors.Is(err, ErrDigestMismatch) {
+			or.Event(obs.KindVerify, 0)
+		}
+		or.Event(obs.KindAbort, uint64(abortReasonFor(err)))
+	}
+	or.Finish()
+}
+
+// abortTrace is finishTrace for paths that already hold the wire abort
+// reason instead of a driver error.
+func abortTrace(or *obs.Recorder, reason wire.AbortReason) {
+	if or == nil {
+		return
+	}
+	if reason == wire.AbortDigestMismatch {
+		or.Event(obs.KindVerify, 0)
+	}
+	or.Event(obs.KindAbort, uint64(reason))
+	or.Finish()
 }
 
 // DefaultIOBatch is the default sendmmsg/recvmmsg vector length. Large
@@ -294,7 +380,8 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 
 	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
-		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) {
+		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) ||
+			errors.Is(err, wire.ErrTraceVersion) {
 			// A future protocol revision we cannot place: refuse cleanly
 			// so the peer fails its handshake instead of blasting data.
 			writeAbort(ctl, 0, wire.AbortUnsupported)
@@ -421,11 +508,13 @@ func writeComplete(ctl net.Conn, transfer uint32, size uint64, obj []byte) error
 }
 
 // readTransferPlan consumes the transfer announcement — a classic HELLO
-// or a striped HELLOX — bounded by 30s or ctx's deadline, whichever is
-// sooner. The deadline is cleared afterwards so it never lingers on the
-// control connection. A HELLOX from a future protocol revision surfaces
-// as an error wrapping wire.ErrHelloXVersion; callers answer it with
-// ABORT (unsupported).
+// or a striped HELLOX, optionally preceded by a single TRACE prelude
+// carrying the sender's trace id — bounded by 30s or ctx's deadline,
+// whichever is sooner. The deadline is cleared afterwards so it never
+// lingers on the control connection. An announcement from a future
+// protocol revision surfaces as an error wrapping wire.ErrHelloXVersion,
+// wire.ErrResumeVersion or wire.ErrTraceVersion; callers answer those
+// with ABORT (unsupported).
 func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 	dl := time.Now().Add(30 * time.Second)
 	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
@@ -437,12 +526,21 @@ func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 	if err != nil {
 		return recvPlan{}, fmt.Errorf("udprt: hello read: %w", err)
 	}
+	var tid obs.TraceID
+	if f.typ == wire.TypeTrace {
+		// The prelude only decorates the announcement that must follow it.
+		tid = obs.TraceID(f.trace.ID)
+		if f, err = readControlFrame(ctl); err != nil {
+			return recvPlan{}, fmt.Errorf("udprt: hello read: %w", err)
+		}
+	}
 	switch f.typ {
 	case wire.TypeHello:
 		return recvPlan{
 			base:       f.hello.Transfer,
 			objectSize: f.hello.ObjectSize,
 			packetSize: int(f.hello.PacketSize),
+			trace:      tid,
 		}, nil
 	case wire.TypeHelloX:
 		return recvPlan{
@@ -450,12 +548,14 @@ func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 			objectSize: f.hellox.ObjectSize,
 			packetSize: int(f.hellox.PacketSize),
 			stripes:    f.hellox.Stripes,
+			trace:      tid,
 		}, nil
 	case wire.TypeResume:
 		return recvPlan{
 			base:          f.resume.Transfer,
 			objectSize:    f.resume.ObjectSize,
 			packetSize:    int(f.resume.PacketSize),
+			trace:         tid,
 			resume:        true,
 			resumeDigest:  f.resume.Digest,
 			resumeStreams: int(f.resume.Streams),
@@ -491,32 +591,50 @@ func sendOnce(ctx context.Context, addr string, obj []byte, cfg core.Config, opt
 	if err != nil {
 		return core.SenderStats{}, err
 	}
-	ctl, err := dialHandshake(ctx, addr, plan.helloFrame(), plan.base, opts)
+	tid := opts.senderTraceID()
+	or := opts.startRecorder(tid, plan.base, obs.RoleSender)
+	or.Event(obs.KindDial, 0)
+	ctl, err := dialHandshake(ctx, addr, tracePrelude(tid), plan.helloFrame(), plan.base, opts)
 	if err != nil {
 		plan.fail(err)
+		finishTrace(or, err)
 		return plan.stats(), err
 	}
 	defer ctl.Close()
 	plan.noteHandshake()
+	or.Event(obs.KindHandshake, 0)
 
 	conns, err := dialDataFlows(addr, len(plan.snds), opts)
 	if err != nil {
 		writeAbort(ctl, plan.base, wire.AbortUnspecified)
 		plan.fail(err)
+		finishTrace(or, err)
 		return plan.stats(), err
 	}
 	defer closeAll(conns)
 
 	// The shared sender engine drives each stripe until the completion
 	// signal arrives on the control channel.
-	return runSenderPlan(ctx, plan, conns, ctl, opts)
+	return runSenderPlan(ctx, plan, conns, ctl, opts, or)
 }
 
 // dialHandshake establishes the control connection and completes the
-// HELLO → HELLO-ACK exchange, retrying with exponential backoff on
-// connection errors and timeouts. An ABORT from the receiver (e.g. a
-// duplicate transfer id) is final and never retried.
-func dialHandshake(ctx context.Context, addr string, hello []byte, transfer uint32, opts Options) (net.Conn, error) {
+// handshake — the optional TRACE prelude plus HELLO, then HELLO-ACK back —
+// retrying with exponential backoff on connection errors and timeouts. An
+// ABORT from the receiver (e.g. a duplicate transfer id) is final and
+// never retried, with one exception: a peer that rejects the announcement
+// outright (bad-hello or unsupported) after a traced attempt is treated
+// as not speaking TRACE, and the handshake degrades to an untraced one.
+// A peer that hangs up instead of ABORTing (an old Listener fails its
+// announcement parse and closes the connection) degrades the same way on
+// its retry, so tracing can never wedge a transfer a plain HELLO would
+// have opened.
+func dialHandshake(ctx context.Context, addr string, prelude, hello []byte, transfer uint32, opts Options) (net.Conn, error) {
+	frame := hello
+	traced := len(prelude) > 0
+	if traced {
+		frame = append(append(make([]byte, 0, len(prelude)+len(hello)), prelude...), hello...)
+	}
 	var lastErr error
 	backoff := opts.HandshakeBackoff
 	for attempt := 0; attempt < opts.HandshakeRetries; attempt++ {
@@ -528,16 +646,33 @@ func dialHandshake(ctx context.Context, addr string, hello []byte, transfer uint
 			}
 			backoff *= 2
 		}
-		ctl, err := attemptHandshake(ctx, addr, hello, transfer, opts)
+		ctl, err := attemptHandshake(ctx, addr, frame, transfer, opts)
 		if err == nil {
 			return ctl, nil
 		}
 		var abort *AbortError
 		if errors.As(err, &abort) {
+			if traced && (abort.Reason == wire.AbortBadHello || abort.Reason == wire.AbortUnsupported) {
+				// The peer refused the announcement itself — exactly how a
+				// TRACE-unaware (or TRACE-version-rejecting) receiver
+				// presents. Drop the prelude and try again with the full
+				// retry budget: the reasoned rejection was an answer to the
+				// prelude, not to the transfer.
+				frame, traced = hello, false
+				lastErr = err
+				attempt--
+				continue
+			}
 			return nil, err
 		}
 		if ctx.Err() != nil {
 			return nil, err
+		}
+		if traced {
+			// Connection-level failure: could be transient, could be an old
+			// peer hanging up on the prelude. The retry goes untraced so the
+			// two causes converge on a working transfer.
+			frame, traced = hello, false
 		}
 		lastErr = err
 	}

@@ -81,6 +81,9 @@ func captureFrames(tb testing.TB) (datas, acks, control [][]byte) {
 			Transfer: cfg.Transfer, Received: uint32(len(datas)),
 			Words: rcv.HaveWords(nil),
 		}),
+		wire.AppendTrace(nil, &wire.Trace{
+			ID: [16]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		}),
 	}
 	return datas, acks, control
 }
@@ -164,6 +167,10 @@ func FuzzDecodeControl(f *testing.F) {
 	futureResume := wire.AppendResume(nil, &wire.Resume{Transfer: 4, ObjectSize: 100, PacketSize: 64})
 	futureResume[3] = wire.ResumeVersion + 1
 	f.Add(futureResume)
+	// Future-version TRACE: same refusal rule.
+	futureTrace := wire.AppendTrace(nil, &wire.Trace{ID: [16]byte{0xAA}})
+	futureTrace[3] = wire.TraceVersion + 1
+	f.Add(futureTrace)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if h, err := wire.DecodeHello(b); err == nil {
 			if _, err := wire.DecodeHello(wire.AppendHello(nil, &h)); err != nil {
@@ -206,6 +213,11 @@ func FuzzDecodeControl(f *testing.F) {
 			}
 			if re.Transfer != h.Transfer || re.Received != h.Received || len(re.Words) != len(h.Words) {
 				t.Fatalf("re-encode changed the have: %+v vs %+v", re, h)
+			}
+		}
+		if tr, err := wire.DecodeTrace(b); err == nil {
+			if re, err := wire.DecodeTrace(wire.AppendTrace(nil, &tr)); err != nil || re != tr {
+				t.Fatalf("trace re-decode failed: %v (%+v vs %+v)", err, re, tr)
 			}
 		}
 		// Any frame the stream framer would read must have a stable length.

@@ -73,6 +73,9 @@ func main() {
 		wire.AppendHave(nil, &wire.Have{
 			Transfer: cfg.Transfer, Received: 3, Words: []uint64{^uint64(0), 0, 0b101},
 		}),
+		wire.AppendTrace(nil, &wire.Trace{
+			ID: [16]byte{0xDE, 0xAD, 0xBE, 0xEF, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		}),
 	}
 
 	// A handful of representative frames per target keeps the committed

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func traceID(fill byte) (id [16]byte) {
+	for i := range id {
+		id[i] = fill + byte(i)
+	}
+	return id
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Trace{ID: traceID(0x40)}
+	buf := AppendTrace(nil, &tr)
+	if len(buf) != TraceLen {
+		t.Fatalf("frame length %d, want %d", len(buf), TraceLen)
+	}
+	got, err := DecodeTrace(buf)
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	if got.Version != TraceVersion || got.ID != tr.ID {
+		t.Fatalf("round trip changed the frame: %+v vs %+v", got, tr)
+	}
+}
+
+func TestTraceRejectsFutureVersion(t *testing.T) {
+	buf := AppendTrace(nil, &Trace{ID: traceID(1)})
+	buf[3] = TraceVersion + 1
+	if _, err := DecodeTrace(buf); !errors.Is(err, ErrTraceVersion) {
+		t.Fatalf("future version err = %v, want ErrTraceVersion", err)
+	}
+}
+
+func TestTraceRejectsBadFrames(t *testing.T) {
+	good := AppendTrace(nil, &Trace{ID: traceID(9)})
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrShort},
+		{"truncated", good[:TraceLen-1], ErrShort},
+		{"bad magic", append([]byte{0, 0}, good[2:]...), ErrBadMagic},
+		// HELLO is exactly TraceLen bytes, so the type check (not the
+		// length check) must reject it.
+		{"wrong type", AppendHello(nil, &Hello{Transfer: 1, PacketSize: 1}), ErrBadType},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeTrace(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTracePeekAndControlLen(t *testing.T) {
+	buf := AppendTrace(nil, &Trace{ID: traceID(0)})
+	typ, err := PeekType(buf)
+	if err != nil || typ != TypeTrace {
+		t.Fatalf("PeekType = (%d, %v), want (%d, nil)", typ, err, TypeTrace)
+	}
+	n, err := ControlLen(TypeTrace)
+	if err != nil || n != TraceLen {
+		t.Fatalf("ControlLen(TypeTrace) = (%d, %v), want (%d, nil)", n, err, TraceLen)
+	}
+	// One past the last known type stays rejected.
+	if _, err := PeekType([]byte{0xF0, 0xB5, TypeTrace + 1}); err != ErrBadType {
+		t.Fatalf("PeekType(TypeTrace+1) err = %v, want ErrBadType", err)
+	}
+}

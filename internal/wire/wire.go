@@ -27,15 +27,16 @@ const Magic uint16 = 0xF0B5
 
 // Message types.
 const (
-	TypeData     uint8 = 1 // sender → receiver, carries object bytes
-	TypeAck      uint8 = 2 // receiver → sender, carries status bitmap fragments
-	TypeHello    uint8 = 3 // control channel, announces a transfer
-	TypeComplete uint8 = 4 // control channel, "all data received"
-	TypeHelloAck uint8 = 5 // control channel, receiver accepts the transfer
-	TypeAbort    uint8 = 6 // control channel, either side terminates the transfer
-	TypeHelloX   uint8 = 7 // control channel, versioned extended announcement (striping)
-	TypeResume   uint8 = 8 // control channel, versioned request to resume an interrupted transfer
-	TypeHave     uint8 = 9 // control channel, receiver's got-bitmap summary answering a RESUME
+	TypeData     uint8 = 1  // sender → receiver, carries object bytes
+	TypeAck      uint8 = 2  // receiver → sender, carries status bitmap fragments
+	TypeHello    uint8 = 3  // control channel, announces a transfer
+	TypeComplete uint8 = 4  // control channel, "all data received"
+	TypeHelloAck uint8 = 5  // control channel, receiver accepts the transfer
+	TypeAbort    uint8 = 6  // control channel, either side terminates the transfer
+	TypeHelloX   uint8 = 7  // control channel, versioned extended announcement (striping)
+	TypeResume   uint8 = 8  // control channel, versioned request to resume an interrupted transfer
+	TypeHave     uint8 = 9  // control channel, receiver's got-bitmap summary answering a RESUME
+	TypeTrace    uint8 = 10 // control channel, versioned trace-id prelude ahead of an announcement
 )
 
 // Header sizes in bytes.
@@ -58,6 +59,8 @@ const (
 	// magic,type,flags,xfer,received,words = 16; 8 bytes per bitmap word
 	// follow.
 	HaveFixedLen = 2 + 1 + 1 + 4 + 4 + 4
+	// TraceLen is a TRACE frame: magic,type,version,id(16) = 20.
+	TraceLen = 2 + 1 + 1 + 16
 )
 
 // Flag bits in the data header.
@@ -86,6 +89,10 @@ var (
 	// for the same reason: the runtime answers with an ABORT (unsupported)
 	// and the sender degrades to a fresh classic-HELLO transfer.
 	ErrResumeVersion = errors.New("wire: unsupported RESUME version")
+	// ErrTraceVersion rejects a TRACE prelude from a future protocol
+	// revision, same degradation rule again: the runtime answers with an
+	// ABORT (unsupported) and the sender retries the handshake untraced.
+	ErrTraceVersion = errors.New("wire: unsupported TRACE version")
 )
 
 // Data is one object packet. Seq numbers the packet within the object;
@@ -606,6 +613,58 @@ func DecodeHave(b []byte) (Have, error) {
 	return h, nil
 }
 
+// TraceVersion is the TRACE revision this build speaks. Decoders reject
+// anything newer with ErrTraceVersion; the runtimes turn that into an
+// ABORT (unsupported) and the sender retries the handshake without the
+// prelude — tracing is observability, never worth failing a transfer
+// over.
+const TraceVersion uint8 = 1
+
+// Trace is the trace-id prelude: an optional control frame a sender
+// writes immediately before its announcement (HELLO/HELLOX/RESUME) so
+// both endpoints' span logs carry the same 16-byte correlation id. It
+// deliberately precedes — rather than extends — the announcement frames,
+// leaving their layouts untouched for old peers; a receiver that never
+// learned TypeTrace rejects the unknown frame and the sender degrades to
+// an untraced handshake.
+type Trace struct {
+	Version uint8
+	ID      [16]byte
+}
+
+// AppendTrace serializes t onto buf.
+func AppendTrace(buf []byte, t *Trace) []byte {
+	v := t.Version
+	if v == 0 {
+		v = TraceVersion
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeTrace, v)
+	return append(buf, t.ID[:]...)
+}
+
+// DecodeTrace parses a TRACE control message. Unknown future versions
+// are refused with ErrTraceVersion before any layout assumptions are
+// made; the caller maps that onto AbortUnsupported.
+func DecodeTrace(b []byte) (Trace, error) {
+	var t Trace
+	if len(b) < TraceLen {
+		return t, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return t, ErrBadMagic
+	}
+	if b[2] != TypeTrace {
+		return t, ErrBadType
+	}
+	t.Version = b[3]
+	if t.Version != TraceVersion {
+		return t, fmt.Errorf("%w: got %d, speak %d", ErrTraceVersion, t.Version, TraceVersion)
+	}
+	copy(t.ID[:], b[4:])
+	return t, nil
+}
+
 // AbortReason explains why a transfer was terminated.
 type AbortReason uint8
 
@@ -728,6 +787,8 @@ func ControlLen(typ uint8) (int, error) {
 		return ResumeLen, nil
 	case TypeHave:
 		return HaveFixedLen, nil
+	case TypeTrace:
+		return TraceLen, nil
 	default:
 		return 0, ErrBadType
 	}
@@ -772,7 +833,7 @@ func PeekType(b []byte) (uint8, error) {
 		return 0, ErrBadMagic
 	}
 	t := b[2]
-	if t < TypeData || t > TypeHave {
+	if t < TypeData || t > TypeTrace {
 		return 0, ErrBadType
 	}
 	return t, nil
