@@ -168,7 +168,7 @@ func main() {
 	for _, b := range rep.Benchmarks {
 		var variant string
 		var base string
-		for _, v := range []string{"recorded", "traced"} {
+		for _, v := range []string{"recorded", "traced", "verify"} {
 			if cut, ok := strings.CutSuffix(b.Name, "/"+v); ok {
 				variant, base = v, cut
 				break

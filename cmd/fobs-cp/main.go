@@ -73,6 +73,10 @@ func run() error {
 		streams = flag.Int("streams", 1,
 			fmt.Sprintf("parallel stripes per file, each its own UDP flow (1..%d; with -send)", fobs.MaxStreams))
 		timeout = flag.Duration("timeout", time.Hour, "give up after this long")
+		verify  = flag.Bool("verify", false,
+			"require end-to-end content verification per file; fail rather than degrade past it (with -send)")
+		noDedup = flag.Bool("no-dedup", false,
+			"skip the digest-first handshake; always move every file's bytes (with -send)")
 
 		resumeWindow = flag.Duration("resume-window", 0,
 			"retain interrupted transfers this long so a reconnecting sender can RESUME them (0: default 60s, negative: disabled; with -recv)")
@@ -100,6 +104,8 @@ func run() error {
 		Streams:      *streams,
 		ResumeWindow: *resumeWindow,
 		Checkpoint:   *checkpointDir,
+		Verify:       *verify,
+		NoDedup:      *noDedup,
 	}
 	// The registry is always on: an aborted copy reports how far each
 	// in-flight file got from its per-transfer counters.

@@ -79,6 +79,10 @@ func run() error {
 			"delay before the first retry, doubling each attempt (0: default 500ms; needs -retries)")
 		resume = flag.Bool("resume", true,
 			"open retries with a RESUME handshake so only missing packets are resent (needs -retries)")
+		verify = flag.Bool("verify", false,
+			"require end-to-end content verification; fail rather than degrade past the digest handshake")
+		noDedup = flag.Bool("no-dedup", false,
+			"skip the digest-first handshake; always move the bytes even if the receiver holds them")
 
 		stallTimeout = flag.Duration("stall-timeout", 0,
 			"abort when no acknowledgement arrives for this long (0: default 15s, negative: disabled)")
@@ -139,6 +143,8 @@ func run() error {
 		HandshakeRetries: *handshakeRetries,
 		IOBatch:          *ioBatch,
 		NoFastPath:       *noFastPath,
+		Verify:           *verify,
+		NoDedup:          *noDedup,
 	}
 	if *retries > 0 {
 		opts.Retry = &fobs.RetryPolicy{
@@ -203,10 +209,14 @@ func run() error {
 	// The stats line prints even on an aborted run: a partial transfer's
 	// accounting (and its flight recording) is exactly what post-mortems
 	// need.
-	fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed in %v\n",
-		st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed,
-		elapsed.Round(time.Millisecond))
-	if st.Restored > 0 {
+	if st.Deduped {
+		fmt.Printf("fobs-send: deduplicated: receiver already held the content; no data packets moved\n")
+	} else {
+		fmt.Printf("fobs-send: %d packets for %d needed (waste %.1f%%), %d acks processed in %v\n",
+			st.PacketsSent, st.PacketsNeeded, 100*st.Waste(), st.AcksProcessed,
+			elapsed.Round(time.Millisecond))
+	}
+	if st.Restored > 0 && !st.Deduped {
 		fmt.Printf("fobs-send: resumed: %d of %d packets excused by the receiver's HAVE bitmap\n",
 			st.Restored, st.PacketsNeeded)
 	}

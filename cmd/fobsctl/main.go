@@ -41,7 +41,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fobsctl [-api URL] [-json] <command> [flags]
 
 commands:
-  submit   submit a transfer task (-addr, -path, -tenant, -packet-size, -streams, -cc, -wait)
+  submit   submit a transfer task (-addr, -path, -tenant, -packet-size,
+           -streams, -cc, -verify, -no-dedup, -wait)
   list     list every task the daemon knows
   get      show one task by id
   events   show one task's durable timeline
@@ -146,7 +147,11 @@ func (c *client) submit(args []string) (int, error) {
 		pktSize = fs.Int("packet-size", 0, "payload bytes per datagram (0: runtime default)")
 		streams = fs.Int("streams", 0, "stripe across this many UDP flows (0/1: unstriped)")
 		cc      = fs.String("cc", "", "congestion control policy for this task")
-		wait    = fs.Bool("wait", false, "poll until the task reaches a terminal state")
+		verify  = fs.Bool("verify", false,
+			"require end-to-end content verification; fail rather than degrade past it")
+		noDedup = fs.Bool("no-dedup", false,
+			"skip the digest-first handshake; always move the bytes")
+		wait = fs.Bool("wait", false, "poll until the task reaches a terminal state")
 	)
 	fs.Parse(args)
 	if *addr == "" || *path == "" {
@@ -159,6 +164,8 @@ func (c *client) submit(args []string) (int, error) {
 		PacketSize: *pktSize,
 		Streams:    *streams,
 		Congestion: *cc,
+		Verify:     *verify,
+		NoDedup:    *noDedup,
 	}
 	var task fobs.Task
 	if err := c.do(http.MethodPost, "/tasks", spec, &task); err != nil {
@@ -274,14 +281,18 @@ func argID(args []string) (uint64, error) {
 }
 
 func printTasks(list ...fobs.Task) {
-	fmt.Printf("%-4s %-10s %-10s %-8s %-3s %-22s %s\n",
-		"ID", "STATE", "TENANT", "TRANSFER", "ATT", "ADDR", "PATH")
+	fmt.Printf("%-4s %-10s %-10s %-8s %-3s %-5s %-22s %s\n",
+		"ID", "STATE", "TENANT", "TRANSFER", "ATT", "DEDUP", "ADDR", "PATH")
 	for _, t := range list {
 		tenant := t.Spec.Tenant
 		if tenant == "" {
 			tenant = "default"
 		}
-		fmt.Printf("%-4d %-10s %-10s %-8d %-3d %-22s %s\n",
-			t.ID, t.State, tenant, t.Transfer, t.Attempts, t.Spec.Addr, t.Spec.Path)
+		dedup := "-"
+		if t.Stats != nil && t.Stats.Deduped {
+			dedup = "hit"
+		}
+		fmt.Printf("%-4d %-10s %-10s %-8d %-3d %-5s %-22s %s\n",
+			t.ID, t.State, tenant, t.Transfer, t.Attempts, dedup, t.Spec.Addr, t.Spec.Path)
 	}
 }

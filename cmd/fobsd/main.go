@@ -112,6 +112,8 @@ func run() error {
 			"delay before a task's first retry, doubling each attempt")
 		stallTimeout = flag.Duration("stall-timeout", 0,
 			"abort an attempt when no acknowledgement arrives for this long (0: default 15s)")
+		retention = flag.Duration("task-retention", 0,
+			"delete terminal tasks older than this from the store and API (0: keep forever)")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		spanLog   = flag.String("span-log", "", "append mover phase events to this JSONL span log")
@@ -142,6 +144,7 @@ func run() error {
 		Workers:    *workers,
 		TenantRate: rates,
 		Retry:      &fobs.RetryPolicy{MaxRetries: *retries, Backoff: *retryBackoff},
+		Retention:  *retention,
 		Send: fobs.Options{
 			Pace:         *pace,
 			Congestion:   *cc,

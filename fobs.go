@@ -240,8 +240,14 @@ var (
 	// the same session failed; the session must be closed and reopened.
 	ErrSessionBroken = udprt.ErrSessionBroken
 	// ErrDigestMismatch reports that sender and receiver disagree on the
-	// whole-object CRC — terminal for that transfer; a retry cannot fix it.
+	// object's content identity — the whole-object CRC or the SHA-256
+	// content digest — terminal for that transfer; a retry cannot fix it.
 	ErrDigestMismatch = udprt.ErrDigestMismatch
+	// ErrVerifyUnsupported reports Options.Verify against a peer that
+	// cannot answer the CHECK prelude: verification was required but the
+	// receiver cannot provide it, so the transfer fails instead of
+	// silently degrading. Terminal.
+	ErrVerifyUnsupported = udprt.ErrVerifyUnsupported
 )
 
 // IsRetryable classifies a Send error the way the retry supervisor does:

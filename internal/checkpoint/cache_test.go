@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cacheState builds a completed-object cache entry with a genuine digest.
+func cacheState(fill byte) *State {
+	obj := make([]byte, 2048)
+	for i := range obj {
+		obj[i] = fill + byte(i*13)
+	}
+	return &State{
+		Transfer:   9,
+		ObjectSize: uint64(len(obj)),
+		PacketSize: 512,
+		Received:   4,
+		Words:      []uint64{0b1111},
+		Object:     obj,
+		Content:    sha256.Sum256(obj),
+		HasContent: true,
+	}
+}
+
+func TestContentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := cacheState(1)
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(File(dir, st.Transfer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasContent || got.Content != st.Content {
+		t.Fatalf("content digest changed: %x vs %x", got.Content, st.Content)
+	}
+	if !bytes.Equal(got.Object, st.Object) {
+		t.Fatal("object bytes changed")
+	}
+	// The content trailer must not leak into the object slice.
+	if uint64(len(got.Object)) != st.ObjectSize {
+		t.Fatalf("object is %d bytes, want %d", len(got.Object), st.ObjectSize)
+	}
+}
+
+// TestContentTrailerIsLengthChecked: a build that never learned flags bit 1
+// validates the body length without the 32-byte trailer, so it rejects the
+// new format as ErrCorrupt (clean skip) instead of misreading the digest as
+// object bytes. Simulate the converse here: strip the flag but keep the
+// trailer, which reproduces exactly what the old validator would see.
+func TestContentTrailerIsLengthChecked(t *testing.T) {
+	dir := t.TempDir()
+	st := cacheState(2)
+	if err := Save(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	path := File(dir, st.Transfer)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[9] &^= 2 // clear has-content; the 32 trailer bytes are now unexplained
+	if err := os.WriteFile(path, restamp(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unexplained trailer: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveCacheLoadCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	a, b := cacheState(3), cacheState(4)
+	for _, st := range []*State{a, b} {
+		if err := SaveCache(dir, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Junk neighbors: a resume checkpoint (different prefix), a foreign
+	// file, a corrupt cache entry, a mis-keyed cache entry.
+	if err := Save(dir, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "fobs-cache-0000000000000009"), []byte("FOBSCKPTgarbage"), 0o644)
+	var other [32]byte
+	other[0] = 0xEE
+	os.WriteFile(CacheFile(dir, other), mustEncodeFramed(t, a), 0o644)
+
+	got, err := LoadCacheDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("LoadCacheDir found %d entries, want 2", len(got))
+	}
+	found := map[[32]byte]bool{}
+	for _, st := range got {
+		found[st.Content] = true
+		if !bytes.Equal(st.Object, cacheState(0).Object) && len(st.Object) != 2048 {
+			t.Fatal("cache entry object mangled")
+		}
+	}
+	if !found[a.Content] || !found[b.Content] {
+		t.Fatal("a saved entry is missing from the load")
+	}
+	// The resume scan must not see cache entries, nor the cache scan
+	// resume checkpoints.
+	resumes, err := LoadDir(dir)
+	if err != nil || len(resumes) != 1 || resumes[42] == nil {
+		t.Fatalf("LoadDir sees %d states (err=%v), want just transfer 42", len(resumes), err)
+	}
+
+	RemoveCache(dir, a.Content)
+	got, err = LoadCacheDir(dir)
+	if err != nil || len(got) != 1 || got[0].Content != b.Content {
+		t.Fatalf("after RemoveCache: %d entries, err=%v", len(got), err)
+	}
+}
+
+func TestSaveCacheRequiresContent(t *testing.T) {
+	st := cacheState(5)
+	st.HasContent = false
+	if err := SaveCache(t.TempDir(), st); err == nil {
+		t.Fatal("cache entry without content digest accepted")
+	}
+}
+
+func TestLoadCacheDirMissingDirIsEmpty(t *testing.T) {
+	got, err := LoadCacheDir(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || got != nil {
+		t.Fatalf("missing dir: got %v, err=%v", got, err)
+	}
+}
+
+// mustEncodeFramed produces the raw file bytes for st, for planting under
+// a wrong filename.
+func mustEncodeFramed(t *testing.T, st *State) []byte {
+	t.Helper()
+	tmp := t.TempDir()
+	if err := SaveCache(tmp, st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(CacheFile(tmp, st.Content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -51,6 +51,14 @@ type State struct {
 	Words    []uint64
 	// Object is the partially filled object buffer, ObjectSize bytes.
 	Object []byte
+	// Content is the whole-object SHA-256 content identity, when known
+	// (HasContent). A content-cache entry always carries one — it is the
+	// lookup key — and a retained partial transfer carries one when its
+	// announcement included a CHECK. Serialized after the object under
+	// flags bit 1, so pre-content builds reject (and skip) the longer
+	// format instead of misparsing it.
+	Content    [32]byte
+	HasContent bool
 }
 
 // File returns the checkpoint path for a transfer id under dir.
@@ -67,13 +75,25 @@ const headerLen = 1 + 1 + 4 + 8 + 4 + 4 + 4 + 4
 // crash mid-write leaves either the old checkpoint or none — never a torn
 // one that Load would have to reject.
 func Save(dir string, st *State) error {
-	if uint64(len(st.Object)) != st.ObjectSize {
-		return fmt.Errorf("checkpoint: object is %d bytes, header says %d", len(st.Object), st.ObjectSize)
+	body, err := encode(st)
+	if err != nil {
+		return err
 	}
-	body := make([]byte, 0, headerLen+8*len(st.Words)+len(st.Object))
+	return WriteFramed(File(dir, st.Transfer), fileMagic, body)
+}
+
+// encode serializes st into a framed-file body.
+func encode(st *State) ([]byte, error) {
+	if uint64(len(st.Object)) != st.ObjectSize {
+		return nil, fmt.Errorf("checkpoint: object is %d bytes, header says %d", len(st.Object), st.ObjectSize)
+	}
+	body := make([]byte, 0, headerLen+8*len(st.Words)+len(st.Object)+32)
 	var flags uint8
 	if st.HasDigest {
 		flags |= 1
+	}
+	if st.HasContent {
+		flags |= 2
 	}
 	body = append(body, Version, flags)
 	body = binary.BigEndian.AppendUint32(body, st.Transfer)
@@ -86,7 +106,10 @@ func Save(dir string, st *State) error {
 		body = binary.BigEndian.AppendUint64(body, w)
 	}
 	body = append(body, st.Object...)
-	return WriteFramed(File(dir, st.Transfer), fileMagic, body)
+	if st.HasContent {
+		body = append(body, st.Content[:]...)
+	}
+	return body, nil
 }
 
 // Load reads and validates one checkpoint file.
@@ -103,6 +126,7 @@ func Load(path string) (*State, error) {
 	}
 	st := &State{
 		HasDigest:  body[1]&1 != 0,
+		HasContent: body[1]&2 != 0,
 		Transfer:   binary.BigEndian.Uint32(body[2:]),
 		ObjectSize: binary.BigEndian.Uint64(body[6:]),
 		PacketSize: binary.BigEndian.Uint32(body[14:]),
@@ -111,15 +135,22 @@ func Load(path string) (*State, error) {
 	}
 	nw := int(binary.BigEndian.Uint32(body[26:]))
 	rest := body[headerLen:]
+	want := uint64(8*nw) + st.ObjectSize
+	if st.HasContent {
+		want += 32
+	}
 	if st.PacketSize == 0 || st.ObjectSize == 0 ||
-		nw < 0 || uint64(len(rest)) != uint64(8*nw)+st.ObjectSize {
+		nw < 0 || uint64(len(rest)) != want {
 		return nil, ErrCorrupt
 	}
 	st.Words = make([]uint64, nw)
 	for i := range st.Words {
 		st.Words[i] = binary.BigEndian.Uint64(rest[8*i:])
 	}
-	st.Object = rest[8*nw:]
+	st.Object = rest[8*nw : uint64(8*nw)+st.ObjectSize]
+	if st.HasContent {
+		copy(st.Content[:], rest[uint64(8*nw)+st.ObjectSize:])
+	}
 	return st, nil
 }
 
@@ -158,4 +189,64 @@ func LoadDir(dir string) (map[uint32]*State, error) {
 // Remove deletes the checkpoint for a transfer id, if present.
 func Remove(dir string, transfer uint32) {
 	os.Remove(File(dir, transfer))
+}
+
+// CacheFile returns the content-cache path for a digest under dir. The
+// name keys on the digest (its first 8 bytes — plenty against accidental
+// collision in a bounded cache; the loader verifies the full digest), not
+// a transfer id, and the distinct prefix keeps LoadDir's resume scan from
+// ever picking a cache entry up, and vice versa, in a shared directory.
+func CacheFile(dir string, content [32]byte) string {
+	return filepath.Join(dir, fmt.Sprintf("fobs-cache-%016x", binary.BigEndian.Uint64(content[:8])))
+}
+
+// SaveCache atomically writes a completed object as a content-cache entry:
+// the same framed State container as a resume checkpoint (one persistence
+// path, per the roadmap), keyed by content digest instead of transfer id.
+// st.HasContent must be set.
+func SaveCache(dir string, st *State) error {
+	if !st.HasContent {
+		return errors.New("checkpoint: cache entry without a content digest")
+	}
+	body, err := encode(st)
+	if err != nil {
+		return err
+	}
+	return WriteFramed(CacheFile(dir, st.Content), fileMagic, body)
+}
+
+// LoadCacheDir loads every valid content-cache entry under dir. Corrupt or
+// foreign files are skipped for the same reason LoadDir skips them; an
+// entry whose filename does not match its own content digest is treated as
+// foreign. Callers still verify the full digest against the object bytes
+// before trusting an entry.
+func LoadCacheDir(dir string) ([]*State, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []*State
+	for _, e := range ents {
+		var key uint64
+		if e.IsDir() {
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "fobs-cache-%016x", &key); err != nil {
+			continue
+		}
+		st, err := Load(filepath.Join(dir, e.Name()))
+		if err != nil || !st.HasContent || binary.BigEndian.Uint64(st.Content[:8]) != key {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// RemoveCache deletes the content-cache entry for a digest, if present.
+func RemoveCache(dir string, content [32]byte) {
+	os.Remove(CacheFile(dir, content))
 }

@@ -1,0 +1,11 @@
+package core
+
+import "crypto/sha256"
+
+// ContentID returns the object's content identity: its SHA-256 digest.
+// Unlike the per-packet CRC-32C (Config.Checksum) and the completion-report
+// CRC (wire.ObjectDigest), a content identity names the bytes strongly
+// enough to deduplicate by — two objects with equal ContentIDs are the same
+// object for transfer-avoidance purposes. It is computed once per object
+// at load time, never on the per-packet path.
+func ContentID(data []byte) [32]byte { return sha256.Sum256(data) }

@@ -29,6 +29,11 @@ type ReceiverStats struct {
 	// IdleTimeouts counts firings of the driver's idle watchdog: the
 	// object was incomplete and no data arrived for the configured window.
 	IdleTimeouts int
+	// Deduped reports that this transfer was answered from the receiver's
+	// content cache: the sender's digest query matched a held object, no
+	// data flow was dialed, and Restored covers the whole object. Set by
+	// the driver, never by the state machine.
+	Deduped bool
 }
 
 // Receiver is the FOBS data-receiving state machine: it places each packet

@@ -37,6 +37,11 @@ type SenderStats struct {
 	// controllers key loss off it) works with instrumentation disabled.
 	// Conservation: PacketsSent = first sends + Retransmits.
 	Retransmits int
+	// Deduped reports that the receiver answered the content-digest query
+	// with a full HAVE: it already held the object, the data phase was
+	// skipped entirely, and PacketsSent is zero while Restored covers the
+	// whole object. Set by the driver, never by the state machine.
+	Deduped bool
 }
 
 // Waste is the paper's wasted-network-resources metric: packets sent beyond
@@ -88,6 +93,12 @@ type Sender struct {
 	sentSince int // packets sent since the previous processed ack
 	complete  bool
 
+	// content memoizes ContentID(obj) — computed on first demand, not at
+	// construction, so the simulation harnesses that build thousands of
+	// senders never pay for hashing they don't use.
+	content    [32]byte
+	hasContent bool
+
 	stats SenderStats
 }
 
@@ -127,6 +138,17 @@ func (s *Sender) ObjectSize() int64 { return int64(len(s.obj)) }
 // ObjectDigest returns the whole-object CRC-32C, for verification against
 // the receiver's completion report.
 func (s *Sender) ObjectDigest() uint32 { return wire.ObjectDigest(s.obj) }
+
+// ContentID returns the object's SHA-256 content identity, memoized on
+// first call. Drivers hash here — once per object, off the per-packet
+// path — rather than calling core.ContentID on every handshake attempt.
+func (s *Sender) ContentID() [32]byte {
+	if !s.hasContent {
+		s.content = ContentID(s.obj)
+		s.hasContent = true
+	}
+	return s.content
+}
 
 // Config returns the sender's effective (defaulted) configuration.
 func (s *Sender) Config() Config { return s.cfg }

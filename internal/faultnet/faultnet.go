@@ -34,6 +34,18 @@ type Policy struct {
 	Delay float64
 	// DelayBy is the added latency for delayed datagrams (default 2ms).
 	DelayBy time.Duration
+	// Corrupt is the probability a forwarded datagram has one bit flipped
+	// — corruption the network stack's checksums failed to catch, the
+	// fault that end-to-end content digests exist for. Corruption draws
+	// from its own seeded stream (derived from Seed), so turning the knob
+	// does not reshuffle the drop/dup/reorder/delay fates.
+	Corrupt float64
+	// CorruptOffset is the first byte index eligible for a bit flip.
+	// Tests aiming at payload corruption set it past the data header, so
+	// the flip lands in object bytes (a flipped header field is just a
+	// rejected packet, a different — already covered — failure mode).
+	// Datagrams no longer than the offset pass untouched.
+	CorruptOffset int
 }
 
 // Stats counts what the injector did. Retrieve a snapshot with
@@ -44,6 +56,7 @@ type Stats struct {
 	Duplicated int64
 	Reordered  int64
 	Delayed    int64
+	Corrupted  int64
 }
 
 // Faults applies a Policy to a stream of datagrams. Safe for concurrent
@@ -53,6 +66,7 @@ type Faults struct {
 
 	mu    sync.Mutex
 	rng   *rand.Rand
+	crng  *rand.Rand // corruption's own stream; see Policy.Corrupt
 	stats Stats
 	// held is the packet withheld for reordering, waiting for a successor
 	// (or the safety timer) to release it.
@@ -66,7 +80,11 @@ func New(p Policy) *Faults {
 	if p.DelayBy == 0 {
 		p.DelayBy = 2 * time.Millisecond
 	}
-	return &Faults{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+	return &Faults{
+		policy: p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		crng:   rand.New(rand.NewSource(p.Seed ^ 0x636f7272757074)), // "corrupt"
+	}
 }
 
 // Stats returns a snapshot of the fault counters.
@@ -129,6 +147,7 @@ func (f *Faults) Apply(pkt []byte, send func([]byte)) {
 	if d.delay {
 		f.stats.Delayed++
 	}
+	pkt = f.maybeCorruptLocked(pkt)
 	released, releasedSend := f.takeHeldLocked()
 	f.mu.Unlock()
 
@@ -149,6 +168,24 @@ func (f *Faults) Apply(pkt []byte, send func([]byte)) {
 	if released != nil {
 		releasedSend(released)
 	}
+}
+
+// maybeCorruptLocked flips one bit of a copy of pkt when the corruption
+// stream says so, at a position past Policy.CorruptOffset. It returns the
+// (possibly replaced) packet; the caller's buffer is never mutated.
+// Caller holds f.mu.
+func (f *Faults) maybeCorruptLocked(pkt []byte) []byte {
+	if f.policy.Corrupt <= 0 || f.crng.Float64() >= f.policy.Corrupt {
+		return pkt
+	}
+	if len(pkt) <= f.policy.CorruptOffset {
+		return pkt
+	}
+	cp := append([]byte(nil), pkt...)
+	idx := f.policy.CorruptOffset + f.crng.Intn(len(cp)-f.policy.CorruptOffset)
+	cp[idx] ^= 1 << uint(f.crng.Intn(8))
+	f.stats.Corrupted++
+	return cp
 }
 
 // Flush releases any packet still withheld for reordering. Call when the

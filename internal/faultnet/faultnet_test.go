@@ -315,3 +315,75 @@ func TestProxySeverControlKillsConnections(t *testing.T) {
 		t.Fatal("severed connection still readable")
 	}
 }
+
+func TestCorruptFlipsOneBitPastOffset(t *testing.T) {
+	const off = 4
+	f := New(Policy{Seed: 9, Corrupt: 1, CorruptOffset: off})
+	var c collector
+	orig := []byte("hdrXpayload-bytes")
+	f.Apply(append([]byte(nil), orig...), c.send)
+	got := c.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	if st := f.Stats(); st.Corrupted != 1 {
+		t.Fatalf("stats = %+v, want Corrupted 1", st)
+	}
+	if bytes.Equal(got[0], orig) {
+		t.Fatal("packet passed untouched at Corrupt=1")
+	}
+	if !bytes.Equal(got[0][:off], orig[:off]) {
+		t.Fatalf("corruption touched the protected header: %q vs %q", got[0][:off], orig[:off])
+	}
+	diff := 0
+	for i := off; i < len(orig); i++ {
+		for bit := 0; bit < 8; bit++ {
+			if (got[0][i]^orig[i])>>uint(bit)&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diff)
+	}
+}
+
+func TestCorruptNeverMutatesCallerBuffer(t *testing.T) {
+	f := New(Policy{Seed: 9, Corrupt: 1})
+	var c collector
+	orig := []byte("caller-owned-buffer")
+	pkt := append([]byte(nil), orig...)
+	f.Apply(pkt, c.send)
+	if !bytes.Equal(pkt, orig) {
+		t.Fatal("Apply mutated the caller's buffer")
+	}
+}
+
+func TestCorruptTooShortPassesUntouched(t *testing.T) {
+	f := New(Policy{Seed: 9, Corrupt: 1, CorruptOffset: 64})
+	var c collector
+	f.Apply([]byte("short"), c.send)
+	got := c.snapshot()
+	if len(got) != 1 || string(got[0]) != "short" {
+		t.Fatalf("short packet disturbed: %q", got)
+	}
+	if st := f.Stats(); st.Corrupted != 0 {
+		t.Fatalf("stats = %+v, want Corrupted 0", st)
+	}
+}
+
+func TestCorruptKnobLeavesFateStreamAlone(t *testing.T) {
+	// Corruption draws from its own stream, so turning it on must not
+	// reshuffle which packets the fate stream drops.
+	droppedCount := func(p Policy) int64 {
+		f := New(p)
+		var c collector
+		feed(f, &c, 300)
+		return f.Stats().Dropped
+	}
+	a := droppedCount(Policy{Seed: 3, Drop: 0.2})
+	b := droppedCount(Policy{Seed: 3, Drop: 0.2, Corrupt: 0.7, CorruptOffset: 2})
+	if a != b {
+		t.Fatalf("corrupt knob changed the drop count: %d vs %d", a, b)
+	}
+}

@@ -66,6 +66,10 @@ const (
 	KindUnknown Kind = iota
 	// KindDial marks the start of the sender's control-channel dial.
 	KindDial
+	// KindCheck marks an answered content-digest query (CHECK/HAVE); Arg
+	// is 1 on a dedup hit (the peer already holds the object), 0 on a
+	// miss.
+	KindCheck
 	// KindHandshake marks a completed announcement exchange:
 	// HELLO/HELLO-ACK, HELLOX/HELLO-ACK, or RESUME/HAVE. Arg is the
 	// stripe count.
@@ -73,6 +77,10 @@ const (
 	// KindResume marks an accepted RESUME: Arg is the number of packets
 	// the HAVE bitmap restored.
 	KindResume
+	// KindSkip marks a deduplicated data phase: the transfer completed
+	// without a data flow because the receiver already held the object.
+	// Arg is the number of packets that never moved.
+	KindSkip
 	// KindRounds marks entry into the blast-round phase: the first data
 	// batch on the wire (sender) or the first data packet demuxed
 	// (receiver).
@@ -114,8 +122,10 @@ const (
 var kindNames = [kindCount]string{
 	KindUnknown:        "unknown",
 	KindDial:           "dial",
+	KindCheck:          "check",
 	KindHandshake:      "handshake",
 	KindResume:         "resume",
+	KindSkip:           "skip",
 	KindRounds:         "rounds",
 	KindDrain:          "drain",
 	KindVerify:         "verify",

@@ -44,6 +44,12 @@ type Config struct {
 	// Retry overrides the movers' supervision policy (default: 4 retries,
 	// 250 ms initial backoff).
 	Retry *udprt.RetryPolicy
+	// Retention bounds how long terminal tasks (done, failed, cancelled)
+	// stay in the store and the API. Zero keeps them forever. With a
+	// window set, a periodic sweep deletes terminal tasks whose last
+	// transition is older than the window — including across restarts, so
+	// a long-lived state directory does not accrete every task ever run.
+	Retention time.Duration
 	// Send is the base socket configuration every mover starts from; the
 	// daemon fills Retry, ResumeFirst, RateCap, Streams, Congestion and
 	// Metrics per task on top of it.
@@ -177,6 +183,13 @@ func New(cfg Config) (*Daemon, error) {
 // failed just because the daemon is shutting down.
 func (d *Daemon) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
+	if d.cfg.Retention > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.sweeper(ctx)
+		}()
+	}
 	for i := 0; i < d.cfg.Workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -245,6 +258,52 @@ func (d *Daemon) worker(ctx context.Context) {
 	}
 }
 
+// sweeper enforces Config.Retention: it fires once immediately — a
+// restarted daemon prunes the terminal backlog the previous process
+// accrued — and then periodically until ctx ends.
+func (d *Daemon) sweeper(ctx context.Context) {
+	interval := d.cfg.Retention / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		d.sweepRetention()
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// sweepRetention deletes terminal tasks whose last transition is older
+// than the retention window: the task file first, then the in-memory
+// record — so a crash mid-sweep leaves at worst an already-terminal file
+// the next sweep deletes again, never a resurrected task.
+func (d *Daemon) sweepRetention() {
+	cutoff := time.Now().Add(-d.cfg.Retention)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return
+	}
+	for id, t := range d.tasks {
+		if !t.State.Terminal() || !t.Updated.Before(cutoff) {
+			continue
+		}
+		d.store.remove(id)
+		delete(d.tasks, id)
+		d.log.Info("task swept", "task", id, "transfer", t.Transfer,
+			"trace", t.Trace, "state", string(t.State))
+	}
+	d.updateGauges()
+}
+
 // capFor returns the tenant's shared rate cap, nil when uncapped.
 func (d *Daemon) capFor(tenant string) *udprt.RateCap { return d.caps[tenant] }
 
@@ -271,6 +330,11 @@ func (d *Daemon) moverOptions(t *Task) udprt.Options {
 	// a fresh transfer when it holds nothing. First attempts skip the
 	// extra round trip.
 	opts.ResumeFirst = t.Attempts > 1
+	// Movers are digest-first by default: the CHECK prelude lets a
+	// receiver that already holds the content complete the task without a
+	// data flow. The spec can harden (Verify) or disable (NoDedup) it.
+	opts.Verify = t.Spec.Verify
+	opts.NoDedup = t.Spec.NoDedup
 	opts.RateCap = d.capFor(t.Spec.tenant())
 	if t.Spec.Streams > 1 {
 		opts.Streams = t.Spec.Streams
@@ -474,7 +538,7 @@ func (d *Daemon) updateGauges() {
 	if d.reg == nil {
 		return
 	}
-	var done, failed, cancelled int
+	var done, failed, cancelled, deduped int
 	for _, t := range d.tasks {
 		switch t.State {
 		case StateDone:
@@ -484,12 +548,16 @@ func (d *Daemon) updateGauges() {
 		case StateCancelled:
 			cancelled++
 		}
+		if t.Stats != nil && t.Stats.Deduped {
+			deduped++
+		}
 	}
 	d.reg.SetGauge("tasks_queued", float64(d.queue.len()))
 	d.reg.SetGauge("tasks_running", float64(len(d.active)))
 	d.reg.SetGauge("tasks_done", float64(done))
 	d.reg.SetGauge("tasks_failed", float64(failed))
 	d.reg.SetGauge("tasks_cancelled", float64(cancelled))
+	d.reg.SetGauge("tasks_dedup_hits", float64(deduped))
 
 	// Per-tenant queue health: depth and the age of the oldest queued
 	// task, the two numbers that tell a stuck tenant from a busy one.

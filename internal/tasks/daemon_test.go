@@ -847,3 +847,168 @@ func TestDaemonFailsUnreachableTask(t *testing.T) {
 		t.Fatal("missing-file task carries no error")
 	}
 }
+
+// TestDaemonDedupSecondTask submits the same object twice: the first
+// task moves every packet, the second hits the receiver's content cache
+// off the CHECK prelude and completes without a data flow. The daemon
+// must surface the hit in the task's stats and the tasks_dedup_hits
+// gauge, and the receiver's handler must still see both completions.
+func TestDaemonDedupSecondTask(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	reg := metrics.New()
+	d, err := New(Config{Dir: t.TempDir(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	path, obj := writeObj(t, 128<<10)
+
+	first, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+	second, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+
+	f, _ := d.Get(first.ID)
+	if f.Stats == nil || f.Stats.Deduped || f.Stats.PacketsSent == 0 {
+		t.Fatalf("first task should have moved data: %+v", f.Stats)
+	}
+	s, _ := d.Get(second.ID)
+	if s.Stats == nil || !s.Stats.Deduped {
+		t.Fatalf("second task should have deduped: %+v", s.Stats)
+	}
+	if s.Stats.PacketsSent != 0 {
+		t.Fatalf("deduped task sent %d packets, want 0", s.Stats.PacketsSent)
+	}
+	if s.Stats.Restored != s.Stats.PacketsNeeded || s.Stats.PacketsNeeded == 0 {
+		t.Fatalf("deduped task restored %d of %d packets", s.Stats.Restored, s.Stats.PacketsNeeded)
+	}
+	if v, _ := reg.Gauge("tasks_dedup_hits"); v != 1 {
+		t.Fatalf("tasks_dedup_hits = %v, want 1", v)
+	}
+	for _, task := range []Task{f, s} {
+		got, n := rcv.object(task.Transfer)
+		if n != 1 {
+			t.Fatalf("transfer %d completed %d times, want once", task.Transfer, n)
+		}
+		if !bytes.Equal(got, obj) {
+			t.Fatalf("task %d delivered different bytes", task.ID)
+		}
+	}
+}
+
+// TestDaemonSpecNoDedupMovesData pins the opt-out: a spec with NoDedup
+// repeats the full data flow even when the receiver already holds the
+// content, and a Verify spec still completes against a digest-speaking
+// receiver.
+func TestDaemonSpecNoDedupMovesData(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	reg := metrics.New()
+	d, err := New(Config{Dir: t.TempDir(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	path, _ := writeObj(t, 64<<10)
+
+	if _, err := d.Submit(Spec{Addr: rcv.addr, Path: path, Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+	repeat, err := d.Submit(Spec{Addr: rcv.addr, Path: path, NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+
+	r, _ := d.Get(repeat.ID)
+	if r.Stats == nil || r.Stats.Deduped || r.Stats.PacketsSent == 0 {
+		t.Fatalf("NoDedup task should have moved data: %+v", r.Stats)
+	}
+	if v, _ := reg.Gauge("tasks_dedup_hits"); v != 0 {
+		t.Fatalf("tasks_dedup_hits = %v, want 0", v)
+	}
+}
+
+// TestDaemonRetentionSweepSurvivesRestart drives the retention sweep by
+// hand: a terminal task older than the window is deleted from memory and
+// disk, a queued task is untouchable whatever its age, and a restarted
+// daemon over the same directory never resurrects the swept task.
+func TestDaemonRetentionSweepSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(Config{Dir: dir, Retention: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := writeObj(t, 1024)
+	// Workers never start (no Run), so submissions stay queued.
+	keep, err := d.Submit(Spec{Addr: "127.0.0.1:1", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone, err := d.Submit(Spec{Addr: "127.0.0.1:1", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cancel(gone.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	d.sweepRetention()
+	if _, ok := d.Get(gone.ID); ok {
+		t.Fatal("terminal task survived the sweep")
+	}
+	if _, err := os.Stat(taskFile(dir, gone.ID)); !os.IsNotExist(err) {
+		t.Fatalf("swept task file still on disk: %v", err)
+	}
+	if _, ok := d.Get(keep.ID); !ok {
+		t.Fatal("queued task was swept")
+	}
+	d2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get(gone.ID); ok {
+		t.Fatal("restart resurrected the swept task")
+	}
+	if after, ok := d2.Get(keep.ID); !ok || after.State != StateQueued {
+		t.Fatalf("queued task did not survive restart: %+v", after)
+	}
+}
+
+// TestDaemonRetentionPeriodicSweep checks the running daemon's sweeper
+// goroutine: a task that finishes ages past the window and disappears
+// from the API without any explicit call.
+func TestDaemonRetentionPeriodicSweep(t *testing.T) {
+	rcv := startReceiver(t, udprt.Options{})
+	reg := metrics.New()
+	d, err := New(Config{Dir: t.TempDir(), Retention: 100 * time.Millisecond, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDaemon(t, d)
+	path, _ := writeObj(t, 8<<10)
+	task, err := d.Submit(Spec{Addr: rcv.addr, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTasks(t, d, 30*time.Second, isDone)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := d.Get(task.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never deleted the terminal task")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v, _ := reg.Gauge("tasks_done"); v != 0 {
+		t.Fatalf("tasks_done gauge = %v after sweep, want 0", v)
+	}
+}

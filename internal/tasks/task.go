@@ -75,6 +75,13 @@ type Spec struct {
 	// Congestion selects the congestion-control policy by name (empty:
 	// the runtime default).
 	Congestion string `json:"congestion,omitempty"`
+	// Verify requires end-to-end content verification: the mover refuses
+	// to degrade past the CHECK prelude, so a receiver that cannot answer
+	// digests fails the task instead of silently skipping verification.
+	Verify bool `json:"verify,omitempty"`
+	// NoDedup opts the task out of the digest-first handshake entirely:
+	// no CHECK prelude, no receiver-cache hit, bytes always move.
+	NoDedup bool `json:"no_dedup,omitempty"`
 }
 
 func (s Spec) validate() error {
@@ -109,6 +116,9 @@ type Stats struct {
 	PacketsSent   int `json:"packets_sent"`
 	Retransmits   int `json:"retransmits"`
 	Restored      int `json:"restored"`
+	// Deduped means the receiver answered the CHECK prelude with the
+	// whole object already cached: the task completed without a data flow.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 func statsOf(st core.SenderStats) *Stats {
@@ -117,6 +127,7 @@ func statsOf(st core.SenderStats) *Stats {
 		PacketsSent:   st.PacketsSent,
 		Retransmits:   st.Retransmits,
 		Restored:      st.Restored,
+		Deduped:       st.Deduped,
 	}
 }
 

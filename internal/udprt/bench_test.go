@@ -347,3 +347,97 @@ func BenchmarkLoopbackTransfer(b *testing.B) {
 		b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/s")
 	})
 }
+
+// BenchmarkVerifyOverhead measures the sender's per-batch hot path with
+// content identity off and on — the same pairing scheme (and the same 5%
+// acceptance bar under make bench-json) as the flight recorder's. The
+// design's contract is that digesting happens once, at object load, when
+// the CHECK frame is built — never per packet — so the verify variant
+// pays its whole SHA-256 before the timed loop and the per-packet rates
+// must be indistinguishable. The once-per-transfer hash CPU cost is
+// reported separately as a metric (and in EXPERIMENTS.md), not buried in
+// the packet rate.
+func BenchmarkVerifyOverhead(b *testing.B) {
+	run := func(b *testing.B, verify bool) {
+		conn, _ := udpBenchPair(b)
+		const packetSize = 1024
+		const objSize = 4 << 20
+		snd := core.NewSender(makeObj(objSize), core.Config{PacketSize: packetSize})
+		var hashDur time.Duration
+		if verify {
+			// Hash at object load — where checkFrame computes it. The
+			// memoized digest is what the CHECK prelude carries; nothing
+			// below touches it again.
+			hashStart := time.Now()
+			snd.ContentID()
+			hashDur = time.Since(hashStart)
+		}
+		tx, err := batchio.NewSender(conn, benchBatch, FastPathAvailable())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring := newSendRing(benchBatch, packetSize)
+		b.SetBytes(benchBatch * packetSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k, _ := encodeBatch(snd, ring, benchBatch, nil, nil, 0)
+			if _, err := tx.Send(ring[:k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "pkts/s")
+		if verify {
+			b.ReportMetric(hashDur.Seconds()*1e9*1024/objSize, "hash-ns/KiB")
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("verify", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkDedupSecondPush measures the repeated-push economy the
+// digest-first handshake buys: one listener already holds the object in
+// its content cache, so every timed Send is answered from the cache — a
+// dial plus one control round trip, zero data packets. Compare ns/op
+// against BenchmarkLoopbackTransfer's to see what a cache hit saves;
+// bytes/op counts the object bytes that did NOT move.
+func BenchmarkDedupSecondPush(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-socket benchmark skipped in -short mode")
+	}
+	obj := makeObj(8 << 20)
+	opts := Options{IOBatch: benchBatch}
+	cfg := core.Config{Batch: core.FixedBatch(benchBatch)}
+	l, err := Listen("127.0.0.1:0", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, _, err := l.Accept(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() { cancel(); l.Close(); <-done }()
+	if st, err := Send(ctx, l.Addr(), obj, cfg, opts); err != nil || st.Deduped {
+		b.Fatalf("seed push: err=%v deduped=%v", err, st.Deduped)
+	}
+	b.SetBytes(int64(len(obj)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Send(ctx, l.Addr(), obj, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Deduped || st.PacketsSent != 0 {
+			b.Fatalf("push %d was not a cache hit: %+v", i, st)
+		}
+	}
+}

@@ -45,6 +45,7 @@ type controlFrame struct {
 	resume   wire.Resume
 	have     wire.Have
 	trace    wire.Trace
+	check    wire.Check
 }
 
 // readControlFrame consumes exactly one control message from the stream:
@@ -97,6 +98,16 @@ func readControlFrame(ctl net.Conn) (controlFrame, error) {
 			return f, err
 		}
 		buf = append(buf, trailer...)
+	case wire.TypeCheck:
+		n, err := wire.CheckStripeCount(buf)
+		if err != nil {
+			return f, fmt.Errorf("udprt: bad control frame: %w", err)
+		}
+		trailer := make([]byte, n*wire.ContentDigestLen)
+		if _, err := io.ReadFull(ctl, trailer); err != nil {
+			return f, err
+		}
+		buf = append(buf, trailer...)
 	}
 	f.typ = typ
 	switch typ {
@@ -116,6 +127,8 @@ func readControlFrame(ctl net.Conn) (controlFrame, error) {
 		f.have, err = wire.DecodeHave(buf)
 	case wire.TypeTrace:
 		f.trace, err = wire.DecodeTrace(buf)
+	case wire.TypeCheck:
+		f.check, err = wire.DecodeCheck(buf)
 	}
 	return f, err
 }
@@ -147,6 +160,45 @@ func writeHave(ctl net.Conn, transfer uint32, received int, words []uint64) erro
 		return fmt.Errorf("udprt: have write: %w", err)
 	}
 	return nil
+}
+
+// answerCheckMiss tells the sender its CHECK query missed: a HAVE whose
+// Received count is zero. The wire format forbids an empty word list, so
+// the canonical "hold nothing" answer carries a single zero word.
+func answerCheckMiss(ctl net.Conn, transfer uint32) error {
+	return writeHave(ctl, transfer, 0, []uint64{0})
+}
+
+// awaitCheckAnswer reads the receiver's answer to a CHECK prelude within
+// timeout (clipped to ctx's deadline): a HAVE frame whose Received count
+// is the verdict — the whole packet count on a dedup hit (COMPLETE
+// follows, no handshake), zero on a miss (the announcement's ordinary
+// answer follows). An ABORT surfaces as an AbortError, which
+// dialHandshake's degradation ladder maps onto "drop the CHECK and try
+// again".
+func awaitCheckAnswer(ctx context.Context, ctl net.Conn, transfer uint32, timeout time.Duration) (wire.Have, error) {
+	dl := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	ctl.SetReadDeadline(dl)
+	defer ctl.SetReadDeadline(time.Time{})
+	f, err := readControlFrame(ctl)
+	if err != nil {
+		return wire.Have{}, fmt.Errorf("udprt: check answer: %w", err)
+	}
+	switch f.typ {
+	case wire.TypeHave:
+		if f.have.Transfer != transfer {
+			return wire.Have{}, fmt.Errorf("udprt: check answer for transfer %d, want %d",
+				f.have.Transfer, transfer)
+		}
+		return f.have, nil
+	case wire.TypeAbort:
+		return wire.Have{}, &AbortError{Transfer: f.abort.Transfer, Reason: f.abort.Reason}
+	default:
+		return wire.Have{}, fmt.Errorf("udprt: check answer: unexpected control frame type %d", f.typ)
+	}
 }
 
 // writeHelloAck accepts a handshake on the control channel.

@@ -60,7 +60,8 @@ func (f *fakeReceiver) close() {
 }
 
 // acceptHandshake accepts the sender's control connection, consumes its
-// HELLO and acknowledges it, then goes silent.
+// announcement — answering any CHECK prelude with a miss, like a real
+// cache-empty receiver — and acknowledges the HELLO, then goes silent.
 func (f *fakeReceiver) acceptHandshake() {
 	defer close(f.done)
 	f.tcp.SetDeadline(time.Now().Add(10 * time.Second))
@@ -72,6 +73,15 @@ func (f *fakeReceiver) acceptHandshake() {
 	f.ctl = ctl
 	ctl.SetReadDeadline(time.Now().Add(10 * time.Second))
 	frame, err := readControlFrame(ctl)
+	for err == nil && (frame.typ == wire.TypeTrace || frame.typ == wire.TypeCheck) {
+		if frame.typ == wire.TypeCheck {
+			if err := answerCheckMiss(ctl, frame.check.Transfer); err != nil {
+				f.t.Errorf("fake receiver check answer: %v", err)
+				return
+			}
+		}
+		frame, err = readControlFrame(ctl)
+	}
 	if err != nil || frame.typ != wire.TypeHello {
 		f.t.Errorf("fake receiver hello: type %d, %v", frame.typ, err)
 		return
@@ -529,5 +539,54 @@ func TestServerConcurrentTransfersWithCollisions(t *testing.T) {
 		if !bytes.Equal(delivered[id], objs[i]) {
 			t.Errorf("transfer %d corrupted or missing", id)
 		}
+	}
+}
+
+// TestCorruptedPayloadFailsDigest is the integrity acceptance test: a
+// transfer whose payload bytes are bit-flipped in flight (corruption the
+// per-packet CRC never sees — Checksum is off by default) must fail on
+// both endpoints with ErrDigestMismatch instead of reporting success,
+// because the CHECK prelude's content digest is verified at completion.
+func TestCorruptedPayloadFailsDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection test skipped in -short mode")
+	}
+	l, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	proxy, err := faultnet.NewProxy(l.Addr(), faultnet.New(faultnet.Policy{
+		Seed:          7,
+		Corrupt:       0.05,
+		CorruptOffset: wire.DataHeaderLen, // flip object bytes, not headers
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	obj := makeObj(1 << 20)
+	var rerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, rerr = l.Accept(ctx)
+	}()
+	_, serr := Send(ctx, proxy.Addr(), obj, core.Config{}, Options{Pace: 2 * time.Microsecond})
+	<-done
+	if st := proxy.Stats(); st.Corrupted == 0 {
+		t.Fatalf("corruption never fired: %+v", st)
+	}
+	if !errors.Is(serr, ErrDigestMismatch) {
+		t.Fatalf("sender err = %v, want ErrDigestMismatch", serr)
+	}
+	if !errors.Is(rerr, ErrDigestMismatch) {
+		t.Fatalf("receiver err = %v, want ErrDigestMismatch", rerr)
+	}
+	if IsRetryable(serr) {
+		t.Fatal("content corruption classified retryable")
 	}
 }

@@ -230,7 +230,7 @@ func (p recvPlan) resumeFrame() wire.Resume {
 // missing packets. A refused claim answers a reasoned ABORT — the sender
 // degrades to a fresh transfer or fails, per the reason.
 func acceptResumedTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl net.Conn,
-	opts Options, watchCtl bool, store *resumeStore) ([]byte, core.ReceiverStats, error) {
+	opts Options, watchCtl bool, store *resumeStore, cache *contentCache) ([]byte, core.ReceiverStats, error) {
 	if plan.resumeStreams > 1 {
 		// Resume is defined for single-flow transfers only (the striped
 		// wire format has no per-stripe bitmap exchange yet).
@@ -257,6 +257,11 @@ func acceptResumedTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn,
 	tm := opts.Metrics.StartReceiver(plan.base, rcv.NumPackets(), int64(plan.objectSize))
 	fr := opts.Record.StartReceiver(plan.base, rcv.NumPackets(), int64(plan.objectSize), plan.packetSize)
 	or := opts.startRecorder(plan.trace, plan.base, obs.RoleReceiver)
+	if plan.hasCheck {
+		// The CHECK missed (a hit never reaches this path); record the
+		// answered query on the resumed timeline too.
+		or.Event(obs.KindCheck, 0)
+	}
 	tm.NoteRestored(restored)
 	e := newReceiverEngine(rcv, tm, fr)
 	e.finished = rcv.Complete()
@@ -289,11 +294,24 @@ func acceptResumedTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn,
 		finishTrace(or, err)
 		return nil, rcv.Stats(), err
 	}
+	// The CRC above reconciles the resumed bytes with what the RESUME
+	// announced; the CHECK's content digest then reconciles both with the
+	// object's content identity — a retained buffer that rotted across the
+	// restart fails here, not at the application.
+	if err := plan.verifyContent(ret.obj); err != nil {
+		writeAbort(ctl, plan.base, wire.AbortDigestMismatch)
+		finishInstruments(tm, fr, err)
+		finishTrace(or, err)
+		return nil, rcv.Stats(), err
+	}
 	err = writeComplete(ctl, plan.base, plan.objectSize, ret.obj)
 	finishInstruments(tm, fr, err)
 	finishTrace(or, err)
 	if err != nil {
 		return nil, rcv.Stats(), err
+	}
+	if plan.hasCheck && plan.checkDedup {
+		cache.add(plan.checkDigest, ret.obj, plan.packetSize)
 	}
 	return ret.obj, rcv.Stats(), nil
 }

@@ -105,6 +105,8 @@ func IsRetryable(err error) bool {
 		errors.Is(err, wire.ErrHelloXVersion) ||
 		errors.Is(err, wire.ErrResumeVersion) ||
 		errors.Is(err, wire.ErrTraceVersion) ||
+		errors.Is(err, wire.ErrCheckVersion) ||
+		errors.Is(err, ErrVerifyUnsupported) ||
 		errors.Is(err, ErrSessionBroken) {
 		return false
 	}
@@ -226,7 +228,27 @@ func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, o
 	snd := core.NewSender(obj, cfg)
 	scfg := snd.Config()
 	tid := opts.senderTraceID()
-	frame := wire.AppendResume(tracePrelude(tid), &wire.Resume{
+	// A RESUME gets the same CHECK prelude a fresh transfer would: the
+	// receiver may have completed (and cached) the object since the failed
+	// attempt, in which case resuming would move packets it already holds.
+	var check []byte
+	if !opts.NoDedup || opts.Verify {
+		var flags uint8
+		if opts.Verify {
+			flags |= wire.CheckFlagVerify
+		}
+		if !opts.NoDedup {
+			flags |= wire.CheckFlagDedup
+		}
+		check = wire.AppendCheck(nil, &wire.Check{
+			Flags:      flags,
+			Transfer:   scfg.Transfer,
+			ObjectSize: uint64(len(obj)),
+			PacketSize: uint32(scfg.PacketSize),
+			Digest:     snd.ContentID(),
+		})
+	}
+	frame := wire.AppendResume(append(tracePrelude(tid), check...), &wire.Resume{
 		Transfer:   scfg.Transfer,
 		ObjectSize: uint64(len(obj)),
 		PacketSize: uint32(scfg.PacketSize),
@@ -245,6 +267,39 @@ func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, o
 	}
 	ctl.SetWriteDeadline(time.Time{})
 
+	checked := check != nil
+	if checked {
+		h, cerr := awaitCheckAnswer(ctx, ctl, scfg.Transfer, opts.HandshakeTimeout)
+		if cerr != nil {
+			ctl.Close()
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return core.SenderStats{}, false, fmt.Errorf("udprt: resume handshake: %w", ctxErr)
+			}
+			// An ABORT or hang-up here is an extras-unaware (or refusing)
+			// peer: degrade to the fresh fallback, whose dialHandshake
+			// ladder re-negotiates the CHECK — and enforces Options.Verify.
+			return core.SenderStats{}, false, nil
+		}
+		if int(h.Received) >= snd.NumPackets() {
+			// Dedup hit: the receiver completed (and cached) the object
+			// since the failed attempt. COMPLETE follows; the RESUME's own
+			// HAVE never comes.
+			or := opts.startRecorder(tid, scfg.Transfer, obs.RoleSender)
+			tm, fr := instrumentSender(snd, scfg, int64(len(obj)), opts.Metrics, opts.Record)
+			p := &senderPlan{
+				base:    scfg.Transfer,
+				obj:     obj,
+				cfg:     scfg,
+				stripes: []wire.StripeDesc{{Transfer: scfg.Transfer, Length: uint64(len(obj))}},
+				snds:    []*core.Sender{snd},
+				tms:     []*metrics.Transfer{tm},
+				frs:     []*flight.Recorder{fr},
+			}
+			defer ctl.Close()
+			st, err := completeDedupedSend(p, ctl, or)
+			return st, true, err
+		}
+	}
 	have, ok, err := awaitResumeAnswer(ctx, ctl, scfg.Transfer, opts.HandshakeTimeout)
 	if err != nil {
 		ctl.Close()
@@ -265,6 +320,9 @@ func sendResume(ctx context.Context, addr string, obj []byte, cfg core.Config, o
 		return core.SenderStats{}, false, nil
 	}
 	or := opts.startRecorder(tid, scfg.Transfer, obs.RoleSender)
+	if checked {
+		or.Event(obs.KindCheck, 0)
+	}
 	or.Event(obs.KindHandshake, 0)
 	or.Event(obs.KindResume, uint64(restored))
 	tm, fr := instrumentSender(snd, scfg, int64(len(obj)), opts.Metrics, opts.Record)

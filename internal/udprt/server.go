@@ -27,6 +27,7 @@ type Server struct {
 	udp   *net.UDPConn
 	opts  Options
 	store *resumeStore
+	cache *contentCache
 
 	mu        sync.Mutex
 	transfers map[uint32]*serverTransfer
@@ -57,6 +58,7 @@ func NewServer(addr string, opts Options) (*Server, error) {
 		udp:       l.udp,
 		opts:      l.opts,
 		store:     l.store,
+		cache:     l.cache,
 		transfers: make(map[uint32]*serverTransfer),
 	}, nil
 }
@@ -129,12 +131,27 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
 		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) ||
-			errors.Is(err, wire.ErrTraceVersion) {
+			errors.Is(err, wire.ErrTraceVersion) || errors.Is(err, wire.ErrCheckVersion) {
 			writeAbort(ctl, 0, wire.AbortUnsupported)
 		} else {
 			writeAbort(ctl, 0, wire.AbortBadHello)
 		}
 		return
+	}
+	if plan.hasCheck {
+		// Answer the content query before any registration: a dedup hit
+		// never competes for the transfer-id space (nothing will arrive on
+		// the data socket), so N senders pushing the same hot object fan
+		// out of the cache concurrently — the server is the dedup point.
+		if obj, ok := s.cache.lookup(plan.checkDigest); ok && plan.checkDedup && uint64(len(obj)) == plan.objectSize {
+			if obj, rstats, err := completeDeduped(plan, ctl, s.opts, obj); err == nil {
+				handle(plan.base, obj, rstats)
+			}
+			return
+		}
+		if err := answerCheckMiss(ctl, plan.base); err != nil {
+			return
+		}
 	}
 	if plan.striped() || (plan.resume && plan.resumeStreams > 1) {
 		// Receive-side striping for the concurrent server is not built
@@ -201,6 +218,9 @@ func (s *Server) handleControl(ctx context.Context, ctl *net.TCPConn, handle Han
 	st.or = s.opts.startRecorder(plan.trace, hello.Transfer, obs.RoleReceiver)
 	s.transfers[hello.Transfer] = st
 	s.mu.Unlock()
+	if plan.hasCheck {
+		st.or.Event(obs.KindCheck, 0) // the query was answered a miss above
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.transfers, hello.Transfer)
@@ -301,10 +321,22 @@ wait:
 		abortTrace(st.or, wire.AbortDigestMismatch)
 		return
 	}
+	if err := plan.verifyContent(obj); err != nil {
+		// The assembled bytes are not the announced content: corrupted
+		// past the CRC's reach, or a sender lying about identity. Either
+		// way the object is neither delivered nor cached.
+		writeAbort(ctl, hello.Transfer, wire.AbortDigestMismatch)
+		abortInstruments(st.eng.tm, st.eng.fr, wire.AbortDigestMismatch)
+		abortTrace(st.or, wire.AbortDigestMismatch)
+		return
+	}
 	finishInstruments(st.eng.tm, st.eng.fr, nil)
 	finishTrace(st.or, nil)
 	if err := writeComplete(ctl, hello.Transfer, hello.ObjectSize, obj); err != nil {
 		return
+	}
+	if plan.hasCheck && plan.checkDedup {
+		s.cache.add(plan.checkDigest, obj, plan.packetSize)
 	}
 	handle(hello.Transfer, obj, rstats)
 }

@@ -84,10 +84,12 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 
 	// Each object gets its own trace id (unless the session pins one).
 	// There is no prelude degradation inside a session — any handshake
-	// failure breaks it — so a traced session requires a traced peer.
+	// failure breaks it — so a traced or verifying session requires a
+	// peer that speaks those preludes.
 	tid := s.opts.senderTraceID()
 	or := s.opts.startRecorder(tid, plan.base, obs.RoleSender)
-	hello := append(tracePrelude(tid), plan.helloFrame()...)
+	check := plan.checkFrame(s.opts)
+	hello := append(append(tracePrelude(tid), check...), plan.helloFrame()...)
 	s.ctl.SetWriteDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	if _, err := s.ctl.Write(hello); err != nil {
 		s.ctl.SetWriteDeadline(time.Time{})
@@ -98,6 +100,26 @@ func (s *Session) Send(ctx context.Context, obj []byte, cfg core.Config) (core.S
 		return plan.stats(), err
 	}
 	s.ctl.SetWriteDeadline(time.Time{})
+	if check != nil {
+		h, err := awaitCheckAnswer(ctx, s.ctl, plan.base, s.opts.HandshakeTimeout)
+		if err != nil {
+			s.broken = true
+			plan.fail(err)
+			finishTrace(or, err)
+			return plan.stats(), err
+		}
+		if int(h.Received) >= plan.totalPackets() {
+			// The receiver already holds the content: COMPLETE follows
+			// with no HELLO-ACK and no data flow, and the control stream
+			// stays clean for the session's next object.
+			st, err := completeDedupedSend(plan, s.ctl, or)
+			if err != nil {
+				s.broken = true
+			}
+			return st, err
+		}
+		or.Event(obs.KindCheck, 0)
+	}
 	if err := awaitHelloAck(ctx, s.ctl, plan.base, s.opts.HandshakeTimeout); err != nil {
 		s.broken = true
 		plan.fail(err)
@@ -162,10 +184,10 @@ func (is *IncomingSession) Next(ctx context.Context) ([]byte, core.ReceiverStats
 	plan, err := readTransferPlan(ctx, is.ctl)
 	if err != nil {
 		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) ||
-			errors.Is(err, wire.ErrTraceVersion) {
+			errors.Is(err, wire.ErrTraceVersion) || errors.Is(err, wire.ErrCheckVersion) {
 			writeAbort(is.ctl, 0, wire.AbortUnsupported)
 		}
 		return nil, core.ReceiverStats{}, err
 	}
-	return acceptTransfer(ctx, plan, is.sl.l.udp, is.ctl, is.sl.l.opts, false, is.sl.l.store)
+	return acceptTransfer(ctx, plan, is.sl.l.udp, is.ctl, is.sl.l.opts, false, is.sl.l.store, is.sl.l.cache)
 }

@@ -70,6 +70,12 @@ type senderPlan struct {
 	snds    []*core.Sender
 	tms     []*metrics.Transfer
 	frs     []*flight.Recorder
+
+	// content memoizes the whole-object SHA-256 for the CHECK prelude
+	// (for a single stripe the stripe sender's own memo is reused, so the
+	// object is hashed exactly once per plan either way).
+	content    [32]byte
+	hasContent bool
 }
 
 // newSenderPlan splits obj per opts.Streams and builds one instrumented
@@ -123,6 +129,60 @@ func (p *senderPlan) helloFrame() []byte {
 		PacketSize: uint32(p.cfg.PacketSize),
 		Stripes:    p.stripes,
 	})
+}
+
+// contentID returns the plan's whole-object SHA-256, memoized.
+func (p *senderPlan) contentID() [32]byte {
+	if len(p.snds) == 1 {
+		return p.snds[0].ContentID()
+	}
+	if !p.hasContent {
+		p.content = core.ContentID(p.obj)
+		p.hasContent = true
+	}
+	return p.content
+}
+
+// totalPackets sums the stripes' packet counts — the threshold a CHECK
+// answer's Received count must reach to be a dedup hit.
+func (p *senderPlan) totalPackets() int {
+	total := 0
+	for _, snd := range p.snds {
+		total += snd.NumPackets()
+	}
+	return total
+}
+
+// checkFrame serializes the plan's CHECK prelude: the whole-object content
+// digest, plus one digest per stripe for a striped plan. Nil — no prelude,
+// bit-identical to the pre-CHECK handshake — when the caller opted out of
+// dedup without demanding verification; hashing happens only when the
+// frame is actually built.
+func (p *senderPlan) checkFrame(opts Options) []byte {
+	if opts.NoDedup && !opts.Verify {
+		return nil
+	}
+	var flags uint8
+	if opts.Verify {
+		flags |= wire.CheckFlagVerify
+	}
+	if !opts.NoDedup {
+		flags |= wire.CheckFlagDedup
+	}
+	c := wire.Check{
+		Flags:      flags,
+		Transfer:   p.base,
+		ObjectSize: uint64(len(p.obj)),
+		PacketSize: uint32(p.cfg.PacketSize),
+		Digest:     p.contentID(),
+	}
+	if len(p.snds) > 1 {
+		c.StripeDigests = make([][32]byte, len(p.snds))
+		for i, snd := range p.snds {
+			c.StripeDigests[i] = snd.ContentID()
+		}
+	}
+	return wire.AppendCheck(nil, &c)
 }
 
 // noteHandshake records the completed handshake on every stripe's
@@ -326,9 +386,45 @@ type recvPlan struct {
 	resume        bool
 	resumeDigest  uint32
 	resumeStreams int
+	// CHECK prelude state: the sender announced the object's content
+	// identity before the handshake. checkDedup permits answering from the
+	// content cache; checkVerify demands the per-stripe digests be checked
+	// too, not just the whole-object one.
+	hasCheck      bool
+	checkDigest   [32]byte
+	checkVerify   bool
+	checkDedup    bool
+	stripeDigests [][32]byte
 }
 
 func (p recvPlan) striped() bool { return p.stripes != nil }
+
+// verifyContent checks the assembled object against the content identity
+// the CHECK prelude announced: the whole-object SHA-256 always, and each
+// stripe's digest when the sender demanded verification. A mismatch is
+// corruption the CRC survived (or a sender announcing one object and
+// blasting another); either way the bytes must not be delivered or
+// cached. Nil when no CHECK arrived.
+func (p recvPlan) verifyContent(obj []byte) error {
+	if !p.hasCheck {
+		return nil
+	}
+	if core.ContentID(obj) != p.checkDigest {
+		return fmt.Errorf("udprt: assembled object does not match announced content digest: %w", ErrDigestMismatch)
+	}
+	if p.checkVerify && p.striped() && len(p.stripeDigests) > 0 {
+		if len(p.stripeDigests) != len(p.stripes) {
+			return fmt.Errorf("udprt: %d stripe digests announced for %d stripes: %w",
+				len(p.stripeDigests), len(p.stripes), ErrDigestMismatch)
+		}
+		for i, sd := range p.stripes {
+			if core.ContentID(obj[sd.Offset:sd.Offset+sd.Length]) != p.stripeDigests[i] {
+				return fmt.Errorf("udprt: stripe %d does not match its announced digest: %w", i, ErrDigestMismatch)
+			}
+		}
+	}
+	return nil
+}
 
 // newRecvEngines allocates the object and builds one instrumented
 // receiver engine per stripe. The classic path keeps its historical
@@ -380,18 +476,31 @@ func sumRecvStats(engines []*receiverEngine) core.ReceiverStats {
 }
 
 // acceptTransfer runs one announced inbound transfer to completion over
-// the listener's UDP socket: HELLO-ACK (or, for a RESUME announcement, the
-// HAVE bitmap of retained state), the shared receive loop demuxing every
-// stripe, then the single COMPLETE carrying the whole-object digest.
-// Listener.Accept and IncomingSession.Next are thin wrappers. A failed
-// single-flow transfer leaves its partial state in the resume store so a
-// RESUME within the window can finish it.
-func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl net.Conn, opts Options, watchCtl bool, store *resumeStore) ([]byte, core.ReceiverStats, error) {
+// the listener's UDP socket: the CHECK answer when the sender asked (a
+// content-cache hit short-circuits the whole data phase), HELLO-ACK (or,
+// for a RESUME announcement, the HAVE bitmap of retained state), the
+// shared receive loop demuxing every stripe, then the single COMPLETE
+// carrying the whole-object digest. Listener.Accept and
+// IncomingSession.Next are thin wrappers. A failed single-flow transfer
+// leaves its partial state in the resume store so a RESUME within the
+// window can finish it.
+func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl net.Conn, opts Options, watchCtl bool, store *resumeStore, cache *contentCache) ([]byte, core.ReceiverStats, error) {
+	if plan.hasCheck {
+		if obj, ok := cache.lookup(plan.checkDigest); ok && plan.checkDedup && uint64(len(obj)) == plan.objectSize {
+			return completeDeduped(plan, ctl, opts, obj)
+		}
+		if err := answerCheckMiss(ctl, plan.base); err != nil {
+			return nil, core.ReceiverStats{}, err
+		}
+	}
 	if plan.resume {
-		return acceptResumedTransfer(ctx, plan, udp, ctl, opts, watchCtl, store)
+		return acceptResumedTransfer(ctx, plan, udp, ctl, opts, watchCtl, store, cache)
 	}
 	obj, engines := newRecvEngines(plan, opts)
 	or := opts.startRecorder(plan.trace, plan.base, obs.RoleReceiver)
+	if plan.hasCheck {
+		or.Event(obs.KindCheck, 0)
+	}
 	finishAll := func(err error) {
 		for _, e := range engines {
 			finishInstruments(e.tm, e.fr, err)
@@ -415,13 +524,53 @@ func acceptTransfer(ctx context.Context, plan recvPlan, udp *net.UDPConn, ctl ne
 		finishAll(err)
 		return nil, sumRecvStats(engines), err
 	}
-	// Every packet is placed; what remains is the digest check and the
-	// COMPLETE write (writeComplete computes the former).
+	// Every packet is placed; what remains is the content verdict, the CRC
+	// digest check and the COMPLETE write (writeComplete computes the CRC).
 	or.Event(obs.KindDrain, 0)
+	if err := plan.verifyContent(obj); err != nil {
+		writeAbort(ctl, plan.base, wire.AbortDigestMismatch)
+		finishAll(err)
+		return nil, sumRecvStats(engines), err
+	}
 	err := writeComplete(ctl, plan.base, plan.objectSize, obj)
 	finishAll(err)
 	if err != nil {
 		return nil, sumRecvStats(engines), err
 	}
+	if plan.hasCheck && plan.checkDedup {
+		cache.add(plan.checkDigest, obj, plan.packetSize)
+	}
 	return obj, sumRecvStats(engines), nil
+}
+
+// completeDeduped answers a dedup-hitting CHECK: the full HAVE bitmap (the
+// verdict) followed immediately by the COMPLETE carrying the cached bytes'
+// digest — no HELLO-ACK, no data flow, no receive loop. The returned
+// object is the cache's copy, so a Server's completion handler sees the
+// same bytes a real transfer would have assembled.
+func completeDeduped(plan recvPlan, ctl net.Conn, opts Options, obj []byte) ([]byte, core.ReceiverStats, error) {
+	or := opts.startRecorder(plan.trace, plan.base, obs.RoleReceiver)
+	or.Event(obs.KindCheck, 1)
+	total := core.NumPackets(int64(plan.objectSize), plan.packetSize)
+	tm := opts.Metrics.StartReceiver(plan.base, total, int64(plan.objectSize))
+	st := core.ReceiverStats{
+		Received:      total,
+		Restored:      total,
+		PacketsNeeded: total,
+	}
+	if err := writeHave(ctl, plan.base, total, fullWords(total)); err != nil {
+		finishMetrics(tm, err)
+		finishTrace(or, err)
+		return nil, st, err
+	}
+	tm.NoteRestored(total)
+	or.Event(obs.KindSkip, uint64(total))
+	err := writeComplete(ctl, plan.base, plan.objectSize, obj)
+	finishMetrics(tm, err)
+	finishTrace(or, err)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Deduped = true
+	return obj, st, nil
 }

@@ -85,9 +85,11 @@ func TestTracedLoopbackJoin(t *testing.T) {
 			t.Errorf("%s timeline tagged transfer %d, want 7", tl.Role, tl.Transfer)
 		}
 	}
-	wantSender := []obs.Kind{obs.KindDial, obs.KindHandshake, obs.KindRounds,
-		obs.KindDrain, obs.KindVerify, obs.KindComplete}
-	wantReceiver := []obs.Kind{obs.KindHandshake, obs.KindRounds,
+	// Default options send the CHECK prelude, so both timelines record the
+	// answered (missed) content query between dial and handshake.
+	wantSender := []obs.Kind{obs.KindDial, obs.KindCheck, obs.KindHandshake,
+		obs.KindRounds, obs.KindDrain, obs.KindVerify, obs.KindComplete}
+	wantReceiver := []obs.Kind{obs.KindCheck, obs.KindHandshake, obs.KindRounds,
 		obs.KindDrain, obs.KindVerify, obs.KindComplete}
 	checkOrder(t, "sender", obs.PhaseOrder(tls[0]), wantSender)
 	checkOrder(t, "receiver", obs.PhaseOrder(tls[1]), wantReceiver)
@@ -209,7 +211,7 @@ func TestTracePreludeDegradesOnAbort(t *testing.T) {
 	prelude := tracePrelude(obs.NewTraceID())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	ctl, err := dialHandshake(ctx, tl.Addr().String(), prelude, hello, transfer, opts)
+	ctl, _, err := dialHandshake(ctx, tl.Addr().String(), prelude, nil, hello, transfer, opts)
 	if err != nil {
 		t.Fatalf("traced handshake did not degrade: %v", err)
 	}

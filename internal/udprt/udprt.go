@@ -163,6 +163,20 @@ type Options struct {
 	// prelude before the announcement; peers that do not speak TRACE
 	// degrade the handshake to an untraced one (see DESIGN.md §5i).
 	TraceID obs.TraceID
+	// Verify demands end-to-end content verification. Sending: the CHECK
+	// prelude carries wire.CheckFlagVerify, asking the receiver to verify
+	// every stripe digest (not just the whole object) before COMPLETE, and
+	// a peer that refuses the CHECK fails the transfer with
+	// ErrVerifyUnsupported instead of degrading to an unchecked handshake.
+	// Receiving: announced stripe digests are verified at completion. The
+	// whole-object digest is always verified when a CHECK arrived,
+	// Verify or not.
+	Verify bool
+	// NoDedup opts out of content-cache participation. Sending: the CHECK
+	// prelude omits wire.CheckFlagDedup (and is omitted entirely unless
+	// Verify asks for it), so every push moves its bytes. Receiving: no
+	// content cache is kept and every CHECK is answered as a miss.
+	NoDedup bool
 	// Record, when non-nil, captures a packet-level flight recording of
 	// every transfer this endpoint runs: each data send with its attempt
 	// number, each acknowledgement with the packets it newly covered,
@@ -307,6 +321,12 @@ const maxDatagram = 64 << 10
 // rounds the sender tolerates before surfacing the write error.
 const writeErrLimit = 8
 
+// ErrVerifyUnsupported reports that Options.Verify was set but the peer
+// refused the CHECK prelude — it cannot verify content digests, and the
+// caller asked for verification rather than best effort, so the transfer
+// fails instead of degrading. Terminal under IsRetryable.
+var ErrVerifyUnsupported = errors.New("udprt: peer does not support content verification")
+
 // Listener accepts incoming FOBS transfers on a TCP control port and a UDP
 // data socket bound to the same port number.
 type Listener struct {
@@ -314,6 +334,7 @@ type Listener struct {
 	udp   *net.UDPConn
 	opts  Options
 	store *resumeStore
+	cache *contentCache
 }
 
 // Listen binds addr (e.g. "127.0.0.1:7700") for control (TCP) and data
@@ -338,7 +359,8 @@ func Listen(addr string, opts Options) (*Listener, error) {
 	// prescribe.
 	_ = ul.SetReadBuffer(opts.ReadBuffer)
 	_ = ul.SetWriteBuffer(opts.WriteBuffer)
-	return &Listener{tcp: tl, udp: ul, opts: opts, store: newResumeStore(opts)}, nil
+	return &Listener{tcp: tl, udp: ul, opts: opts,
+		store: newResumeStore(opts), cache: newContentCache(opts)}, nil
 }
 
 // Addr returns the control address the listener is bound to.
@@ -381,7 +403,7 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 	plan, err := readTransferPlan(ctx, ctl)
 	if err != nil {
 		if errors.Is(err, wire.ErrHelloXVersion) || errors.Is(err, wire.ErrResumeVersion) ||
-			errors.Is(err, wire.ErrTraceVersion) {
+			errors.Is(err, wire.ErrTraceVersion) || errors.Is(err, wire.ErrCheckVersion) {
 			// A future protocol revision we cannot place: refuse cleanly
 			// so the peer fails its handshake instead of blasting data.
 			writeAbort(ctl, 0, wire.AbortUnsupported)
@@ -390,7 +412,7 @@ func (l *Listener) Accept(ctx context.Context) ([]byte, core.ReceiverStats, erro
 	}
 	// The connection carries at most one more inbound frame (an ABORT),
 	// so the receive loop may watch it for sender death.
-	return acceptTransfer(ctx, plan, l.udp, ctl, l.opts, true, l.store)
+	return acceptTransfer(ctx, plan, l.udp, ctl, l.opts, true, l.store, l.cache)
 }
 
 // finishMetrics stamps the transfer's terminal state: completed on nil
@@ -508,13 +530,15 @@ func writeComplete(ctl net.Conn, transfer uint32, size uint64, obj []byte) error
 }
 
 // readTransferPlan consumes the transfer announcement — a classic HELLO
-// or a striped HELLOX, optionally preceded by a single TRACE prelude
-// carrying the sender's trace id — bounded by 30s or ctx's deadline,
-// whichever is sooner. The deadline is cleared afterwards so it never
-// lingers on the control connection. An announcement from a future
-// protocol revision surfaces as an error wrapping wire.ErrHelloXVersion,
-// wire.ErrResumeVersion or wire.ErrTraceVersion; callers answer those
-// with ABORT (unsupported).
+// or a striped HELLOX, optionally preceded by TRACE and CHECK preludes —
+// bounded by 30s or ctx's deadline, whichever is sooner. The deadline is
+// cleared afterwards so it never lingers on the control connection. The
+// announcement is always read, even when the CHECK will turn out a dedup
+// hit: the sender pipelines every frame in one write, and consuming them
+// all keeps the stream framing clean for session reuse. An announcement
+// from a future protocol revision surfaces as an error wrapping
+// wire.ErrHelloXVersion, wire.ErrResumeVersion, wire.ErrTraceVersion or
+// wire.ErrCheckVersion; callers answer those with ABORT (unsupported).
 func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 	dl := time.Now().Add(30 * time.Second)
 	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
@@ -527,42 +551,55 @@ func readTransferPlan(ctx context.Context, ctl net.Conn) (recvPlan, error) {
 		return recvPlan{}, fmt.Errorf("udprt: hello read: %w", err)
 	}
 	var tid obs.TraceID
-	if f.typ == wire.TypeTrace {
-		// The prelude only decorates the announcement that must follow it.
-		tid = obs.TraceID(f.trace.ID)
+	var chk *wire.Check
+	// The preludes only decorate the announcement that must follow them.
+	for f.typ == wire.TypeTrace || f.typ == wire.TypeCheck {
+		if f.typ == wire.TypeTrace {
+			tid = obs.TraceID(f.trace.ID)
+		} else {
+			c := f.check
+			chk = &c
+		}
 		if f, err = readControlFrame(ctl); err != nil {
 			return recvPlan{}, fmt.Errorf("udprt: hello read: %w", err)
 		}
 	}
+	var plan recvPlan
 	switch f.typ {
 	case wire.TypeHello:
-		return recvPlan{
+		plan = recvPlan{
 			base:       f.hello.Transfer,
 			objectSize: f.hello.ObjectSize,
 			packetSize: int(f.hello.PacketSize),
-			trace:      tid,
-		}, nil
+		}
 	case wire.TypeHelloX:
-		return recvPlan{
+		plan = recvPlan{
 			base:       f.hellox.Transfer,
 			objectSize: f.hellox.ObjectSize,
 			packetSize: int(f.hellox.PacketSize),
 			stripes:    f.hellox.Stripes,
-			trace:      tid,
-		}, nil
+		}
 	case wire.TypeResume:
-		return recvPlan{
+		plan = recvPlan{
 			base:          f.resume.Transfer,
 			objectSize:    f.resume.ObjectSize,
 			packetSize:    int(f.resume.PacketSize),
-			trace:         tid,
 			resume:        true,
 			resumeDigest:  f.resume.Digest,
 			resumeStreams: int(f.resume.Streams),
-		}, nil
+		}
 	default:
 		return recvPlan{}, fmt.Errorf("udprt: expected HELLO, got control frame type %d", f.typ)
 	}
+	plan.trace = tid
+	if chk != nil {
+		plan.hasCheck = true
+		plan.checkDigest = chk.Digest
+		plan.checkVerify = chk.Flags&wire.CheckFlagVerify != 0
+		plan.checkDedup = chk.Flags&wire.CheckFlagDedup != 0
+		plan.stripeDigests = chk.StripeDigests
+	}
+	return plan, nil
 }
 
 // Send transfers obj to the FOBS listener at addr and returns the sender's
@@ -585,7 +622,8 @@ func Send(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Op
 }
 
 // sendOnce is one un-supervised transfer attempt: the whole classic Send
-// path, handshake to verdict.
+// path, handshake to verdict — or, when the receiver answers the CHECK
+// prelude with a full HAVE, a zero-data completion.
 func sendOnce(ctx context.Context, addr string, obj []byte, cfg core.Config, opts Options) (core.SenderStats, error) {
 	plan, err := newSenderPlan(obj, cfg, opts)
 	if err != nil {
@@ -594,13 +632,21 @@ func sendOnce(ctx context.Context, addr string, obj []byte, cfg core.Config, opt
 	tid := opts.senderTraceID()
 	or := opts.startRecorder(tid, plan.base, obs.RoleSender)
 	or.Event(obs.KindDial, 0)
-	ctl, err := dialHandshake(ctx, addr, tracePrelude(tid), plan.helloFrame(), plan.base, opts)
+	ctl, have, err := dialHandshake(ctx, addr, tracePrelude(tid), plan.checkFrame(opts), plan.helloFrame(), plan.base, opts)
 	if err != nil {
 		plan.fail(err)
 		finishTrace(or, err)
 		return plan.stats(), err
 	}
 	defer ctl.Close()
+	if have != nil && int(have.Received) >= plan.totalPackets() {
+		// Dedup hit: the receiver already holds the object. No handshake
+		// completes and no data flow dials — just the verdict.
+		return completeDedupedSend(plan, ctl, or)
+	}
+	if have != nil {
+		or.Event(obs.KindCheck, 0)
+	}
 	plan.noteHandshake()
 	or.Event(obs.KindHandshake, 0)
 
@@ -618,22 +664,71 @@ func sendOnce(ctx context.Context, addr string, obj []byte, cfg core.Config, opt
 	return runSenderPlan(ctx, plan, conns, ctl, opts, or)
 }
 
+// completeDedupedSend finishes a transfer whose CHECK query hit: every
+// stripe is marked fully restored (so the stats conservation laws read
+// "nothing sent, everything excused", exactly like a resume that had
+// nothing left), and the receiver's COMPLETE — digest and all — is awaited
+// and verified as usual. End-to-end integrity holds on this path too: the
+// COMPLETE carries the CRC of the receiver's cached bytes.
+func completeDedupedSend(plan *senderPlan, ctl net.Conn, or *obs.Recorder) (core.SenderStats, error) {
+	or.Event(obs.KindCheck, 1)
+	total := 0
+	for i, snd := range plan.snds {
+		n := snd.NumPackets()
+		if _, err := snd.Restore(fullWords(n)); err != nil {
+			plan.fail(err)
+			finishTrace(or, err)
+			return plan.stats(), err
+		}
+		plan.tms[i].NoteRestored(n)
+		total += n
+	}
+	or.Event(obs.KindSkip, uint64(total))
+	err := readCompletion(ctl, plan.obj)
+	for i := range plan.snds {
+		finishInstruments(plan.tms[i], plan.frs[i], err)
+	}
+	finishTrace(or, err)
+	st := plan.stats()
+	st.Deduped = err == nil
+	return st, err
+}
+
 // dialHandshake establishes the control connection and completes the
-// handshake — the optional TRACE prelude plus HELLO, then HELLO-ACK back —
-// retrying with exponential backoff on connection errors and timeouts. An
-// ABORT from the receiver (e.g. a duplicate transfer id) is final and
-// never retried, with one exception: a peer that rejects the announcement
-// outright (bad-hello or unsupported) after a traced attempt is treated
-// as not speaking TRACE, and the handshake degrades to an untraced one.
-// A peer that hangs up instead of ABORTing (an old Listener fails its
-// announcement parse and closes the connection) degrades the same way on
-// its retry, so tracing can never wedge a transfer a plain HELLO would
-// have opened.
-func dialHandshake(ctx context.Context, addr string, prelude, hello []byte, transfer uint32, opts Options) (net.Conn, error) {
-	frame := hello
+// handshake — the optional TRACE and CHECK preludes plus HELLO, pipelined
+// in one write, then the answers back — retrying with exponential backoff
+// on connection errors and timeouts. An ABORT from the receiver (e.g. a
+// duplicate transfer id) is final and never retried, with one exception:
+// a peer that rejects the announcement outright (bad-hello or unsupported)
+// while extras are armed is treated as not speaking them, and the
+// handshake degrades — the CHECK is dropped first (unless Options.Verify
+// makes its refusal terminal), then the TRACE prelude — each drop
+// restoring the attempt it consumed, because the reasoned rejection was an
+// answer to the extra, not to the transfer. A peer that hangs up instead
+// of ABORTing (an old Listener fails its announcement parse and closes the
+// connection) drops every droppable extra on its retry, so neither prelude
+// can ever wedge a transfer a plain HELLO would have opened.
+//
+// The returned Have is the CHECK answer when one arrived (nil when the
+// CHECK was never sent or was dropped): a full bitmap means the receiver
+// already holds the object and the caller must await COMPLETE instead of
+// running the data phase; no HELLO-ACK is read then, since none comes.
+func dialHandshake(ctx context.Context, addr string, prelude, check, hello []byte, transfer uint32, opts Options) (net.Conn, *wire.Have, error) {
 	traced := len(prelude) > 0
-	if traced {
-		frame = append(append(make([]byte, 0, len(prelude)+len(hello)), prelude...), hello...)
+	checked := len(check) > 0
+	frame := hello
+	rebuild := func() {
+		frame = frame[:0:0]
+		if traced {
+			frame = append(frame, prelude...)
+		}
+		if checked {
+			frame = append(frame, check...)
+		}
+		frame = append(frame, hello...)
+	}
+	if traced || checked {
+		rebuild()
 	}
 	var lastErr error
 	backoff := opts.HandshakeBackoff
@@ -641,62 +736,86 @@ func dialHandshake(ctx context.Context, addr string, prelude, hello []byte, tran
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
-				return nil, fmt.Errorf("udprt: handshake: %w", ctx.Err())
+				return nil, nil, fmt.Errorf("udprt: handshake: %w", ctx.Err())
 			case <-time.After(backoff):
 			}
 			backoff *= 2
 		}
-		ctl, err := attemptHandshake(ctx, addr, frame, transfer, opts)
+		ctl, have, err := attemptHandshake(ctx, addr, frame, transfer, checked, opts)
 		if err == nil {
-			return ctl, nil
+			return ctl, have, nil
 		}
 		var abort *AbortError
 		if errors.As(err, &abort) {
-			if traced && (abort.Reason == wire.AbortBadHello || abort.Reason == wire.AbortUnsupported) {
-				// The peer refused the announcement itself — exactly how a
-				// TRACE-unaware (or TRACE-version-rejecting) receiver
-				// presents. Drop the prelude and try again with the full
-				// retry budget: the reasoned rejection was an answer to the
-				// prelude, not to the transfer.
-				frame, traced = hello, false
+			if (traced || checked) && (abort.Reason == wire.AbortBadHello || abort.Reason == wire.AbortUnsupported) {
+				// The peer refused the announcement itself — exactly how an
+				// extras-unaware (or version-rejecting) receiver presents.
+				// Drop one extra and try again with the full retry budget.
+				if checked {
+					if opts.Verify {
+						return nil, nil, fmt.Errorf("%w: peer answered %s", ErrVerifyUnsupported, abort.Reason)
+					}
+					checked = false
+				} else {
+					traced = false
+				}
+				rebuild()
 				lastErr = err
 				attempt--
 				continue
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		if ctx.Err() != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if traced {
+		if traced || (checked && !opts.Verify) {
 			// Connection-level failure: could be transient, could be an old
-			// peer hanging up on the prelude. The retry goes untraced so the
-			// two causes converge on a working transfer.
-			frame, traced = hello, false
+			// peer hanging up on an unknown frame. The retry goes without
+			// the droppable extras so the two causes converge on a working
+			// transfer. A Verify-required CHECK stays: against an old peer
+			// the attempts run out and the failure surfaces, which is what
+			// "required" means.
+			traced = false
+			checked = checked && opts.Verify
+			rebuild()
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("udprt: handshake failed after %d attempts: %w",
+	return nil, nil, fmt.Errorf("udprt: handshake failed after %d attempts: %w",
 		opts.HandshakeRetries, lastErr)
 }
 
-func attemptHandshake(ctx context.Context, addr string, hello []byte, transfer uint32, opts Options) (net.Conn, error) {
+func attemptHandshake(ctx context.Context, addr string, frame []byte, transfer uint32, checked bool, opts Options) (net.Conn, *wire.Have, error) {
 	var d net.Dialer
 	ctl, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("udprt: dial control: %w", err)
+		return nil, nil, fmt.Errorf("udprt: dial control: %w", err)
 	}
 	ctl.SetWriteDeadline(time.Now().Add(opts.HandshakeTimeout))
-	if _, err := ctl.Write(hello); err != nil {
+	if _, err := ctl.Write(frame); err != nil {
 		ctl.Close()
-		return nil, fmt.Errorf("udprt: hello write: %w", err)
+		return nil, nil, fmt.Errorf("udprt: hello write: %w", err)
 	}
 	ctl.SetWriteDeadline(time.Time{})
+	var have *wire.Have
+	if checked {
+		h, err := awaitCheckAnswer(ctx, ctl, transfer, opts.HandshakeTimeout)
+		if err != nil {
+			ctl.Close()
+			return nil, nil, err
+		}
+		have = &h
+		if h.Received > 0 {
+			// Dedup hit: COMPLETE follows, never a HELLO-ACK.
+			return ctl, have, nil
+		}
+	}
 	if err := awaitHelloAck(ctx, ctl, transfer, opts.HandshakeTimeout); err != nil {
 		ctl.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return ctl, nil
+	return ctl, have, nil
 }
 
 // readCompletion blocks until the receiver's terminal control frame
@@ -709,7 +828,15 @@ func readCompletion(ctl net.Conn, obj []byte) error {
 	}
 	switch f.typ {
 	case wire.TypeAbort:
-		return &AbortError{Transfer: f.abort.Transfer, Reason: f.abort.Reason}
+		abort := &AbortError{Transfer: f.abort.Transfer, Reason: f.abort.Reason}
+		if f.abort.Reason == wire.AbortDigestMismatch {
+			// The receiver verified the assembled object against the
+			// announced content digest and it did not match: corruption,
+			// not loss. Surface both the abort and the typed mismatch so
+			// the sender fails the same way the receiver did.
+			return fmt.Errorf("udprt: receiver rejected the object content: %w (%w)", ErrDigestMismatch, abort)
+		}
+		return abort
 	case wire.TypeComplete:
 	default:
 		return fmt.Errorf("udprt: unexpected control frame type %d awaiting completion", f.typ)

@@ -84,6 +84,11 @@ func captureFrames(tb testing.TB) (datas, acks, control [][]byte) {
 		wire.AppendTrace(nil, &wire.Trace{
 			ID: [16]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
 		}),
+		wire.AppendCheck(nil, &wire.Check{
+			Transfer: cfg.Transfer, ObjectSize: uint64(len(obj)),
+			PacketSize: uint32(cfg.PacketSize), Flags: wire.CheckFlagDedup,
+			Digest: core.ContentID(obj),
+		}),
 	}
 	return datas, acks, control
 }
@@ -171,6 +176,22 @@ func FuzzDecodeControl(f *testing.F) {
 	futureTrace := wire.AppendTrace(nil, &wire.Trace{ID: [16]byte{0xAA}})
 	futureTrace[3] = wire.TraceVersion + 1
 	f.Add(futureTrace)
+	// CHECK with stripe digests, and a future-version CHECK: the decoder
+	// must refuse the latter before any layout parsing.
+	striped := wire.AppendCheck(nil, &wire.Check{
+		Transfer: 6, ObjectSize: 4096, PacketSize: 1024,
+		Flags:  wire.CheckFlagDedup | wire.CheckFlagVerify,
+		Digest: [32]byte{1, 2, 3}, StripeDigests: [][32]byte{{4}, {5}},
+	})
+	f.Add(striped)
+	// Truncated trailer: the prefix promises two stripe digests but only
+	// part of one follows. Must come back ErrShort.
+	f.Add(striped[:len(striped)-40])
+	futureCheck := wire.AppendCheck(nil, &wire.Check{
+		Transfer: 7, ObjectSize: 64, PacketSize: 64, Digest: [32]byte{9},
+	})
+	futureCheck[3] = wire.CheckVersion + 1
+	f.Add(futureCheck)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if h, err := wire.DecodeHello(b); err == nil {
 			if _, err := wire.DecodeHello(wire.AppendHello(nil, &h)); err != nil {
@@ -218,6 +239,16 @@ func FuzzDecodeControl(f *testing.F) {
 		if tr, err := wire.DecodeTrace(b); err == nil {
 			if re, err := wire.DecodeTrace(wire.AppendTrace(nil, &tr)); err != nil || re != tr {
 				t.Fatalf("trace re-decode failed: %v (%+v vs %+v)", err, re, tr)
+			}
+		}
+		if c, err := wire.DecodeCheck(b); err == nil {
+			re, err := wire.DecodeCheck(wire.AppendCheck(nil, &c))
+			if err != nil {
+				t.Fatalf("check re-decode failed: %v", err)
+			}
+			if re.Transfer != c.Transfer || re.Digest != c.Digest ||
+				re.Flags != c.Flags || len(re.StripeDigests) != len(c.StripeDigests) {
+				t.Fatalf("re-encode changed the check: %+v vs %+v", re, c)
 			}
 		}
 		// Any frame the stream framer would read must have a stable length.

@@ -76,6 +76,15 @@ func main() {
 		wire.AppendTrace(nil, &wire.Trace{
 			ID: [16]byte{0xDE, 0xAD, 0xBE, 0xEF, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
 		}),
+		wire.AppendCheck(nil, &wire.Check{
+			Transfer: cfg.Transfer, ObjectSize: uint64(len(obj)),
+			PacketSize: uint32(cfg.PacketSize),
+			Flags:      wire.CheckFlagDedup | wire.CheckFlagVerify,
+			Digest:     core.ContentID(obj),
+			StripeDigests: [][32]byte{
+				core.ContentID(obj[:4096]), core.ContentID(obj[4096:]),
+			},
+		}),
 	}
 
 	// A handful of representative frames per target keeps the committed

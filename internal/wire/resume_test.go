@@ -190,10 +190,10 @@ func TestPeekTypeAndControlLenCoverResumeHave(t *testing.T) {
 			t.Fatalf("ControlLen(%d)=%d err=%v, want %d", typ, n, err, tc.flen)
 		}
 	}
-	// One past the last known type (TypeTrace) must still be rejected.
+	// One past the last known type (TypeCheck) must still be rejected.
 	bad := append([]byte(nil), r...)
-	bad[2] = TypeTrace + 1
+	bad[2] = TypeCheck + 1
 	if _, err := PeekType(bad); !errors.Is(err, ErrBadType) {
-		t.Fatalf("type %d accepted by PeekType", TypeTrace+1)
+		t.Fatalf("type %d accepted by PeekType", TypeCheck+1)
 	}
 }

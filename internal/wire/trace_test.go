@@ -67,7 +67,7 @@ func TestTracePeekAndControlLen(t *testing.T) {
 		t.Fatalf("ControlLen(TypeTrace) = (%d, %v), want (%d, nil)", n, err, TraceLen)
 	}
 	// One past the last known type stays rejected.
-	if _, err := PeekType([]byte{0xF0, 0xB5, TypeTrace + 1}); err != ErrBadType {
-		t.Fatalf("PeekType(TypeTrace+1) err = %v, want ErrBadType", err)
+	if _, err := PeekType([]byte{0xF0, 0xB5, TypeCheck + 1}); err != ErrBadType {
+		t.Fatalf("PeekType(TypeCheck+1) err = %v, want ErrBadType", err)
 	}
 }

@@ -37,6 +37,7 @@ const (
 	TypeResume   uint8 = 8  // control channel, versioned request to resume an interrupted transfer
 	TypeHave     uint8 = 9  // control channel, receiver's got-bitmap summary answering a RESUME
 	TypeTrace    uint8 = 10 // control channel, versioned trace-id prelude ahead of an announcement
+	TypeCheck    uint8 = 11 // control channel, versioned content-digest query ahead of an announcement
 )
 
 // Header sizes in bytes.
@@ -61,6 +62,12 @@ const (
 	HaveFixedLen = 2 + 1 + 1 + 4 + 4 + 4
 	// TraceLen is a TRACE frame: magic,type,version,id(16) = 20.
 	TraceLen = 2 + 1 + 1 + 16
+	// CheckFixedLen is the fixed prefix of a CHECK frame:
+	// magic,type,version,flags,nstripes,xfer,objsize,psize,digest(32) = 54;
+	// ContentDigestLen bytes per stripe digest follow.
+	CheckFixedLen = 2 + 1 + 1 + 1 + 1 + 4 + 8 + 4 + 32
+	// ContentDigestLen is the byte length of a content digest (SHA-256).
+	ContentDigestLen = 32
 )
 
 // Flag bits in the data header.
@@ -93,6 +100,11 @@ var (
 	// revision, same degradation rule again: the runtime answers with an
 	// ABORT (unsupported) and the sender retries the handshake untraced.
 	ErrTraceVersion = errors.New("wire: unsupported TRACE version")
+	// ErrCheckVersion rejects a CHECK prelude from a future protocol
+	// revision, same degradation rule again: the runtime answers with an
+	// ABORT (unsupported) and the sender retries the handshake without the
+	// content query.
+	ErrCheckVersion = errors.New("wire: unsupported CHECK version")
 )
 
 // Data is one object packet. Seq numbers the packet within the object;
@@ -665,6 +677,139 @@ func DecodeTrace(b []byte) (Trace, error) {
 	return t, nil
 }
 
+// CheckVersion is the CHECK revision this build speaks. Decoders reject
+// anything newer with ErrCheckVersion; the runtimes turn that into an
+// ABORT (unsupported) and the sender retries the handshake without the
+// content query — content addressing is an optimization plus an integrity
+// layer, never worth failing a transfer a plain HELLO could open (unless
+// the sender demands verification, which it signals by failing locally).
+const CheckVersion uint8 = 1
+
+// CHECK flag bits.
+const (
+	// CheckFlagVerify asks the receiver to verify every stripe digest it
+	// was given, not just the whole-object digest, before COMPLETE.
+	CheckFlagVerify uint8 = 1 << 0
+	// CheckFlagDedup permits the receiver to answer the query from its
+	// content cache: a full HAVE bitmap plus COMPLETE in place of the
+	// handshake, skipping the data phase entirely. Without it the receiver
+	// must answer "miss" even when it holds the object, so a
+	// verification-only transfer always moves its bytes.
+	CheckFlagDedup uint8 = 1 << 1
+)
+
+// Check is the versioned content-identity prelude: a control frame a
+// sender writes immediately before its announcement (HELLO/HELLOX/RESUME)
+// declaring the SHA-256 digest of the object about to move — and, for a
+// striped plan, the digest of each stripe. Like TRACE it precedes rather
+// than extends the announcement frames, leaving their layouts untouched
+// for old peers; a receiver that never learned TypeCheck rejects the
+// unknown frame and the sender degrades to an unchecked handshake.
+//
+// The receiver answers every CHECK before processing the announcement: a
+// HAVE carrying the full got-bitmap (followed by COMPLETE) when
+// CheckFlagDedup is set and its content cache holds the digest, or a HAVE
+// with Received == 0 and a single zero word — the encodable "hold
+// nothing" answer — when it does not.
+type Check struct {
+	Version    uint8
+	Flags      uint8
+	Transfer   uint32
+	ObjectSize uint64
+	PacketSize uint32
+	// Digest is the whole-object SHA-256.
+	Digest [32]byte
+	// StripeDigests carries one SHA-256 per stripe for a striped plan, in
+	// stripe order; empty for a single-flow transfer (the whole-object
+	// digest covers it).
+	StripeDigests [][32]byte
+}
+
+// CheckLen returns the framed length of a CHECK carrying n stripe digests.
+func CheckLen(n int) int { return CheckFixedLen + n*ContentDigestLen }
+
+// AppendCheck serializes c onto buf. The stripe-digest count rides inside
+// the fixed prefix so a stream reader can size the trailer, like HELLOX.
+func AppendCheck(buf []byte, c *Check) []byte {
+	if len(c.StripeDigests) > MaxStreams {
+		panic(fmt.Sprintf("wire: %d stripe digests exceed %d", len(c.StripeDigests), MaxStreams))
+	}
+	v := c.Version
+	if v == 0 {
+		v = CheckVersion
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, TypeCheck, v, c.Flags, uint8(len(c.StripeDigests)))
+	buf = binary.BigEndian.AppendUint32(buf, c.Transfer)
+	buf = binary.BigEndian.AppendUint64(buf, c.ObjectSize)
+	buf = binary.BigEndian.AppendUint32(buf, c.PacketSize)
+	buf = append(buf, c.Digest[:]...)
+	for i := range c.StripeDigests {
+		buf = append(buf, c.StripeDigests[i][:]...)
+	}
+	return buf
+}
+
+// DecodeCheck parses a CHECK control message. Unknown future versions are
+// refused with ErrCheckVersion before any layout assumptions are made;
+// the caller maps that onto AbortUnsupported.
+func DecodeCheck(b []byte) (Check, error) {
+	var c Check
+	if len(b) < CheckFixedLen {
+		return c, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return c, ErrBadMagic
+	}
+	if b[2] != TypeCheck {
+		return c, ErrBadType
+	}
+	c.Version = b[3]
+	if c.Version != CheckVersion {
+		return c, fmt.Errorf("%w: got %d, speak %d", ErrCheckVersion, c.Version, CheckVersion)
+	}
+	c.Flags = b[4]
+	n := int(b[5])
+	if n > MaxStreams {
+		return c, fmt.Errorf("wire: check stripe count %d exceeds %d", n, MaxStreams)
+	}
+	if len(b) < CheckLen(n) {
+		return c, ErrShort
+	}
+	c.Transfer = binary.BigEndian.Uint32(b[6:])
+	c.ObjectSize = binary.BigEndian.Uint64(b[10:])
+	c.PacketSize = binary.BigEndian.Uint32(b[18:])
+	if c.PacketSize == 0 {
+		return c, errors.New("wire: check with zero packet size")
+	}
+	if c.ObjectSize == 0 {
+		return c, errors.New("wire: check with zero object size")
+	}
+	copy(c.Digest[:], b[22:])
+	if n > 0 {
+		c.StripeDigests = make([][32]byte, n)
+		for i := 0; i < n; i++ {
+			copy(c.StripeDigests[i][:], b[CheckFixedLen+i*ContentDigestLen:])
+		}
+	}
+	return c, nil
+}
+
+// CheckStripeCount reads the stripe-digest count out of a CHECK frame
+// prefix (at least 6 bytes), bounds-checked against MaxStreams, so a
+// stream reader can size the variable trailer before parsing the whole
+// frame — a position every CHECK revision keeps.
+func CheckStripeCount(b []byte) (int, error) {
+	if len(b) < 6 {
+		return 0, ErrShort
+	}
+	n := int(b[5])
+	if n > MaxStreams {
+		return 0, fmt.Errorf("wire: check stripe count %d exceeds %d", n, MaxStreams)
+	}
+	return n, nil
+}
+
 // AbortReason explains why a transfer was terminated.
 type AbortReason uint8
 
@@ -789,6 +934,8 @@ func ControlLen(typ uint8) (int, error) {
 		return HaveFixedLen, nil
 	case TypeTrace:
 		return TraceLen, nil
+	case TypeCheck:
+		return CheckFixedLen, nil
 	default:
 		return 0, ErrBadType
 	}
@@ -833,7 +980,7 @@ func PeekType(b []byte) (uint8, error) {
 		return 0, ErrBadMagic
 	}
 	t := b[2]
-	if t < TypeData || t > TypeTrace {
+	if t < TypeData || t > TypeCheck {
 		return 0, ErrBadType
 	}
 	return t, nil
